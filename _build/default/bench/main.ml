@@ -1,0 +1,250 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one [Test.make] per table/figure of
+   the paper (a scaled-down experiment cycle measuring the cost of the
+   machinery that regenerates it), plus micro-benchmarks of the hot
+   substrate paths (event queue, mailboxes, FAIL front end).
+
+   Part 2 — regenerates every table and figure. By default the quick
+   configurations run (a couple of minutes); set FAILMPI_BENCH_FULL=1 for
+   the paper-sized campaign (same as `failmpi_experiments all`). *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Scaled-down experiment cycles, one per figure *)
+
+let small_params =
+  { Workload.Stencil.iterations = 15; compute_time = 0.4; msg_bytes = 4_000; jitter = 0.0 }
+
+let small_run ?scenario ~seed () =
+  let n_ranks = 4 in
+  let app = Workload.Stencil.app small_params ~n_ranks in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.wave_interval = 5.0;
+      term_straggler_prob = 0.0;
+    }
+  in
+  let spec =
+    {
+      (Failmpi.Run.default_spec ~app ~cfg ~n_compute:8 ~state_bytes:500_000) with
+      Failmpi.Run.scenario;
+      seed;
+      timeout = 120.0;
+    }
+  in
+  Failmpi.Run.execute spec
+
+let test_table1 =
+  Test.make ~name:"table1:tool-comparison"
+    (Staged.stage (fun () -> ignore (Fail_lang.Tool_comparison.render ())))
+
+let test_fig5_cycle =
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:10 in
+  Test.make ~name:"fig5:frequency-run"
+    (Staged.stage (fun () -> ignore (small_run ~scenario ~seed:1L ())))
+
+let test_fig6_cycle =
+  Test.make ~name:"fig6:scale-run" (Staged.stage (fun () -> ignore (small_run ~seed:2L ())))
+
+let test_fig7_cycle =
+  let scenario = Fail_lang.Paper_scenarios.simultaneous ~n_machines:8 ~period:10 ~count:2 in
+  Test.make ~name:"fig7:simultaneous-run"
+    (Staged.stage (fun () -> ignore (small_run ~scenario ~seed:3L ())))
+
+let test_fig9_cycle =
+  let scenario = Fail_lang.Paper_scenarios.synchronized ~n_machines:8 ~period:10 in
+  Test.make ~name:"fig9:synchronized-run"
+    (Staged.stage (fun () -> ignore (small_run ~scenario ~seed:4L ())))
+
+let test_fig11_cycle =
+  let scenario = Fail_lang.Paper_scenarios.state_synchronized ~n_machines:8 ~period:10 in
+  Test.make ~name:"fig11:state-sync-run"
+    (Staged.stage (fun () -> ignore (small_run ~scenario ~seed:5L ())))
+
+(* ------------------------------------------------------------------ *)
+(* Substrate micro-benchmarks *)
+
+let test_engine_events =
+  Test.make ~name:"micro:engine-1k-events"
+    (Staged.stage (fun () ->
+         let open Simkern in
+         let eng = Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Engine.schedule eng ~delay:(float_of_int i *. 0.001) (fun () -> ()))
+         done;
+         ignore (Engine.run eng)))
+
+let test_mailbox_throughput =
+  Test.make ~name:"micro:mailbox-1k-msgs"
+    (Staged.stage (fun () ->
+         let open Simkern in
+         let eng = Engine.create () in
+         let mb = Mailbox.create () in
+         ignore
+           (Proc.spawn eng (fun () ->
+                for _ = 1 to 1000 do
+                  ignore (Mailbox.recv mb)
+                done));
+         ignore
+           (Proc.spawn eng (fun () ->
+                for i = 1 to 1000 do
+                  Mailbox.send mb i
+                done));
+         ignore (Engine.run eng)))
+
+let fig10_source = Fail_lang.Paper_scenarios.state_synchronized ~n_machines:53 ~period:50
+
+let test_parse =
+  Test.make ~name:"micro:parse-fig10"
+    (Staged.stage (fun () -> ignore (Fail_lang.Parser.parse fig10_source)))
+
+let test_compile =
+  Test.make ~name:"micro:compile-fig10"
+    (Staged.stage (fun () ->
+         match Fail_lang.Compile.compile_source fig10_source with
+         | Ok _ -> ()
+         | Error msg -> failwith msg))
+
+let test_reference =
+  Test.make ~name:"micro:bt49-reference-checksum"
+    (Staged.stage (fun () ->
+         ignore (Workload.Bt_model.reference_checksum Workload.Bt_model.B ~n_ranks:49)))
+
+let test_rng =
+  Test.make ~name:"micro:rng-1k-draws"
+    (Staged.stage (fun () ->
+         let rng = Simkern.Rng.create 1L in
+         for _ = 1 to 1000 do
+           ignore (Simkern.Rng.int rng 53)
+         done))
+
+let benchmark () =
+  let tests =
+    [
+      test_table1;
+      test_fig5_cycle;
+      test_fig6_cycle;
+      test_fig7_cycle;
+      test_fig9_cycle;
+      test_fig11_cycle;
+      test_engine_events;
+      test_mailbox_throughput;
+      test_parse;
+      test_compile;
+      test_reference;
+      test_rng;
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  Printf.printf "%-32s %14s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ estimate ] ->
+              let pretty =
+                if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+                else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+                else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+                else Printf.sprintf "%.0f ns" estimate
+              in
+              Printf.printf "%-32s %14s %10s\n%!" name pretty
+                (match Analyze.OLS.r_square ols_result with
+                | Some r2 -> Printf.sprintf "%.3f" r2
+                | None -> "-")
+          | Some _ | None -> Printf.printf "%-32s %14s\n%!" name "-")
+        analysis)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Figure regeneration *)
+
+let figures full =
+  let sep title = Printf.printf "\n================ %s ================\n\n%!" title in
+  sep "Table (2.1)";
+  print_string (Fail_lang.Tool_comparison.render ());
+  let pick quick normal = if full then normal else quick in
+  sep "Figure 5";
+  print_string
+    (Experiments.Fig_frequency.render
+       (Experiments.Fig_frequency.run
+          ~config:
+            (pick Experiments.Fig_frequency.quick_config
+               Experiments.Fig_frequency.default_config)
+          ()));
+  sep "Figure 6";
+  print_string
+    (Experiments.Fig_scale.render
+       (Experiments.Fig_scale.run
+          ~config:(pick Experiments.Fig_scale.quick_config Experiments.Fig_scale.default_config)
+          ()));
+  sep "Figure 7";
+  print_string
+    (Experiments.Fig_simultaneous.render
+       (Experiments.Fig_simultaneous.run
+          ~config:
+            (pick Experiments.Fig_simultaneous.quick_config
+               Experiments.Fig_simultaneous.default_config)
+          ()));
+  sep "Figure 9";
+  print_string
+    (Experiments.Fig_synchronized.render
+       (Experiments.Fig_synchronized.run
+          ~config:
+            (pick Experiments.Fig_synchronized.quick_config
+               Experiments.Fig_synchronized.default_config)
+          ()));
+  sep "Figure 11";
+  print_string
+    (Experiments.Fig_state_sync.render
+       (Experiments.Fig_state_sync.run
+          ~config:
+            (pick Experiments.Fig_state_sync.quick_config
+               Experiments.Fig_state_sync.default_config)
+          ()));
+  sep "Ablations";
+  let reps = if full then 9 else 3 in
+  let n_ranks = if full then 49 else 25 in
+  print_string
+    (Experiments.Ablations.render_dispatcher_fix
+       (Experiments.Ablations.dispatcher_fix ~reps ~n_ranks ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablations.render_protocol_overhead
+       (Experiments.Ablations.protocol_overhead ~n_ranks ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablations.render_wave_interval
+       (Experiments.Ablations.wave_interval ~reps:(if full then 4 else 2) ~n_ranks ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablations.render_protocol_comparison
+       (Experiments.Ablations.protocol_comparison ~reps:(if full then 4 else 2) ~n_ranks ()));
+  sep "Planned feature (delay after wave)";
+  print_string
+    (Experiments.Delay_experiment.render
+       (Experiments.Delay_experiment.run
+          ~n_ranks:(if full then 49 else 25)
+          ~reps:(if full then 3 else 1)
+          ()))
+
+let () =
+  let full =
+    match Sys.getenv_opt "FAILMPI_BENCH_FULL" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  print_endline "=== Bechamel micro-benchmarks (one per table/figure + substrate) ===\n";
+  benchmark ();
+  figures full;
+  Printf.printf "\n(%s mode; set FAILMPI_BENCH_FULL=1 for the paper-sized campaign)\n"
+    (if full then "full" else "quick")

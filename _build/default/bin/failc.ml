@@ -1,0 +1,94 @@
+(* failc: compile and inspect FAIL scenarios.
+
+   Examples:
+     failc scenario.fail
+     failc scenario.fail --param X=5 --param N=52 --dump
+     failc scenario.fail --dot ADV1
+     failc --paper fig5-frequency --dump *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_param s =
+  match String.index_opt s '=' with
+  | Some i -> (
+      let name = String.sub s 0 i in
+      let value = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt value with
+      | Some v -> Ok (name, v)
+      | None -> Error (`Msg (Printf.sprintf "parameter %s: %s is not an integer" name value)))
+  | None -> Error (`Msg (Printf.sprintf "expected NAME=INT, got %s" s))
+
+let param_conv = Arg.conv (parse_param, fun ppf (n, v) -> Format.fprintf ppf "%s=%d" n v)
+
+let run file paper params dump dot =
+  let source =
+    match (file, paper) with
+    | Some path, None -> Ok (read_file path)
+    | None, Some name -> (
+        match List.assoc_opt name Fail_lang.Paper_scenarios.all with
+        | Some src -> Ok src
+        | None ->
+            Error
+              (Printf.sprintf "unknown paper scenario %s (available: %s)" name
+                 (String.concat ", " (List.map fst Fail_lang.Paper_scenarios.all))))
+    | Some _, Some _ -> Error "give either FILE or --paper, not both"
+    | None, None -> Error "give a FILE or --paper NAME"
+  in
+  match source with
+  | Error msg ->
+      prerr_endline ("failc: " ^ msg);
+      1
+  | Ok source -> (
+      match Fail_lang.Compile.compile_source ~params source with
+      | Error msg ->
+          prerr_endline ("failc: " ^ msg);
+          1
+      | Ok plan ->
+          let daemons = List.map fst plan.Fail_lang.Compile.automata in
+          Printf.printf "compiled %d daemon(s): %s; %d deployment(s)\n" (List.length daemons)
+            (String.concat ", " daemons)
+            (List.length plan.Fail_lang.Compile.deployments);
+          if dump then print_string (Fail_lang.Codegen.dump plan);
+          (match dot with
+          | Some name -> (
+              match Fail_lang.Compile.automaton plan name with
+              | Some a -> print_string (Fail_lang.Codegen.to_dot a)
+              | None ->
+                  prerr_endline ("failc: no daemon named " ^ name);
+                  exit 1)
+          | None -> ());
+          0)
+
+let cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"FAIL scenario source file.")
+  in
+  let paper =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "paper" ] ~docv:"NAME" ~doc:"Use a built-in paper scenario instead of a file.")
+  in
+  let params =
+    Arg.(
+      value & opt_all param_conv []
+      & info [ "param"; "p" ] ~docv:"NAME=INT" ~doc:"Scenario parameter (repeatable).")
+  in
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the compiled automata.") in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"DAEMON" ~doc:"Print a Graphviz digraph of one daemon.")
+  in
+  Cmd.v
+    (Cmd.info "failc" ~doc:"Compile and inspect FAIL fault-injection scenarios")
+    Term.(const run $ file $ paper $ params $ dump $ dot)
+
+let () = exit (Cmd.eval' cmd)

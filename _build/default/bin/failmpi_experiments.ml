@@ -1,0 +1,176 @@
+(* failmpi_experiments: regenerate every table and figure of the paper's
+   evaluation section, plus the ablations and the planned-feature delay
+   experiment.
+
+   Examples:
+     failmpi_experiments fig5
+     failmpi_experiments fig7 --quick
+     failmpi_experiments all *)
+
+open Cmdliner
+
+let with_timer f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%.1f s wall clock]\n\n%!" (Unix.gettimeofday () -. t0);
+  r
+
+(* When --csv DIR is given, every figure also lands as DIR/<name>.csv. *)
+let csv_dir : string option ref = ref None
+
+let emit_csv name aggs =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Experiments.Harness.aggs_csv aggs);
+      close_out oc;
+      Printf.printf "(data written to %s)\n" path
+
+let table1 () =
+  print_endline "Table (2.1): comparison of distributed fault-injection tools";
+  print_newline ();
+  print_string (Fail_lang.Tool_comparison.render ());
+  print_newline ()
+
+let fig5 ~quick () =
+  let config =
+    if quick then Experiments.Fig_frequency.quick_config
+    else Experiments.Fig_frequency.default_config
+  in
+  let aggs = Experiments.Fig_frequency.run ~config () in
+  emit_csv "fig5" aggs;
+  print_string (Experiments.Fig_frequency.render aggs);
+  print_newline ();
+  print_endline Experiments.Fig_frequency.paper_note;
+  print_newline ()
+
+let fig6 ~quick () =
+  let config =
+    if quick then Experiments.Fig_scale.quick_config else Experiments.Fig_scale.default_config
+  in
+  let aggs = Experiments.Fig_scale.run ~config () in
+  emit_csv "fig6" aggs;
+  print_string (Experiments.Fig_scale.render aggs);
+  print_newline ();
+  print_endline Experiments.Fig_scale.paper_note;
+  print_newline ()
+
+let fig7 ~quick () =
+  let config =
+    if quick then Experiments.Fig_simultaneous.quick_config
+    else Experiments.Fig_simultaneous.default_config
+  in
+  let aggs = Experiments.Fig_simultaneous.run ~config () in
+  emit_csv "fig7" aggs;
+  print_string (Experiments.Fig_simultaneous.render aggs);
+  print_newline ();
+  print_endline Experiments.Fig_simultaneous.paper_note;
+  print_newline ()
+
+let fig9 ~quick () =
+  let config =
+    if quick then Experiments.Fig_synchronized.quick_config
+    else Experiments.Fig_synchronized.default_config
+  in
+  let aggs = Experiments.Fig_synchronized.run ~config () in
+  emit_csv "fig9" aggs;
+  print_string (Experiments.Fig_synchronized.render aggs);
+  print_newline ();
+  print_endline Experiments.Fig_synchronized.paper_note;
+  print_newline ()
+
+let fig11 ~quick () =
+  let config =
+    if quick then Experiments.Fig_state_sync.quick_config
+    else Experiments.Fig_state_sync.default_config
+  in
+  let aggs = Experiments.Fig_state_sync.run ~config () in
+  emit_csv "fig11" aggs;
+  print_string (Experiments.Fig_state_sync.render aggs);
+  print_newline ();
+  print_endline Experiments.Fig_state_sync.paper_note;
+  print_newline ()
+
+let ablations ~quick () =
+  let reps = if quick then 2 else 6 in
+  let n_ranks = if quick then 25 else 49 in
+  print_string
+    (Experiments.Ablations.render_dispatcher_fix
+       (Experiments.Ablations.dispatcher_fix ~reps ~n_ranks ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablations.render_protocol_overhead
+       (Experiments.Ablations.protocol_overhead ~n_ranks ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablations.render_wave_interval
+       (Experiments.Ablations.wave_interval ~reps:(if quick then 2 else 4) ~n_ranks ()));
+  print_newline ();
+  print_string
+    (Experiments.Ablations.render_protocol_comparison
+       (Experiments.Ablations.protocol_comparison ~reps:(if quick then 2 else 4) ~n_ranks ()));
+  print_newline ()
+
+let delay ~quick () =
+  let rows =
+    Experiments.Delay_experiment.run
+      ?delays:(if quick then Some [ 0; 10; 20 ] else None)
+      ~reps:(if quick then 1 else 3)
+      ()
+  in
+  print_string (Experiments.Delay_experiment.render rows);
+  print_newline ()
+
+let experiments =
+  [
+    ("table1", fun ~quick () -> ignore quick; table1 ());
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig9", fig9);
+    ("fig11", fig11);
+    ("ablations", ablations);
+    ("delay", delay);
+  ]
+
+let run exp_name quick csv =
+  csv_dir := csv;
+  let todo =
+    if exp_name = "all" then List.map snd experiments
+    else
+      match List.assoc_opt exp_name experiments with
+      | Some f -> [ f ]
+      | None ->
+          prerr_endline
+            (Printf.sprintf "unknown experiment %s (available: all, %s)" exp_name
+               (String.concat ", " (List.map fst experiments)));
+          exit 1
+  in
+  List.iter (fun f -> with_timer (fun () -> f ~quick ())) todo;
+  0
+
+let cmd =
+  let exp_name =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, delay.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions and sizes (smoke mode).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each figure's aggregates as CSV into DIR.")
+  in
+  Cmd.v
+    (Cmd.info "failmpi_experiments"
+       ~doc:"Regenerate the tables and figures of the FAIL-MPI paper")
+    Term.(const run $ exp_name $ quick $ csv)
+
+let () = exit (Cmd.eval' cmd)

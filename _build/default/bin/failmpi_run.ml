@@ -1,0 +1,144 @@
+(* failmpi_run: run one fault-injection experiment against the NAS BT
+   model on MPICH-Vcl.
+
+   Examples:
+     failmpi_run --ranks 49 --class B                 (no faults)
+     failmpi_run --paper fig5-frequency --seed 3
+     failmpi_run --scenario my.fail --param X=5 --trace *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_param s =
+  match String.index_opt s '=' with
+  | Some i -> (
+      let name = String.sub s 0 i in
+      let value = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt value with
+      | Some v -> Ok (name, v)
+      | None -> Error (`Msg "parameter value must be an integer"))
+  | None -> Error (`Msg "expected NAME=INT")
+
+let param_conv = Arg.conv (parse_param, fun ppf (n, v) -> Format.fprintf ppf "%s=%d" n v)
+
+let run scenario_file paper params ranks klass seed timeout fixed show_trace analyze trace_csv =
+  let klass =
+    match Workload.Bt_model.klass_of_string klass with
+    | Some k -> k
+    | None ->
+        prerr_endline "failmpi_run: class must be A, B or C";
+        exit 1
+  in
+  let n_machines = Experiments.Harness.machines_for ranks in
+  let scenario =
+    match (scenario_file, paper) with
+    | Some path, None -> Some (read_file path)
+    | None, Some name -> (
+        match List.assoc_opt name Fail_lang.Paper_scenarios.all with
+        | Some src -> Some src
+        | None ->
+            prerr_endline
+              (Printf.sprintf "failmpi_run: unknown paper scenario %s (available: %s)" name
+                 (String.concat ", " (List.map fst Fail_lang.Paper_scenarios.all)));
+            exit 1)
+    | Some _, Some _ ->
+        prerr_endline "failmpi_run: give either --scenario or --paper, not both";
+        exit 1
+    | None, None -> None
+  in
+  let cfg =
+    { (Mpivcl.Config.default ~n_ranks:ranks) with Mpivcl.Config.dispatcher_buggy = not fixed }
+  in
+  let spec =
+    {
+      (Experiments.Harness.bt_spec ~cfg ~klass ~n_ranks:ranks ~n_machines ~scenario ()) with
+      Failmpi.Run.params;
+      seed = Int64.of_int seed;
+      timeout;
+    }
+  in
+  let expected = Workload.Bt_model.reference_checksum klass ~n_ranks:ranks in
+  let r = Failmpi.Run.execute ~expected_checksum:expected spec in
+  Printf.printf "outcome:          %s%s\n"
+    (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
+    (match r.Failmpi.Run.outcome with
+    | Failmpi.Run.Completed t -> Printf.sprintf " (%.1f s)" t
+    | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> "");
+  Printf.printf "injected faults:  %d\n" r.Failmpi.Run.injected_faults;
+  Printf.printf "recovery waves:   %d\n" r.Failmpi.Run.recoveries;
+  Printf.printf "committed ckpts:  %d\n" r.Failmpi.Run.committed_waves;
+  Printf.printf "dispatcher race:  %s\n" (if r.Failmpi.Run.confused then "HIT" else "not hit");
+  (match r.Failmpi.Run.checksum_ok with
+  | Some true -> Printf.printf "checksums:        all %d ranks correct\n" ranks
+  | Some false -> Printf.printf "checksums:        MISMATCH\n"
+  | None -> ());
+  if analyze then
+    Format.printf "@.trace analysis:@.%a@." Experiments.Trace_analysis.pp
+      (Experiments.Trace_analysis.summarize r.Failmpi.Run.trace);
+  (match trace_csv with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Experiments.Trace_analysis.events_csv r.Failmpi.Run.trace);
+      close_out oc;
+      Printf.printf "trace written to %s\n" path
+  | None -> ());
+  if show_trace then Format.printf "%a@." Simkern.Trace.pp r.Failmpi.Run.trace;
+  match r.Failmpi.Run.checksum_ok with Some false -> 2 | Some true | None -> 0
+
+let cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "scenario" ] ~docv:"FILE" ~doc:"FAIL scenario to inject (default: none).")
+  in
+  let paper =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "paper" ] ~docv:"NAME" ~doc:"Use a built-in paper scenario.")
+  in
+  let params =
+    Arg.(
+      value & opt_all param_conv []
+      & info [ "param"; "p" ] ~docv:"NAME=INT" ~doc:"Scenario parameter (repeatable).")
+  in
+  let ranks =
+    Arg.(value & opt int 49 & info [ "ranks"; "n" ] ~docv:"N" ~doc:"MPI ranks (square number).")
+  in
+  let klass =
+    Arg.(value & opt string "B" & info [ "class"; "c" ] ~docv:"CLASS" ~doc:"NAS class: A, B or C.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Experiment seed.") in
+  let timeout =
+    Arg.(
+      value & opt float 1500.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Experiment timeout (paper: 1500 s).")
+  in
+  let fixed =
+    Arg.(
+      value & flag
+      & info [ "fixed-dispatcher" ] ~doc:"Use the corrected dispatcher instead of the historical one.")
+  in
+  let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the execution trace.") in
+  let analyze =
+    Arg.(value & flag & info [ "analyze" ] ~doc:"Print a trace analysis (faults, recoveries, checkpoints).")
+  in
+  let trace_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-csv" ] ~docv:"FILE" ~doc:"Write the raw trace as CSV to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "failmpi_run" ~doc:"Inject faults into MPICH-Vcl running NAS BT")
+    Term.(
+      const run $ scenario $ paper $ params $ ranks $ klass $ seed $ timeout $ fixed
+      $ show_trace $ analyze $ trace_csv)
+
+let () = exit (Cmd.eval' cmd)

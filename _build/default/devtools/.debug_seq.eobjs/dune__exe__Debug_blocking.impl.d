@@ -1,0 +1,1 @@
+devtools/debug_blocking.ml: Config Deploy Dispatcher Engine Format List Mpivcl Printf Proc Simkern Simos Trace Workload

@@ -1,0 +1,1 @@
+devtools/debug_blocking.mli:

@@ -1,0 +1,1 @@
+devtools/debug_fig7.ml: Fail_lang Failmpi Format List Mpivcl Printf Simkern String Workload

@@ -1,0 +1,1 @@
+devtools/debug_fig7.mli:

@@ -1,0 +1,1 @@
+devtools/debug_v2.ml: Experiments Fail_lang Failmpi Format List Mpivcl Printf Simkern Workload

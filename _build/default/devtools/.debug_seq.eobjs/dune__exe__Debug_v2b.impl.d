@@ -1,0 +1,1 @@
+devtools/debug_v2b.ml: Array Engine Experiments Fail_lang Fci Mpivcl Printf Simkern Workload

@@ -1,0 +1,1 @@
+devtools/debug_v2c.ml: Experiments Fail_lang Failmpi Format List Mpivcl Simkern Workload

@@ -1,0 +1,1 @@
+devtools/debug_v2c.mli:

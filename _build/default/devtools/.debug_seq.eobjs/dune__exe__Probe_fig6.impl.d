@@ -1,0 +1,1 @@
+devtools/probe_fig6.ml: Experiments Fail_lang Failmpi Format List Printf Simkern Workload

@@ -1,0 +1,1 @@
+devtools/probe_fig7.ml: Experiments Fail_lang Failmpi Int64 List Printf Workload

@@ -1,0 +1,1 @@
+devtools/probe_fig7.mli:

@@ -1,0 +1,1 @@
+devtools/probe_v2.ml: Experiments

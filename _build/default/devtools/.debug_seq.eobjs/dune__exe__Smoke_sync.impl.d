@@ -1,0 +1,1 @@
+devtools/smoke_sync.ml: Fail_lang Failmpi List Mpivcl Printf Unix Workload

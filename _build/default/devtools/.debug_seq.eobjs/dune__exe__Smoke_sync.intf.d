@@ -1,0 +1,1 @@
+devtools/smoke_sync.mli:

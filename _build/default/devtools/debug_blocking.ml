@@ -1,0 +1,45 @@
+open Simkern
+open Mpivcl
+
+let () =
+  let params = { Workload.Stencil.iterations = 30; compute_time = 0.5; msg_bytes = 10_000; jitter = 0.0 } in
+  let cfg =
+    {
+      (Config.default ~n_ranks:4) with
+      Config.wave_interval = 5.0;
+      init_delay_min = 0.1;
+      init_delay_max = 0.1;
+      protocol = Config.Blocking;
+    }
+  in
+  let eng = Engine.create ~seed:7L () in
+  let app = Workload.Stencil.app params ~n_ranks:4 in
+  let handle = Deploy.launch eng ~cfg ~app ~state_bytes:1_000_000 ~n_compute:6 () in
+  let kill_rank rank =
+    let cluster = Deploy.cluster handle in
+    List.iter
+      (fun (h : Simos.Cluster.host) ->
+        List.iter
+          (fun p ->
+            let name = Proc.name p in
+            if
+              name = Printf.sprintf "vdaemon-%d" rank
+              || name = Printf.sprintf "mpi-%d" rank
+            then Proc.kill p)
+          h.Simos.Cluster.host_tasks)
+      (Simos.Cluster.hosts cluster)
+  in
+  ignore (Engine.schedule eng ~delay:9.0 (fun () -> kill_rank 1));
+  let reason = Engine.run ~until:300.0 eng in
+  Printf.printf "reason=%s outcome=%s now=%.1f\n"
+    (match reason with `Quiescent -> "quiescent" | `Deadline -> "deadline" | `Halted -> "halted")
+    (match Dispatcher.peek_outcome handle.Deploy.dispatcher with
+    | Some (Dispatcher.Completed t) -> Printf.sprintf "completed %.1f" t
+    | Some (Dispatcher.Aborted m) -> "aborted " ^ m
+    | None -> "running")
+    (Engine.now eng);
+  let entries = Trace.entries (Engine.trace eng) in
+  let n = List.length entries in
+  List.iteri
+    (fun i e -> if i >= n - 60 then Format.printf "%a@." Trace.pp_entry e)
+    entries

@@ -1,0 +1,39 @@
+let () =
+  let n_ranks = 49 and n_machines = 53 in
+  let klass = Workload.Bt_model.B in
+  let app = Workload.Bt_model.app klass ~n_ranks in
+  let cfg = Mpivcl.Config.default ~n_ranks in
+  let state_bytes = Workload.Bt_model.state_bytes klass ~n_ranks in
+  let scenario = Fail_lang.Paper_scenarios.simultaneous ~n_machines ~period:50 ~count:5 in
+  let spec =
+    {
+      (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes) with
+      Failmpi.Run.scenario = Some scenario;
+      seed = 1L;
+    }
+  in
+  let r = Failmpi.Run.execute spec in
+  Printf.printf "outcome=%s\n" (Failmpi.Run.outcome_name r.Failmpi.Run.outcome);
+  let entries = Simkern.Trace.entries r.Failmpi.Run.trace in
+  (* find the time of dispatcher-confused, print surrounding dispatcher/fci halt events *)
+  let tconf =
+    List.find_map
+      (fun e -> if e.Simkern.Trace.event = "dispatcher-confused" then Some e.Simkern.Trace.time else None)
+      entries
+  in
+  match tconf with
+  | None -> print_endline "no confusion"
+  | Some tc ->
+      Printf.printf "confused at %.3f\n" tc;
+      List.iter
+        (fun e ->
+          let open Simkern.Trace in
+          if e.time >= tc -. 8.0 && e.time <= tc +. 0.2 then
+            if
+              List.mem e.event
+                [ "halt"; "failure-detected"; "recovery-start"; "old-wave-stopped"; "launch";
+                  "rank-registered"; "dispatcher-confused"; "spawn-failed"; "new-wave-failure";
+                  "recovery-complete"; "send"; "recv" ]
+              && (String.length e.source < 4 || String.sub e.source 0 4 <> "fci:" || e.event = "halt")
+            then Format.printf "%a@." pp_entry e)
+        entries

@@ -1,0 +1,30 @@
+open Simkern
+open Mpivcl
+let () =
+  let params = { Workload.Stencil.iterations = 30; compute_time = 0.5; msg_bytes = 10_000; jitter = 0.0 } in
+  let cfg = { (Config.default ~n_ranks:4) with Config.wave_interval = 5.0; init_delay_min = 0.1; init_delay_max = 0.1 } in
+  let eng = Engine.create ~seed:7L () in
+  let app = Workload.Stencil.app params ~n_ranks:4 in
+  let handle = Deploy.launch eng ~cfg ~app ~state_bytes:1_000_000 ~n_compute:6 () in
+  let kill_rank rank =
+    let cluster = Deploy.cluster handle in
+    List.iter (fun (h : Simos.Cluster.host) ->
+      List.iter (fun p ->
+        let name = Proc.name p in
+        if name = Printf.sprintf "vdaemon-%d" rank || name = Printf.sprintf "mpi-%d" rank then begin
+          Printf.printf "%8.3f killing %s\n" (Engine.now eng) name; Proc.kill p end)
+        h.Simos.Cluster.host_tasks)
+      (Simos.Cluster.hosts cluster)
+  in
+  List.iter (fun (d, r) -> ignore (Engine.schedule eng ~delay:d (fun () -> kill_rank r)))
+    [ (7.0, 0); (16.0, 3); (25.0, 1) ];
+  ignore (Engine.run ~until:400.0 eng);
+  Printf.printf "recoveries: %d outcome: %s\n" (Dispatcher.recoveries handle.Deploy.dispatcher)
+    (match Dispatcher.peek_outcome handle.Deploy.dispatcher with
+     | Some (Dispatcher.Completed t) -> Printf.sprintf "completed at %.1f" t
+     | Some (Dispatcher.Aborted m) -> "aborted " ^ m | None -> "running");
+  List.iter (fun e ->
+      let open Trace in
+      if List.mem e.event ["failure-detected";"recovery-start";"recovery-complete";"dispatcher-confused";"old-wave-stopped";"spawn-failed";"new-wave-failure";"app-completed";"closure-ignored"] then
+        Format.printf "%a@." pp_entry e)
+    (Trace.entries (Engine.trace eng))

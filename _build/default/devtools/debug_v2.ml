@@ -1,0 +1,44 @@
+let () =
+  let n_ranks = 49 in
+  let n_machines = Experiments.Harness.machines_for n_ranks in
+  let cfg =
+    { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.protocol = Mpivcl.Config.Sender_logging }
+  in
+  let scenario = Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:65) in
+  let r =
+    Experiments.Harness.run_bt ~cfg ~klass:Workload.Bt_model.B ~n_ranks ~n_machines ~scenario
+      ~seed:1100L ()
+  in
+  Printf.printf "outcome=%s faults=%d recov=%d\n"
+    (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
+    r.Failmpi.Run.injected_faults r.Failmpi.Run.recoveries;
+  let entries = Simkern.Trace.entries r.Failmpi.Run.trace in
+  (* last interesting events *)
+  let interesting =
+    List.filter
+      (fun e ->
+        let open Simkern.Trace in
+        List.mem e.event
+          [ "halt"; "failure-detected"; "rank-resumed"; "resend"; "daemon-start"; "restored";
+            "app-start"; "peer-connect-failed"; "resend-no-conn"; "spawn-failed"; "launch";
+            "rank-registered"; "send-deferred"; "daemon-exit"; "rank-done"; "duplicate-dropped" ])
+      entries
+  in
+  let n = List.length interesting in
+  Printf.printf "interesting events: %d\n" n;
+  (* resend bound evolution + per-fault timeline *)
+  List.iter
+    (fun e ->
+      let open Simkern.Trace in
+      if e.event = "halt" || e.event = "rank-resumed" then
+        Format.printf "%a@." pp_entry e)
+    entries;
+  let count ev = Simkern.Trace.count r.Failmpi.Run.trace ~event:ev in
+  Printf.printf "committed=%d skipped=%d local-ckpt=%d restored-events:\n"
+    (count "checkpoint-committed") (count "checkpoint-skipped") (count "local-checkpoint");
+  List.iter
+    (fun e ->
+      let open Simkern.Trace in
+      if e.event = "restored" || (e.event = "checkpoint-committed" && e.source = "v2daemon-0")
+      then Format.printf "%a@." pp_entry e)
+    entries

@@ -1,0 +1,56 @@
+open Simkern
+
+let () =
+  let n_ranks = 49 in
+  let n_machines = Experiments.Harness.machines_for n_ranks in
+  let cfg =
+    { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.protocol = Mpivcl.Config.Sender_logging }
+  in
+  let eng = Engine.create ~seed:1100L () in
+  let fci =
+    match
+      Fail_lang.Compile.compile_source
+        (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:65)
+    with
+    | Ok plan -> Fci.Runtime.create eng plan
+    | Error m -> failwith m
+  in
+  let base = Workload.Bt_model.app Workload.Bt_model.B ~n_ranks in
+  let app =
+    {
+      base with
+      Mpivcl.App.main =
+        (fun ctx ->
+          if ctx.Mpivcl.App.rank = 0 then
+            Engine.record eng ~source:"probe" ~event:"rank0-main"
+              (Printf.sprintf "start at iter %d t=%.1f" ctx.Mpivcl.App.state.(0)
+                 (Engine.now eng));
+          base.Mpivcl.App.main ctx);
+    }
+  in
+  let handle =
+    Mpivcl.Deploy.launch eng ~fci ~cfg ~app
+      ~state_bytes:(Workload.Bt_model.state_bytes Workload.Bt_model.B ~n_ranks)
+      ~n_compute:n_machines ()
+  in
+  (* Sample rank 0's exported iteration over time. *)
+  let rec sample t =
+    if t < 700.0 then
+      Engine.schedule eng ~delay:25.0 (fun () ->
+          (match Fci.Runtime.find_instance fci "G1[0]" with
+          | Some inst -> (
+              match Fci.Runtime.controlled inst with
+              | Some ctl ->
+                  Printf.printf "t=%6.1f rank0 iter=%s\n"
+                    (Engine.now eng)
+                    (match ctl.Fci.Control.read_var "iteration" with
+                    | Some i -> string_of_int i
+                    | None -> "?")
+              | None -> Printf.printf "t=%6.1f rank0 no-ctl\n" (Engine.now eng))
+          | None -> ());
+          sample (t +. 25.0))
+      |> ignore
+  in
+  sample 0.0;
+  ignore (Engine.run ~until:700.0 eng);
+  ignore handle

@@ -1,0 +1,18 @@
+let () =
+  let n_ranks = 49 in
+  let n_machines = Experiments.Harness.machines_for n_ranks in
+  let cfg =
+    { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.protocol = Mpivcl.Config.Sender_logging }
+  in
+  let scenario = Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:65) in
+  let r =
+    Experiments.Harness.run_bt ~cfg ~klass:Workload.Bt_model.B ~n_ranks ~n_machines ~scenario
+      ~seed:1100L ()
+  in
+  ignore r;
+  List.iter
+    (fun e ->
+      let open Simkern.Trace in
+      if e.time >= 131.0 && e.time <= 145.0 && e.source = "v2daemon-37" then
+        Format.printf "%a@." pp_entry e)
+    (Simkern.Trace.entries r.Failmpi.Run.trace)

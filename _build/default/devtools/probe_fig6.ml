@@ -1,0 +1,17 @@
+let () =
+  let n_ranks = 25 in
+  let n_machines = Experiments.Harness.machines_for n_ranks in
+  let scenario = Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:50) in
+  let r =
+    Experiments.Harness.run_bt ~klass:Workload.Bt_model.B ~n_ranks ~n_machines ~scenario
+      ~seed:250L ()
+  in
+  Printf.printf "outcome=%s faults=%d waves=%d\n" (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
+    r.Failmpi.Run.injected_faults r.Failmpi.Run.committed_waves;
+  List.iter
+    (fun e ->
+      let open Simkern.Trace in
+      if e.time < 420.0 && List.mem e.event
+           [ "wave-start"; "wave-commit"; "wave-abort"; "failure-detected"; "recovery-complete" ]
+      then Format.printf "%a@." pp_entry e)
+    (Simkern.Trace.entries r.Failmpi.Run.trace)

@@ -1,0 +1,21 @@
+(* Estimate P(buggy) for fig7 X=5 and fig9/fig11 over many seeds. *)
+let () =
+  let n_ranks = 49 in
+  let n_machines = 53 in
+  let count_buggy label scenario seeds =
+    let buggy = ref 0 in
+    List.iter
+      (fun seed ->
+        let r =
+          Experiments.Harness.run_bt ~klass:Workload.Bt_model.B ~n_ranks ~n_machines
+            ~scenario:(Some scenario) ~seed ()
+        in
+        if r.Failmpi.Run.outcome = Failmpi.Run.Buggy then incr buggy)
+      seeds;
+    Printf.printf "%-12s buggy %d/%d\n%!" label !buggy (List.length seeds)
+  in
+  let seeds = List.init 18 (fun i -> Int64.of_int (1000 + i)) in
+  count_buggy "fig7 x5" (Fail_lang.Paper_scenarios.simultaneous ~n_machines ~period:50 ~count:5) seeds;
+  count_buggy "fig7 x4" (Fail_lang.Paper_scenarios.simultaneous ~n_machines ~period:50 ~count:4) seeds;
+  count_buggy "fig9" (Fail_lang.Paper_scenarios.synchronized ~n_machines ~period:50) seeds;
+  count_buggy "fig11" (Fail_lang.Paper_scenarios.state_synchronized ~n_machines ~period:50) seeds

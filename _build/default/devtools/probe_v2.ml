@@ -1,0 +1,4 @@
+let () =
+  print_string
+    (Experiments.Ablations.render_protocol_comparison
+       (Experiments.Ablations.protocol_comparison ~reps:4 ~n_ranks:49 ()))

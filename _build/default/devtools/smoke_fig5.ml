@@ -1,0 +1,43 @@
+(* Full-scale smoke test: BT-49 class B under the Fig. 5 scenario. *)
+let () =
+  let n_ranks = 49 and n_machines = 53 in
+  let klass = Workload.Bt_model.B in
+  let app = Workload.Bt_model.app klass ~n_ranks in
+  let cfg = Mpivcl.Config.default ~n_ranks in
+  let state_bytes = Workload.Bt_model.state_bytes klass ~n_ranks in
+  let expected = Workload.Bt_model.reference_checksum klass ~n_ranks in
+  let run ~period ~seed =
+    let scenario =
+      match period with
+      | None -> None
+      | Some p -> Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:p)
+    in
+    let spec =
+      {
+        (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes) with
+        Failmpi.Run.scenario;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Failmpi.Run.execute ~expected_checksum:expected spec in
+    Printf.printf
+      "period %s seed %Ld: %s%s faults=%d recoveries=%d waves=%d confused=%b ok=%s (wall %.1fs)\n%!"
+      (match period with None -> "none" | Some p -> string_of_int p)
+      seed
+      (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
+      (match r.Failmpi.Run.outcome with
+      | Failmpi.Run.Completed t -> Printf.sprintf " t=%.0f" t
+      | _ -> "")
+      r.Failmpi.Run.injected_faults r.Failmpi.Run.recoveries r.Failmpi.Run.committed_waves
+      r.Failmpi.Run.confused
+      (match r.Failmpi.Run.checksum_ok with
+      | Some true -> "yes"
+      | Some false -> "NO"
+      | None -> "-")
+      (Unix.gettimeofday () -. t0)
+  in
+  run ~period:None ~seed:1L;
+  List.iter
+    (fun p -> List.iter (fun s -> run ~period:(Some p) ~seed:s) [ 1L; 2L ])
+    [ 65; 50; 40 ]

@@ -1,0 +1,55 @@
+(* Smoke: Fig. 7 (simultaneous faults), Fig. 8/9 (synchronized), and
+   Fig. 10/11 (state-synchronized) scenarios at full scale. *)
+let () =
+  let n_ranks = 49 and n_machines = 53 in
+  let klass = Workload.Bt_model.B in
+  let app = Workload.Bt_model.app klass ~n_ranks in
+  let cfg = Mpivcl.Config.default ~n_ranks in
+  let state_bytes = Workload.Bt_model.state_bytes klass ~n_ranks in
+  let expected = Workload.Bt_model.reference_checksum klass ~n_ranks in
+  let run ~label ~scenario ~seed =
+    let spec =
+      {
+        (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes) with
+        Failmpi.Run.scenario = Some scenario;
+        seed;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Failmpi.Run.execute ~expected_checksum:expected spec in
+    Printf.printf "%-22s seed %2Ld: %-15s%s faults=%2d recov=%2d confused=%b ok=%s (wall %.1fs)\n%!"
+      label seed
+      (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
+      (match r.Failmpi.Run.outcome with
+      | Failmpi.Run.Completed t -> Printf.sprintf " t=%4.0f" t
+      | _ -> "       ")
+      r.Failmpi.Run.injected_faults r.Failmpi.Run.recoveries r.Failmpi.Run.confused
+      (match r.Failmpi.Run.checksum_ok with
+      | Some true -> "yes"
+      | Some false -> "NO"
+      | None -> "-")
+      (Unix.gettimeofday () -. t0)
+  in
+  List.iter
+    (fun count ->
+      List.iter
+        (fun seed ->
+          run
+            ~label:(Printf.sprintf "simultaneous x%d" count)
+            ~scenario:
+              (Fail_lang.Paper_scenarios.simultaneous ~n_machines ~period:50 ~count)
+            ~seed)
+        [ 1L; 2L; 3L; 4L; 5L; 6L ])
+    [ 3; 4; 5 ];
+  List.iter
+    (fun seed ->
+      run ~label:"synchronized (fig9)"
+        ~scenario:(Fail_lang.Paper_scenarios.synchronized ~n_machines ~period:50)
+        ~seed)
+    [ 1L; 2L; 3L; 4L; 5L; 6L ];
+  List.iter
+    (fun seed ->
+      run ~label:"state-sync (fig11)"
+        ~scenario:(Fail_lang.Paper_scenarios.state_synchronized ~n_machines ~period:50)
+        ~seed)
+    [ 1L; 2L; 3L; 4L; 5L; 6L ]

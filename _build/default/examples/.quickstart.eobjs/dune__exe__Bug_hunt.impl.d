@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Experiments Fail_lang Failmpi Int64 List Mpivcl Printf Workload

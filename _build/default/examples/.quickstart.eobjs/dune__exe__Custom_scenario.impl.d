@@ -1,0 +1,1 @@
+examples/custom_scenario.ml: Failmpi List Mpivcl Printf Workload

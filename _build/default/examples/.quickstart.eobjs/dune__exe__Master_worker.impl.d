@@ -1,0 +1,1 @@
+examples/master_worker.ml: Failmpi List Mpivcl Printf Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Failmpi Format List Mpivcl Printf Simkern Workload

@@ -1,0 +1,150 @@
+module Lang = struct
+  module Ast = Fail_lang.Ast
+  module Parser = Fail_lang.Parser
+  module Pp = Fail_lang.Pp
+  module Sema = Fail_lang.Sema
+  module Automaton = Fail_lang.Automaton
+  module Compile = Fail_lang.Compile
+  module Codegen = Fail_lang.Codegen
+  module Paper_scenarios = Fail_lang.Paper_scenarios
+  module Tool_comparison = Fail_lang.Tool_comparison
+end
+
+module Inject = struct
+  module Control = Fci.Control
+  module Runtime = Fci.Runtime
+end
+
+module Mpi = struct
+  module Config = Mpivcl.Config
+  module App = Mpivcl.App
+  module Deploy = Mpivcl.Deploy
+  module Dispatcher = Mpivcl.Dispatcher
+  module Scheduler = Mpivcl.Scheduler
+end
+
+module Run = struct
+  open Simkern
+
+  type spec = {
+    scenario : string option;
+    params : (string * int) list;
+    app : Mpivcl.App.t;
+    state_bytes : int;
+    n_compute : int;
+    cfg : Mpivcl.Config.t;
+    fci_config : Fci.Runtime.config;
+    seed : int64;
+    timeout : float;
+  }
+
+  let default_spec ~app ~cfg ~n_compute ~state_bytes =
+    {
+      scenario = None;
+      params = [];
+      app;
+      state_bytes;
+      n_compute;
+      cfg;
+      fci_config = Fci.Runtime.default_config;
+      seed = 1L;
+      timeout = 1500.0;
+    }
+
+  type outcome = Completed of float | Non_terminating | Buggy
+
+  type result = {
+    outcome : outcome;
+    injected_faults : int;
+    recoveries : int;
+    committed_waves : int;
+    confused : bool;
+    checksums : (int * int) list;
+    checksum_ok : bool option;
+    trace : Trace.t;
+  }
+
+  let outcome_name = function
+    | Completed _ -> "completed"
+    | Non_terminating -> "non-terminating"
+    | Buggy -> "buggy"
+
+  let execute ?expected_checksum spec =
+    let eng = Engine.create ~seed:spec.seed () in
+    let fci =
+      match spec.scenario with
+      | None -> None
+      | Some source -> (
+          match Fail_lang.Compile.compile_source ~params:spec.params source with
+          | Ok plan -> Some (Fci.Runtime.create eng ~config:spec.fci_config plan)
+          | Error msg -> invalid_arg (Printf.sprintf "Run.execute: scenario error: %s" msg))
+    in
+    (* Capture each rank's final checksum after its last re-execution. *)
+    let finals : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let app =
+      {
+        spec.app with
+        Mpivcl.App.main =
+          (fun ctx ->
+            spec.app.Mpivcl.App.main ctx;
+            Hashtbl.replace finals ctx.Mpivcl.App.rank ctx.Mpivcl.App.state.(2));
+      }
+    in
+    let handle =
+      Mpivcl.Deploy.launch eng ?fci ~cfg:spec.cfg ~app ~state_bytes:spec.state_bytes
+        ~n_compute:spec.n_compute ()
+    in
+    (* Stop the clock as soon as the application completes; otherwise run
+       to quiescence (a freeze drains the event queue) or the experiment
+       timeout, after which every component is killed and the run is
+       classified (§5). *)
+    ignore
+      (Proc.spawn eng ~name:"experiment-watchdog" (fun () ->
+           ignore (Mpivcl.Dispatcher.outcome handle.Mpivcl.Deploy.dispatcher);
+           Engine.halt eng));
+    let stop_reason = Engine.run ~until:spec.timeout eng in
+    let dispatcher = handle.Mpivcl.Deploy.dispatcher in
+    let completed =
+      match Mpivcl.Dispatcher.peek_outcome dispatcher with
+      | Some (Mpivcl.Dispatcher.Completed t) -> Some t
+      | Some (Mpivcl.Dispatcher.Aborted _) | None -> None
+    in
+    let confused = Mpivcl.Dispatcher.confused dispatcher in
+    let outcome =
+      match completed with
+      | Some t -> Completed t
+      | None ->
+          (* Trace analysis: a frozen run (no pending activity, or a
+             corrupted dispatcher) is a bug; a run still making failure /
+             recovery noise at the timeout is non-terminating. *)
+          if confused || stop_reason = `Quiescent then Buggy else Non_terminating
+    in
+    Mpivcl.Deploy.teardown handle;
+    Engine.halt eng;
+    let checksums =
+      Hashtbl.fold (fun rank v acc -> (rank, v) :: acc) finals []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let checksum_ok =
+      match (completed, expected_checksum) with
+      | Some _, Some expected ->
+          Some
+            (List.length checksums = spec.cfg.Mpivcl.Config.n_ranks
+            && List.for_all (fun (_, v) -> v = expected) checksums)
+      | _ -> None
+    in
+    {
+      outcome;
+      injected_faults =
+        (match fci with Some rt -> Fci.Runtime.injected_faults rt | None -> 0);
+      recoveries = Mpivcl.Dispatcher.recoveries dispatcher;
+      committed_waves =
+        (match handle.Mpivcl.Deploy.scheduler with
+        | Some scheduler -> Mpivcl.Scheduler.committed_count scheduler
+        | None -> 0);
+      confused;
+      checksums;
+      checksum_ok;
+      trace = Engine.trace eng;
+    }
+end

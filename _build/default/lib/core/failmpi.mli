@@ -1,0 +1,86 @@
+(** FAIL-MPI: language-driven fault injection for fault-tolerant MPI.
+
+    The one-stop public API. A fault-injection campaign is described by a
+    {!Run.spec}: a FAIL scenario (source text), the application under
+    test, and the MPICH-Vcl configuration. {!Run.execute} compiles the
+    scenario, deploys the FAIL-MPI daemons and the MPI runtime on a
+    simulated cluster, runs to completion or to the experiment timeout,
+    and classifies the outcome exactly as the paper's §5 does: completed,
+    non-terminating (failure frequency too high for progress), or buggy
+    (frozen by a fault-tolerance bug).
+
+    Re-exports: {!Lang} (the FAIL language front end), {!Inject} (the FCI
+    runtime), {!Mpi} (the MPICH-Vcl substrate). *)
+
+module Lang : sig
+  module Ast = Fail_lang.Ast
+  module Parser = Fail_lang.Parser
+  module Pp = Fail_lang.Pp
+  module Sema = Fail_lang.Sema
+  module Automaton = Fail_lang.Automaton
+  module Compile = Fail_lang.Compile
+  module Codegen = Fail_lang.Codegen
+  module Paper_scenarios = Fail_lang.Paper_scenarios
+  module Tool_comparison = Fail_lang.Tool_comparison
+end
+
+module Inject : sig
+  module Control = Fci.Control
+  module Runtime = Fci.Runtime
+end
+
+module Mpi : sig
+  module Config = Mpivcl.Config
+  module App = Mpivcl.App
+  module Deploy = Mpivcl.Deploy
+  module Dispatcher = Mpivcl.Dispatcher
+  module Scheduler = Mpivcl.Scheduler
+end
+
+module Run : sig
+  type spec = {
+    scenario : string option;  (** FAIL source; [None] = no fault injection *)
+    params : (string * int) list;  (** scenario parameters (the paper's X, N) *)
+    app : Mpivcl.App.t;
+    state_bytes : int;  (** per-rank checkpoint image size *)
+    n_compute : int;  (** compute hosts incl. spares (paper: 53 for BT-49) *)
+    cfg : Mpivcl.Config.t;
+    fci_config : Fci.Runtime.config;
+    seed : int64;
+    timeout : float;  (** experiment timeout (paper: 1500 s) *)
+  }
+
+  (** [default_spec ~app ~cfg ~n_compute ~state_bytes] fills paper
+      defaults (1500 s timeout, no scenario, seed 1). *)
+  val default_spec :
+    app:Mpivcl.App.t ->
+    cfg:Mpivcl.Config.t ->
+    n_compute:int ->
+    state_bytes:int ->
+    spec
+
+  type outcome =
+    | Completed of float  (** wall-clock (simulated) execution time *)
+    | Non_terminating
+        (** still rolling back / recovering at the timeout: the failure
+            frequency leaves no room for progress (green bars) *)
+    | Buggy  (** frozen by a fault-tolerance bug (red bars) *)
+
+  type result = {
+    outcome : outcome;
+    injected_faults : int;  (** FAIL [halt] actions executed *)
+    recoveries : int;  (** dispatcher recovery waves *)
+    committed_waves : int;  (** global checkpoints committed *)
+    confused : bool;  (** the dispatcher hit the §5.3 bookkeeping race *)
+    checksums : (int * int) list;  (** (rank, final checksum) of completed runs *)
+    checksum_ok : bool option;
+        (** completed runs: all checksums equal the fault-free reference
+            passed via [expected_checksum]; [None] when unavailable *)
+    trace : Simkern.Trace.t;
+  }
+
+  val outcome_name : outcome -> string
+
+  (** [execute ?expected_checksum spec] runs one experiment. *)
+  val execute : ?expected_checksum:int -> spec -> result
+end

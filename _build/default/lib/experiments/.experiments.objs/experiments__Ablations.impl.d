@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Fail_lang Harness List Mpivcl Printf Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_frequency.ml: Fail_lang Harness List Option Printf Workload

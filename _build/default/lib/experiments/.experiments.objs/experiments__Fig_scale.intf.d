@@ -1,0 +1,1 @@
+lib/experiments/fig_scale.mli: Harness Workload

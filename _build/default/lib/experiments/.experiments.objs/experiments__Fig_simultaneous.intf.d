@@ -1,0 +1,1 @@
+lib/experiments/fig_simultaneous.mli: Harness Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_state_sync.ml: Fail_lang Harness List Printf Workload

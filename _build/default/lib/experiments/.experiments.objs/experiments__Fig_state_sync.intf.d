@@ -1,0 +1,1 @@
+lib/experiments/fig_state_sync.mli: Harness Workload

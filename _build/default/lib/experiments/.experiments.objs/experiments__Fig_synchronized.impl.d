@@ -1,0 +1,1 @@
+lib/experiments/fig_synchronized.ml: Fail_lang Harness List Printf Workload

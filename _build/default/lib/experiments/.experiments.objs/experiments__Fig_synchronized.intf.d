@@ -1,0 +1,1 @@
+lib/experiments/fig_synchronized.mli: Harness Workload

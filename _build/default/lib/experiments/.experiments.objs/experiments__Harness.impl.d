@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Buffer Failmpi Int64 List Mpivcl Printf Stats String Workload

@@ -1,0 +1,1 @@
+lib/experiments/trace_analysis.ml: Buffer Float Format List Option Printf Simkern String Trace

@@ -1,0 +1,110 @@
+let dispatcher_fix ?(reps = 9) ?(n_ranks = 49) () =
+  let n_machines = Harness.machines_for n_ranks in
+  let klass = Workload.Bt_model.B in
+  let cfg buggy = { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.dispatcher_buggy = buggy } in
+  let scenarios =
+    [
+      ( "5 faults/50s",
+        Fail_lang.Paper_scenarios.simultaneous ~n_machines ~period:50 ~count:5 );
+      ("state-sync", Fail_lang.Paper_scenarios.state_synchronized ~n_machines ~period:50);
+    ]
+  in
+  List.concat_map
+    (fun (name, scenario) ->
+      List.map
+        (fun buggy ->
+          let results =
+            Harness.replicate ~reps ~base_seed:1000 (fun ~seed ->
+                Harness.run_bt ~cfg:(cfg buggy) ~klass ~n_ranks ~n_machines
+                  ~scenario:(Some scenario) ~seed ())
+          in
+          Harness.aggregate
+            ~label:
+              (Printf.sprintf "%s (%s)" name
+                 (if buggy then "historical" else "corrected"))
+            results)
+        [ true; false ])
+    scenarios
+
+let protocol_overhead ?(n_ranks = 49) ?(intervals = [ 10.0; 30.0; 60.0 ]) () =
+  let n_machines = Harness.machines_for n_ranks in
+  let klass = Workload.Bt_model.B in
+  List.concat_map
+    (fun interval ->
+      List.map
+        (fun protocol ->
+          let cfg =
+            {
+              (Mpivcl.Config.default ~n_ranks) with
+              Mpivcl.Config.protocol;
+              wave_interval = interval;
+            }
+          in
+          let results =
+            Harness.replicate ~reps:2 ~base_seed:700 (fun ~seed ->
+                Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario:None ~seed ())
+          in
+          Harness.aggregate
+            ~label:
+              (Printf.sprintf "wave %2.0fs %s" interval
+                 (match protocol with
+                 | Mpivcl.Config.Non_blocking -> "non-blocking"
+                 | Mpivcl.Config.Blocking -> "blocking"
+                 | Mpivcl.Config.Sender_logging -> "sender-logging"))
+            results)
+        [ Mpivcl.Config.Non_blocking; Mpivcl.Config.Blocking ])
+    intervals
+
+let wave_interval ?(reps = 4) ?(n_ranks = 49) ?(intervals = [ 10.0; 20.0; 30.0; 40.0 ]) () =
+  let n_machines = Harness.machines_for n_ranks in
+  let klass = Workload.Bt_model.B in
+  let scenario = Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:50) in
+  List.map
+    (fun interval ->
+      let cfg =
+        { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.wave_interval = interval }
+      in
+      let results =
+        Harness.replicate ~reps ~base_seed:800 (fun ~seed ->
+            Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ())
+      in
+      Harness.aggregate ~label:(Printf.sprintf "ckpt every %2.0fs" interval) results)
+    intervals
+
+let protocol_comparison ?(reps = 4) ?(n_ranks = 49) ?(periods = [ 65; 50; 40; 30 ]) () =
+  let n_machines = Harness.machines_for n_ranks in
+  let klass = Workload.Bt_model.B in
+  List.concat_map
+    (fun period ->
+      let scenario = Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period) in
+      List.map
+        (fun (label, cfg) ->
+          let results =
+            Harness.replicate ~reps ~base_seed:1100 (fun ~seed ->
+                Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ())
+          in
+          Harness.aggregate ~label:(Printf.sprintf "1/%ds %s" period label) results)
+        [
+          (* Vdummy baseline: no checkpoint ever commits, so every fault
+             restarts the application from scratch. *)
+          ( "Vdummy (no ckpt)",
+            { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.wave_interval = 1e9 } );
+          ( "Vcl (coordinated)",
+            { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.protocol = Mpivcl.Config.Non_blocking } );
+          ( "V2 (msg logging)",
+            { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.protocol = Mpivcl.Config.Sender_logging } );
+        ])
+    periods
+
+let render_protocol_comparison aggs =
+  Harness.render_table
+    ~title:"Ablation: coordinated checkpointing vs sender-based message logging" aggs
+
+let render_dispatcher_fix aggs =
+  Harness.render_table ~title:"Ablation: historical vs corrected dispatcher" aggs
+
+let render_protocol_overhead aggs =
+  Harness.render_table ~title:"Ablation: non-blocking vs blocking Chandy-Lamport (no faults)" aggs
+
+let render_wave_interval aggs =
+  Harness.render_table ~title:"Ablation: checkpoint interval under 1 fault / 50 s" aggs

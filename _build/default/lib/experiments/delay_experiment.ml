@@ -1,0 +1,48 @@
+type row = { delay : int; agg : Harness.agg }
+
+(* One controller on machine 0 (the other machines carry no FAIL daemon
+   and suffer no faults). It waits for the second completed checkpoint
+   wave of its controlled daemon, then injects a single fault [delay]
+   seconds later. *)
+let scenario ~n_machines ~delay =
+  ignore n_machines;
+  Printf.sprintf
+    {|
+Daemon DELAYED {
+  node 1:
+    onload -> continue, goto 2;
+  node 2:
+    watch(wave) && @wave >= 2 -> goto 3;
+  node 3:
+    time t = %d;
+    timer -> halt, goto 4;
+  node 4:
+    onload -> continue, goto 4;
+    onexit -> goto 4;
+    onerror -> goto 4;
+}
+G1[1] : DELAYED on machines 0 .. 0;
+|}
+    delay
+
+let run ?(klass = Workload.Bt_model.B) ?(n_ranks = 49) ?(delays = [ 0; 5; 10; 15; 20; 25 ])
+    ?(reps = 3) () =
+  let n_machines = Harness.machines_for n_ranks in
+  List.map
+    (fun delay ->
+      let results =
+        Harness.replicate ~reps ~base_seed:900 (fun ~seed ->
+            Harness.run_bt ~klass ~n_ranks ~n_machines
+              ~scenario:(Some (scenario ~n_machines ~delay))
+              ~seed ())
+      in
+      {
+        delay;
+        agg = Harness.aggregate ~label:(Printf.sprintf "delay %2d s after wave" delay) results;
+      })
+    delays
+
+let render rows =
+  Harness.render_table
+    ~title:"Planned feature: delay between checkpoint wave and fault vs execution time"
+    (List.map (fun r -> r.agg) rows)

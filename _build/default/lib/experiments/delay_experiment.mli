@@ -1,0 +1,25 @@
+(** The §5.2 / conclusion "planned feature" experiment.
+
+    The paper observes that execution time under faults varies chaotically
+    with the delay between the last checkpoint wave and the injection, and
+    proposes measuring it directly once FAIL can read the strained
+    application's variables. Our FAIL dialect has that feature
+    ([watch]/[@var]): the scenario watches the daemon-exported [wave]
+    variable and injects a single fault exactly [delay] seconds after a
+    chosen wave completes. Execution time should grow roughly linearly
+    with the delay (the work since the last checkpoint is recomputed). *)
+
+type row = { delay : int; agg : Harness.agg }
+
+val run :
+  ?klass:Workload.Bt_model.klass ->
+  ?n_ranks:int ->
+  ?delays:int list ->
+  ?reps:int ->
+  unit ->
+  row list
+
+val render : row list -> string
+
+(** The FAIL scenario used, for inspection. *)
+val scenario : n_machines:int -> delay:int -> string

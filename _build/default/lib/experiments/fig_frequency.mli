@@ -1,0 +1,26 @@
+(** Figure 5 — impact of fault frequency.
+
+    BT class B on 49 ranks (53 machines), checkpoint wave every 30 s; one
+    fault injected every X seconds for X in {none, 65, 60, 55, 50, 45,
+    40}, 6 repetitions each. Reports mean execution time of terminated
+    experiments and the percentages of non-terminating and buggy runs. *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  n_machines : int;
+  periods : int option list;  (** [None] = no faults *)
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+
+(** [quick_config] cuts repetitions for smoke runs. *)
+val quick_config : config
+
+val run : ?config:config -> unit -> Harness.agg list
+val render : Harness.agg list -> string
+
+(** The values read off the paper's Figure 5, for EXPERIMENTS.md. *)
+val paper_note : string

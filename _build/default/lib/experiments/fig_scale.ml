@@ -1,0 +1,51 @@
+type config = {
+  klass : Workload.Bt_model.klass;
+  sizes : int list;
+  period : int;
+  reps : int;
+  base_seed : int;
+}
+
+let default_config =
+  {
+    klass = Workload.Bt_model.B;
+    sizes = [ 25; 36; 49; 64 ];
+    period = 50;
+    reps = 5;
+    base_seed = 200;
+  }
+
+let quick_config = { default_config with sizes = [ 25; 49 ]; reps = 2 }
+
+let run ?(config = default_config) () =
+  List.concat_map
+    (fun n_ranks ->
+      let n_machines = Harness.machines_for n_ranks in
+      let no_fault =
+        Harness.replicate ~reps:config.reps ~base_seed:config.base_seed (fun ~seed ->
+            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario:None ~seed ())
+      in
+      let scenario =
+        Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:config.period)
+      in
+      let faulty =
+        Harness.replicate ~reps:config.reps ~base_seed:(config.base_seed + 50)
+          (fun ~seed ->
+            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario ~seed ())
+      in
+      [
+        Harness.aggregate ~label:(Printf.sprintf "BT %d (no faults)" n_ranks) no_fault;
+        Harness.aggregate
+          ~label:(Printf.sprintf "BT %d (1/%ds)" n_ranks config.period)
+          faulty;
+      ])
+    config.sizes
+
+let render aggs = Harness.render_table ~title:"Figure 6: impact of scale (1 fault every 50 s)" aggs
+
+let paper_note =
+  "Paper (Fig. 6): no-fault times decrease with scale (~370 s at BT-25 down\n\
+   to ~150 s at BT-64); with one fault every 50 s the times are 1x..2.5x\n\
+   the no-fault times with variance growing with scale; one of five BT-25\n\
+   runs was non-terminating (largest per-rank images: checkpoint waves\n\
+   synchronised by chance with the injection period); no buggy runs."

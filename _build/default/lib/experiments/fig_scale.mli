@@ -1,0 +1,24 @@
+(** Figure 6 — impact of scale.
+
+    BT class B on 25/36/49/64 ranks, one fault every 50 s, 5 repetitions;
+    execution time without faults and with faults, plus the
+    non-terminating percentage. The paper notes the with-fault times are
+    "apparently chaotic" (high variance) because the delay between the
+    last checkpoint wave and the fault dominates. *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  sizes : int list;  (** BT needs square process counts *)
+  period : int;
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+(** [run ()] returns, per size, the no-fault row and the faulty row. *)
+val run : ?config:config -> unit -> Harness.agg list
+
+val render : Harness.agg list -> string
+val paper_note : string

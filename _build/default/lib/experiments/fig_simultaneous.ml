@@ -1,0 +1,50 @@
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  n_machines : int;
+  period : int;
+  counts : int list;
+  reps : int;
+  base_seed : int;
+}
+
+let default_config =
+  {
+    klass = Workload.Bt_model.B;
+    n_ranks = 49;
+    n_machines = 53;
+    period = 50;
+    counts = [ 1; 2; 3; 4; 5 ];
+    reps = 6;
+    base_seed = 300;
+  }
+
+let quick_config = { default_config with counts = [ 1; 5 ]; reps = 3 }
+
+let run ?(config = default_config) () =
+  List.map
+    (fun count ->
+      let scenario =
+        Some
+          (Fail_lang.Paper_scenarios.simultaneous ~n_machines:config.n_machines
+             ~period:config.period ~count)
+      in
+      let results =
+        Harness.replicate ~reps:config.reps ~base_seed:config.base_seed (fun ~seed ->
+            Harness.run_bt ~klass:config.klass ~n_ranks:config.n_ranks
+              ~n_machines:config.n_machines ~scenario ~seed ())
+      in
+      Harness.aggregate
+        ~label:(Printf.sprintf "%d fault%s" count (if count = 1 then "" else "s"))
+        results)
+    config.counts
+
+let render aggs =
+  Harness.render_table ~title:"Figure 7: impact of simultaneous faults (BT-49, every 50 s)" aggs
+
+let paper_note =
+  "Paper (Fig. 7): execution time of terminated runs grows with the number\n\
+   of simultaneous faults (~500-700 s at 4-5 faults); at 5 (or 6)\n\
+   simultaneous faults one third of the experiments had buggy behaviour —\n\
+   frozen during the recovery phase; the bug does not appear spontaneously\n\
+   with fewer simultaneous faults."

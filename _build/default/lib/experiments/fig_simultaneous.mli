@@ -1,0 +1,22 @@
+(** Figure 7 — impact of simultaneous faults.
+
+    BT-49 class B; X back-to-back faults injected every 50 s for X in
+    1..5, 6 repetitions. The stress test that first exposed the recovery
+    bug: at 5 simultaneous faults about one third of the experiments
+    freeze during a recovery (red bars). *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  n_machines : int;
+  period : int;
+  counts : int list;
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+val quick_config : config
+val run : ?config:config -> unit -> Harness.agg list
+val render : Harness.agg list -> string
+val paper_note : string

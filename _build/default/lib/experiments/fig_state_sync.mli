@@ -1,0 +1,22 @@
+(** Figure 11 — synchronized faults depending on MPI state.
+
+    The Figure 10 scenario: the relaunched daemons are stopped at their
+    [onload]; the coordinator continues exactly one of them and kills it
+    just before [localMPI_setCommand] — right after it registered with
+    the dispatcher, while other processes of the previous wave are still
+    being stopped. Every run freezes: the precise location of the §5.3
+    bug. *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  sizes : int list;
+  period : int;
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+val quick_config : config
+val run : ?config:config -> unit -> Harness.agg list
+val render : Harness.agg list -> string
+val paper_note : string

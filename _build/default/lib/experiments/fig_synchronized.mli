@@ -1,0 +1,22 @@
+(** Figure 9 — impact of synchronized faults.
+
+    Across scales, two faults: the first at a random node after 50 s, the
+    second sent to the first controller that observes the recovery wave
+    (second [onload], Figure 8 scenario). Depending on whether the kill
+    lands before or after the relaunched daemon registers with the
+    dispatcher, the run either recovers cleanly or triggers the §5.3
+    bookkeeping bug — a minority of runs freeze at every scale. *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  sizes : int list;
+  period : int;
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+val quick_config : config
+val run : ?config:config -> unit -> Harness.agg list
+val render : Harness.agg list -> string
+val paper_note : string

@@ -1,0 +1,103 @@
+type agg = {
+  label : string;
+  runs : int;
+  completed : int;
+  non_terminating : int;
+  buggy : int;
+  mean_time : float option;
+  stddev_time : float option;
+  pct_non_terminating : float;
+  pct_buggy : float;
+  mean_faults : float;
+  checksum_failures : int;
+}
+
+let replicate ~reps ~base_seed run =
+  List.init reps (fun i -> run ~seed:(Int64.of_int (base_seed + i)))
+
+let aggregate ~label results =
+  let runs = List.length results in
+  let times =
+    List.filter_map
+      (fun r ->
+        match r.Failmpi.Run.outcome with
+        | Failmpi.Run.Completed t -> Some t
+        | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> None)
+      results
+  in
+  let count p = List.length (List.filter p results) in
+  let completed = List.length times in
+  let non_terminating =
+    count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Non_terminating)
+  in
+  let buggy = count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Buggy) in
+  let checksum_failures = count (fun r -> r.Failmpi.Run.checksum_ok = Some false) in
+  {
+    label;
+    runs;
+    completed;
+    non_terminating;
+    buggy;
+    mean_time = Stats.mean times;
+    stddev_time = Stats.stddev times;
+    pct_non_terminating = Stats.percent ~total:runs non_terminating;
+    pct_buggy = Stats.percent ~total:runs buggy;
+    mean_faults =
+      (match
+         Stats.mean
+           (List.map (fun r -> float_of_int r.Failmpi.Run.injected_faults) results)
+       with
+      | Some m -> m
+      | None -> 0.0);
+    checksum_failures;
+  }
+
+let render_table ~title aggs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%-22s %6s %10s %8s %9s %8s %8s %7s\n" "configuration" "runs"
+       "time(s)" "stddev" "faults" "%nonterm" "%buggy" "chk");
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-22s %6d %10s %8s %9.1f %8.0f %8.0f %7s\n" a.label a.runs
+           (match a.mean_time with Some t -> Printf.sprintf "%.0f" t | None -> "-")
+           (match a.stddev_time with Some s -> Printf.sprintf "%.0f" s | None -> "-")
+           a.mean_faults a.pct_non_terminating a.pct_buggy
+           (if a.checksum_failures = 0 then "ok"
+            else Printf.sprintf "%d BAD" a.checksum_failures)))
+    aggs;
+  Buffer.contents buf
+
+let aggs_csv aggs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "label,runs,completed,non_terminating,buggy,mean_time,stddev_time,pct_non_terminating,pct_buggy,mean_faults,checksum_failures\n";
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%d,%d,%s,%s,%.1f,%.1f,%.1f,%d\n" a.label a.runs a.completed
+           a.non_terminating a.buggy
+           (match a.mean_time with Some t -> Printf.sprintf "%.1f" t | None -> "")
+           (match a.stddev_time with Some s -> Printf.sprintf "%.1f" s | None -> "")
+           a.pct_non_terminating a.pct_buggy a.mean_faults a.checksum_failures))
+    aggs;
+  Buffer.contents buf
+
+let machines_for n_ranks = n_ranks + 4
+
+let bt_spec ?cfg ~klass ~n_ranks ~n_machines ~scenario () =
+  let cfg = match cfg with Some c -> c | None -> Mpivcl.Config.default ~n_ranks in
+  let app = Workload.Bt_model.app klass ~n_ranks in
+  let state_bytes = Workload.Bt_model.state_bytes klass ~n_ranks in
+  {
+    (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes) with
+    Failmpi.Run.scenario;
+  }
+
+let run_bt ?cfg ~klass ~n_ranks ~n_machines ~scenario ~seed () =
+  let spec = bt_spec ?cfg ~klass ~n_ranks ~n_machines ~scenario () in
+  let expected = Workload.Bt_model.reference_checksum klass ~n_ranks in
+  Failmpi.Run.execute ~expected_checksum:expected { spec with Failmpi.Run.seed }

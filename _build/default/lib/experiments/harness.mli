@@ -1,0 +1,66 @@
+(** Experiment harness: replication, aggregation and table rendering.
+
+    Mirrors the paper's methodology (§5): every configuration is run
+    several times with different seeds under a 1500 s timeout; runs are
+    classified completed / non-terminating / buggy; completed runs report
+    the mean execution time. *)
+
+(** Aggregated view of one experimental configuration. *)
+type agg = {
+  label : string;
+  runs : int;
+  completed : int;
+  non_terminating : int;
+  buggy : int;
+  mean_time : float option;  (** over completed runs *)
+  stddev_time : float option;
+  pct_non_terminating : float;
+  pct_buggy : float;
+  mean_faults : float;  (** injected faults per run *)
+  checksum_failures : int;
+      (** completed runs whose final checksum differs from the fault-free
+          reference — must always be 0 *)
+}
+
+(** [replicate ~reps ~base_seed run] executes [run ~seed] for seeds
+    [base_seed, base_seed+1, ...]. *)
+val replicate :
+  reps:int -> base_seed:int -> (seed:int64 -> Failmpi.Run.result) -> Failmpi.Run.result list
+
+(** [aggregate ~label results] summarises replicated runs. *)
+val aggregate : label:string -> Failmpi.Run.result list -> agg
+
+(** [render_table ~title aggs] prints the paper-style rows: label, mean
+    execution time of terminated runs, %% non-terminating, %% buggy. *)
+val render_table : title:string -> agg list -> string
+
+(** [aggs_csv aggs] renders aggregates as CSV for external plotting. *)
+val aggs_csv : agg list -> string
+
+(** [bt_spec ?cfg ~klass ~n_ranks ~n_machines ~scenario ()] builds the
+    standard spec used by all figures: a BT application with the paper's
+    53-machines-for-49-ranks style spare allocation. *)
+val bt_spec :
+  ?cfg:Mpivcl.Config.t ->
+  klass:Workload.Bt_model.klass ->
+  n_ranks:int ->
+  n_machines:int ->
+  scenario:string option ->
+  unit ->
+  Failmpi.Run.spec
+
+(** [run_bt ?cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ()] executes
+    one BT run with checksum validation. *)
+val run_bt :
+  ?cfg:Mpivcl.Config.t ->
+  klass:Workload.Bt_model.klass ->
+  n_ranks:int ->
+  n_machines:int ->
+  scenario:string option ->
+  seed:int64 ->
+  unit ->
+  Failmpi.Run.result
+
+(** [machines_for n_ranks] is the paper-style host allocation
+    ([n_ranks + 4] spares; 53 for BT-49). *)
+val machines_for : int -> int

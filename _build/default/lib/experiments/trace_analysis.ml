@@ -1,0 +1,122 @@
+open Simkern
+
+type recovery = { rec_start : float; rec_end : float option; trigger_rank : int option }
+
+type summary = {
+  fault_times : float list;
+  recoveries : recovery list;
+  commit_times : float list;
+  confusion_time : float option;
+  total_recovery_time : float;
+  span : float;
+}
+
+let parse_rank detail =
+  (* details look like "rank 28" or "#3 triggered by rank 28" *)
+  let words = String.split_on_char ' ' detail in
+  let rec find = function
+    | "rank" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find words
+
+let summarize trace =
+  let entries = Trace.entries trace in
+  let fault_times = ref [] in
+  let commit_times = ref [] in
+  let confusion_time = ref None in
+  let open_rec : recovery option ref = ref None in
+  let recoveries = ref [] in
+  let span = ref 0.0 in
+  let close_recovery time =
+    match !open_rec with
+    | Some r ->
+        recoveries := { r with rec_end = Some time } :: !recoveries;
+        open_rec := None
+    | None -> ()
+  in
+  List.iter
+    (fun (e : Trace.entry) ->
+      span := Float.max !span e.Trace.time;
+      match e.Trace.event with
+      | "halt" -> fault_times := e.Trace.time :: !fault_times
+      | "failure-detected" ->
+          (* For the sender-logging dispatcher there is no explicit
+             recovery-complete event per rank; rank-resumed closes it. *)
+          if !open_rec = None then
+            open_rec :=
+              Some
+                {
+                  rec_start = e.Trace.time;
+                  rec_end = None;
+                  trigger_rank = parse_rank e.Trace.detail;
+                }
+      | "recovery-complete" | "rank-resumed" -> close_recovery e.Trace.time
+      | "wave-commit" | "commit-rank" -> commit_times := e.Trace.time :: !commit_times
+      | "dispatcher-confused" ->
+          if !confusion_time = None then confusion_time := Some e.Trace.time
+      | _ -> ())
+    entries;
+  (match !open_rec with Some r -> recoveries := r :: !recoveries | None -> ());
+  let recoveries = List.rev !recoveries in
+  let total_recovery_time =
+    List.fold_left
+      (fun acc r ->
+        match r.rec_end with Some e -> acc +. (e -. r.rec_start) | None -> acc)
+      0.0 recoveries
+  in
+  {
+    fault_times = List.rev !fault_times;
+    recoveries;
+    commit_times = List.rev !commit_times;
+    confusion_time = !confusion_time;
+    total_recovery_time;
+    span = !span;
+  }
+
+let recovery_durations s =
+  List.filter_map
+    (fun r -> Option.map (fun e -> e -. r.rec_start) r.rec_end)
+    s.recoveries
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>trace span: %.1f s@," s.span;
+  Format.fprintf ppf "faults injected: %d%s@," (List.length s.fault_times)
+    (match s.fault_times with
+    | [] -> ""
+    | t :: _ -> Printf.sprintf " (first at %.1f s)" t);
+  Format.fprintf ppf "recoveries: %d (%.1f s total" (List.length s.recoveries)
+    s.total_recovery_time;
+  (match recovery_durations s with
+  | [] -> Format.fprintf ppf ")@,"
+  | ds ->
+      let mean = List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds) in
+      Format.fprintf ppf ", mean %.1f s)@," mean);
+  Format.fprintf ppf "checkpoints committed: %d@," (List.length s.commit_times);
+  (match s.confusion_time with
+  | Some t -> Format.fprintf ppf "DISPATCHER CONFUSED at %.1f s (run frozen)@," t
+  | None -> ());
+  (match List.filter (fun r -> r.rec_end = None) s.recoveries with
+  | [] -> ()
+  | stuck ->
+      Format.fprintf ppf "unfinished recoveries: %d (first started %.1f s)@,"
+        (List.length stuck)
+        (match stuck with r :: _ -> r.rec_start | [] -> 0.0));
+  Format.pp_close_box ppf ()
+
+let escape_csv field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let events_csv trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time,source,event,detail\n";
+  List.iter
+    (fun (e : Trace.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.6f,%s,%s,%s\n" e.Trace.time (escape_csv e.Trace.source)
+           (escape_csv e.Trace.event) (escape_csv e.Trace.detail)))
+    (Trace.entries trace);
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/fail_lang/ast.ml: List Loc Option String

@@ -1,0 +1,1 @@
+lib/fail_lang/automaton.ml: Array Ast Format List String

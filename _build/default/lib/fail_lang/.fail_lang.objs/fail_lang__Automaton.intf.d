@@ -1,0 +1,1 @@
+lib/fail_lang/automaton.mli: Ast Format

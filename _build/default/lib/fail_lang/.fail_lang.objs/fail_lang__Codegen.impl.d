@@ -1,0 +1,1 @@
+lib/fail_lang/codegen.ml: Array Automaton Buffer Compile Format List Pp Printf String

@@ -1,0 +1,1 @@
+lib/fail_lang/codegen.mli: Automaton Compile

@@ -1,0 +1,1 @@
+lib/fail_lang/compile.ml: Array Ast Automaton List Loc Map Option Parser Sema String

@@ -1,0 +1,1 @@
+lib/fail_lang/lexer.ml: List Loc String Token

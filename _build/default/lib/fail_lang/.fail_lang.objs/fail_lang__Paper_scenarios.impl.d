@@ -1,0 +1,1 @@
+lib/fail_lang/paper_scenarios.ml: Printf

@@ -1,0 +1,1 @@
+lib/fail_lang/parser.ml: Array Ast Lexer List Loc Token

@@ -1,0 +1,1 @@
+lib/fail_lang/pp.mli: Ast Format

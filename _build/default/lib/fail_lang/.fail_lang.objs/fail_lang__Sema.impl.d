@@ -1,0 +1,1 @@
+lib/fail_lang/sema.ml: Ast List Loc Map Option Set String

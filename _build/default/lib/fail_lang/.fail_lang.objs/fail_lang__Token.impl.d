@@ -1,0 +1,1 @@
+lib/fail_lang/token.ml: Format Loc Printf

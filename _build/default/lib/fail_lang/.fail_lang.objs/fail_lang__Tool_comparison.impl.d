@@ -1,0 +1,1 @@
+lib/fail_lang/tool_comparison.ml: Buffer List Printf

@@ -1,0 +1,139 @@
+type binop = Add | Sub | Mul | Div | Mod
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int
+  | Var of string
+  | App_var of string
+  | Binop of binop * expr * expr
+  | Random of expr * expr
+
+type cond = relop * expr * expr
+
+type trigger =
+  | T_timer
+  | T_recv of string
+  | T_onload
+  | T_onexit
+  | T_onerror
+  | T_before of string
+  | T_after of string
+  | T_watch of string
+
+type guard = { trigger : trigger option; conds : cond list }
+
+type dest = D_instance of string | D_indexed of string * expr | D_group of string | D_sender
+
+type action =
+  | A_goto of string
+  | A_send of string * dest
+  | A_assign of string * expr
+  | A_halt
+  | A_stop
+  | A_continue
+  | A_set_app of string * expr
+
+type transition = { t_loc : Loc.t; guard : guard; actions : action list }
+
+type node = {
+  n_loc : Loc.t;
+  n_id : string;
+  n_always : (string * expr) list;
+  n_timer : (string * expr) option;
+  n_transitions : transition list;
+}
+
+type daemon = {
+  d_loc : Loc.t;
+  d_name : string;
+  d_vars : (string * expr) list;
+  d_nodes : node list;
+}
+
+type deployment =
+  | Dep_singleton of { dep_loc : Loc.t; inst : string; daemon : string; machine : int }
+  | Dep_group of {
+      dep_loc : Loc.t;
+      inst : string;
+      count : int;
+      daemon : string;
+      mach_lo : int;
+      mach_hi : int;
+    }
+
+type program = { daemons : daemon list; deployments : deployment list }
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Var x, Var y | App_var x, App_var y -> String.equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Random (a1, b1), Random (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | (Int _ | Var _ | App_var _ | Binop _ | Random _), _ -> false
+
+let equal_cond (r1, a1, b1) (r2, a2, b2) = r1 = r2 && equal_expr a1 a2 && equal_expr b1 b2
+
+let equal_trigger (a : trigger) (b : trigger) = a = b
+
+let equal_guard g1 g2 =
+  Option.equal equal_trigger g1.trigger g2.trigger
+  && List.equal equal_cond g1.conds g2.conds
+
+let equal_dest d1 d2 =
+  match (d1, d2) with
+  | D_instance a, D_instance b | D_group a, D_group b -> String.equal a b
+  | D_indexed (a, e1), D_indexed (b, e2) -> String.equal a b && equal_expr e1 e2
+  | D_sender, D_sender -> true
+  | (D_instance _ | D_indexed _ | D_group _ | D_sender), _ -> false
+
+let equal_action a1 a2 =
+  match (a1, a2) with
+  | A_goto x, A_goto y -> String.equal x y
+  | A_send (m1, d1), A_send (m2, d2) -> String.equal m1 m2 && equal_dest d1 d2
+  | A_assign (v1, e1), A_assign (v2, e2) | A_set_app (v1, e1), A_set_app (v2, e2) ->
+      String.equal v1 v2 && equal_expr e1 e2
+  | A_halt, A_halt | A_stop, A_stop | A_continue, A_continue -> true
+  | (A_goto _ | A_send _ | A_assign _ | A_halt | A_stop | A_continue | A_set_app _), _ -> false
+
+let equal_transition t1 t2 =
+  equal_guard t1.guard t2.guard && List.equal equal_action t1.actions t2.actions
+
+let equal_binding (n1, e1) (n2, e2) = String.equal n1 n2 && equal_expr e1 e2
+
+let equal_node n1 n2 =
+  String.equal n1.n_id n2.n_id
+  && List.equal equal_binding n1.n_always n2.n_always
+  && Option.equal equal_binding n1.n_timer n2.n_timer
+  && List.equal equal_transition n1.n_transitions n2.n_transitions
+
+let equal_daemon d1 d2 =
+  String.equal d1.d_name d2.d_name
+  && List.equal equal_binding d1.d_vars d2.d_vars
+  && List.equal equal_node d1.d_nodes d2.d_nodes
+
+let equal_deployment d1 d2 =
+  match (d1, d2) with
+  | Dep_singleton s1, Dep_singleton s2 ->
+      String.equal s1.inst s2.inst && String.equal s1.daemon s2.daemon
+      && s1.machine = s2.machine
+  | Dep_group g1, Dep_group g2 ->
+      String.equal g1.inst g2.inst && g1.count = g2.count
+      && String.equal g1.daemon g2.daemon && g1.mach_lo = g2.mach_lo
+      && g1.mach_hi = g2.mach_hi
+  | (Dep_singleton _ | Dep_group _), _ -> false
+
+let equal_program p1 p2 =
+  List.equal equal_daemon p1.daemons p2.daemons
+  && List.equal equal_deployment p1.deployments p2.deployments
+
+let program_size p =
+  let node_size n =
+    1 + List.length n.n_always
+    + (match n.n_timer with Some _ -> 1 | None -> 0)
+    + List.fold_left (fun acc t -> acc + 1 + List.length t.actions) 0 n.n_transitions
+  in
+  let daemon_size d =
+    1 + List.length d.d_vars + List.fold_left (fun acc n -> acc + node_size n) 0 d.d_nodes
+  in
+  List.fold_left (fun acc d -> acc + daemon_size d) 0 p.daemons + List.length p.deployments

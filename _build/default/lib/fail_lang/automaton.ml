@@ -1,0 +1,138 @@
+type cexpr =
+  | C_int of int
+  | C_var of int
+  | C_app_var of string
+  | C_binop of Ast.binop * cexpr * cexpr
+  | C_random of cexpr * cexpr
+
+type ccond = Ast.relop * cexpr * cexpr
+
+type cdest = CD_instance of string | CD_indexed of string * cexpr | CD_group of string | CD_sender
+
+type caction =
+  | C_goto of int
+  | C_send of string * cdest
+  | C_assign of int * cexpr
+  | C_halt
+  | C_stop
+  | C_continue
+  | C_set_app of string * cexpr
+
+type ctransition = {
+  trigger : Ast.trigger option;
+  conds : ccond list;
+  actions : caction list;
+}
+
+type cnode = {
+  node_id : string;
+  always : (int * cexpr) list;
+  timer : cexpr option;
+  transitions : ctransition list;
+}
+
+type t = {
+  name : string;
+  var_names : string array;
+  var_init : (int * cexpr) list;
+  nodes : cnode array;
+}
+
+let var_count t = Array.length t.var_names
+let node_count t = Array.length t.nodes
+
+let node_index t id =
+  let rec find i =
+    if i >= Array.length t.nodes then None
+    else if String.equal t.nodes.(i).node_id id then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let fold_actions f acc t =
+  Array.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc tr -> List.fold_left f acc tr.actions)
+        acc node.transitions)
+    acc t.nodes
+
+let messages_sent t =
+  fold_actions
+    (fun acc -> function C_send (m, _) -> m :: acc | _ -> acc)
+    [] t
+  |> List.sort_uniq String.compare
+
+let messages_received t =
+  Array.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc tr ->
+          match tr.trigger with Some (Ast.T_recv m) -> m :: acc | Some _ | None -> acc)
+        acc node.transitions)
+    [] t.nodes
+  |> List.sort_uniq String.compare
+
+let rec pp_cexpr ppf = function
+  | C_int n -> Format.pp_print_int ppf n
+  | C_var slot -> Format.fprintf ppf "v%d" slot
+  | C_app_var name -> Format.fprintf ppf "@@%s" name
+  | C_binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_cexpr a
+        (match op with
+        | Ast.Add -> "+"
+        | Ast.Sub -> "-"
+        | Ast.Mul -> "*"
+        | Ast.Div -> "/"
+        | Ast.Mod -> "%")
+        pp_cexpr b
+  | C_random (lo, hi) -> Format.fprintf ppf "random(%a, %a)" pp_cexpr lo pp_cexpr hi
+
+let pp_caction ppf = function
+  | C_goto n -> Format.fprintf ppf "goto #%d" n
+  | C_send (m, CD_instance i) -> Format.fprintf ppf "send %s -> %s" m i
+  | C_send (m, CD_indexed (g, e)) -> Format.fprintf ppf "send %s -> %s[%a]" m g pp_cexpr e
+  | C_send (m, CD_group g) -> Format.fprintf ppf "send %s -> %s (broadcast)" m g
+  | C_send (m, CD_sender) -> Format.fprintf ppf "send %s -> sender" m
+  | C_assign (slot, e) -> Format.fprintf ppf "v%d := %a" slot pp_cexpr e
+  | C_halt -> Format.pp_print_string ppf "halt"
+  | C_stop -> Format.pp_print_string ppf "stop"
+  | C_continue -> Format.pp_print_string ppf "continue"
+  | C_set_app (name, e) -> Format.fprintf ppf "set @@%s := %a" name pp_cexpr e
+
+let pp_trigger ppf = function
+  | Ast.T_timer -> Format.pp_print_string ppf "timer"
+  | Ast.T_recv m -> Format.fprintf ppf "?%s" m
+  | Ast.T_onload -> Format.pp_print_string ppf "onload"
+  | Ast.T_onexit -> Format.pp_print_string ppf "onexit"
+  | Ast.T_onerror -> Format.pp_print_string ppf "onerror"
+  | Ast.T_before f -> Format.fprintf ppf "before(%s)" f
+  | Ast.T_after f -> Format.fprintf ppf "after(%s)" f
+  | Ast.T_watch v -> Format.fprintf ppf "watch(%s)" v
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>automaton %s: %d vars, %d nodes@," t.name (var_count t)
+    (node_count t);
+  Array.iteri
+    (fun i node ->
+      Format.fprintf ppf "@[<v 2>node #%d (%s):" i node.node_id;
+      List.iter
+        (fun (slot, e) -> Format.fprintf ppf "@,always v%d := %a" slot pp_cexpr e)
+        node.always;
+      (match node.timer with
+      | Some e -> Format.fprintf ppf "@,timer %a" pp_cexpr e
+      | None -> ());
+      List.iter
+        (fun tr ->
+          Format.fprintf ppf "@,on %s%s -> %s"
+            (match tr.trigger with
+            | Some trig -> Format.asprintf "%a" pp_trigger trig
+            | None -> "entry")
+            (if tr.conds = [] then ""
+             else Format.asprintf " [%d conds]" (List.length tr.conds))
+            (String.concat ", "
+               (List.map (Format.asprintf "%a" pp_caction) tr.actions)))
+        node.transitions;
+      Format.fprintf ppf "@]@,")
+    t.nodes;
+  Format.pp_close_box ppf ()

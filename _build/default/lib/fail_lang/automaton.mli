@@ -1,0 +1,66 @@
+(** Compiled form of a FAIL daemon: a flat state machine interpreted by
+    the FCI runtime.
+
+    Names are resolved to indices: variables (daemon-global and per-node
+    [always]) to slots in a single variable frame, nodes to positions in
+    the node array. This is the analogue of the FCI compiler's generated
+    C++ in the original tool chain. *)
+
+type cexpr =
+  | C_int of int
+  | C_var of int  (** variable slot *)
+  | C_app_var of string  (** read from the controlled process *)
+  | C_binop of Ast.binop * cexpr * cexpr
+  | C_random of cexpr * cexpr
+
+type ccond = Ast.relop * cexpr * cexpr
+
+type cdest =
+  | CD_instance of string
+  | CD_indexed of string * cexpr
+  | CD_group of string
+  | CD_sender
+
+type caction =
+  | C_goto of int
+  | C_send of string * cdest
+  | C_assign of int * cexpr
+  | C_halt
+  | C_stop
+  | C_continue
+  | C_set_app of string * cexpr
+
+type ctransition = {
+  trigger : Ast.trigger option;
+  conds : ccond list;
+  actions : caction list;
+}
+
+type cnode = {
+  node_id : string;
+  always : (int * cexpr) list;  (** slot, initialiser; in declaration order *)
+  timer : cexpr option;  (** duration, armed on node entry *)
+  transitions : ctransition list;
+}
+
+type t = {
+  name : string;
+  var_names : string array;  (** one entry per slot *)
+  var_init : (int * cexpr) list;  (** daemon-global initialisers *)
+  nodes : cnode array;  (** index 0 is the initial node *)
+}
+
+val var_count : t -> int
+val node_count : t -> int
+
+(** [node_index t id] finds a node by its source id. *)
+val node_index : t -> string -> int option
+
+(** [messages_sent t] / [messages_received t] are the sorted message
+    vocabularies, for linking diagnostics. *)
+val messages_sent : t -> string list
+
+val messages_received : t -> string list
+
+val pp : Format.formatter -> t -> unit
+val pp_trigger : Format.formatter -> Ast.trigger -> unit

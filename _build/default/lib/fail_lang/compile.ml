@@ -1,0 +1,138 @@
+open Ast
+
+module Smap = Map.Make (String)
+
+type plan = {
+  automata : (string * Automaton.t) list;
+  deployments : Ast.deployment list;
+}
+
+(* Variable slot assignment: daemon variables first, then the [always]
+   variables of each node in declaration order. Within a node, its own
+   always variables take priority over daemon variables of the same name
+   (sema forbids shadowing, so this is belt and braces). *)
+let assign_slots d =
+  let slots = ref [] in
+  let count = ref 0 in
+  let fresh name =
+    let slot = !count in
+    incr count;
+    slots := name :: !slots;
+    slot
+  in
+  let daemon_slots =
+    List.fold_left (fun acc (name, _) -> Smap.add name (fresh name) acc) Smap.empty d.d_vars
+  in
+  let node_slots =
+    List.map
+      (fun node ->
+        let own =
+          List.fold_left
+            (fun acc (name, _) -> Smap.add name (fresh name) acc)
+            Smap.empty node.n_always
+        in
+        (node.n_id, own))
+      d.d_nodes
+  in
+  let var_names = Array.of_list (List.rev !slots) in
+  (daemon_slots, node_slots, var_names)
+
+let rec compile_expr lookup loc = function
+  | Int n -> Automaton.C_int n
+  | Var name -> (
+      match lookup name with
+      | Some slot -> Automaton.C_var slot
+      | None -> Loc.error loc "internal: unresolved variable %s (sema missed it)" name)
+  | App_var name -> Automaton.C_app_var name
+  | Binop (op, a, b) ->
+      Automaton.C_binop (op, compile_expr lookup loc a, compile_expr lookup loc b)
+  | Random (lo, hi) ->
+      Automaton.C_random (compile_expr lookup loc lo, compile_expr lookup loc hi)
+
+let compile_dest lookup loc = function
+  | D_instance name -> Automaton.CD_instance name
+  | D_indexed (name, e) -> Automaton.CD_indexed (name, compile_expr lookup loc e)
+  | D_group name -> Automaton.CD_group name
+  | D_sender -> Automaton.CD_sender
+
+let compile_action lookup node_of_id loc = function
+  | A_goto target -> (
+      match node_of_id target with
+      | Some idx -> Automaton.C_goto idx
+      | None -> Loc.error loc "internal: unresolved goto target %s" target)
+  | A_send (msg, dest) -> Automaton.C_send (msg, compile_dest lookup loc dest)
+  | A_assign (name, e) -> (
+      match lookup name with
+      | Some slot -> Automaton.C_assign (slot, compile_expr lookup loc e)
+      | None -> Loc.error loc "internal: unresolved assignment target %s" name)
+  | A_halt -> Automaton.C_halt
+  | A_stop -> Automaton.C_stop
+  | A_continue -> Automaton.C_continue
+  | A_set_app (name, e) -> Automaton.C_set_app (name, compile_expr lookup loc e)
+
+let compile_daemon d =
+  let daemon_slots, node_slots, var_names = assign_slots d in
+  let node_ids = List.map (fun n -> n.n_id) d.d_nodes in
+  let node_of_id id =
+    let rec find i = function
+      | [] -> None
+      | x :: rest -> if String.equal x id then Some i else find (i + 1) rest
+    in
+    find 0 node_ids
+  in
+  let lookup_in own name =
+    match Smap.find_opt name own with
+    | Some slot -> Some slot
+    | None -> Smap.find_opt name daemon_slots
+  in
+  let compile_node node =
+    let own = List.assoc node.n_id node_slots in
+    let lookup = lookup_in own in
+    let loc = node.n_loc in
+    let always =
+      List.map
+        (fun (name, e) -> (Smap.find name own, compile_expr lookup loc e))
+        node.n_always
+    in
+    let timer = Option.map (fun (_, e) -> compile_expr lookup loc e) node.n_timer in
+    let transitions =
+      List.map
+        (fun tr ->
+          {
+            Automaton.trigger = tr.guard.trigger;
+            conds =
+              List.map
+                (fun (op, a, b) ->
+                  (op, compile_expr lookup tr.t_loc a, compile_expr lookup tr.t_loc b))
+                tr.guard.conds;
+            actions = List.map (compile_action lookup node_of_id tr.t_loc) tr.actions;
+          })
+        node.n_transitions
+    in
+    { Automaton.node_id = node.n_id; always; timer; transitions }
+  in
+  let var_init =
+    List.map (fun (name, e) ->
+        let slot = Smap.find name daemon_slots in
+        (slot, compile_expr (fun n -> Smap.find_opt n daemon_slots) d.d_loc e))
+      d.d_vars
+  in
+  {
+    Automaton.name = d.d_name;
+    var_names;
+    var_init;
+    nodes = Array.of_list (List.map compile_node d.d_nodes);
+  }
+
+let compile_program p =
+  {
+    automata = List.map (fun d -> (d.d_name, compile_daemon d)) p.daemons;
+    deployments = p.deployments;
+  }
+
+let compile_source ?params src =
+  match Sema.check ?params (Parser.parse src) with
+  | checked -> Ok (compile_program checked)
+  | exception Loc.Error (loc, msg) -> Error (Loc.error_to_string loc msg)
+
+let automaton plan name = List.assoc_opt name plan.automata

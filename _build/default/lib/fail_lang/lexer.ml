@@ -1,0 +1,163 @@
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let loc st = { Loc.line = st.line; col = st.col }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_of_ident = function
+  | "Daemon" | "daemon" -> Some Token.KW_daemon
+  | "node" -> Some Token.KW_node
+  | "int" -> Some Token.KW_int
+  | "time" -> Some Token.KW_time
+  | "always" -> Some Token.KW_always
+  | "timer" -> Some Token.KW_timer
+  | "onload" -> Some Token.KW_onload
+  | "onexit" -> Some Token.KW_onexit
+  | "onerror" -> Some Token.KW_onerror
+  | "before" -> Some Token.KW_before
+  | "after" -> Some Token.KW_after
+  | "goto" -> Some Token.KW_goto
+  | "halt" -> Some Token.KW_halt
+  | "stop" -> Some Token.KW_stop
+  | "continue" -> Some Token.KW_continue
+  | "on" -> Some Token.KW_on
+  | "machine" -> Some Token.KW_machine
+  | "machines" -> Some Token.KW_machines
+  | "FAIL_RANDOM" -> Some Token.KW_random
+  | "FAIL_SENDER" -> Some Token.KW_sender
+  | "watch" -> Some Token.KW_watch
+  | "set" -> Some Token.KW_set
+  | _ -> None
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' -> (
+      match peek2 st with
+      | Some '/' ->
+          let rec to_eol () =
+            match peek st with
+            | Some '\n' | None -> ()
+            | Some _ ->
+                advance st;
+                to_eol ()
+          in
+          to_eol ();
+          skip_ws_and_comments st
+      | Some '*' ->
+          let start = loc st in
+          advance st;
+          advance st;
+          let rec to_close () =
+            match (peek st, peek2 st) with
+            | Some '*', Some '/' ->
+                advance st;
+                advance st
+            | Some _, _ ->
+                advance st;
+                to_close ()
+            | None, _ -> Loc.error start "unterminated comment"
+          in
+          to_close ();
+          skip_ws_and_comments st
+      | Some _ | None -> ())
+  | Some _ | None -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  let rec run () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        advance st;
+        run ()
+    | Some _ | None -> ()
+  in
+  run ();
+  String.sub st.src start (st.pos - start)
+
+let lex_int st =
+  let start = st.pos in
+  let rec run () =
+    match peek st with
+    | Some c when is_digit c ->
+        advance st;
+        run ()
+    | Some _ | None -> ()
+  in
+  run ();
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec next acc =
+    skip_ws_and_comments st;
+    let l = loc st in
+    let emit tok n =
+      for _ = 1 to n do
+        advance st
+      done;
+      next ({ Token.tok; loc = l } :: acc)
+    in
+    match peek st with
+    | None -> List.rev ({ Token.tok = Token.EOF; loc = l } :: acc)
+    | Some c when is_ident_start c ->
+        let id = lex_ident st in
+        let tok =
+          match keyword_of_ident id with Some kw -> kw | None -> Token.IDENT id
+        in
+        next ({ Token.tok; loc = l } :: acc)
+    | Some c when is_digit c ->
+        let n = lex_int st in
+        next ({ Token.tok = Token.INT n; loc = l } :: acc)
+    | Some '{' -> emit Token.LBRACE 1
+    | Some '}' -> emit Token.RBRACE 1
+    | Some '(' -> emit Token.LPAREN 1
+    | Some ')' -> emit Token.RPAREN 1
+    | Some '[' -> emit Token.LBRACKET 1
+    | Some ']' -> emit Token.RBRACKET 1
+    | Some ':' -> emit Token.COLON 1
+    | Some ';' -> emit Token.SEMI 1
+    | Some ',' -> emit Token.COMMA 1
+    | Some '@' -> emit Token.AT 1
+    | Some '+' -> emit Token.PLUS 1
+    | Some '*' -> emit Token.STAR 1
+    | Some '/' -> emit Token.SLASH 1
+    | Some '%' -> emit Token.PERCENT 1
+    | Some '?' -> emit Token.QUESTION 1
+    | Some '-' -> ( match peek2 st with Some '>' -> emit Token.ARROW 2 | _ -> emit Token.MINUS 1)
+    | Some '!' -> ( match peek2 st with Some '=' -> emit Token.NEQ 2 | _ -> emit Token.BANG 1)
+    | Some '&' -> (
+        match peek2 st with
+        | Some '&' -> emit Token.AND 2
+        | _ -> Loc.error l "expected '&&'")
+    | Some '=' -> ( match peek2 st with Some '=' -> emit Token.EQEQ 2 | _ -> emit Token.ASSIGN 1)
+    | Some '<' -> (
+        match peek2 st with
+        | Some '=' -> emit Token.LE 2
+        | Some '>' -> emit Token.NEQ 2
+        | _ -> emit Token.LT 1)
+    | Some '>' -> ( match peek2 st with Some '=' -> emit Token.GE 2 | _ -> emit Token.GT 1)
+    | Some '.' -> (
+        match peek2 st with
+        | Some '.' -> emit Token.DOTDOT 2
+        | _ -> Loc.error l "expected '..'")
+    | Some c -> Loc.error l "illegal character %C" c
+  in
+  next []

@@ -1,0 +1,9 @@
+(** Hand-written lexer for the FAIL language.
+
+    Comments: [// ... end-of-line] and [/* ... */] (nesting not
+    supported). Keywords are case-sensitive except [Daemon]/[daemon],
+    both accepted because the paper capitalises it. *)
+
+(** [tokenize src] returns the token stream, ending with [EOF]. Raises
+    {!Loc.Error} on an illegal character or unterminated comment. *)
+val tokenize : string -> Token.located list

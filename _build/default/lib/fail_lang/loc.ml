@@ -1,0 +1,11 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+
+let pp ppf { line; col } = Format.fprintf ppf "line %d, col %d" line col
+
+exception Error of t * string
+
+let error loc fmt = Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt
+
+let error_to_string loc msg = Format.asprintf "%a: %s" pp loc msg

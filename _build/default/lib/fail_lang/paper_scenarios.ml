@@ -1,0 +1,147 @@
+let adv2_controller =
+  {|
+Daemon ADV2 {
+  node 1:
+    onload -> continue, goto 2;
+    ?crash -> !no(P1), goto 1;
+  node 2:
+    onexit -> goto 1;
+    onerror -> goto 1;
+    onload -> continue, goto 2;
+    ?crash -> !ok(P1), halt, goto 1;
+}
+|}
+
+let frequency ~n_machines ~period =
+  Printf.sprintf
+    {|
+// Figure 5(a): one fault every %d seconds on a uniformly chosen node.
+Daemon ADV1 {
+  node 1:
+    always int ran = FAIL_RANDOM(0, %d);
+    time g_timer = %d;
+    timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    always int ran = FAIL_RANDOM(0, %d);
+    ?ok -> goto 1;
+    ?no -> !crash(G1[ran]), goto 2;
+}
+%s
+P1 : ADV1 on machine %d;
+G1[%d] : ADV2 on machines 0 .. %d;
+|}
+    period (n_machines - 1) period (n_machines - 1) adv2_controller n_machines n_machines
+    (n_machines - 1)
+
+let simultaneous ~n_machines ~period ~count =
+  Printf.sprintf
+    {|
+// Figure 7(a): %d back-to-back faults every %d seconds.
+Daemon ADV1 {
+  int nb_crash = %d;
+  node 1:
+    always int ran = FAIL_RANDOM(0, %d);
+    time g_timer = %d;
+    timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    always int ran = FAIL_RANDOM(0, %d);
+    ?ok && nb_crash > 1 -> !crash(G1[ran]), nb_crash = nb_crash - 1, goto 2;
+    ?ok && nb_crash <= 1 -> nb_crash = %d, goto 1;
+    ?no -> !crash(G1[ran]), goto 2;
+}
+%s
+P1 : ADV1 on machine %d;
+G1[%d] : ADV2 on machines 0 .. %d;
+|}
+    count period count (n_machines - 1) period (n_machines - 1) count adv2_controller
+    n_machines n_machines (n_machines - 1)
+
+let synchronized ~n_machines ~period =
+  Printf.sprintf
+    {|
+// Figure 8: second fault on the first controller seeing the recovery wave.
+Daemon ADV1 {
+  node 1:
+    always int ran = FAIL_RANDOM(0, %d);
+    time g_timer = %d;
+    timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    always int ran = FAIL_RANDOM(0, %d);
+    ?ok -> goto 3;
+    ?no -> !crash(G1[ran]), goto 2;
+  node 3:
+    ?waveok -> !crash(FAIL_SENDER), goto 4;
+  node 4:
+}
+
+Daemon ADVnodes {
+  int wave = 1;
+  node 1:
+    onload && wave <> 2 -> continue, wave = wave + 1, goto 2;
+    onload && wave == 2 -> continue, wave = wave + 1, !waveok(P1), goto 2;
+    ?crash -> !no(P1), goto 1;
+  node 2:
+    onexit -> goto 1;
+    onerror -> goto 1;
+    onload && wave <> 2 -> continue, wave = wave + 1, goto 2;
+    onload && wave == 2 -> continue, wave = wave + 1, !waveok(P1), goto 2;
+    ?crash -> !ok(P1), halt, goto 1;
+}
+
+P1 : ADV1 on machine %d;
+G1[%d] : ADVnodes on machines 0 .. %d;
+|}
+    (n_machines - 1) period (n_machines - 1) n_machines n_machines (n_machines - 1)
+
+let state_synchronized ~n_machines ~period =
+  Printf.sprintf
+    {|
+// Figure 10: second fault just before localMPI_setCommand in the recovery
+// wave, i.e. right after the relaunched daemon registered with the
+// dispatcher.
+Daemon ADV1 {
+  node 1:
+    always int ran = FAIL_RANDOM(0, %d);
+    time g_timer = %d;
+    timer -> !crash(G1[ran]), goto 2;
+  node 2:
+    always int ran = FAIL_RANDOM(0, %d);
+    ?ok -> goto 3;
+    ?no -> !crash(G1[ran]), goto 2;
+  node 3:
+    ?waveok -> !crash(FAIL_SENDER), goto 4;
+  node 4:
+    ?waveok -> !nocrash(FAIL_SENDER), goto 4;
+}
+
+Daemon ADVstate {
+  node 1:
+    onload -> continue, goto 2;
+    ?crash -> !no(P1), goto 1;
+  node 11:
+    onload -> !waveok(P1), stop, goto 3;
+    ?crash -> !no(P1), goto 11;
+  node 2:
+    ?crash -> !ok(P1), halt, goto 11;
+    onload -> !waveok(P1), stop, goto 3;
+  node 3:
+    ?crash -> !ok(P1), continue, goto 4;
+    ?nocrash -> continue, goto 5;
+  node 4:
+    before(localMPI_setCommand) -> halt, goto 5;
+  node 5:
+    onload -> continue, goto 5;
+}
+
+P1 : ADV1 on machine %d;
+G1[%d] : ADVstate on machines 0 .. %d;
+|}
+    (n_machines - 1) period (n_machines - 1) n_machines n_machines (n_machines - 1)
+
+let all =
+  [
+    ("fig5-frequency", frequency ~n_machines:53 ~period:50);
+    ("fig7-simultaneous", simultaneous ~n_machines:53 ~period:50 ~count:3);
+    ("fig8-synchronized", synchronized ~n_machines:53 ~period:50);
+    ("fig10-state-synchronized", state_synchronized ~n_machines:53 ~period:50);
+  ]

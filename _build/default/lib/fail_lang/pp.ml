@@ -1,0 +1,106 @@
+open Ast
+
+let binop_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+
+let relop_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Precedence levels: 0 additive, 1 multiplicative, 2 atoms. *)
+let rec pp_expr_prec level ppf = function
+  | Int n -> if n < 0 then Format.fprintf ppf "(0 - %d)" (-n) else Format.pp_print_int ppf n
+  | Var s -> Format.pp_print_string ppf s
+  | App_var s -> Format.fprintf ppf "@@%s" s
+  | Random (lo, hi) ->
+      Format.fprintf ppf "FAIL_RANDOM(%a, %a)" (pp_expr_prec 0) lo (pp_expr_prec 0) hi
+  | Binop (op, a, b) ->
+      let my_level = match op with Add | Sub -> 0 | Mul | Div | Mod -> 1 in
+      let open_paren = my_level < level in
+      if open_paren then Format.pp_print_char ppf '(';
+      (* Left-associative: the right operand prints one level tighter. *)
+      Format.fprintf ppf "%a %s %a" (pp_expr_prec my_level) a (binop_string op)
+        (pp_expr_prec (my_level + 1)) b;
+      if open_paren then Format.pp_print_char ppf ')'
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_cond ppf (op, a, b) =
+  Format.fprintf ppf "%a %s %a" pp_expr a (relop_string op) pp_expr b
+
+let pp_trigger ppf = function
+  | T_timer -> Format.pp_print_string ppf "timer"
+  | T_recv m -> Format.fprintf ppf "?%s" m
+  | T_onload -> Format.pp_print_string ppf "onload"
+  | T_onexit -> Format.pp_print_string ppf "onexit"
+  | T_onerror -> Format.pp_print_string ppf "onerror"
+  | T_before f -> Format.fprintf ppf "before(%s)" f
+  | T_after f -> Format.fprintf ppf "after(%s)" f
+  | T_watch v -> Format.fprintf ppf "watch(%s)" v
+
+let pp_guard ppf g =
+  let atoms =
+    (match g.trigger with
+    | Some t -> [ Format.asprintf "%a" pp_trigger t ]
+    | None -> [])
+    @ List.map (Format.asprintf "%a" pp_cond) g.conds
+  in
+  Format.pp_print_string ppf (String.concat " && " atoms)
+
+let pp_dest ppf = function
+  | D_instance s -> Format.pp_print_string ppf s
+  | D_indexed (s, e) -> Format.fprintf ppf "%s[%a]" s pp_expr e
+  | D_group s -> Format.pp_print_string ppf s
+  | D_sender -> Format.pp_print_string ppf "FAIL_SENDER"
+
+let pp_action ppf = function
+  | A_goto n -> Format.fprintf ppf "goto %s" n
+  | A_send (m, d) -> Format.fprintf ppf "!%s(%a)" m pp_dest d
+  | A_assign (v, e) -> Format.fprintf ppf "%s = %a" v pp_expr e
+  | A_halt -> Format.pp_print_string ppf "halt"
+  | A_stop -> Format.pp_print_string ppf "stop"
+  | A_continue -> Format.pp_print_string ppf "continue"
+  | A_set_app (v, e) -> Format.fprintf ppf "set %s = %a" v pp_expr e
+
+let pp_transition ppf t =
+  Format.fprintf ppf "@[<h>%a ->@ %a;@]" pp_guard t.guard
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_action)
+    t.actions
+
+let pp_node ppf n =
+  Format.fprintf ppf "@[<v 2>node %s:" n.n_id;
+  List.iter (fun (v, e) -> Format.fprintf ppf "@,always int %s = %a;" v pp_expr e) n.n_always;
+  (match n.n_timer with
+  | Some (v, e) -> Format.fprintf ppf "@,time %s = %a;" v pp_expr e
+  | None -> ());
+  List.iter (fun t -> Format.fprintf ppf "@,%a" pp_transition t) n.n_transitions;
+  Format.pp_close_box ppf ()
+
+let pp_daemon ppf d =
+  Format.fprintf ppf "@[<v 2>Daemon %s {" d.d_name;
+  List.iter (fun (v, e) -> Format.fprintf ppf "@,int %s = %a;" v pp_expr e) d.d_vars;
+  List.iter (fun n -> Format.fprintf ppf "@,%a" pp_node n) d.d_nodes;
+  Format.fprintf ppf "@]@,}"
+
+let pp_deployment ppf = function
+  | Dep_singleton { inst; daemon; machine; _ } ->
+      Format.fprintf ppf "%s : %s on machine %d;" inst daemon machine
+  | Dep_group { inst; count; daemon; mach_lo; mach_hi; _ } ->
+      Format.fprintf ppf "%s[%d] : %s on machines %d .. %d;" inst count daemon mach_lo mach_hi
+
+let pp_program ppf p =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      Format.fprintf ppf "%a@," pp_daemon d)
+    p.daemons;
+  List.iter (fun dep -> Format.fprintf ppf "%a@," pp_deployment dep) p.deployments;
+  Format.pp_close_box ppf ()
+
+let program_to_string p = Format.asprintf "%a" pp_program p

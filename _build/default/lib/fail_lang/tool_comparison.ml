@@ -1,0 +1,75 @@
+type criterion =
+  | High_expressiveness
+  | High_level_language
+  | Low_intrusion
+  | Probabilistic_scenario
+  | No_code_modification
+  | Scalability
+  | Global_state_injection
+
+type tool = { tool_name : string; reference : string; supports : criterion -> bool }
+
+let criteria =
+  [
+    High_expressiveness;
+    High_level_language;
+    Low_intrusion;
+    Probabilistic_scenario;
+    No_code_modification;
+    Scalability;
+    Global_state_injection;
+  ]
+
+let criterion_name = function
+  | High_expressiveness -> "High Expressiveness"
+  | High_level_language -> "High-level Language"
+  | Low_intrusion -> "Low Intrusion"
+  | Probabilistic_scenario -> "Probabilistic Scenario"
+  | No_code_modification -> "No Code Modification"
+  | Scalability -> "Scalability"
+  | Global_state_injection -> "Global-state Injection"
+
+let nftape =
+  {
+    tool_name = "NFTAPE";
+    reference = "[Sa00]";
+    supports =
+      (function
+      | High_expressiveness | Low_intrusion | Probabilistic_scenario
+      | Global_state_injection ->
+          true
+      | High_level_language | No_code_modification | Scalability -> false);
+  }
+
+let loki =
+  {
+    tool_name = "LOKI";
+    reference = "[CLCS00]";
+    supports =
+      (function
+      | Low_intrusion | Scalability | Global_state_injection -> true
+      | High_expressiveness | High_level_language | Probabilistic_scenario
+      | No_code_modification ->
+          false);
+  }
+
+let fail_fci =
+  { tool_name = "FAIL-FCI"; reference = "[HT05]"; supports = (fun _ -> true) }
+
+let tools = [ nftape; loki; fail_fci ]
+
+let render () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%-26s" "Criteria");
+  List.iter (fun t -> Buffer.add_string buf (Printf.sprintf "%-10s" t.tool_name)) tools;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "%-26s" (criterion_name c));
+      List.iter
+        (fun t ->
+          Buffer.add_string buf (Printf.sprintf "%-10s" (if t.supports c then "yes" else "no")))
+        tools;
+      Buffer.add_char buf '\n')
+    criteria;
+  Buffer.contents buf

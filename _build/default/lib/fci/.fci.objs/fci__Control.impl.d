@@ -1,0 +1,1 @@
+lib/fci/control.ml: Hashtbl List Proc Simkern

@@ -1,0 +1,1 @@
+lib/fci/control.mli: Proc Simkern

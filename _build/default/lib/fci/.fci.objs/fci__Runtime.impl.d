@@ -1,0 +1,1 @@
+lib/fci/runtime.ml: Array Ast Automaton Compile Control Engine Fail_lang Float Fun Hashtbl List Printf Proc Rng Simkern String

@@ -1,0 +1,1 @@
+lib/fci/runtime.mli: Control Engine Fail_lang Proc Simkern

@@ -1,0 +1,381 @@
+open Simkern
+open Fail_lang
+
+type config = { msg_latency : float }
+
+let default_config = { msg_latency = 0.11 }
+
+type event =
+  | Ev_msg of string * string  (* message name, sender instance id *)
+  | Ev_timer of int  (* generation *)
+  | Ev_onload
+  | Ev_onexit
+  | Ev_onerror
+  | Ev_breakpoint of [ `Before | `After ] * string
+  | Ev_watch of string
+
+type instance = {
+  id : string;
+  machine : int;
+  automaton : Automaton.t;
+  vars : int array;
+  rng : Rng.t;
+  mutable node : int;
+  mutable timer_gen : int;
+  mutable ctl : Control.target option;
+}
+
+type t = {
+  eng : Engine.t;
+  cfg : config;
+  by_name : (string, instance) Hashtbl.t;
+  groups : (string, instance array) Hashtbl.t;
+  by_machine : (int, instance) Hashtbl.t;
+  mutable all : instance list;  (* deployment order *)
+  mutable fault_count : int;
+  mutable entry_depth : int;  (* guards against epsilon-transition loops *)
+}
+
+let engine t = t.eng
+
+let trace t inst event detail =
+  Engine.record t.eng ~source:("fci:" ^ inst.id) ~event detail
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation *)
+
+let rec eval t inst expr =
+  match expr with
+  | Automaton.C_int n -> n
+  | Automaton.C_var slot -> inst.vars.(slot)
+  | Automaton.C_app_var name -> (
+      match inst.ctl with
+      | Some ctl -> (
+          match ctl.Control.read_var name with
+          | Some v -> v
+          | None ->
+              trace t inst "eval-error" (Printf.sprintf "unknown app var %s" name);
+              0)
+      | None ->
+          trace t inst "eval-error" (Printf.sprintf "app var %s with no controlled process" name);
+          0)
+  | Automaton.C_binop (op, a, b) -> (
+      let va = eval t inst a and vb = eval t inst b in
+      match op with
+      | Ast.Add -> va + vb
+      | Ast.Sub -> va - vb
+      | Ast.Mul -> va * vb
+      | Ast.Div ->
+          if vb = 0 then begin
+            trace t inst "eval-error" "division by zero";
+            0
+          end
+          else va / vb
+      | Ast.Mod ->
+          if vb = 0 then begin
+            trace t inst "eval-error" "modulo by zero";
+            0
+          end
+          else va mod vb)
+  | Automaton.C_random (lo, hi) ->
+      let lo = eval t inst lo and hi = eval t inst hi in
+      if hi < lo then begin
+        trace t inst "eval-error" (Printf.sprintf "FAIL_RANDOM(%d, %d) with hi < lo" lo hi);
+        lo
+      end
+      else Rng.int_in_range inst.rng ~lo ~hi
+
+let eval_cond t inst (op, a, b) =
+  let va = eval t inst a and vb = eval t inst b in
+  match op with
+  | Ast.Eq -> va = vb
+  | Ast.Ne -> va <> vb
+  | Ast.Lt -> va < vb
+  | Ast.Le -> va <= vb
+  | Ast.Gt -> va > vb
+  | Ast.Ge -> va >= vb
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch and transition execution *)
+
+let current_node inst = inst.automaton.Automaton.nodes.(inst.node)
+
+let trigger_matches ev (trigger : Ast.trigger option) ~gen =
+  match (ev, trigger) with
+  | Ev_msg (m, _), Some (Ast.T_recv m') -> String.equal m m'
+  | Ev_timer g, Some Ast.T_timer -> g = gen
+  | Ev_onload, Some Ast.T_onload -> true
+  | Ev_onexit, Some Ast.T_onexit -> true
+  | Ev_onerror, Some Ast.T_onerror -> true
+  | Ev_breakpoint (`Before, fn), Some (Ast.T_before fn') -> String.equal fn fn'
+  | Ev_breakpoint (`After, fn), Some (Ast.T_after fn') -> String.equal fn fn'
+  | Ev_watch v, Some (Ast.T_watch v') -> String.equal v v'
+  | _, _ -> false
+
+let rec enter_node t inst idx =
+  t.entry_depth <- t.entry_depth + 1;
+  if t.entry_depth > 1000 then begin
+    trace t inst "epsilon-loop" (string_of_int idx);
+    invalid_arg
+      (Printf.sprintf "Runtime: epsilon-transition loop in %s at node index %d" inst.id idx)
+  end;
+  Fun.protect ~finally:(fun () -> t.entry_depth <- t.entry_depth - 1)
+  @@ fun () ->
+  inst.node <- idx;
+  inst.timer_gen <- inst.timer_gen + 1;
+  let gen = inst.timer_gen in
+  let node = current_node inst in
+  trace t inst "enter-node" node.Automaton.node_id;
+  List.iter (fun (slot, e) -> inst.vars.(slot) <- eval t inst e) node.Automaton.always;
+  (match node.Automaton.timer with
+  | Some duration_expr ->
+      let duration = float_of_int (eval t inst duration_expr) in
+      Engine.schedule t.eng ~delay:(Float.max 0.0 duration) (fun () ->
+          dispatch t inst (Ev_timer gen))
+      |> ignore
+  | None -> ());
+  (* Epsilon transitions: condition-only guards fire on entry. *)
+  let epsilon =
+    List.find_opt
+      (fun (tr : Automaton.ctransition) ->
+        tr.trigger = None && List.for_all (eval_cond t inst) tr.conds)
+      node.Automaton.transitions
+  in
+  match epsilon with
+  | Some tr -> exec_actions t inst tr.Automaton.actions ~sender:None
+  | None -> ()
+
+and exec_actions t inst actions ~sender =
+  let goto = ref None in
+  List.iter
+    (fun action ->
+      match action with
+      | Automaton.C_goto idx -> goto := Some idx
+      | Automaton.C_assign (slot, e) -> inst.vars.(slot) <- eval t inst e
+      | Automaton.C_send (msg, dest) -> send t inst msg dest ~sender
+      | Automaton.C_halt -> (
+          match inst.ctl with
+          | Some ctl ->
+              t.fault_count <- t.fault_count + 1;
+              trace t inst "halt" ctl.Control.target_name;
+              ctl.Control.kill ()
+          | None -> trace t inst "halt-no-target" "")
+      | Automaton.C_stop -> (
+          match inst.ctl with
+          | Some ctl ->
+              trace t inst "stop" ctl.Control.target_name;
+              ctl.Control.freeze ()
+          | None -> trace t inst "stop-no-target" "")
+      | Automaton.C_continue -> (
+          match inst.ctl with
+          | Some ctl ->
+              trace t inst "continue" ctl.Control.target_name;
+              ctl.Control.unfreeze ()
+          | None -> trace t inst "continue-no-target" "")
+      | Automaton.C_set_app (name, e) -> (
+          let v = eval t inst e in
+          match inst.ctl with
+          | Some ctl ->
+              if not (ctl.Control.write_var name v) then
+                trace t inst "set-error" (Printf.sprintf "unknown app var %s" name)
+          | None -> trace t inst "set-no-target" name))
+    actions;
+  match !goto with Some idx -> enter_node t inst idx | None -> ()
+
+and send t inst msg dest ~sender =
+  let deliver target_inst =
+    trace t inst "send" (Printf.sprintf "%s -> %s" msg target_inst.id);
+    Engine.schedule t.eng ~delay:t.cfg.msg_latency (fun () ->
+        dispatch t target_inst (Ev_msg (msg, inst.id)))
+    |> ignore
+  in
+  match dest with
+  | Automaton.CD_instance name -> (
+      match Hashtbl.find_opt t.by_name name with
+      | Some target_inst -> deliver target_inst
+      | None -> trace t inst "send-error" (Printf.sprintf "unknown instance %s" name))
+  | Automaton.CD_indexed (group, e) -> (
+      let idx = eval t inst e in
+      match Hashtbl.find_opt t.groups group with
+      | Some members when idx >= 0 && idx < Array.length members -> deliver members.(idx)
+      | Some members ->
+          trace t inst "send-error"
+            (Printf.sprintf "%s[%d] out of range 0..%d" group idx (Array.length members - 1))
+      | None -> trace t inst "send-error" (Printf.sprintf "unknown group %s" group))
+  | Automaton.CD_group group -> (
+      match Hashtbl.find_opt t.groups group with
+      | Some members -> Array.iter deliver members
+      | None -> trace t inst "send-error" (Printf.sprintf "unknown group %s" group))
+  | Automaton.CD_sender -> (
+      match sender with
+      | Some name -> (
+          match Hashtbl.find_opt t.by_name name with
+          | Some target_inst -> deliver target_inst
+          | None -> trace t inst "send-error" (Printf.sprintf "vanished sender %s" name))
+      | None -> trace t inst "send-error" "FAIL_SENDER with no sender")
+
+and dispatch t inst ev =
+  (* Lifecycle bookkeeping happens regardless of scenario transitions. *)
+  (match ev with
+  | Ev_onexit | Ev_onerror -> inst.ctl <- None
+  | Ev_msg _ | Ev_timer _ | Ev_onload | Ev_breakpoint _ | Ev_watch _ -> ());
+  let gen = inst.timer_gen in
+  let node = current_node inst in
+  let matching =
+    List.find_opt
+      (fun (tr : Automaton.ctransition) ->
+        trigger_matches ev tr.trigger ~gen && List.for_all (eval_cond t inst) tr.conds)
+      node.Automaton.transitions
+  in
+  let sender = match ev with Ev_msg (_, s) -> Some s | _ -> None in
+  match matching with
+  | Some tr ->
+      (match ev with
+      | Ev_msg (m, s) -> trace t inst "recv" (Printf.sprintf "%s from %s" m s)
+      | Ev_timer _ -> trace t inst "timer-fired" node.Automaton.node_id
+      | Ev_onload -> trace t inst "onload" ""
+      | Ev_onexit -> trace t inst "onexit" ""
+      | Ev_onerror -> trace t inst "onerror" ""
+      | Ev_breakpoint (_, fn) -> trace t inst "breakpoint" fn
+      | Ev_watch v -> trace t inst "watch" v);
+      exec_actions t inst tr.Automaton.actions ~sender
+  | None -> (
+      match ev with
+      | Ev_msg (m, s) -> trace t inst "drop" (Printf.sprintf "%s from %s" m s)
+      | Ev_timer _ | Ev_onload | Ev_onexit | Ev_onerror | Ev_breakpoint _ | Ev_watch _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Deployment *)
+
+let create eng ?(config = default_config) (plan : Compile.plan) =
+  let t =
+    {
+      eng;
+      cfg = config;
+      by_name = Hashtbl.create 64;
+      groups = Hashtbl.create 8;
+      by_machine = Hashtbl.create 64;
+      all = [];
+      fault_count = 0;
+      entry_depth = 0;
+    }
+  in
+  let make_instance ~id ~machine ~daemon =
+    let automaton =
+      match Compile.automaton plan daemon with
+      | Some a -> a
+      | None -> invalid_arg (Printf.sprintf "Runtime.create: unknown daemon %s" daemon)
+    in
+    if Hashtbl.mem t.by_machine machine then
+      invalid_arg
+        (Printf.sprintf "Runtime.create: two FAIL-MPI daemons on machine %d" machine);
+    let inst =
+      {
+        id;
+        machine;
+        automaton;
+        vars = Array.make (Automaton.var_count automaton) 0;
+        rng = Rng.split (Engine.rng eng);
+        node = 0;
+        timer_gen = 0;
+        ctl = None;
+      }
+    in
+    List.iter
+      (fun (slot, e) -> inst.vars.(slot) <- eval t inst e)
+      automaton.Automaton.var_init;
+    Hashtbl.replace t.by_name id inst;
+    Hashtbl.replace t.by_machine machine inst;
+    t.all <- inst :: t.all;
+    inst
+  in
+  let created =
+    List.concat_map
+      (fun dep ->
+        match dep with
+        | Ast.Dep_singleton { inst; daemon; machine; _ } ->
+            [ make_instance ~id:inst ~machine ~daemon ]
+        | Ast.Dep_group { inst; count; daemon; mach_lo; _ } ->
+            let members =
+              List.init count (fun i ->
+                  make_instance
+                    ~id:(Printf.sprintf "%s[%d]" inst i)
+                    ~machine:(mach_lo + i) ~daemon)
+            in
+            Hashtbl.replace t.groups inst (Array.of_list members);
+            members)
+      plan.Compile.deployments
+  in
+  t.all <- List.rev t.all;
+  (* Start every automaton in its initial node once deployment completed,
+     so that initial-node timers and epsilon transitions see the full
+     address space. *)
+  List.iter (fun inst -> enter_node t inst 0) created;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Application integration *)
+
+let register t ~machine (target : Control.target) =
+  match Hashtbl.find_opt t.by_machine machine with
+  | None -> ()
+  | Some inst ->
+      (match inst.ctl with
+      | Some previous ->
+          trace t inst "register-overwrite"
+            (Printf.sprintf "%s replaces %s" target.Control.target_name
+               previous.Control.target_name)
+      | None -> ());
+      inst.ctl <- Some target;
+      target.Control.subscribe_var (fun name -> dispatch t inst (Ev_watch name));
+      Proc.on_exit target.Control.proc (fun reason ->
+          (* Only the currently controlled process drives lifecycle
+             triggers; a stale hook from a previous wave is ignored. *)
+          match inst.ctl with
+          | Some current when current.Control.proc == target.Control.proc ->
+              (match reason with
+              | Proc.Exit_normal -> dispatch t inst Ev_onexit
+              | Proc.Exit_killed | Proc.Exit_crashed _ -> dispatch t inst Ev_onerror)
+          | Some _ | None -> ());
+      dispatch t inst Ev_onload
+
+let attach t ~machine proc = register t ~machine (Control.of_proc proc)
+
+let breakpoint t ~machine kind fn =
+  let self = Proc.self () in
+  (match Hashtbl.find_opt t.by_machine machine with
+  | Some inst -> (
+      match inst.ctl with
+      | Some ctl when Proc.pid ctl.Control.proc = Proc.pid self ->
+          dispatch t inst (Ev_breakpoint (kind, fn))
+      | Some _ | None -> ())
+  | None -> ());
+  (* A halt lands at the next suspension point and a stop buffers it;
+     yielding realises both before the function body runs. *)
+  Proc.yield ()
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let instances t = t.all
+
+let find_instance t id = Hashtbl.find_opt t.by_name id
+
+let instance_id inst = inst.id
+let instance_machine inst = inst.machine
+let instance_node inst = (current_node inst).Automaton.node_id
+let controlled inst = inst.ctl
+
+let read_var t ~instance name =
+  match Hashtbl.find_opt t.by_name instance with
+  | None -> None
+  | Some inst ->
+      let rec find i =
+        if i >= Array.length inst.automaton.Automaton.var_names then None
+        else if String.equal inst.automaton.Automaton.var_names.(i) name then
+          Some inst.vars.(i)
+        else find (i + 1)
+      in
+      find 0
+
+let injected_faults t = t.fault_count

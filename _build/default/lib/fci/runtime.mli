@@ -1,0 +1,75 @@
+(** FAIL-MPI runtime: deploys compiled scenarios and drives the daemons.
+
+    One daemon {e instance} is created per deployment entry — a singleton
+    ([P1 : ADV1 on machine 53;]) or one per group member
+    ([G1\[53\] : ADV2 on machines 0 .. 52;], instance [G1\[i\]] on machine
+    [i]). Instances interpret their automaton reactively: messages from
+    other instances (delivered with the control-plane latency), node
+    timers, and the lifecycle of registered application processes.
+
+    The application side is the paper's §4 integration scheme for
+    self-deploying applications: instead of being launched by the
+    injection middleware, a process {!register}s itself with the FAIL-MPI
+    daemon of its machine (or is {!attach}ed by pid). A machine without a
+    deployed instance gets no fault injection. *)
+
+open Simkern
+
+type t
+
+type config = {
+  msg_latency : float;
+      (** one-way latency of daemon-to-daemon control messages, including
+          daemon processing time (default 0.25 s — the injection
+          control plane runs through debugger-instrumented daemons and is
+          much slower than the data plane) *)
+}
+
+val default_config : config
+
+(** [create engine ?config plan] deploys every instance of the plan.
+    Raises [Invalid_argument] if the plan deploys two instances on the
+    same machine (one FAIL-MPI daemon per machine, as in the paper). *)
+val create : Engine.t -> ?config:config -> Fail_lang.Compile.plan -> t
+
+val engine : t -> Engine.t
+
+(** {2 Application integration} *)
+
+(** [register t ~machine target] declares that an application process
+    started on [machine]; triggers [onload] on that machine's instance.
+    The instance takes [target] as its controlled process until it exits.
+    No-op if the machine has no instance. *)
+val register : t -> machine:int -> Control.target -> unit
+
+(** [attach t ~machine proc] is {!register} with a bare process (the
+    attach-to-running-pid feature). *)
+val attach : t -> machine:int -> Proc.t -> unit
+
+(** [breakpoint t ~machine kind fn] must be called from inside a
+    registered application process when it reaches function [fn]. If the
+    controlling instance has a matching [before(fn)]/[after(fn)]
+    transition, its actions run before this returns — the call never
+    returns if the scenario halts the process, and blocks while it is
+    stopped. *)
+val breakpoint : t -> machine:int -> [ `Before | `After ] -> string -> unit
+
+(** {2 Introspection (tests, trace analysis)} *)
+
+type instance
+
+val instances : t -> instance list
+val find_instance : t -> string -> instance option
+val instance_id : instance -> string
+val instance_machine : instance -> int
+
+(** [instance_node i] is the source id of the instance's current node. *)
+val instance_node : instance -> string
+
+val controlled : instance -> Control.target option
+
+(** [read_var t ~instance name] reads a daemon variable by name (tests). *)
+val read_var : t -> instance:string -> string -> int option
+
+(** [injected_faults t] counts [halt] actions executed so far. *)
+val injected_faults : t -> int

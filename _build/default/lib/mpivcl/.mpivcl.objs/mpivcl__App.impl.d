@@ -1,0 +1,1 @@
+lib/mpivcl/app.ml:

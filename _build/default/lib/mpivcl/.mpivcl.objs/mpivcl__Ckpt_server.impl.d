@@ -1,0 +1,1 @@
+lib/mpivcl/ckpt_server.ml: Cluster Config Engine Float Format Fun Hashtbl Mailbox Message Option Printf Proc Rng Simkern Simnet Simos

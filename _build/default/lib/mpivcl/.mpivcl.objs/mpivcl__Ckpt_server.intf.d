@@ -1,0 +1,1 @@
+lib/mpivcl/ckpt_server.mli: Cluster Engine Message Simkern Simnet Simos

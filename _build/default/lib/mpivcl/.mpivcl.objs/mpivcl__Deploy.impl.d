@@ -1,0 +1,1 @@
+lib/mpivcl/deploy.ml: Array Ckpt_server Cluster Config Dispatcher Engine Env Fun List Local_disk Rng Scheduler Simkern Simnet Simos

@@ -1,0 +1,1 @@
+lib/mpivcl/deploy.mli: App Ckpt_server Cluster Config Dispatcher Engine Env Fci Message Scheduler Simkern Simnet Simos

@@ -1,0 +1,1 @@
+lib/mpivcl/dispatcher.ml: Array Cluster Config Engine Env Format Fun Ivar List Mailbox Message Printf Proc Simkern Simnet Simos V2_daemon Vdaemon

@@ -1,0 +1,1 @@
+lib/mpivcl/dispatcher.mli: Env

@@ -1,0 +1,1 @@
+lib/mpivcl/env.ml: App Array Cluster Config Engine Fci Local_disk Message Rng Simkern Simnet Simos

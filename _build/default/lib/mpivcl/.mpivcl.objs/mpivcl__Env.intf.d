@@ -1,0 +1,1 @@
+lib/mpivcl/env.mli: App Cluster Config Engine Fci Local_disk Message Rng Simkern Simnet Simos

@@ -1,0 +1,1 @@
+lib/mpivcl/local_disk.ml: Hashtbl List Message Option

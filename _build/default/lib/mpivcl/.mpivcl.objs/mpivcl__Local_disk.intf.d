@@ -1,0 +1,1 @@
+lib/mpivcl/local_disk.mli: Message

@@ -1,0 +1,1 @@
+lib/mpivcl/message.ml: Format List Printf

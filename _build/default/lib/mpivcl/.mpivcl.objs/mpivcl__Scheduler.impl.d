@@ -1,0 +1,1 @@
+lib/mpivcl/scheduler.ml: Cluster Config Engine Float Format Fun Hashtbl List Mailbox Message Proc Simkern Simnet Simos

@@ -1,0 +1,1 @@
+lib/mpivcl/scheduler.mli: Cluster Engine Message Simkern Simnet Simos

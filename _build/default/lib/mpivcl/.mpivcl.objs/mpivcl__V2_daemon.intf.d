@@ -1,0 +1,1 @@
+lib/mpivcl/v2_daemon.mli: Env Proc Simkern

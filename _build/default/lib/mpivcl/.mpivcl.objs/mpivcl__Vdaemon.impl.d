@@ -1,0 +1,1 @@
+lib/mpivcl/vdaemon.ml: App Array Cluster Config Engine Env Fci Format Fun Hashtbl Int Int64 Ivar List Local_disk Mailbox Message Option Printf Proc Rng Set Simkern Simnet Simos

@@ -1,0 +1,1 @@
+lib/mpivcl/vdaemon.mli: Env Proc Simkern

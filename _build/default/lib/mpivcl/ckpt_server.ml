@@ -1,0 +1,123 @@
+open Simkern
+open Simos
+
+type t = {
+  eng : Engine.t;
+  cluster : Cluster.t;
+  host : int;
+  pending : (int, Message.image) Hashtbl.t;  (* rank -> in-progress image *)
+  committed_tbl : (int, Message.image) Hashtbl.t;  (* rank -> last complete image *)
+}
+
+let trace t event detail = Engine.record t.eng ~source:"ckpt-server" ~event detail
+
+(* One transfer at a time: the server NIC/disk is the shared resource. *)
+let worker_loop jobs =
+  let rec run () =
+    let job = Mailbox.recv jobs in
+    job ();
+    run ()
+  in
+  run ()
+
+let handle_conn t ~transfer_time jobs conn =
+  let rec run () =
+    match Simnet.Net.recv conn with
+    | Simnet.Net.Closed -> ()
+    | Simnet.Net.Data msg ->
+        (match msg with
+        | Message.Store { image } ->
+            Mailbox.send jobs (fun () ->
+                Proc.sleep (transfer_time image.Message.img_bytes);
+                Hashtbl.replace t.pending image.Message.img_rank image;
+                trace t "store"
+                  (Printf.sprintf "rank %d wave %d (%d bytes)" image.Message.img_rank
+                     image.Message.img_wave image.Message.img_bytes);
+                ignore (Simnet.Net.send conn (Message.Store_done { wave = image.Message.img_wave })))
+        | Message.Fetch { rank; local_wave } -> (
+            match Hashtbl.find_opt t.committed_tbl rank with
+            | Some image when local_wave = Some image.Message.img_wave ->
+                (* The host already has this wave on local disk: no
+                   transfer needed. *)
+                trace t "fetch-local" (Printf.sprintf "rank %d wave %d" rank image.Message.img_wave);
+                ignore (Simnet.Net.send conn (Message.Fetch_use_local { wave = image.Message.img_wave }))
+            | Some image ->
+                Mailbox.send jobs (fun () ->
+                    Proc.sleep (transfer_time image.Message.img_bytes);
+                    trace t "fetch-remote"
+                      (Printf.sprintf "rank %d wave %d" rank image.Message.img_wave);
+                    (* Transfer time is modelled by the worker sleep above;
+                       the reply itself is metadata. *)
+                    ignore (Simnet.Net.send conn (Message.Fetch_image { image = Some image })))
+            | None ->
+                trace t "fetch-none" (Printf.sprintf "rank %d" rank);
+                ignore (Simnet.Net.send conn (Message.Fetch_image { image = None })))
+        | Message.Commit { wave } ->
+            let moved = ref 0 in
+            Hashtbl.iter
+              (fun rank (image : Message.image) ->
+                if image.Message.img_wave = wave then begin
+                  Hashtbl.replace t.committed_tbl rank image;
+                  incr moved
+                end)
+              (Hashtbl.copy t.pending);
+            Hashtbl.iter
+              (fun rank (image : Message.image) ->
+                if image.Message.img_wave <= wave then Hashtbl.remove t.pending rank)
+              (Hashtbl.copy t.pending);
+            trace t "commit" (Printf.sprintf "wave %d (%d images)" wave !moved)
+        | Message.Commit_rank { rank; wave } ->
+            (match Hashtbl.find_opt t.pending rank with
+            | Some image when image.Message.img_wave = wave ->
+                Hashtbl.replace t.committed_tbl rank image;
+                Hashtbl.remove t.pending rank;
+                trace t "commit-rank" (Printf.sprintf "rank %d wave %d" rank wave)
+            | Some _ | None ->
+                trace t "commit-rank-miss" (Printf.sprintf "rank %d wave %d" rank wave))
+        | Message.Peer_hello _ | Message.App _ | Message.Marker _ | Message.Hello _
+        | Message.Ready _ | Message.Start _ | Message.Terminate | Message.Rank_done _
+        | Message.Shutdown | Message.Sched_hello _ | Message.Sched_marker _
+        | Message.Sched_ack _ | Message.Store_done _ | Message.Fetch_use_local _
+        | Message.Fetch_image _ | Message.App_logged _ | Message.Log_gc _
+        | Message.Resend _ ->
+            trace t "protocol-error" (Format.asprintf "unexpected %a" Message.pp msg));
+        run ()
+  in
+  run ()
+
+let spawn eng cluster net ~host ~bandwidth ?(jitter = 0.0) () =
+  let t =
+    { eng; cluster; host; pending = Hashtbl.create 64; committed_tbl = Hashtbl.create 64 }
+  in
+  let rng = Rng.split (Engine.rng eng) in
+  let transfer_time bytes =
+    let noise = 1.0 +. (jitter *. ((Rng.float rng 2.0) -. 1.0)) in
+    Float.max 0.0 (float_of_int bytes /. bandwidth *. noise)
+  in
+  let jobs = Mailbox.create () in
+  ignore
+    (Cluster.spawn_on cluster ~host ~name:"ckpt-server-worker" (fun () -> worker_loop jobs));
+  ignore
+    (Cluster.spawn_on cluster ~host ~name:"ckpt-server" (fun () ->
+         let listener = Simnet.Net.listen net ~host ~port:Config.server_port in
+         Fun.protect
+           ~finally:(fun () -> Simnet.Net.close_listener listener)
+           (fun () ->
+             let rec accept_loop () =
+               match Simnet.Net.accept listener with
+               | None -> ()
+               | Some conn ->
+                   ignore
+                     (Cluster.spawn_on cluster ~host ~name:"ckpt-server-conn" (fun () ->
+                          handle_conn t ~transfer_time jobs conn));
+                   accept_loop ()
+             in
+             accept_loop ())));
+  t
+
+let committed_wave t ~rank =
+  Option.map (fun (i : Message.image) -> i.Message.img_wave) (Hashtbl.find_opt t.committed_tbl rank)
+
+let committed t ~rank = Hashtbl.find_opt t.committed_tbl rank
+
+let halt t = Cluster.kill_all t.cluster ~host:t.host

@@ -1,0 +1,38 @@
+(** Checkpoint server.
+
+    Collects local checkpoints from its assigned ranks, keeps exactly one
+    complete committed global checkpoint (two storage slots used
+    alternately: current-in-progress and last-complete, §3), and serves
+    images back on restart. Transfers are serialized through the server —
+    a store or fetch occupies it for [bytes / bandwidth] seconds, which is
+    what makes checkpoint/recovery slower when images are bigger (the
+    paper's 25-node anomaly in §5.2). *)
+
+open Simkern
+open Simos
+
+type t
+
+(** [spawn engine cluster net ~host ~bandwidth ?jitter ()] starts a
+    server listening on [Config.server_port] at [host]; each transfer's
+    service time gets a relative uniform jitter of amplitude [jitter]
+    (default 0). *)
+val spawn :
+  Engine.t ->
+  Cluster.t ->
+  Message.t Simnet.Net.t ->
+  host:int ->
+  bandwidth:float ->
+  ?jitter:float ->
+  unit ->
+  t
+
+(** [committed_wave t ~rank] is the wave of the committed image held for
+    [rank], if any (tests/analysis). *)
+val committed_wave : t -> rank:int -> int option
+
+(** [committed t ~rank] returns the committed image (tests/analysis). *)
+val committed : t -> rank:int -> Message.image option
+
+(** [halt t] kills the server process (used at experiment teardown). *)
+val halt : t -> unit

@@ -1,0 +1,52 @@
+type protocol = Non_blocking | Blocking | Sender_logging
+
+type t = {
+  n_ranks : int;
+  protocol : protocol;
+  wave_interval : float;
+  n_ckpt_servers : int;
+  server_bandwidth : float;
+  local_restore_time : float;
+  ssh_delay : float;
+  relaunch_delay : float;
+  init_delay_min : float;
+  init_delay_max : float;
+  handshake_delay : float;
+  term_lag_min : float;
+  term_lag_max : float;
+  term_straggler_prob : float;
+  term_straggler_extra : float;
+  store_jitter : float;
+  dispatcher_buggy : bool;
+  restart_settle : float;
+}
+
+let default ~n_ranks =
+  {
+    n_ranks;
+    protocol = Non_blocking;
+    wave_interval = 30.0;
+    n_ckpt_servers = 3;
+    server_bandwidth = 1e8;
+    local_restore_time = 0.2;
+    ssh_delay = 0.5;
+    relaunch_delay = 0.2;
+    init_delay_min = 0.1;
+    init_delay_max = 0.6;
+    handshake_delay = 0.1;
+    term_lag_min = 0.2;
+    term_lag_max = 4.0;
+    term_straggler_prob = 0.065;
+    term_straggler_extra = 14.0;
+    store_jitter = 0.25;
+    dispatcher_buggy = true;
+    restart_settle = 0.1;
+  }
+
+let restarts_all_ranks t =
+  match t.protocol with Non_blocking | Blocking -> true | Sender_logging -> false
+
+let dispatcher_port = 100
+let scheduler_port = 101
+let server_port = 102
+let daemon_port = 7000

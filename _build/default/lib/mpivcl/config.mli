@@ -1,0 +1,69 @@
+(** MPICH-Vcl deployment parameters.
+
+    Service times are calibrated against the paper's Grid Explorer setup
+    (dual-Opteron nodes, GigE); see DESIGN.md §4. All times in simulated
+    seconds, sizes in bytes. *)
+
+type protocol =
+  | Non_blocking  (** the paper's Vcl: computation continues during a wave *)
+  | Blocking  (** ablation: communications frozen during a wave *)
+  | Sender_logging
+      (** MPICH-V2-style: pessimistic sender-based message logging with
+          uncoordinated per-rank checkpoints; only the failed rank
+          restarts (the protocol family the paper's conclusion proposes
+          comparing under identical failure scenarios) *)
+
+type t = {
+  n_ranks : int;
+  protocol : protocol;
+  wave_interval : float;  (** checkpoint scheduler period (paper: 30 s) *)
+  n_ckpt_servers : int;
+  server_bandwidth : float;  (** per-server store/restore throughput *)
+  local_restore_time : float;  (** reload image from local disk *)
+  ssh_delay : float;  (** remote process launch latency *)
+  relaunch_delay : float;
+      (** dispatcher-side resource allocation before relaunching a rank
+          during recovery (host selection, checkpoint bookkeeping) *)
+  init_delay_min : float;
+  init_delay_max : float;
+      (** daemon start-up time (process restore, socket setup) between
+          spawn and the dispatcher Hello — the window in which a fault
+          kills an {e unregistered} daemon and the dispatcher retries
+          cleanly (Figure 9's non-buggy cases); uniform jitter *)
+  handshake_delay : float;
+      (** daemon/dispatcher argument exchange before [localMPI_setCommand] *)
+  term_lag_min : float;
+  term_lag_max : float;
+      (** an old-wave daemon takes uniform [term_lag_min, term_lag_max] to
+          honour a termination order (cleanup, flushing) — the spread that
+          opens the recovery race window *)
+  term_straggler_prob : float;
+  term_straggler_extra : float;
+      (** with this probability a daemon adds uniform [0, extra] seconds
+          to its termination (e.g. it was mid-transfer) — the run-to-run
+          recovery variance behind the paper's "chaotic" times (§5.2) *)
+  store_jitter : float;
+      (** relative jitter on checkpoint-server transfer times (disk and
+          NFS contention) *)
+  dispatcher_buggy : bool;
+      (** historical dispatcher with the recovery-wave confusion the paper
+          found; [false] = the corrected dispatcher *)
+  restart_settle : float;  (** daemon-side setup after image load *)
+}
+
+(** Paper-like defaults for [n_ranks] ranks (non-blocking protocol,
+    30 s waves, 2 checkpoint servers, buggy dispatcher — the version the
+    paper evaluated). *)
+val default : n_ranks:int -> t
+
+(** [restarts_all_ranks cfg] is true for the coordinated-checkpointing
+    protocols, whose recovery rolls every rank back; [Sender_logging]
+    restarts only the failed rank. *)
+val restarts_all_ranks : t -> bool
+
+(** Ports used on service hosts. *)
+val dispatcher_port : int
+
+val scheduler_port : int
+val server_port : int
+val daemon_port : int

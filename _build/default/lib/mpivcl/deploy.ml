@@ -1,0 +1,82 @@
+open Simkern
+open Simos
+
+type layout = {
+  n_compute : int;
+  coordinator_host : int;
+  dispatcher_host : int;
+  scheduler_host : int;
+  server_hosts : int list;
+  total_hosts : int;
+}
+
+let make_layout ~n_compute ~n_servers =
+  {
+    n_compute;
+    coordinator_host = n_compute;
+    dispatcher_host = n_compute + 1;
+    scheduler_host = n_compute + 2;
+    server_hosts = List.init n_servers (fun i -> n_compute + 3 + i);
+    total_hosts = n_compute + 3 + n_servers;
+  }
+
+type handle = {
+  env : Env.t;
+  lay : layout;
+  dispatcher : Dispatcher.t;
+  scheduler : Scheduler.t option;
+  servers : Ckpt_server.t list;
+}
+
+let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
+  let lay = make_layout ~n_compute ~n_servers:cfg.Config.n_ckpt_servers in
+  if cfg.Config.n_ranks > n_compute then
+    invalid_arg "Deploy.launch: more ranks than compute hosts";
+  let cluster = Cluster.create eng ~size:lay.total_hosts in
+  let net = Simnet.Net.create eng () in
+  let env =
+    {
+      Env.eng;
+      cluster;
+      net;
+      fci;
+      cfg;
+      disk = Local_disk.create ();
+      app;
+      state_bytes;
+      dispatcher_host = lay.dispatcher_host;
+      scheduler_host = lay.scheduler_host;
+      server_hosts = Array.of_list lay.server_hosts;
+      rng = Rng.split (Engine.rng eng);
+    }
+  in
+  let servers =
+    List.map
+      (fun host ->
+        Ckpt_server.spawn eng cluster net ~host ~bandwidth:cfg.Config.server_bandwidth
+          ~jitter:cfg.Config.store_jitter ())
+      lay.server_hosts
+  in
+  let scheduler =
+    (* Coordinated checkpointing needs the global scheduler; the
+       sender-logging protocol checkpoints each rank independently. *)
+    if Config.restarts_all_ranks cfg then
+      Some
+        (Scheduler.spawn eng cluster net ~host:lay.scheduler_host ~n_ranks:cfg.Config.n_ranks
+           ~wave_interval:cfg.Config.wave_interval ~server_hosts:lay.server_hosts)
+    else None
+  in
+  let dispatcher =
+    Dispatcher.spawn env ~host:lay.dispatcher_host
+      ~initial_hosts:(Array.init cfg.Config.n_ranks Fun.id)
+      ~spare_limit:n_compute
+  in
+  { env; lay; dispatcher; scheduler; servers }
+
+let cluster h = h.env.Env.cluster
+let net h = h.env.Env.net
+
+let teardown h =
+  for host = 0 to h.lay.total_hosts - 1 do
+    Cluster.kill_all h.env.Env.cluster ~host
+  done

@@ -1,0 +1,283 @@
+open Simkern
+open Simos
+module Net = Simnet.Net
+
+type outcome = Completed of float | Aborted of string
+
+type rstate =
+  | R_launching
+  | R_registered
+  | R_ready
+  | R_computing
+  | R_stopping
+  | R_forgotten
+
+type rank_info = {
+  mutable ri_host : int;
+  mutable ri_inc : int;
+  mutable ri_conn : Message.t Net.conn option;
+  mutable ri_st : rstate;
+  mutable ri_finished : bool;
+}
+
+type ev =
+  | E_hello of int * int * Message.t Net.conn
+  | E_msg of int * int * Message.t
+  | E_closed of int * int
+  | E_spawn_died of int * int
+
+type t = {
+  env : Env.t;
+  host : int;
+  result : outcome Ivar.t;
+  mutable recovery_count : int;
+  mutable is_confused : bool;
+}
+
+let trace t event detail = Engine.record t.env.Env.eng ~source:"dispatcher" ~event detail
+
+let state_name = function
+  | R_launching -> "launching"
+  | R_registered -> "registered"
+  | R_ready -> "ready"
+  | R_computing -> "computing"
+  | R_stopping -> "stopping"
+  | R_forgotten -> "forgotten"
+
+let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
+  let eng = env.Env.eng in
+  let cluster = env.Env.cluster in
+  let cfg = env.Env.cfg in
+  let n = cfg.Config.n_ranks in
+  let t = { env; host; result = Ivar.create (); recovery_count = 0; is_confused = false } in
+  let events : ev Mailbox.t = Mailbox.create () in
+  let ranks =
+    Array.init n (fun r ->
+        { ri_host = initial_hosts.(r); ri_inc = -1; ri_conn = None; ri_st = R_launching; ri_finished = false })
+  in
+  let free_hosts =
+    let used = Array.to_list initial_hosts in
+    ref
+      (List.filter
+         (fun h -> not (List.mem h used))
+         (List.init spare_limit Fun.id))
+  in
+  (* Recovering until the first Start broadcast; then Steady until a
+     failure. *)
+  let steady = ref false in
+  let completed = ref false in
+  let launch r =
+    let info = ranks.(r) in
+    info.ri_inc <- info.ri_inc + 1;
+    info.ri_conn <- None;
+    info.ri_st <- R_launching;
+    let inc = info.ri_inc in
+    let target_host = info.ri_host in
+    trace t "launch" (Printf.sprintf "rank %d on host %d (inc %d)" r target_host inc);
+    ignore
+      (Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "ssh-rank%d" r) (fun () ->
+           if inc > 0 then Proc.sleep cfg.Config.relaunch_delay;
+           Proc.sleep cfg.Config.ssh_delay;
+           let daemon =
+             if Config.restarts_all_ranks cfg then
+               Vdaemon.spawn env ~rank:r ~host:target_host ~incarnation:inc
+             else V2_daemon.spawn env ~rank:r ~host:target_host ~incarnation:inc
+           in
+           Proc.on_exit daemon (fun _ -> Mailbox.send events (E_spawn_died (r, inc)))))
+  in
+  let move_to_spare r =
+    let info = ranks.(r) in
+    match !free_hosts with
+    | [] -> trace t "no-spare" (Printf.sprintf "rank %d restarts in place" r)
+    | spare :: rest ->
+        free_hosts := rest @ [ info.ri_host ];
+        trace t "reallocate" (Printf.sprintf "rank %d: host %d -> %d" r info.ri_host spare);
+        info.ri_host <- spare
+  in
+  let old_stopping () =
+    Array.fold_left (fun acc info -> if info.ri_st = R_stopping then acc + 1 else acc) 0 ranks
+  in
+  let begin_recovery ~failed =
+    t.recovery_count <- t.recovery_count + 1;
+    steady := false;
+    trace t "recovery-start"
+      (Printf.sprintf "#%d triggered by rank %d" t.recovery_count failed);
+    Array.iteri
+      (fun r info ->
+        if r <> failed then
+          match (info.ri_st, info.ri_conn) with
+          | (R_computing | R_ready | R_registered), Some conn ->
+              ignore (Net.send conn Message.Terminate);
+              info.ri_st <- R_stopping
+          | (R_computing | R_ready | R_registered), None | (R_launching | R_stopping | R_forgotten), _
+            ->
+              ())
+      ranks
+  in
+  let maybe_start () =
+    if Array.for_all (fun info -> info.ri_st = R_ready) ranks then begin
+      let rank_hosts = Array.map (fun info -> info.ri_host) ranks in
+      let resume = t.recovery_count > 0 in
+      Array.iter
+        (fun info ->
+          (match info.ri_conn with
+          | Some conn -> ignore (Net.send conn (Message.Start { rank_hosts; resume }))
+          | None -> ());
+          info.ri_st <- R_computing)
+        ranks;
+      steady := true;
+      trace t (if resume then "recovery-complete" else "app-started") ""
+    end
+  in
+  let handle_closed r inc =
+    let info = ranks.(r) in
+    if inc = info.ri_inc && not !completed then begin
+      match info.ri_st with
+      | R_stopping ->
+          (* Old-wave daemon terminated as ordered: relaunch in place,
+             eagerly. *)
+          trace t "old-wave-stopped" (Printf.sprintf "rank %d" r);
+          launch r
+      | R_computing when !steady ->
+          (* Failure detection in steady state. *)
+          trace t "failure-detected" (Printf.sprintf "rank %d" r);
+          if Config.restarts_all_ranks cfg then begin
+            begin_recovery ~failed:r;
+            move_to_spare r;
+            launch r
+          end
+          else begin
+            (* Sender-logging protocol: restart the failed rank only. *)
+            t.recovery_count <- t.recovery_count + 1;
+            move_to_spare r;
+            launch r
+          end
+      | R_registered | R_ready | R_computing ->
+          (* Failure of a process already recovered in the new wave while
+             the recovery is still in progress. *)
+          if cfg.Config.dispatcher_buggy && old_stopping () > 0 then begin
+            (* Historical bug (§5.3): the closure is misaccounted as an
+               old-wave termination; the rank is forgotten and never
+               relaunched — the application freezes. *)
+            t.is_confused <- true;
+            info.ri_st <- R_forgotten;
+            trace t "dispatcher-confused"
+              (Printf.sprintf "rank %d lost while %d old-wave daemons still stopping" r
+                 (old_stopping ()))
+          end
+          else begin
+            trace t "new-wave-failure" (Printf.sprintf "rank %d (handled)" r);
+            move_to_spare r;
+            launch r
+          end
+      | R_launching | R_forgotten ->
+          trace t "closure-ignored" (Printf.sprintf "rank %d in state %s" r (state_name info.ri_st))
+    end
+  in
+  let handle_event = function
+    | E_hello (r, inc, conn) ->
+        let info = ranks.(r) in
+        if inc = info.ri_inc && info.ri_st = R_launching && not !completed then begin
+          info.ri_conn <- Some conn;
+          info.ri_st <- R_registered;
+          trace t "rank-registered" (Printf.sprintf "rank %d inc %d" r inc)
+        end
+        else Net.close conn
+    | E_msg (r, inc, msg) -> (
+        let info = ranks.(r) in
+        if inc = info.ri_inc && not !completed then
+          match msg with
+          | Message.Ready _ ->
+              if info.ri_st = R_registered then
+                if (not (Config.restarts_all_ranks cfg)) && !steady then begin
+                  (* Sender-logging recovery: only the restarted rank needs
+                     to resume; everyone else kept computing. *)
+                  let rank_hosts = Array.map (fun i -> i.ri_host) ranks in
+                  (match info.ri_conn with
+                  | Some conn ->
+                      ignore (Net.send conn (Message.Start { rank_hosts; resume = true }))
+                  | None -> ());
+                  info.ri_st <- R_computing;
+                  trace t "rank-resumed" (Printf.sprintf "rank %d" r)
+                end
+                else begin
+                  info.ri_st <- R_ready;
+                  maybe_start ()
+                end
+          | Message.Rank_done _ ->
+              info.ri_finished <- true;
+              if Array.for_all (fun i -> i.ri_finished) ranks then begin
+                completed := true;
+                Array.iter
+                  (fun i ->
+                    match i.ri_conn with
+                    | Some conn -> ignore (Net.send conn Message.Shutdown)
+                    | None -> ())
+                  ranks;
+                trace t "app-completed" "";
+                Ivar.fill t.result (Completed (Engine.now eng))
+              end
+          | msg -> trace t "protocol-error" (Format.asprintf "from rank %d: %a" r Message.pp msg))
+    | E_closed (r, inc) -> handle_closed r inc
+    | E_spawn_died (r, inc) ->
+        let info = ranks.(r) in
+        if inc = info.ri_inc && info.ri_st = R_launching && not !completed then begin
+          (* The daemon died before registering (e.g. killed between spawn
+             and Hello): the dispatcher sees a failed launch and simply
+             retries — no wave confusion possible. *)
+          trace t "spawn-failed" (Printf.sprintf "rank %d inc %d, retrying" r inc);
+          if !steady then begin
+            (* Should not happen: launching implies a recovery or startup
+               is in progress. *)
+            trace t "anomaly" "spawn death in steady state"
+          end;
+          move_to_spare r;
+          launch r
+        end
+  in
+  ignore
+    (Cluster.spawn_on cluster ~host ~name:"dispatcher" (fun () ->
+         let listener = Net.listen env.Env.net ~host ~port:Config.dispatcher_port in
+         Fun.protect ~finally:(fun () -> Net.close_listener listener) @@ fun () ->
+         (* Accept daemon connections; each starts with Hello and is then
+            pumped into the event mailbox tagged by (rank, incarnation). *)
+         ignore
+           (Cluster.spawn_on cluster ~host ~name:"dispatcher-accept" (fun () ->
+                let rec accept_loop () =
+                  match Net.accept listener with
+                  | None -> ()
+                  | Some conn ->
+                      ignore
+                        (Cluster.spawn_on cluster ~host ~name:"dispatcher-conn" (fun () ->
+                             match Net.recv conn with
+                             | Net.Data (Message.Hello { rank; incarnation }) ->
+                                 Mailbox.send events (E_hello (rank, incarnation, conn));
+                                 let rec pump_loop () =
+                                   match Net.recv conn with
+                                   | Net.Data msg ->
+                                       Mailbox.send events (E_msg (rank, incarnation, msg));
+                                       pump_loop ()
+                                   | Net.Closed ->
+                                       Mailbox.send events (E_closed (rank, incarnation))
+                                 in
+                                 pump_loop ()
+                             | Net.Data _ | Net.Closed -> Net.close conn));
+                      accept_loop ()
+                in
+                accept_loop ()));
+         (* Initial launch of every rank. *)
+         for r = 0 to n - 1 do
+           launch r
+         done;
+         let rec main_loop () =
+           handle_event (Mailbox.recv events);
+           main_loop ()
+         in
+         main_loop ()));
+  t
+
+let outcome t = Ivar.read t.result
+let peek_outcome t = Ivar.peek t.result
+let recoveries t = t.recovery_count
+let confused t = t.is_confused
+let halt t = Cluster.kill_all t.env.Env.cluster ~host:t.host

@@ -1,0 +1,47 @@
+(** Dispatcher: starts the MPI application, detects failures, drives
+    recovery waves.
+
+    Failure detection follows §3: "a failure is assumed after any
+    unexpected socket closure". Recovery terminates every daemon of the
+    current execution wave, then relaunches each rank {e eagerly} as soon
+    as its old daemon is confirmed dead — failed ranks move to a spare
+    host, others restart in place and reuse their local checkpoint.
+
+    Two variants, selected by [Config.dispatcher_buggy]:
+    - the {b historical} dispatcher the paper evaluated: if it detects the
+      failure of a daemon that already registered in the {e new} wave
+      while the recovery is still incomplete, it misaccounts the closure
+      as an old-wave termination and forgets to relaunch that rank — the
+      application freezes (the bug located in §5.3);
+    - the {b corrected} dispatcher: such failures re-enter the relaunch
+      path once the previous wave is fully stopped. *)
+
+
+
+type t
+
+type outcome =
+  | Completed of float  (** the application finalized at this time *)
+  | Aborted of string  (** infrastructure failure (should not happen) *)
+
+(** [spawn env ~host ~initial_hosts] starts the dispatcher on [host];
+    rank [r] is first launched on [initial_hosts.(r)]; remaining cluster
+    hosts whose id is below [spare_limit] serve as spares. *)
+val spawn : Env.t -> host:int -> initial_hosts:int array -> spare_limit:int -> t
+
+(** [outcome t] resolves when the application completes. Blocks the
+    calling process. *)
+val outcome : t -> outcome
+
+(** [peek_outcome t] is [None] while the application is still running. *)
+val peek_outcome : t -> outcome option
+
+(** Number of recovery waves started so far. *)
+val recoveries : t -> int
+
+(** [confused t] is true once the buggy dispatcher has corrupted its
+    bookkeeping (the run will freeze). *)
+val confused : t -> bool
+
+(** [halt t] tears the dispatcher down (experiment timeout). *)
+val halt : t -> unit

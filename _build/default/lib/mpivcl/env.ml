@@ -1,0 +1,19 @@
+open Simkern
+open Simos
+
+type t = {
+  eng : Engine.t;
+  cluster : Cluster.t;
+  net : Message.t Simnet.Net.t;
+  fci : Fci.Runtime.t option;
+  cfg : Config.t;
+  disk : Local_disk.t;
+  app : App.t;
+  state_bytes : int;
+  dispatcher_host : int;
+  scheduler_host : int;
+  server_hosts : int array;
+  rng : Rng.t;
+}
+
+let server_for t ~rank = t.server_hosts.(rank mod Array.length t.server_hosts)

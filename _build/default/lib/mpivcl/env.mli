@@ -1,0 +1,23 @@
+(** Shared environment threaded through the MPICH-Vcl components. *)
+
+open Simkern
+open Simos
+
+type t = {
+  eng : Engine.t;
+  cluster : Cluster.t;
+  net : Message.t Simnet.Net.t;
+  fci : Fci.Runtime.t option;  (** [None]: run without fault injection *)
+  cfg : Config.t;
+  disk : Local_disk.t;
+  app : App.t;
+  state_bytes : int;  (** per-rank checkpoint image base size *)
+  dispatcher_host : int;
+  scheduler_host : int;
+  server_hosts : int array;
+  rng : Rng.t;  (** service-time jitter (termination lags) *)
+}
+
+(** [server_for t ~rank] is the checkpoint-server host assigned to a rank
+    (round-robin). *)
+val server_for : t -> rank:int -> int

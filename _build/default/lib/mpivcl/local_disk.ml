@@ -1,0 +1,23 @@
+type t = (int * int, Message.image list) Hashtbl.t
+(* (host, rank) -> images, newest first, at most two *)
+
+let create () = Hashtbl.create 64
+
+let store t ~host (image : Message.image) =
+  let key = (host, image.Message.img_rank) in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t key) in
+  let keep =
+    List.filter (fun (i : Message.image) -> i.Message.img_wave <> image.Message.img_wave) existing
+  in
+  let trimmed = match keep with a :: _ -> [ a ] | [] -> [] in
+  Hashtbl.replace t key (image :: trimmed)
+
+let lookup t ~host ~rank ~wave =
+  match Hashtbl.find_opt t (host, rank) with
+  | None -> None
+  | Some images -> List.find_opt (fun (i : Message.image) -> i.Message.img_wave = wave) images
+
+let newest_wave t ~host ~rank =
+  match Hashtbl.find_opt t (host, rank) with
+  | None | Some [] -> None
+  | Some (newest :: _) -> Some newest.Message.img_wave

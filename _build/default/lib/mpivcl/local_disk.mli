@@ -1,0 +1,20 @@
+(** Host-local checkpoint files.
+
+    Each daemon writes its local checkpoint to the host's disk at the cut;
+    on restart, "MPI processes restart from the local checkpoint stored on
+    the disk if it exists, otherwise they obtain it from the checkpoint
+    server" (§3). Keyed by (host, rank); only the two most recent waves
+    are kept, matching the servers' two-file alternation. *)
+
+type t
+
+val create : unit -> t
+
+(** [store t ~host image] writes the image on the host's disk. *)
+val store : t -> host:int -> Message.image -> unit
+
+(** [lookup t ~host ~rank ~wave] finds the image for exactly this wave. *)
+val lookup : t -> host:int -> rank:int -> wave:int -> Message.image option
+
+(** [newest_wave t ~host ~rank] reports the newest locally stored wave. *)
+val newest_wave : t -> host:int -> rank:int -> int option

@@ -1,0 +1,144 @@
+open Simkern
+open Simos
+
+type t = {
+  eng : Engine.t;
+  cluster : Cluster.t;
+  host : int;
+  mutable last_committed : int option;
+  mutable committed_count : int;
+}
+
+let trace t event detail = Engine.record t.eng ~source:"ckpt-scheduler" ~event detail
+
+let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
+  let t = { eng; cluster; host; last_committed = None; committed_count = 0 } in
+  let conns : (int, Message.t Simnet.Net.conn) Hashtbl.t = Hashtbl.create 64 in
+  let acks : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let current_wave = ref 0 in
+  let next_wave = ref 1 in
+  (* Bumped on every (dis)connection: a wave only starts over a connection
+     set that was stable for the whole inter-wave sleep, which keeps
+     markers from reaching a mix of old- and new-incarnation daemons
+     during a recovery. *)
+  let last_change = ref 0.0 in
+  let last_wave_end = ref 0.0 in
+  (* Every state change pings [signal]; the main loop re-checks its
+     condition on each ping, so no wake-up is ever lost. *)
+  let signal = Mailbox.create () in
+  let ping () = Mailbox.send signal () in
+  let handle_daemon conn =
+    match Simnet.Net.recv conn with
+    | Simnet.Net.Closed -> ()
+    | Simnet.Net.Data (Message.Sched_hello { rank }) ->
+        Hashtbl.replace conns rank conn;
+        last_change := Engine.now eng;
+        trace t "daemon-connected" (string_of_int rank);
+        ping ();
+        let rec run () =
+          match Simnet.Net.recv conn with
+          | Simnet.Net.Closed ->
+              (* Only forget the rank if this connection is still the
+                 registered one (a new incarnation may have replaced it). *)
+              (match Hashtbl.find_opt conns rank with
+              | Some c when c == conn ->
+                  Hashtbl.remove conns rank;
+                  last_change := Engine.now eng;
+                  trace t "daemon-lost" (string_of_int rank);
+                  ping ()
+              | Some _ | None -> ())
+          | Simnet.Net.Data (Message.Sched_ack { rank = r; wave }) ->
+              if wave = !current_wave then Hashtbl.replace acks r ();
+              ping ();
+              run ()
+          | Simnet.Net.Data msg ->
+              trace t "protocol-error" (Format.asprintf "unexpected %a" Message.pp msg);
+              run ()
+        in
+        run ()
+    | Simnet.Net.Data msg ->
+        trace t "protocol-error" (Format.asprintf "expected Sched_hello, got %a" Message.pp msg)
+  in
+  ignore
+    (Cluster.spawn_on cluster ~host ~name:"ckpt-scheduler" (fun () ->
+         let listener = Simnet.Net.listen net ~host ~port:Config.scheduler_port in
+         Fun.protect
+           ~finally:(fun () -> Simnet.Net.close_listener listener)
+           (fun () ->
+             (* Persistent connections to the checkpoint servers. *)
+             let server_conns =
+               List.filter_map
+                 (fun server_host ->
+                   match
+                     Simnet.Net.connect net ~host ~to_host:server_host
+                       ~to_port:Config.server_port
+                   with
+                   | Ok conn -> Some conn
+                   | Error `Refused -> None)
+                 server_hosts
+             in
+             ignore
+               (Cluster.spawn_on cluster ~host ~name:"ckpt-scheduler-accept" (fun () ->
+                    let rec accept_loop () =
+                      match Simnet.Net.accept listener with
+                      | None -> ()
+                      | Some conn ->
+                          ignore
+                            (Cluster.spawn_on cluster ~host ~name:"ckpt-scheduler-conn"
+                               (fun () -> handle_daemon conn));
+                          accept_loop ()
+                    in
+                    accept_loop ()));
+             let wait_until cond =
+               while not (cond ()) do
+                 ignore (Mailbox.recv signal)
+               done
+             in
+             let rec wave_loop () =
+               wait_until (fun () -> Hashtbl.length conns = n_ranks);
+               (* A wave starts one interval after the previous wave ended
+                  or after the membership last changed, whichever is later:
+                  the cadence re-anchors on recoveries (markers never reach
+                  a mix of old- and new-incarnation daemons), and the
+                  application must survive a full interval after a restart
+                  before the next global checkpoint — the mechanism behind
+                  the paper's non-terminating runs at high fault
+                  frequency. *)
+               let target = Float.max !last_change !last_wave_end +. wave_interval in
+               let now = Engine.now eng in
+               if target > now then Proc.sleep (target -. now);
+               if
+                 Hashtbl.length conns = n_ranks
+                 && Engine.now eng >= Float.max !last_change !last_wave_end +. wave_interval
+               then begin
+                 let wave = !next_wave in
+                 incr next_wave;
+                 current_wave := wave;
+                 Hashtbl.reset acks;
+                 trace t "wave-start" (string_of_int wave);
+                 Hashtbl.iter
+                   (fun _rank conn ->
+                     ignore (Simnet.Net.send conn (Message.Sched_marker { wave })))
+                   conns;
+                 wait_until (fun () ->
+                     Hashtbl.length acks = n_ranks || Hashtbl.length conns < n_ranks);
+                 if Hashtbl.length acks = n_ranks then begin
+                   List.iter
+                     (fun conn -> ignore (Simnet.Net.send conn (Message.Commit { wave })))
+                     server_conns;
+                   t.last_committed <- Some wave;
+                   t.committed_count <- t.committed_count + 1;
+                   trace t "wave-commit" (string_of_int wave)
+                 end
+                 else trace t "wave-abort" (string_of_int wave);
+                 last_wave_end := Engine.now eng;
+                 current_wave := 0
+               end;
+               wave_loop ()
+             in
+             wave_loop ())));
+  t
+
+let last_committed t = t.last_committed
+let committed_count t = t.committed_count
+let halt t = Cluster.kill_all t.cluster ~host:t.host

@@ -1,0 +1,31 @@
+(** Checkpoint scheduler.
+
+    Triggers a checkpoint wave every [wave_interval] seconds once every
+    daemon of the current incarnation is connected, collects the
+    end-of-checkpoint acknowledgements, and only then asserts the end of
+    the global checkpoint to the checkpoint servers (§3). A new wave
+    starts only after the previous one ended; a wave is aborted if any
+    daemon connection breaks while it is in progress. *)
+
+open Simkern
+open Simos
+
+type t
+
+val spawn :
+  Engine.t ->
+  Cluster.t ->
+  Message.t Simnet.Net.t ->
+  host:int ->
+  n_ranks:int ->
+  wave_interval:float ->
+  server_hosts:int list ->
+  t
+
+(** [last_committed t] is the newest globally committed wave. *)
+val last_committed : t -> int option
+
+(** [committed_count t] counts committed waves (analysis). *)
+val committed_count : t -> int
+
+val halt : t -> unit

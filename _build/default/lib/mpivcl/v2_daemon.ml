@@ -1,0 +1,464 @@
+open Simkern
+open Simos
+module Net = Simnet.Net
+module IntSet = Set.Make (Int)
+
+type app_request =
+  | A_send of Message.app_msg
+  | A_recv of { src : int; tag : int; reply : int Ivar.t }
+  | A_commit of int array
+  | A_finalize
+
+type dev =
+  | D_ctrl of Message.t option
+  | D_server of Message.t option
+  | D_peer of int * Message.t option
+  | D_peer_joined of int * Message.t Net.conn
+  | D_app of app_request
+  | D_ckpt_tick of int  (* generation, to ignore stale timers *)
+
+let pump cluster ~host ~name conn wrap events =
+  ignore
+    (Cluster.spawn_on cluster ~host ~name (fun () ->
+         let rec run () =
+           match Net.recv conn with
+           | Net.Data m ->
+               Mailbox.send events (wrap (Some m));
+               run ()
+           | Net.Closed -> Mailbox.send events (wrap None)
+         in
+         run ()))
+
+let spawn (env : Env.t) ~rank ~host ~incarnation =
+  let eng = env.Env.eng in
+  let cluster = env.Env.cluster in
+  let cfg = env.Env.cfg in
+  let name = Printf.sprintf "vdaemon-%d" rank in
+  let trace event detail =
+    Engine.record eng ~source:(Printf.sprintf "v2daemon-%d" rank) ~event detail
+  in
+  Cluster.spawn_on cluster ~host ~name (fun () ->
+      let self = Proc.self () in
+      let app_proc = ref None in
+      let vars = Fci.Control.make_vars () in
+      let base_target =
+        {
+          Fci.Control.target_name = Printf.sprintf "rank%d@%d" rank host;
+          proc = self;
+          kill =
+            (fun () ->
+              Option.iter Proc.kill !app_proc;
+              Proc.kill self);
+          freeze =
+            (fun () ->
+              Option.iter Proc.freeze !app_proc;
+              Proc.freeze self);
+          unfreeze =
+            (fun () ->
+              Option.iter Proc.unfreeze !app_proc;
+              Proc.unfreeze self);
+          read_var = (fun _ -> None);
+          write_var = (fun _ _ -> false);
+          subscribe_var = (fun _ -> ());
+        }
+      in
+      let target = Fci.Control.with_vars base_target vars in
+      (match env.Env.fci with
+      | Some rt -> Fci.Runtime.register rt ~machine:host target
+      | None -> ());
+      trace "daemon-start" (Printf.sprintf "host %d incarnation %d" host incarnation);
+      Proc.sleep
+        (cfg.Config.init_delay_min
+        +. Rng.float env.Env.rng (cfg.Config.init_delay_max -. cfg.Config.init_delay_min));
+      match
+        Net.connect env.Env.net ~host ~to_host:env.Env.dispatcher_host
+          ~to_port:Config.dispatcher_port
+      with
+      | Error `Refused -> trace "daemon-abort" "dispatcher unreachable"
+      | Ok dconn -> (
+          ignore (Net.send dconn (Message.Hello { rank; incarnation }));
+          Proc.sleep cfg.Config.handshake_delay;
+          (match env.Env.fci with
+          | Some rt -> Fci.Runtime.breakpoint rt ~machine:host `Before "localMPI_setCommand"
+          | None -> ());
+          let server_host = Env.server_for env ~rank in
+          let image =
+            if incarnation = 0 then None
+            else
+              match
+                Net.connect env.Env.net ~host ~to_host:server_host ~to_port:Config.server_port
+              with
+              | Error `Refused -> None
+              | Ok fconn ->
+                  let local_wave = Local_disk.newest_wave env.Env.disk ~host ~rank in
+                  ignore (Net.send fconn (Message.Fetch { rank; local_wave }));
+                  let result =
+                    match Net.recv fconn with
+                    | Net.Data (Message.Fetch_use_local { wave }) ->
+                        Proc.sleep cfg.Config.local_restore_time;
+                        Local_disk.lookup env.Env.disk ~host ~rank ~wave
+                    | Net.Data (Message.Fetch_image { image }) -> image
+                    | Net.Data _ | Net.Closed -> None
+                  in
+                  Net.close fconn;
+                  result
+          in
+          Proc.sleep cfg.Config.restart_settle;
+          (match image with
+          | Some img -> trace "restored" (Printf.sprintf "wave %d" img.Message.img_wave)
+          | None -> trace "restored" "fresh");
+          let listener = Net.listen env.Env.net ~host ~port:Config.daemon_port in
+          Fun.protect ~finally:(fun () -> Net.close_listener listener) @@ fun () ->
+          let events : dev Mailbox.t = Mailbox.create () in
+          ignore
+            (Cluster.spawn_on cluster ~host ~name:(name ^ "-accept") (fun () ->
+                 let rec accept_loop () =
+                   match Net.accept listener with
+                   | None -> ()
+                   | Some conn ->
+                       (match Net.recv conn with
+                       | Net.Data (Message.Peer_hello { rank = peer }) ->
+                           Mailbox.send events (D_peer_joined (peer, conn))
+                       | Net.Data _ | Net.Closed -> Net.close conn);
+                       accept_loop ()
+                 in
+                 accept_loop ()));
+          let server_conn =
+            match
+              Net.connect env.Env.net ~host ~to_host:server_host ~to_port:Config.server_port
+            with
+            | Ok c ->
+                pump cluster ~host ~name:(name ^ "-server") c (fun m -> D_server m) events;
+                Some c
+            | Error `Refused -> None
+          in
+          pump cluster ~host ~name:(name ^ "-ctrl") dconn (fun m -> D_ctrl m) events;
+          ignore (Net.send dconn (Message.Ready { rank }));
+
+          (* ---------------- protocol state ---------------- *)
+          let n = cfg.Config.n_ranks in
+          let peer_conns : (int, Message.t Net.conn) Hashtbl.t = Hashtbl.create 16 in
+          let buffer : Message.app_msg list ref = ref [] in
+          let parked : (int * int * int Ivar.t) list ref = ref [] in
+          let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+          let redelivery : Message.app_msg list ref = ref [] in
+          let committed_state = ref [||] in
+          (* sender-based logging state *)
+          let next_ssn : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          let send_log : (int, (int * Message.app_msg) list) Hashtbl.t = Hashtbl.create 16 in
+          (* per-sender highest received ssn (FIFO channels: contiguous) *)
+          let received : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          let local_wave = ref 0 in
+          (* (wave, reception bounds at the snapshot): the GC broadcast
+             must use the bounds the image covers, not the bounds at
+             Store_done time — messages arriving during the transfer are
+             not in the image and must stay in the senders' logs. *)
+          let ckpt_in_flight : (int * (int * int) list) option ref = ref None in
+          let ckpt_gen = ref 0 in
+          (* peers we must ask for a resend once they are reachable *)
+          let resend_pending = ref IntSet.empty in
+          (match image with
+          | None -> committed_state := Array.make env.Env.app.App.state_size 0
+          | Some img ->
+              committed_state := Array.copy img.Message.img_state;
+              local_wave := img.Message.img_wave;
+              List.iter (fun key -> Hashtbl.replace seen key ()) img.Message.img_seen;
+              List.iter (fun (src, ssn) -> Hashtbl.replace received src ssn)
+                img.Message.img_received;
+              List.iter
+                (fun (dst, entries) -> Hashtbl.replace send_log dst entries)
+                img.Message.img_send_log;
+              List.iter
+                (fun (dst, ssn) -> Hashtbl.replace next_ssn dst ssn)
+                img.Message.img_next_ssn;
+              buffer := img.Message.img_redelivery @ img.Message.img_buffer);
+
+          let consumed_bounds () =
+            Hashtbl.fold (fun src ssn acc -> (src, ssn) :: acc) received []
+          in
+          let forward_send (m : Message.app_msg) =
+            (* Log before sending: a resend must be possible even if the
+               wire send fails (the peer may be restarting). *)
+            let dst = m.Message.dst in
+            let ssn = Option.value ~default:1 (Hashtbl.find_opt next_ssn dst) in
+            Hashtbl.replace next_ssn dst (ssn + 1);
+            Hashtbl.replace send_log dst
+              ((ssn, m) :: Option.value ~default:[] (Hashtbl.find_opt send_log dst));
+            match Hashtbl.find_opt peer_conns dst with
+            | Some conn ->
+                if not (Net.send conn ~size:m.Message.bytes (Message.App_logged { msg = m; ssn }))
+                then trace "send-deferred" (Printf.sprintf "to %d (closed, logged)" dst)
+            | None -> trace "send-deferred" (Printf.sprintf "to %d (no connection, logged)" dst)
+          in
+          let deliver (m : Message.app_msg) =
+            let rec split acc = function
+              | [] -> None
+              | (src, tag, reply) :: rest when src = m.Message.src && tag = m.Message.tag ->
+                  parked := List.rev_append acc rest;
+                  Some reply
+              | r :: rest -> split (r :: acc) rest
+            in
+            match split [] !parked with
+            | Some reply ->
+                redelivery := m :: !redelivery;
+                Ivar.fill reply m.Message.data
+            | None -> buffer := !buffer @ [ m ]
+          in
+          let serve_recv src tag reply =
+            let rec split acc = function
+              | [] -> None
+              | (m : Message.app_msg) :: rest when m.Message.src = src && m.Message.tag = tag ->
+                  buffer := List.rev_append acc rest;
+                  Some m
+              | m :: rest -> split (m :: acc) rest
+            in
+            match split [] !buffer with
+            | Some m ->
+                redelivery := m :: !redelivery;
+                Ivar.fill reply m.Message.data
+            | None -> parked := !parked @ [ (src, tag, reply) ]
+          in
+          let schedule_tick delay =
+            incr ckpt_gen;
+            let gen = !ckpt_gen in
+            Engine.schedule eng ~delay (fun () -> Mailbox.send events (D_ckpt_tick gen))
+            |> ignore
+          in
+          let take_checkpoint () =
+            match !ckpt_in_flight with
+            | Some _ -> trace "checkpoint-skipped" "previous still in flight"
+            | None ->
+                incr local_wave;
+                let wave = !local_wave in
+                let logged_msgs =
+                  Hashtbl.fold
+                    (fun _ entries acc -> List.map snd entries @ acc)
+                    send_log []
+                in
+                let img_bytes =
+                  Message.image_bytes ~state_bytes:env.Env.state_bytes
+                    (!buffer @ !redelivery @ logged_msgs)
+                in
+                let img =
+                  {
+                    Message.img_rank = rank;
+                    img_wave = wave;
+                    img_state = Array.copy !committed_state;
+                    img_buffer = !buffer;
+                    img_redelivery = !redelivery;
+                    img_logged = [];
+                    img_seen = Hashtbl.fold (fun key () acc -> key :: acc) seen [];
+                    img_received = consumed_bounds ();
+                    img_send_log =
+                      Hashtbl.fold (fun dst entries acc -> (dst, entries) :: acc) send_log [];
+                    img_next_ssn =
+                      Hashtbl.fold (fun dst ssn acc -> (dst, ssn) :: acc) next_ssn [];
+                    img_bytes;
+                  }
+                in
+                Local_disk.store env.Env.disk ~host img;
+                ckpt_in_flight := Some (wave, img.Message.img_received);
+                (match server_conn with
+                | Some conn -> ignore (Net.send conn (Message.Store { image = img }))
+                | None -> ckpt_in_flight := None);
+                trace "local-checkpoint" (Printf.sprintf "wave %d" wave)
+          in
+          let spawn_app () =
+            let state =
+              match image with
+              | Some img -> Array.copy img.Message.img_state
+              | None -> Array.make env.Env.app.App.state_size 0
+            in
+            committed_state := Array.copy state;
+            let ctx =
+              {
+                App.rank;
+                size = n;
+                state;
+                send =
+                  (fun ~dst ~tag ?(bytes = 1024) data ->
+                    Mailbox.send events
+                      (D_app (A_send { Message.src = rank; dst; tag; data; bytes })));
+                recv =
+                  (fun ~src ~tag ->
+                    let reply = Ivar.create () in
+                    Mailbox.send events (D_app (A_recv { src; tag; reply }));
+                    Ivar.read reply);
+                commit =
+                  (fun () -> Mailbox.send events (D_app (A_commit (Array.copy state))));
+                finalize = (fun () -> Mailbox.send events (D_app A_finalize));
+                set_app_var = (fun var v -> Fci.Control.set_var vars var v);
+                noise =
+                  (let salt = Rng.int64 env.Env.rng in
+                   fun k ->
+                     let x =
+                       Int64.to_int
+                         (Int64.logand
+                            (Rng.int64 (Rng.create (Int64.add salt (Int64.of_int k))))
+                            0xFFFFFL)
+                     in
+                     (float_of_int x /. 524287.5) -. 1.0);
+              }
+            in
+            let p =
+              Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "mpi-%d" rank) (fun () ->
+                  env.Env.app.App.main ctx)
+            in
+            app_proc := Some p;
+            (* Independent checkpoint cadence, desynchronised across
+               ranks. *)
+            schedule_tick (Rng.float env.Env.rng cfg.Config.wave_interval);
+            trace "app-start" ""
+          in
+          let join_peer peer conn =
+            Hashtbl.replace peer_conns peer conn;
+            pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
+              (fun m -> D_peer (peer, m))
+              events;
+            if IntSet.mem peer !resend_pending then begin
+              resend_pending := IntSet.remove peer !resend_pending;
+              ignore (Net.send conn (Message.Resend { rank; consumed = consumed_bounds () }))
+            end
+          in
+          let connect_peer peer peer_host =
+            match Net.connect env.Env.net ~host ~to_host:peer_host ~to_port:Config.daemon_port with
+            | Ok conn ->
+                ignore (Net.send conn (Message.Peer_hello { rank }));
+                join_peer peer conn;
+                true
+            | Error `Refused ->
+                trace "peer-connect-failed" (string_of_int peer);
+                false
+          in
+          let handle_resend peer consumed =
+            let bound =
+              Option.value ~default:0 (List.assoc_opt rank consumed)
+            in
+            match Hashtbl.find_opt peer_conns peer with
+            | None -> trace "resend-no-conn" (string_of_int peer)
+            | Some conn ->
+                let entries =
+                  Option.value ~default:[] (Hashtbl.find_opt send_log peer)
+                  |> List.filter (fun (ssn, _) -> ssn > bound)
+                  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+                in
+                trace "resend" (Printf.sprintf "%d messages to %d (> ssn %d)" (List.length entries) peer bound);
+                List.iter
+                  (fun (ssn, m) ->
+                    ignore
+                      (Net.send conn ~size:m.Message.bytes (Message.App_logged { msg = m; ssn })))
+                  entries
+          in
+          let rec loop () =
+            match Mailbox.recv events with
+            | D_ctrl None -> trace "daemon-exit" "dispatcher connection lost"
+            | D_ctrl (Some Message.Terminate) ->
+                Option.iter Proc.kill !app_proc;
+                trace "daemon-exit" "terminated on order"
+            | D_ctrl (Some Message.Shutdown) ->
+                Option.iter Proc.kill !app_proc;
+                trace "daemon-exit" "shutdown"
+            | D_ctrl (Some (Message.Start { rank_hosts; resume })) ->
+                trace (if resume then "resume" else "start") "";
+                if resume then begin
+                  (* I am the restarted rank: rebuild the full mesh and ask
+                     every reachable peer for its logged messages. *)
+                  for peer = 0 to n - 1 do
+                    if peer <> rank then
+                      if connect_peer peer rank_hosts.(peer) then
+                        ignore
+                          (Net.send (Hashtbl.find peer_conns peer)
+                             (Message.Resend { rank; consumed = consumed_bounds () }))
+                      else resend_pending := IntSet.add peer !resend_pending
+                  done;
+                  spawn_app ()
+                end
+                else begin
+                  for peer = 0 to rank - 1 do
+                    ignore (connect_peer peer rank_hosts.(peer))
+                  done;
+                  if Hashtbl.length peer_conns = n - 1 then spawn_app ()
+                end;
+                loop ()
+            | D_ctrl (Some msg) ->
+                trace "protocol-error" (Format.asprintf "from dispatcher: %a" Message.pp msg);
+                loop ()
+            | D_peer_joined (peer, conn) ->
+                join_peer peer conn;
+                if (not (Option.is_some !app_proc)) && Hashtbl.length peer_conns = n - 1
+                then spawn_app ();
+                loop ()
+            | D_peer (peer, None) ->
+                Hashtbl.remove peer_conns peer;
+                trace "peer-lost" (string_of_int peer);
+                loop ()
+            | D_peer (_, Some (Message.App_logged { msg = m; ssn })) ->
+                let src = m.Message.src in
+                let bound = Option.value ~default:0 (Hashtbl.find_opt received src) in
+                if ssn > bound then Hashtbl.replace received src ssn;
+                if Hashtbl.mem seen (src, m.Message.tag) then
+                  trace "duplicate-dropped"
+                    (Printf.sprintf "%d->%d tag %d" src m.Message.dst m.Message.tag)
+                else begin
+                  Hashtbl.replace seen (src, m.Message.tag) ();
+                  deliver m
+                end;
+                loop ()
+            | D_peer (peer, Some (Message.Log_gc { rank = _; consumed })) ->
+                (match List.assoc_opt rank consumed with
+                | Some bound ->
+                    let entries =
+                      Option.value ~default:[] (Hashtbl.find_opt send_log peer)
+                      |> List.filter (fun (ssn, _) -> ssn > bound)
+                    in
+                    Hashtbl.replace send_log peer entries
+                | None -> ());
+                loop ()
+            | D_peer (peer, Some (Message.Resend { rank = _; consumed })) ->
+                handle_resend peer consumed;
+                loop ()
+            | D_peer (peer, Some msg) ->
+                trace "protocol-error" (Format.asprintf "from peer %d: %a" peer Message.pp msg);
+                loop ()
+            | D_server None -> loop ()
+            | D_server (Some (Message.Store_done { wave })) ->
+                (match !ckpt_in_flight with
+                | Some (w, snapshot_bounds) when w = wave ->
+                    ckpt_in_flight := None;
+                    (match server_conn with
+                    | Some conn -> ignore (Net.send conn (Message.Commit_rank { rank; wave }))
+                    | None -> ());
+                    (* Senders may prune their logs of everything this
+                       checkpoint covers — the bounds at the snapshot, not
+                       at Store_done time. *)
+                    let gc = Message.Log_gc { rank; consumed = snapshot_bounds } in
+                    Hashtbl.iter (fun _peer conn -> ignore (Net.send conn gc)) peer_conns;
+                    Fci.Control.set_var vars "wave" wave;
+                    trace "checkpoint-committed" (Printf.sprintf "wave %d" wave)
+                | Some _ | None -> ());
+                loop ()
+            | D_server (Some msg) ->
+                trace "protocol-error" (Format.asprintf "from server: %a" Message.pp msg);
+                loop ()
+            | D_ckpt_tick gen ->
+                if gen = !ckpt_gen && Option.is_some !app_proc then begin
+                  take_checkpoint ();
+                  schedule_tick cfg.Config.wave_interval
+                end;
+                loop ()
+            | D_app (A_send m) ->
+                forward_send m;
+                loop ()
+            | D_app (A_recv { src; tag; reply }) ->
+                serve_recv src tag reply;
+                loop ()
+            | D_app (A_commit snapshot) ->
+                committed_state := snapshot;
+                redelivery := [];
+                loop ()
+            | D_app A_finalize ->
+                ignore (Net.send dconn (Message.Rank_done { rank }));
+                trace "rank-done" "";
+                loop ()
+          in
+          loop ()))

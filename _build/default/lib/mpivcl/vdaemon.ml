@@ -1,0 +1,494 @@
+open Simkern
+open Simos
+module Net = Simnet.Net
+module IntSet = Set.Make (Int)
+
+type app_request =
+  | A_send of Message.app_msg
+  | A_recv of { src : int; tag : int; reply : int Ivar.t }
+  | A_commit of int array
+  | A_finalize
+
+type dev =
+  | D_ctrl of Message.t option  (* dispatcher connection; None = closed *)
+  | D_sched of Message.t option
+  | D_server of Message.t option
+  | D_peer of int * Message.t option
+  | D_peer_joined of int * Message.t Net.conn
+  | D_app of app_request
+
+(* In-progress local checkpoint. *)
+type ckpt = {
+  ck_wave : int;
+  mutable ck_channels : IntSet.t;  (* peers whose marker is still awaited *)
+  mutable ck_logged : Message.app_msg list;  (* newest first *)
+  mutable ck_stored : bool;
+  ck_state : int array;
+  ck_buffer : Message.app_msg list;
+  ck_redelivery : Message.app_msg list;
+  ck_seen : (int * int) list;
+}
+
+let pump cluster ~host ~name conn wrap events =
+  ignore
+    (Cluster.spawn_on cluster ~host ~name (fun () ->
+         let rec run () =
+           match Net.recv conn with
+           | Net.Data m ->
+               Mailbox.send events (wrap (Some m));
+               run ()
+           | Net.Closed -> Mailbox.send events (wrap None)
+         in
+         run ()))
+
+let spawn (env : Env.t) ~rank ~host ~incarnation =
+  let eng = env.Env.eng in
+  let cluster = env.Env.cluster in
+  let cfg = env.Env.cfg in
+  let name = Printf.sprintf "vdaemon-%d" rank in
+  let trace event detail =
+    Engine.record eng ~source:(Printf.sprintf "vdaemon-%d" rank) ~event detail
+  in
+  Cluster.spawn_on cluster ~host ~name (fun () ->
+      let self = Proc.self () in
+      let app_proc = ref None in
+      let vars = Fci.Control.make_vars () in
+      (* The FAIL-MPI "task": halting kills both unix processes of the
+         rank, exactly like the paper's experiments. *)
+      let base_target =
+        {
+          Fci.Control.target_name = Printf.sprintf "rank%d@%d" rank host;
+          proc = self;
+          kill =
+            (fun () ->
+              Option.iter Proc.kill !app_proc;
+              Proc.kill self);
+          freeze =
+            (fun () ->
+              Option.iter Proc.freeze !app_proc;
+              Proc.freeze self);
+          unfreeze =
+            (fun () ->
+              Option.iter Proc.unfreeze !app_proc;
+              Proc.unfreeze self);
+          read_var = (fun _ -> None);
+          write_var = (fun _ _ -> false);
+          subscribe_var = (fun _ -> ());
+        }
+      in
+      let target = Fci.Control.with_vars base_target vars in
+      (match env.Env.fci with
+      | Some rt -> Fci.Runtime.register rt ~machine:host target
+      | None -> ());
+      trace "daemon-start" (Printf.sprintf "host %d incarnation %d" host incarnation);
+      (* Process restore and socket setup before the dispatcher sees us. *)
+      Proc.sleep
+        (cfg.Config.init_delay_min
+        +. Rng.float env.Env.rng (cfg.Config.init_delay_max -. cfg.Config.init_delay_min));
+      match
+        Net.connect env.Env.net ~host ~to_host:env.Env.dispatcher_host
+          ~to_port:Config.dispatcher_port
+      with
+      | Error `Refused -> trace "daemon-abort" "dispatcher unreachable"
+      | Ok dconn -> (
+          ignore (Net.send dconn (Message.Hello { rank; incarnation }));
+          (* Initial argument exchange with the dispatcher, then the
+             localMPI_setCommand hook (Figure 10's injection point). *)
+          Proc.sleep cfg.Config.handshake_delay;
+          (match env.Env.fci with
+          | Some rt -> Fci.Runtime.breakpoint rt ~machine:host `Before "localMPI_setCommand"
+          | None -> ());
+          (* Restore the last committed image, if any. *)
+          let server_host = Env.server_for env ~rank in
+          let image =
+            if incarnation = 0 then None
+            else
+              match
+                Net.connect env.Env.net ~host ~to_host:server_host ~to_port:Config.server_port
+              with
+              | Error `Refused -> None
+              | Ok fconn ->
+                  let local_wave = Local_disk.newest_wave env.Env.disk ~host ~rank in
+                  ignore (Net.send fconn (Message.Fetch { rank; local_wave }));
+                  let result =
+                    match Net.recv fconn with
+                    | Net.Data (Message.Fetch_use_local { wave }) ->
+                        Proc.sleep cfg.Config.local_restore_time;
+                        Local_disk.lookup env.Env.disk ~host ~rank ~wave
+                    | Net.Data (Message.Fetch_image { image }) -> image
+                    | Net.Data _ | Net.Closed -> None
+                  in
+                  Net.close fconn;
+                  result
+          in
+          Proc.sleep cfg.Config.restart_settle;
+          (match image with
+          | Some img -> trace "restored" (Printf.sprintf "wave %d" img.Message.img_wave)
+          | None -> trace "restored" "fresh");
+          let listener = Net.listen env.Env.net ~host ~port:Config.daemon_port in
+          Fun.protect ~finally:(fun () -> Net.close_listener listener) @@ fun () ->
+          let events : dev Mailbox.t = Mailbox.create () in
+          (* Accept peer connections; each identifies itself with
+             Peer_hello before joining the event stream. *)
+          ignore
+            (Cluster.spawn_on cluster ~host ~name:(name ^ "-accept") (fun () ->
+                 let rec accept_loop () =
+                   match Net.accept listener with
+                   | None -> ()
+                   | Some conn ->
+                       (match Net.recv conn with
+                       | Net.Data (Message.Peer_hello { rank = peer }) ->
+                           Mailbox.send events (D_peer_joined (peer, conn))
+                       | Net.Data _ | Net.Closed -> Net.close conn);
+                       accept_loop ()
+                 in
+                 accept_loop ()));
+          let sconn =
+            match
+              Net.connect env.Env.net ~host ~to_host:env.Env.scheduler_host
+                ~to_port:Config.scheduler_port
+            with
+            | Ok c ->
+                ignore (Net.send c (Message.Sched_hello { rank }));
+                pump cluster ~host ~name:(name ^ "-sched") c (fun m -> D_sched m) events;
+                Some c
+            | Error `Refused -> None
+          in
+          let server_conn =
+            match
+              Net.connect env.Env.net ~host ~to_host:server_host ~to_port:Config.server_port
+            with
+            | Ok c ->
+                pump cluster ~host ~name:(name ^ "-server") c (fun m -> D_server m) events;
+                Some c
+            | Error `Refused -> None
+          in
+          pump cluster ~host ~name:(name ^ "-ctrl") dconn (fun m -> D_ctrl m) events;
+          ignore (Net.send dconn (Message.Ready { rank }));
+
+          (* ---------------- protocol state ---------------- *)
+          let n = cfg.Config.n_ranks in
+          let peer_conns : (int, Message.t Net.conn) Hashtbl.t = Hashtbl.create 16 in
+          let buffer : Message.app_msg list ref = ref [] in
+          (* parked receive requests from the computation process *)
+          let parked : (int * int * int Ivar.t) list ref = ref [] in
+          let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+          let redelivery : Message.app_msg list ref = ref [] in
+          let committed_state = ref [||] in
+          let last_completed_wave = ref 0 in
+          let ckpt : ckpt option ref = ref None in
+          let held_sends : Message.app_msg list ref = ref [] in
+          let started = ref false in
+          let rank_hosts = ref [||] in
+          (* Restore protocol state from the image. *)
+          (match image with
+          | None ->
+              committed_state := Array.make env.Env.app.App.state_size 0;
+              last_completed_wave := 0
+          | Some img ->
+              committed_state := Array.copy img.Message.img_state;
+              last_completed_wave := img.Message.img_wave;
+              List.iter (fun key -> Hashtbl.replace seen key ()) img.Message.img_seen;
+              List.iter
+                (fun (m : Message.app_msg) -> Hashtbl.replace seen (m.src, m.tag) ())
+                img.Message.img_logged;
+              buffer :=
+                img.Message.img_redelivery @ img.Message.img_buffer @ img.Message.img_logged);
+
+          let forward_send (m : Message.app_msg) =
+            match Hashtbl.find_opt peer_conns m.Message.dst with
+            | Some conn ->
+                if not (Net.send conn ~size:m.Message.bytes (Message.App m)) then
+                  trace "send-failed" (Printf.sprintf "to %d (closed)" m.Message.dst)
+            | None -> trace "send-failed" (Printf.sprintf "to %d (no connection)" m.Message.dst)
+          in
+          let deliver (m : Message.app_msg) =
+            let rec split acc = function
+              | [] -> None
+              | (src, tag, reply) :: rest when src = m.Message.src && tag = m.Message.tag ->
+                  parked := List.rev_append acc rest;
+                  Some reply
+              | r :: rest -> split (r :: acc) rest
+            in
+            match split [] !parked with
+            | Some reply ->
+                redelivery := m :: !redelivery;
+                Ivar.fill reply m.Message.data
+            | None -> buffer := !buffer @ [ m ]
+          in
+          let serve_recv src tag reply =
+            let rec split acc = function
+              | [] -> None
+              | (m : Message.app_msg) :: rest when m.Message.src = src && m.Message.tag = tag ->
+                  buffer := List.rev_append acc rest;
+                  Some m
+              | m :: rest -> split (m :: acc) rest
+            in
+            match split [] !buffer with
+            | Some m ->
+                redelivery := m :: !redelivery;
+                Ivar.fill reply m.Message.data
+            | None -> parked := !parked @ [ (src, tag, reply) ]
+          in
+          let finish_ckpt (c : ckpt) =
+            let logged = List.rev c.ck_logged in
+            let img_bytes =
+              Message.image_bytes ~state_bytes:env.Env.state_bytes
+                (c.ck_buffer @ c.ck_redelivery @ logged)
+            in
+            let img =
+              {
+                Message.img_rank = rank;
+                img_wave = c.ck_wave;
+                img_state = c.ck_state;
+                img_buffer = c.ck_buffer;
+                img_redelivery = c.ck_redelivery;
+                img_logged = logged;
+                img_seen = c.ck_seen;
+                img_received = [];
+                img_send_log = [];
+                img_next_ssn = [];
+                img_bytes;
+              }
+            in
+            Local_disk.store env.Env.disk ~host img;
+            (match server_conn with
+            | Some conn -> ignore (Net.send conn (Message.Store { image = img }))
+            | None -> ());
+            trace "local-checkpoint" (Printf.sprintf "wave %d (%d logged)" c.ck_wave
+                                        (List.length logged))
+          in
+          let maybe_complete_channels (c : ckpt) =
+            if IntSet.is_empty c.ck_channels && not c.ck_stored then begin
+              c.ck_stored <- true;
+              finish_ckpt c
+            end
+          in
+          let begin_cut wave ~from_peer =
+            let channels =
+              List.init n Fun.id
+              |> List.filter (fun r -> r <> rank && Some r <> from_peer)
+              |> IntSet.of_list
+            in
+            let c =
+              {
+                ck_wave = wave;
+                ck_channels = channels;
+                ck_logged = [];
+                ck_stored = false;
+                ck_state = Array.copy !committed_state;
+                ck_buffer = !buffer;
+                ck_redelivery = !redelivery;
+                ck_seen = Hashtbl.fold (fun key () acc -> key :: acc) seen [];
+              }
+            in
+            ckpt := Some c;
+            trace "cut" (Printf.sprintf "wave %d" wave);
+            Hashtbl.iter
+              (fun _peer conn -> ignore (Net.send conn (Message.Marker { wave })))
+              peer_conns;
+            maybe_complete_channels c
+          in
+          let handle_marker wave ~from_peer =
+            if wave > !last_completed_wave then begin
+              match !ckpt with
+              | None -> begin_cut wave ~from_peer
+              | Some c when c.ck_wave = wave -> (
+                  match from_peer with
+                  | Some peer ->
+                      c.ck_channels <- IntSet.remove peer c.ck_channels;
+                      maybe_complete_channels c
+                  | None -> ())
+              | Some c when wave > c.ck_wave ->
+                  (* The wave in progress was aborted (e.g. by a recovery
+                     that interleaved with it): it will never complete
+                     globally, so drop it and join the new one. Held sends
+                     of the blocking variant stay held until the new wave
+                     completes. *)
+                  trace "ckpt-abandoned"
+                    (Printf.sprintf "wave %d superseded by %d" c.ck_wave wave);
+                  ckpt := None;
+                  begin_cut wave ~from_peer
+              | Some c ->
+                  trace "marker-anomaly"
+                    (Printf.sprintf "stale wave %d while checkpointing %d" wave c.ck_wave)
+            end
+          in
+          let release_held () =
+            let pending = List.rev !held_sends in
+            held_sends := [];
+            List.iter forward_send pending
+          in
+          let spawn_app () =
+            let state =
+              match image with
+              | Some img -> Array.copy img.Message.img_state
+              | None -> Array.make env.Env.app.App.state_size 0
+            in
+            committed_state := Array.copy state;
+            let ctx =
+              {
+                App.rank;
+                size = n;
+                state;
+                send =
+                  (fun ~dst ~tag ?(bytes = 1024) data ->
+                    Mailbox.send events
+                      (D_app (A_send { Message.src = rank; dst; tag; data; bytes })));
+                recv =
+                  (fun ~src ~tag ->
+                    let reply = Ivar.create () in
+                    Mailbox.send events (D_app (A_recv { src; tag; reply }));
+                    Ivar.read reply);
+                commit =
+                  (fun () ->
+                    Mailbox.send events (D_app (A_commit (Array.copy state))));
+                finalize = (fun () -> Mailbox.send events (D_app A_finalize));
+                set_app_var = (fun var v -> Fci.Control.set_var vars var v);
+                noise =
+                  (let salt = Rng.int64 env.Env.rng in
+                   fun k ->
+                     let x =
+                       Int64.to_int
+                         (Int64.logand (Rng.int64 (Rng.create (Int64.add salt (Int64.of_int k)))) 0xFFFFFL)
+                     in
+                     (float_of_int x /. 524287.5) -. 1.0);
+              }
+            in
+            let p =
+              Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "mpi-%d" rank) (fun () ->
+                  env.Env.app.App.main ctx)
+            in
+            app_proc := Some p;
+            trace "app-start" ""
+          in
+          let maybe_start () =
+            if !started && Hashtbl.length peer_conns = n - 1 && !app_proc = None then
+              spawn_app ()
+          in
+          let connect_lower_peers () =
+            for peer = 0 to rank - 1 do
+              let peer_host = !rank_hosts.(peer) in
+              match
+                Net.connect env.Env.net ~host ~to_host:peer_host ~to_port:Config.daemon_port
+              with
+              | Ok conn ->
+                  ignore (Net.send conn (Message.Peer_hello { rank }));
+                  Hashtbl.replace peer_conns peer conn;
+                  pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
+                    (fun m -> D_peer (peer, m))
+                    events
+              | Error `Refused ->
+                  trace "peer-connect-failed" (string_of_int peer)
+            done;
+            maybe_start ()
+          in
+          let blocking = cfg.Config.protocol = Config.Blocking in
+          (* ---------------- main event loop ---------------- *)
+          let rec loop () =
+            match Mailbox.recv events with
+            | D_ctrl None -> trace "daemon-exit" "dispatcher connection lost"
+            | D_ctrl (Some Message.Terminate) ->
+                let lag =
+                  cfg.Config.term_lag_min
+                  +. Rng.float env.Env.rng
+                       (cfg.Config.term_lag_max -. cfg.Config.term_lag_min)
+                  +.
+                  if Rng.float env.Env.rng 1.0 < cfg.Config.term_straggler_prob then
+                    Rng.float env.Env.rng cfg.Config.term_straggler_extra
+                  else 0.0
+                in
+                trace "terminate-order" (Printf.sprintf "lag %.2f" lag);
+                Proc.sleep lag;
+                Option.iter Proc.kill !app_proc;
+                trace "daemon-exit" "terminated on order"
+            | D_ctrl (Some Message.Shutdown) ->
+                Option.iter Proc.kill !app_proc;
+                trace "daemon-exit" "shutdown"
+            | D_ctrl (Some (Message.Start { rank_hosts = hosts; resume })) ->
+                rank_hosts := hosts;
+                started := true;
+                trace (if resume then "resume" else "start") "";
+                connect_lower_peers ();
+                loop ()
+            | D_ctrl (Some msg) ->
+                trace "protocol-error" (Format.asprintf "from dispatcher: %a" Message.pp msg);
+                loop ()
+            | D_peer_joined (peer, conn) ->
+                Hashtbl.replace peer_conns peer conn;
+                pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
+                  (fun m -> D_peer (peer, m))
+                  events;
+                (* A wave may already be in progress: this channel's marker
+                   is still expected through the new connection. *)
+                maybe_start ();
+                loop ()
+            | D_peer (peer, None) ->
+                (match Hashtbl.find_opt peer_conns peer with
+                | Some _ -> Hashtbl.remove peer_conns peer
+                | None -> ());
+                trace "peer-lost" (string_of_int peer);
+                loop ()
+            | D_peer (_, Some (Message.App m)) ->
+                (if Hashtbl.mem seen (m.Message.src, m.Message.tag) then
+                   trace "duplicate-dropped"
+                     (Printf.sprintf "%d->%d tag %d" m.Message.src m.Message.dst m.Message.tag)
+                 else begin
+                   Hashtbl.replace seen (m.Message.src, m.Message.tag) ();
+                   (match !ckpt with
+                   | Some c when IntSet.mem m.Message.src c.ck_channels ->
+                       c.ck_logged <- m :: c.ck_logged
+                   | Some _ | None -> ());
+                   deliver m
+                 end);
+                loop ()
+            | D_peer (peer, Some (Message.Marker { wave })) ->
+                handle_marker wave ~from_peer:(Some peer);
+                loop ()
+            | D_peer (peer, Some msg) ->
+                trace "protocol-error"
+                  (Format.asprintf "from peer %d: %a" peer Message.pp msg);
+                loop ()
+            | D_sched None -> loop ()
+            | D_sched (Some (Message.Sched_marker { wave })) ->
+                handle_marker wave ~from_peer:None;
+                loop ()
+            | D_sched (Some msg) ->
+                trace "protocol-error" (Format.asprintf "from scheduler: %a" Message.pp msg);
+                loop ()
+            | D_server None -> loop ()
+            | D_server (Some (Message.Store_done { wave })) ->
+                (match !ckpt with
+                | Some c when c.ck_wave = wave && c.ck_stored ->
+                    last_completed_wave := wave;
+                    ckpt := None;
+                    if blocking then release_held ();
+                    (match sconn with
+                    | Some conn -> ignore (Net.send conn (Message.Sched_ack { rank; wave }))
+                    | None -> ());
+                    (* Expose the completed wave to the fault injector
+                       (the conclusion's variable-reading feature). *)
+                    Fci.Control.set_var vars "wave" wave;
+                    trace "checkpoint-acked" (Printf.sprintf "wave %d" wave)
+                | Some _ | None -> ());
+                loop ()
+            | D_server (Some msg) ->
+                trace "protocol-error" (Format.asprintf "from server: %a" Message.pp msg);
+                loop ()
+            | D_app (A_send m) ->
+                if blocking && !ckpt <> None then held_sends := m :: !held_sends
+                else forward_send m;
+                loop ()
+            | D_app (A_recv { src; tag; reply }) ->
+                serve_recv src tag reply;
+                loop ()
+            | D_app (A_commit snapshot) ->
+                committed_state := snapshot;
+                redelivery := [];
+                loop ()
+            | D_app A_finalize ->
+                ignore (Net.send dconn (Message.Rank_done { rank }));
+                trace "rank-done" "";
+                loop ()
+          in
+          loop ()))

@@ -1,0 +1,26 @@
+(** Communication daemon (Vdaemon) of one MPI rank.
+
+    A mono-process event loop multiplexing, as in §3: one connection per
+    peer daemon, one to the dispatcher, one to the checkpoint scheduler,
+    one to its checkpoint server, and the local channel to the
+    computation process. Implements the non-blocking Chandy–Lamport
+    V-protocol (Vcl): on the first marker of a wave it snapshots the
+    computation state without interrupting it, forwards markers on every
+    channel, logs in-transit messages until each channel's marker arrives,
+    streams the image to the checkpoint server, and acknowledges the wave
+    to the scheduler. On restart it reloads the last committed image
+    (local disk if present, server otherwise) and replays logged
+    messages.
+
+    Startup follows the paper's integration scheme: the daemon registers
+    with the FAIL-MPI daemon of its machine at spawn ([onload]), exchanges
+    initial arguments with the dispatcher, then crosses the
+    [localMPI_setCommand] breakpoint — the exact injection point of
+    Figure 10. *)
+
+open Simkern
+
+(** [spawn env ~rank ~host ~incarnation] starts the daemon; it launches
+    the computation process itself once the dispatcher broadcasts
+    [Start]. Returns the daemon process. *)
+val spawn : Env.t -> rank:int -> host:int -> incarnation:int -> Proc.t

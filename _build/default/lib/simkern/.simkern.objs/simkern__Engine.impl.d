@@ -1,0 +1,1 @@
+lib/simkern/engine.ml: Float Heap Int List Option Printf Rng Trace

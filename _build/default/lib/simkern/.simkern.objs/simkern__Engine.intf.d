@@ -1,0 +1,1 @@
+lib/simkern/engine.mli: Rng Trace

@@ -1,0 +1,1 @@
+lib/simkern/heap.ml: Array

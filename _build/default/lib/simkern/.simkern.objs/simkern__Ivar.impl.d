@@ -1,0 +1,1 @@
+lib/simkern/ivar.ml: List Proc

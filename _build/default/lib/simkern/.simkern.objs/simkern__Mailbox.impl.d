@@ -1,0 +1,1 @@
+lib/simkern/mailbox.ml: Engine Proc Queue

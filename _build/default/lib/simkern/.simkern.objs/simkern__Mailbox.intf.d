@@ -1,0 +1,1 @@
+lib/simkern/mailbox.mli:

@@ -1,0 +1,1 @@
+lib/simkern/proc.ml: Effect Engine Format List Printexc Printf

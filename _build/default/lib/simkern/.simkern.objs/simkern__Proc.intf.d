@@ -1,0 +1,1 @@
+lib/simkern/proc.mli: Engine Format

@@ -1,0 +1,1 @@
+lib/simkern/rng.ml: Array Int64 List

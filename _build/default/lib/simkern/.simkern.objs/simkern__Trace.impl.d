@@ -1,0 +1,1 @@
+lib/simkern/trace.ml: Format List Option String

@@ -1,0 +1,84 @@
+type event = {
+  time : float;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  mutable next_pid : int;
+  mutable halted : bool;
+  queue : event Heap.t;
+  rng : Rng.t;
+  trace : Trace.t;
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    now = 0.0;
+    next_seq = 0;
+    next_pid = 0;
+    halted = false;
+    queue = Heap.create ~compare:compare_events;
+    rng = Rng.create seed;
+    trace = Trace.create ();
+  }
+
+let now t = t.now
+let rng t = t.rng
+let trace t = t.trace
+
+let record t ~source ~event detail = Trace.record t.trace ~time:t.now ~source ~event detail
+
+let fresh_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  pid
+
+let schedule_at t ~time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time t.now);
+  let ev = { time; seq = t.next_seq; thunk = f; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ?(delay = 0.0) f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) f
+
+let cancel ev = ev.cancelled <- true
+
+let pending t =
+  List.fold_left (fun acc ev -> if ev.cancelled then acc else acc + 1) 0 (Heap.to_list t.queue)
+
+let run ?(until = infinity) t =
+  t.halted <- false;
+  let rec loop () =
+    if t.halted then `Halted
+    else
+      match Heap.peek t.queue with
+      | None -> `Quiescent
+      | Some ev when ev.time > until ->
+          t.now <- until;
+          `Deadline
+      | Some _ ->
+          let ev = Option.get (Heap.pop t.queue) in
+          if not ev.cancelled then begin
+            t.now <- ev.time;
+            ev.thunk ()
+          end;
+          loop ()
+  in
+  loop ()
+
+let halt t = t.halted <- true

@@ -1,0 +1,54 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock, a deterministic event queue and the
+    experiment-wide RNG and trace. Events scheduled for the same instant
+    execute in scheduling order (the queue is keyed by [(time, sequence)]),
+    so a run is a pure function of the seed. *)
+
+type t
+
+(** Cancellable handle on a scheduled event. *)
+type handle
+
+(** [create ?seed ()] returns a fresh engine with its clock at [0.]. *)
+val create : ?seed:int64 -> unit -> t
+
+(** [now t] is the current simulated time, in seconds. *)
+val now : t -> float
+
+(** [rng t] is the engine RNG. Components needing an independent stream
+    should [Rng.split] it once at setup. *)
+val rng : t -> Rng.t
+
+(** [trace t] is the engine-wide execution trace. *)
+val trace : t -> Trace.t
+
+(** [record t ~source ~event detail] records a trace entry at [now t]. *)
+val record : t -> source:string -> event:string -> string -> unit
+
+(** [fresh_pid t] returns a process identifier unique within this engine. *)
+val fresh_pid : t -> int
+
+(** [schedule t ?delay f] schedules [f] to run at [now t +. delay]
+    (default [0.], i.e. after all previously scheduled events for the
+    current instant). Raises [Invalid_argument] on negative delay. *)
+val schedule : t -> ?delay:float -> (unit -> unit) -> handle
+
+(** [schedule_at t ~time f] schedules [f] at absolute [time]. Raises
+    [Invalid_argument] if [time] is in the past. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+
+(** [cancel h] prevents the event from running if it has not run yet. *)
+val cancel : handle -> unit
+
+(** [pending t] is the number of not-yet-executed scheduled events. *)
+val pending : t -> int
+
+(** [run ?until t] executes events in order until the queue is empty, the
+    engine is halted, or the next event lies beyond [until]; in the latter
+    case the clock is advanced to [until]. Returns the reason the loop
+    ended. *)
+val run : ?until:float -> t -> [ `Quiescent | `Halted | `Deadline ]
+
+(** [halt t] stops a [run] in progress after the current event. *)
+val halt : t -> unit

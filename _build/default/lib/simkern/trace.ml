@@ -1,0 +1,34 @@
+type entry = { time : float; source : string; event : string; detail : string }
+
+type t = { mutable rev_entries : entry list; mutable n : int }
+
+let create () = { rev_entries = []; n = 0 }
+
+let record t ~time ~source ~event detail =
+  t.rev_entries <- { time; source; event; detail } :: t.rev_entries;
+  t.n <- t.n + 1
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.n
+
+let count t ~event =
+  List.fold_left (fun acc e -> if String.equal e.event event then acc + 1 else acc) 0 t.rev_entries
+
+let find_all t ~event = List.filter (fun e -> String.equal e.event event) (entries t)
+
+let last t ~event = List.find_opt (fun e -> String.equal e.event event) t.rev_entries
+
+let last_time t ~event = Option.map (fun e -> e.time) (last t ~event)
+
+let clear t =
+  t.rev_entries <- [];
+  t.n <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "@[<h>%10.3f %-16s %-24s %s@]" e.time e.source e.event e.detail
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_entry e) (entries t);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,48 @@
+(** Structured execution trace.
+
+    The paper distinguishes non-terminating runs (rollback/crash cycles)
+    from buggy runs (freezes) by analysing the execution trace (§5). Every
+    protocol component records its externally observable events here, and
+    {!Experiments} classifies outcomes from the same information. *)
+
+type entry = {
+  time : float;  (** simulated time of the event *)
+  source : string;  (** component that recorded it, e.g. ["dispatcher"] *)
+  event : string;  (** event kind, e.g. ["failure-detected"] *)
+  detail : string;  (** free-form payload *)
+}
+
+type t
+
+(** [create ()] returns an empty trace. *)
+val create : unit -> t
+
+(** [record t ~time ~source ~event detail] appends an entry. *)
+val record : t -> time:float -> source:string -> event:string -> string -> unit
+
+(** [entries t] returns all entries in recording order. *)
+val entries : t -> entry list
+
+(** [length t] is the number of entries. *)
+val length : t -> int
+
+(** [count t ~event] counts entries of the given kind. *)
+val count : t -> event:string -> int
+
+(** [find_all t ~event] returns entries of the given kind, oldest first. *)
+val find_all : t -> event:string -> entry list
+
+(** [last t ~event] returns the most recent entry of the given kind. *)
+val last : t -> event:string -> entry option
+
+(** [last_time t ~event] is the time of the most recent entry of the given
+    kind, if any. *)
+val last_time : t -> event:string -> float option
+
+(** [clear t] drops all entries. *)
+val clear : t -> unit
+
+(** [pp ppf t] prints the trace, one entry per line. *)
+val pp : Format.formatter -> t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

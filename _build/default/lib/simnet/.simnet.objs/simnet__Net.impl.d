@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Engine Float Hashtbl Ivar List Mailbox Printf Proc Queue Simkern

@@ -1,0 +1,201 @@
+open Simkern
+
+type config = {
+  latency : float;
+  bandwidth : float;
+  local_latency : float;
+  local_bandwidth : float;
+}
+
+let default_config =
+  { latency = 1e-4; bandwidth = 1e8; local_latency = 5e-6; local_bandwidth = 1e9 }
+
+type 'a recv_result = Data of 'a | Closed
+
+type 'a t = {
+  eng : Engine.t;
+  cfg : config;
+  listeners : (int * int, 'a listener) Hashtbl.t;
+}
+
+and 'a listener = {
+  l_net : 'a t;
+  l_host : int;
+  l_port : int;
+  l_pending : 'a conn option Mailbox.t;
+  mutable l_open : bool;
+}
+
+and 'a conn = {
+  c_net : 'a t;
+  c_local_host : int;
+  c_peer_host : int;
+  c_inbox : 'a recv_result Queue.t;
+  mutable c_waiters : ('a recv_result -> bool) list;  (* oldest first *)
+  mutable c_closed_local : bool;
+  mutable c_closed_remote : bool;
+  mutable c_tx_free_at : float;
+  mutable c_peer : 'a conn option;
+  mutable c_owner_hooked : bool;
+}
+
+let create eng ?(config = default_config) () =
+  { eng; cfg = config; listeners = Hashtbl.create 64 }
+
+let engine net = net.eng
+let config net = net.cfg
+
+let link_params net ~src ~dst =
+  if src = dst then (net.cfg.local_latency, net.cfg.local_bandwidth)
+  else (net.cfg.latency, net.cfg.bandwidth)
+
+let listen net ~host ~port =
+  if Hashtbl.mem net.listeners (host, port) then
+    invalid_arg (Printf.sprintf "Net.listen: %d:%d already bound" host port);
+  let l =
+    { l_net = net; l_host = host; l_port = port; l_pending = Mailbox.create (); l_open = true }
+  in
+  Hashtbl.replace net.listeners (host, port) l;
+  l
+
+let close_listener l =
+  if l.l_open then begin
+    l.l_open <- false;
+    Hashtbl.remove l.l_net.listeners (l.l_host, l.l_port);
+    (* Wake a blocked acceptor, if any. *)
+    Mailbox.send l.l_pending None
+  end
+
+(* Deliver an item at the receiving endpoint. Runs as an engine event at
+   the arrival time. *)
+let arrive conn item =
+  if not conn.c_closed_remote then begin
+    match item with
+    | Closed ->
+        conn.c_closed_remote <- true;
+        let waiters = conn.c_waiters in
+        conn.c_waiters <- [];
+        List.iter (fun waker -> ignore (waker Closed)) waiters
+    | Data _ ->
+        let rec offer = function
+          | [] ->
+              conn.c_waiters <- [];
+              Queue.push item conn.c_inbox
+          | waker :: rest -> if waker item then conn.c_waiters <- rest else offer rest
+        in
+        offer conn.c_waiters
+  end
+
+(* Queue [item] on the wire from [conn] to its peer, honouring per-direction
+   serialization (a single NIC transmits one message at a time). *)
+let transmit conn ~size item =
+  match conn.c_peer with
+  | None -> ()
+  | Some peer ->
+      let eng = conn.c_net.eng in
+      let latency, bandwidth =
+        link_params conn.c_net ~src:conn.c_local_host ~dst:conn.c_peer_host
+      in
+      let now = Engine.now eng in
+      let start = Float.max now conn.c_tx_free_at in
+      let tx_time = float_of_int size /. bandwidth in
+      conn.c_tx_free_at <- start +. tx_time;
+      let arrival = start +. tx_time +. latency in
+      Engine.schedule_at eng ~time:arrival (fun () -> arrive peer item) |> ignore
+
+let close conn =
+  if not conn.c_closed_local then begin
+    conn.c_closed_local <- true;
+    (* Local blocked receives observe the closure immediately. *)
+    let waiters = conn.c_waiters in
+    conn.c_waiters <- [];
+    List.iter (fun waker -> ignore (waker Closed)) waiters;
+    transmit conn ~size:0 Closed
+  end
+
+let is_open conn = not (conn.c_closed_local || conn.c_closed_remote)
+
+let local_host conn = conn.c_local_host
+let peer_host conn = conn.c_peer_host
+
+(* The calling process owns the endpoint: its death closes the socket,
+   which is exactly how the paper's dispatcher detects failures. *)
+let adopt conn =
+  if not conn.c_owner_hooked then begin
+    conn.c_owner_hooked <- true;
+    Proc.on_exit (Proc.self ()) (fun _ -> close conn)
+  end
+
+let make_pair net ~host_a ~host_b =
+  let now = Engine.now net.eng in
+  let fresh local peer_h =
+    {
+      c_net = net;
+      c_local_host = local;
+      c_peer_host = peer_h;
+      c_inbox = Queue.create ();
+      c_waiters = [];
+      c_closed_local = false;
+      c_closed_remote = false;
+      c_tx_free_at = now;
+      c_peer = None;
+      c_owner_hooked = false;
+    }
+  in
+  let a = fresh host_a host_b in
+  let b = fresh host_b host_a in
+  a.c_peer <- Some b;
+  b.c_peer <- Some a;
+  (a, b)
+
+let connect net ~host ~to_host ~to_port =
+  let eng = net.eng in
+  let latency, _ = link_params net ~src:host ~dst:to_host in
+  let result = Ivar.create () in
+  Engine.schedule eng ~delay:latency (fun () ->
+      match Hashtbl.find_opt net.listeners (to_host, to_port) with
+      | Some l when l.l_open ->
+          let a, b = make_pair net ~host_a:host ~host_b:to_host in
+          Mailbox.send l.l_pending (Some b);
+          Engine.schedule eng ~delay:latency (fun () -> Ivar.fill result (Ok a)) |> ignore
+      | Some _ | None ->
+          Engine.schedule eng ~delay:latency (fun () -> Ivar.fill result (Error `Refused))
+          |> ignore)
+  |> ignore;
+  match Ivar.read result with
+  | Ok conn ->
+      adopt conn;
+      Ok conn
+  | Error `Refused -> Error `Refused
+
+let accept l =
+  match Mailbox.recv l.l_pending with
+  | Some conn ->
+      adopt conn;
+      Some conn
+  | None -> None
+
+let send conn ?(size = 64) v =
+  if conn.c_closed_local || conn.c_closed_remote then false
+  else begin
+    transmit conn ~size (Data v);
+    true
+  end
+
+let recv conn =
+  match Queue.take_opt conn.c_inbox with
+  | Some item -> item
+  | None ->
+      if conn.c_closed_remote || conn.c_closed_local then Closed
+      else Proc.suspend (fun waker -> conn.c_waiters <- conn.c_waiters @ [ waker ])
+
+let recv_timeout conn ~timeout =
+  match Queue.take_opt conn.c_inbox with
+  | Some item -> Some item
+  | None ->
+      if conn.c_closed_remote || conn.c_closed_local then Some Closed
+      else
+        let eng = conn.c_net.eng in
+        Proc.suspend (fun waker ->
+            conn.c_waiters <- conn.c_waiters @ [ (fun item -> waker (Some item)) ];
+            Engine.schedule eng ~delay:timeout (fun () -> ignore (waker None)) |> ignore)

@@ -1,0 +1,81 @@
+(** Simulated TCP-like network.
+
+    A ['a t] is an overlay network whose connections all carry messages of
+    type ['a]. Hosts are plain integers (assigned by {!Simos.Cluster});
+    connections between distinct hosts pay the network latency and
+    bandwidth, while same-host connections (the paper's Unix sockets
+    between an MPI process and its daemon) pay the much smaller local
+    cost.
+
+    Failure semantics follow the paper's §3 setup: a connection endpoint is
+    owned by the process that opened it, and when that process dies — for
+    any reason, including a FAIL-MPI [halt] — the peer observes the closure
+    on its next receive. "A failure is assumed after any unexpected socket
+    closure"; detection is immediate because experiments kill tasks, not
+    operating systems. *)
+
+open Simkern
+
+type 'a t
+
+type config = {
+  latency : float;  (** one-way propagation delay between distinct hosts, s *)
+  bandwidth : float;  (** bytes per second between distinct hosts *)
+  local_latency : float;  (** one-way delay on same-host connections, s *)
+  local_bandwidth : float;  (** bytes per second on same-host connections *)
+}
+
+(** GigE-like defaults: 100 us latency, 100 MB/s; local: 5 us, 1 GB/s. *)
+val default_config : config
+
+val create : Engine.t -> ?config:config -> unit -> 'a t
+val engine : 'a t -> Engine.t
+val config : 'a t -> config
+
+type 'a listener
+type 'a conn
+
+(** Result of a receive. [`Closed] means the peer endpoint was closed or
+    its owner process died. *)
+type 'a recv_result = Data of 'a | Closed
+
+(** [listen net ~host ~port] binds a listener. Raises [Invalid_argument]
+    if the address is already bound. *)
+val listen : 'a t -> host:int -> port:int -> 'a listener
+
+(** [accept l] blocks the calling process until a connection arrives; the
+    calling process becomes the owner of the returned endpoint. Returns
+    [None] if the listener is closed while waiting. *)
+val accept : 'a listener -> 'a conn option
+
+val close_listener : 'a listener -> unit
+
+(** [connect net ~host ~to_host ~to_port] opens a connection from [host].
+    Blocks the calling process for the handshake round-trip; the caller
+    becomes the owner of the returned endpoint. [Error `Refused] if no
+    listener is bound. *)
+val connect : 'a t -> host:int -> to_host:int -> to_port:int -> ('a conn, [ `Refused ]) result
+
+(** [send conn ?size v] queues [v] for delivery ([size] in bytes, default
+    [64], determines transmission time). Returns [false] if the connection
+    is already closed locally or by the peer (the message is dropped, like
+    a write on a reset socket). *)
+val send : 'a conn -> ?size:int -> 'a -> bool
+
+(** [recv conn] blocks until a message or the closure marker arrives. *)
+val recv : 'a conn -> 'a recv_result
+
+(** [recv_timeout conn ~timeout] like {!recv} with an expiry; [None] on
+    timeout. *)
+val recv_timeout : 'a conn -> timeout:float -> 'a recv_result option
+
+(** [close conn] closes the local endpoint; the peer observes [Closed]
+    after the propagation delay. Idempotent. *)
+val close : 'a conn -> unit
+
+(** [is_open conn] is false once the local endpoint is closed or the peer's
+    closure has been observed. *)
+val is_open : 'a conn -> bool
+
+val local_host : 'a conn -> int
+val peer_host : 'a conn -> int

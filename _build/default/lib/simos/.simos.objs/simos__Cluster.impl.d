@@ -1,0 +1,1 @@
+lib/simos/cluster.ml: Array Engine List Printf Proc Simkern String

@@ -1,0 +1,1 @@
+lib/simos/cluster.mli: Engine Proc Simkern

@@ -1,0 +1,42 @@
+open Simkern
+
+type host = { host_id : int; host_name : string; mutable host_tasks : Proc.t list }
+
+type t = { eng : Engine.t; machines : host array }
+
+let create eng ~size =
+  if size <= 0 then invalid_arg "Cluster.create: size must be positive";
+  let machines =
+    Array.init size (fun i ->
+        { host_id = i; host_name = Printf.sprintf "node%03d" i; host_tasks = [] })
+  in
+  { eng; machines }
+
+let engine t = t.eng
+let size t = Array.length t.machines
+
+let host t id =
+  if id < 0 || id >= Array.length t.machines then
+    invalid_arg (Printf.sprintf "Cluster.host: unknown host %d" id);
+  t.machines.(id)
+
+let hosts t = Array.to_list t.machines
+
+let spawn_on t ~host:id ?name body =
+  let h = host t id in
+  let name = match name with Some n -> n | None -> Printf.sprintf "task@%s" h.host_name in
+  let p = Proc.spawn t.eng ~name body in
+  h.host_tasks <- p :: h.host_tasks;
+  Proc.on_exit p (fun _ ->
+      h.host_tasks <- List.filter (fun q -> Proc.pid q <> Proc.pid p) h.host_tasks);
+  p
+
+let tasks t ~host:id = (host t id).host_tasks
+
+let find_task t ~host:id ~name =
+  List.find_opt (fun p -> String.equal (Proc.name p) name) (host t id).host_tasks
+
+let kill_all t ~host:id = List.iter Proc.kill (host t id).host_tasks
+
+let live_task_count t =
+  Array.fold_left (fun acc h -> acc + List.length h.host_tasks) 0 t.machines

@@ -1,0 +1,46 @@
+(** Simulated cluster: a set of hosts and the tasks running on them.
+
+    Mirrors the paper's Grid Explorer setup: an experiment devotes more
+    machines than application processes (e.g. 53 hosts for BT-49) so that
+    spare processors are always available after failures. Host identifiers
+    double as network addresses in {!Simnet.Net}. *)
+
+open Simkern
+
+type t
+
+type host = {
+  host_id : int;
+  host_name : string;
+  mutable host_tasks : Proc.t list;  (** live tasks, most recent first *)
+}
+
+(** [create engine ~size] builds a cluster of [size] hosts with ids
+    [0 .. size-1]. *)
+val create : Engine.t -> size:int -> t
+
+val engine : t -> Engine.t
+val size : t -> int
+
+(** [host t id] returns the host record. Raises [Invalid_argument] on an
+    unknown id. *)
+val host : t -> int -> host
+
+val hosts : t -> host list
+
+(** [spawn_on t ~host ?name body] starts a task on [host]. The task is
+    tracked in the host's registry until it exits. *)
+val spawn_on : t -> host:int -> ?name:string -> (unit -> unit) -> Proc.t
+
+(** [tasks t ~host] returns the live tasks on [host]. *)
+val tasks : t -> host:int -> Proc.t list
+
+(** [find_task t ~host ~name] returns the most recently spawned live task
+    with the given name. *)
+val find_task : t -> host:int -> name:string -> Proc.t option
+
+(** [kill_all t ~host] kills every live task on [host]. *)
+val kill_all : t -> host:int -> unit
+
+(** [live_task_count t] is the total number of live tasks. *)
+val live_task_count : t -> int

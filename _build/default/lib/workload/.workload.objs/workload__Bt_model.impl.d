@@ -1,0 +1,1 @@
+lib/workload/bt_model.ml: Mpivcl Printf Stencil

@@ -1,0 +1,1 @@
+lib/workload/master_worker.ml: App Array Float Mpivcl Printf Proc Simkern Stencil

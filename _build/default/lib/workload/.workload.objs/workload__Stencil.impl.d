@@ -1,0 +1,1 @@
+lib/workload/stencil.ml: App Array List Mpivcl Printf Proc Simkern

@@ -1,0 +1,85 @@
+open Simkern
+open Mpivcl
+
+type params = { tasks : int; task_time : float; task_bytes : int; jitter : float }
+
+let task_payload task_id = Stencil.mix (task_id + 1) 0x5157
+let task_result task_id payload = Stencil.mix payload (task_id * 31)
+
+let check_ranks n = if n < 2 then invalid_arg "Master_worker: need at least 2 ranks"
+
+let rounds params ~n_ranks =
+  check_ranks n_ranks;
+  let workers = n_ranks - 1 in
+  (params.tasks + workers - 1) / workers
+
+(* Tags: round r task to worker = r; result back = r; final broadcast =
+   rounds + 1. (src, dst, tag) stays unique because each pair exchanges
+   one message per round and direction. *)
+let app params ~n_ranks =
+  check_ranks n_ranks;
+  let workers = n_ranks - 1 in
+  let n_rounds = rounds params ~n_ranks in
+  let final_tag = n_rounds + 1 in
+  let main (ctx : App.ctx) =
+    let state = ctx.App.state in
+    let rank = ctx.App.rank in
+    if rank = 0 then begin
+      for round = state.(0) to n_rounds - 1 do
+        ctx.App.set_app_var "round" round;
+        for w = 1 to workers do
+          let task_id = (round * workers) + (w - 1) in
+          ctx.App.send ~dst:w ~tag:round ~bytes:params.task_bytes (task_payload task_id)
+        done;
+        for w = 1 to workers do
+          let result = ctx.App.recv ~src:w ~tag:round in
+          state.(1) <- Stencil.mix state.(1) result
+        done;
+        state.(0) <- round + 1;
+        ctx.App.commit ()
+      done;
+      if state.(2) = 0 then begin
+        let final = if state.(1) = 0 then 1 else state.(1) in
+        for w = 1 to workers do
+          ctx.App.send ~dst:w ~tag:final_tag final
+        done;
+        state.(2) <- final;
+        ctx.App.commit ()
+      end
+    end
+    else begin
+      for round = state.(0) to n_rounds - 1 do
+        ctx.App.set_app_var "round" round;
+        let payload = ctx.App.recv ~src:0 ~tag:round in
+        let task_id = (round * workers) + (rank - 1) in
+        Proc.sleep
+          (Float.max 0.0
+             (params.task_time *. (1.0 +. (params.jitter *. ctx.App.noise task_id))));
+        let result = task_result task_id payload in
+        state.(1) <- result;
+        ctx.App.send ~dst:0 ~tag:round ~bytes:params.task_bytes result;
+        state.(0) <- round + 1;
+        ctx.App.commit ()
+      done;
+      if state.(2) = 0 then begin
+        state.(2) <- ctx.App.recv ~src:0 ~tag:final_tag;
+        ctx.App.commit ()
+      end
+    end;
+    ctx.App.set_app_var "checksum" state.(2);
+    ctx.App.finalize ()
+  in
+  { App.app_name = Printf.sprintf "master-worker-%d" n_ranks; state_size = 3; main }
+
+let reference_checksum params ~n_ranks =
+  check_ranks n_ranks;
+  let workers = n_ranks - 1 in
+  let n_rounds = rounds params ~n_ranks in
+  let acc = ref 0 in
+  for round = 0 to n_rounds - 1 do
+    for w = 1 to workers do
+      let task_id = (round * workers) + (w - 1) in
+      acc := Stencil.mix !acc (task_result task_id (task_payload task_id))
+    done
+  done;
+  if !acc = 0 then 1 else !acc

@@ -1,0 +1,35 @@
+(** Master–worker workload.
+
+    The paper's introduction singles out master–worker execution as the
+    other dominant MPI pattern besides SPMD. This model is a static task
+    farm: rank 0 distributes [tasks] work units to the workers in
+    round-robin rounds, collects the results, folds them into a checksum
+    and finally broadcasts it to every rank. Task service times carry
+    seeded jitter (through [App.ctx.noise]), so rounds are irregular while
+    the computation stays deterministic — the property rollback recovery
+    relies on.
+
+    Failure-wise this workload is interesting because rank 0 is a single
+    hot spot: killing the master forces either a global rollback (Vcl) or
+    a master-only restart whose results are re-fed from the workers' send
+    logs (V2).
+
+    State layout: [state.(0)] = next round, [state.(1)] = running
+    checksum (master) / last result (worker), [state.(2)] = final
+    checksum. *)
+
+type params = {
+  tasks : int;  (** total work units; rounded up to full rounds *)
+  task_time : float;  (** mean service time per task, seconds *)
+  task_bytes : int;  (** task/result message size *)
+  jitter : float;  (** relative service-time noise *)
+}
+
+(** [app params ~n_ranks] builds the application ([n_ranks >= 2]). *)
+val app : params -> n_ranks:int -> Mpivcl.App.t
+
+(** [reference_checksum params ~n_ranks] is the fault-free result. *)
+val reference_checksum : params -> n_ranks:int -> int
+
+(** [rounds params ~n_ranks] is the number of distribution rounds. *)
+val rounds : params -> n_ranks:int -> int

@@ -1,0 +1,1 @@
+test/test_fail_lang.mli:

@@ -1,0 +1,1 @@
+test/test_failmpi.ml: Alcotest Experiments Fail_lang Failmpi Filename Format Fun List Mpivcl Simkern Str String Workload

@@ -1,0 +1,1 @@
+test/test_fci.ml: Alcotest Compile Engine Fail_lang Fci List Option Printf Proc Simkern Str

@@ -1,0 +1,1 @@
+test/test_simkern.ml: Alcotest Array Buffer Engine Fun Gen Heap Int Int64 Ivar List Mailbox Printf Proc QCheck QCheck_alcotest Rng Simkern String Trace

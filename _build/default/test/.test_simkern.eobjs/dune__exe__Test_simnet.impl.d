@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Engine List Net Proc Simkern Simnet Simos

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bt_model Failmpi List Master_worker Mpivcl Option Printf QCheck QCheck_alcotest Stencil Workload

@@ -1,0 +1,406 @@
+(* Tests for the public Failmpi API: spec construction, outcome
+   classification (completed / non-terminating / buggy), checksum
+   validation, and end-to-end paper-scenario behaviour on small
+   clusters. *)
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+let check_int = check Alcotest.int
+
+let small_params = { Workload.Stencil.iterations = 60; compute_time = 0.5; msg_bytes = 5_000; jitter = 0.0 }
+
+let small_spec ?(n_ranks = 4) ?(n_machines = 8) ?scenario ?(buggy = true) ?(timeout = 400.0) () =
+  let app = Workload.Stencil.app small_params ~n_ranks in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.wave_interval = 10.0;
+      dispatcher_buggy = buggy;
+      term_straggler_prob = 0.0;
+    }
+  in
+  {
+    (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes:1_000_000) with
+    Failmpi.Run.scenario;
+    timeout;
+  }
+
+let expected = Workload.Stencil.reference_checksum small_params ~n_ranks:4
+
+let test_no_faults_completes () =
+  let r = Failmpi.Run.execute ~expected_checksum:expected (small_spec ()) in
+  (match r.Failmpi.Run.outcome with
+  | Failmpi.Run.Completed t -> check_bool "plausible time" true (t > 29.0 && t < 45.0)
+  | _ -> Alcotest.fail "expected completion");
+  check_bool "checksums ok" true (r.Failmpi.Run.checksum_ok = Some true);
+  check_bool "waves committed" true (r.Failmpi.Run.committed_waves >= 1);
+  check_int "no faults" 0 r.Failmpi.Run.injected_faults;
+  check_int "no recoveries" 0 r.Failmpi.Run.recoveries
+
+let test_frequency_scenario_recovers () =
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:15 in
+  let r = Failmpi.Run.execute ~expected_checksum:expected (small_spec ~scenario ()) in
+  check_bool "completed" true
+    (match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false);
+  check_bool "faults injected" true (r.Failmpi.Run.injected_faults >= 1);
+  check_bool "recovered" true (r.Failmpi.Run.recoveries >= 1);
+  check_bool "checksums still ok" true (r.Failmpi.Run.checksum_ok = Some true)
+
+let test_state_sync_is_buggy () =
+  (* Figure 10/11 on a small cluster: the historical dispatcher must
+     freeze; classification = Buggy. *)
+  let scenario = Fail_lang.Paper_scenarios.state_synchronized ~n_machines:8 ~period:15 in
+  let r = Failmpi.Run.execute (small_spec ~scenario ()) in
+  check_bool "buggy" true (r.Failmpi.Run.outcome = Failmpi.Run.Buggy);
+  check_bool "confused" true r.Failmpi.Run.confused;
+  check_int "two faults" 2 r.Failmpi.Run.injected_faults
+
+let test_state_sync_fixed_dispatcher_survives () =
+  let scenario = Fail_lang.Paper_scenarios.state_synchronized ~n_machines:8 ~period:15 in
+  let r =
+    Failmpi.Run.execute ~expected_checksum:expected (small_spec ~scenario ~buggy:false ())
+  in
+  check_bool "completed" true
+    (match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false);
+  check_bool "not confused" false r.Failmpi.Run.confused;
+  check_bool "checksums ok" true (r.Failmpi.Run.checksum_ok = Some true)
+
+let test_overwhelming_faults_non_terminating () =
+  (* Faults faster than any wave can commit: rollback/crash cycle. *)
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:6 in
+  let r = Failmpi.Run.execute (small_spec ~scenario ~timeout:300.0 ()) in
+  check_bool "non-terminating" true (r.Failmpi.Run.outcome = Failmpi.Run.Non_terminating);
+  check_bool "many faults" true (r.Failmpi.Run.injected_faults > 10)
+
+let test_v2_survives_overwhelming_faults () =
+  (* Same fault rate as [test_overwhelming_faults_non_terminating], but
+     under sender-based message logging: only the failed rank restarts
+     from its own recent checkpoint, so the run completes — the
+     cross-protocol contrast of Ablations.protocol_comparison. *)
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:6 in
+  let spec = small_spec ~scenario ~timeout:600.0 () in
+  let spec =
+    {
+      spec with
+      Failmpi.Run.cfg =
+        { spec.Failmpi.Run.cfg with Mpivcl.Config.protocol = Mpivcl.Config.Sender_logging };
+    }
+  in
+  let r = Failmpi.Run.execute ~expected_checksum:expected spec in
+  check_bool "completed" true
+    (match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false);
+  check_bool "many faults survived" true (r.Failmpi.Run.injected_faults > 5);
+  check_bool "checksums ok" true (r.Failmpi.Run.checksum_ok = Some true)
+
+let test_checksum_mismatch_detected () =
+  let r = Failmpi.Run.execute ~expected_checksum:12345 (small_spec ()) in
+  check_bool "mismatch flagged" true (r.Failmpi.Run.checksum_ok = Some false)
+
+let test_scenario_error_raises () =
+  let spec = small_spec ~scenario:"Daemon Broken {" () in
+  try
+    ignore (Failmpi.Run.execute spec);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument msg ->
+    check_bool "mentions scenario error" true
+      (try
+         ignore (Str.search_forward (Str.regexp_string "scenario error") msg 0);
+         true
+       with Not_found -> false)
+
+let test_outcome_names () =
+  check Alcotest.string "completed" "completed"
+    (Failmpi.Run.outcome_name (Failmpi.Run.Completed 1.0));
+  check Alcotest.string "non-terminating" "non-terminating"
+    (Failmpi.Run.outcome_name Failmpi.Run.Non_terminating);
+  check Alcotest.string "buggy" "buggy" (Failmpi.Run.outcome_name Failmpi.Run.Buggy)
+
+let test_determinism () =
+  (* The whole experiment is a pure function of the seed. *)
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:15 in
+  let run seed =
+    let r =
+      Failmpi.Run.execute { (small_spec ~scenario ()) with Failmpi.Run.seed }
+    in
+    ( Failmpi.Run.outcome_name r.Failmpi.Run.outcome,
+      r.Failmpi.Run.injected_faults,
+      r.Failmpi.Run.recoveries,
+      Simkern.Trace.length r.Failmpi.Run.trace )
+  in
+  check_bool "same seed same run" true (run 42L = run 42L);
+  let a = run 42L and b = run 43L in
+  let _, _, _, la = a and _, _, _, lb = b in
+  check_bool "different seeds differ" true (la <> lb || a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments harness *)
+
+let test_stats () =
+  check_bool "mean" true (Experiments.Stats.mean [ 1.0; 2.0; 3.0 ] = Some 2.0);
+  check_bool "mean empty" true (Experiments.Stats.mean [] = None);
+  (match Experiments.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] with
+  | Some s -> check (Alcotest.float 1e-9) "stddev" 2.138089935299395 s
+  | None -> Alcotest.fail "stddev");
+  check_bool "stddev singleton" true (Experiments.Stats.stddev [ 1.0 ] = None);
+  check (Alcotest.float 1e-9) "percent" 25.0 (Experiments.Stats.percent ~total:8 2);
+  check (Alcotest.float 1e-9) "percent zero total" 0.0 (Experiments.Stats.percent ~total:0 5);
+  check_bool "median" true (Experiments.Stats.quantile 0.5 [ 1.0; 2.0; 3.0 ] = Some 2.0)
+
+let test_aggregate () =
+  let mk outcome =
+    {
+      Failmpi.Run.outcome;
+      injected_faults = 2;
+      recoveries = 1;
+      committed_waves = 3;
+      confused = (outcome = Failmpi.Run.Buggy);
+      checksums = [];
+      checksum_ok = None;
+      trace = Simkern.Trace.create ();
+    }
+  in
+  let agg =
+    Experiments.Harness.aggregate ~label:"x"
+      [
+        mk (Failmpi.Run.Completed 100.0);
+        mk (Failmpi.Run.Completed 200.0);
+        mk Failmpi.Run.Non_terminating;
+        mk Failmpi.Run.Buggy;
+      ]
+  in
+  check_int "runs" 4 agg.Experiments.Harness.runs;
+  check_int "completed" 2 agg.Experiments.Harness.completed;
+  check_bool "mean time" true (agg.Experiments.Harness.mean_time = Some 150.0);
+  check (Alcotest.float 1e-9) "pct nonterm" 25.0 agg.Experiments.Harness.pct_non_terminating;
+  check (Alcotest.float 1e-9) "pct buggy" 25.0 agg.Experiments.Harness.pct_buggy;
+  check_int "no checksum failures" 0 agg.Experiments.Harness.checksum_failures
+
+let test_render_table () =
+  let agg =
+    Experiments.Harness.aggregate ~label:"some-config"
+      [
+        {
+          Failmpi.Run.outcome = Failmpi.Run.Completed 123.0;
+          injected_faults = 0;
+          recoveries = 0;
+          committed_waves = 1;
+          confused = false;
+          checksums = [];
+          checksum_ok = Some true;
+          trace = Simkern.Trace.create ();
+        };
+      ]
+  in
+  let table = Experiments.Harness.render_table ~title:"T" [ agg ] in
+  check_bool "has label" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "some-config") table 0);
+       true
+     with Not_found -> false);
+  check_bool "has time" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "123") table 0);
+       true
+     with Not_found -> false)
+
+let test_machines_for () =
+  check_int "paper allocation" 53 (Experiments.Harness.machines_for 49);
+  check_int "bt-25" 29 (Experiments.Harness.machines_for 25)
+
+let test_replicate_seeds () =
+  let seeds = ref [] in
+  let _ =
+    Experiments.Harness.replicate ~reps:3 ~base_seed:10 (fun ~seed ->
+        seeds := seed :: !seeds;
+        {
+          Failmpi.Run.outcome = Failmpi.Run.Completed 1.0;
+          injected_faults = 0;
+          recoveries = 0;
+          committed_waves = 0;
+          confused = false;
+          checksums = [];
+          checksum_ok = None;
+          trace = Simkern.Trace.create ();
+        })
+  in
+  check_bool "sequential seeds" true (List.rev !seeds = [ 10L; 11L; 12L ])
+
+let test_trace_analysis () =
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:15 in
+  let r = Failmpi.Run.execute (small_spec ~scenario ()) in
+  let s = Experiments.Trace_analysis.summarize r.Failmpi.Run.trace in
+  check_int "fault count matches" r.Failmpi.Run.injected_faults
+    (List.length s.Experiments.Trace_analysis.fault_times);
+  check_int "recovery count matches" r.Failmpi.Run.recoveries
+    (List.length s.Experiments.Trace_analysis.recoveries);
+  check_bool "recoveries closed" true
+    (List.for_all
+       (fun rec_ -> rec_.Experiments.Trace_analysis.rec_end <> None)
+       s.Experiments.Trace_analysis.recoveries);
+  check_bool "durations positive" true
+    (List.for_all (fun d -> d > 0.0) (Experiments.Trace_analysis.recovery_durations s));
+  check_bool "no confusion" true (s.Experiments.Trace_analysis.confusion_time = None);
+  let report = Format.asprintf "%a" Experiments.Trace_analysis.pp s in
+  check_bool "report mentions faults" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "faults injected") report 0);
+       true
+     with Not_found -> false)
+
+let test_trace_analysis_confusion () =
+  let scenario = Fail_lang.Paper_scenarios.state_synchronized ~n_machines:8 ~period:15 in
+  let r = Failmpi.Run.execute (small_spec ~scenario ()) in
+  let s = Experiments.Trace_analysis.summarize r.Failmpi.Run.trace in
+  check_bool "confusion time recorded" true
+    (s.Experiments.Trace_analysis.confusion_time <> None)
+
+let test_events_csv () =
+  let trace = Simkern.Trace.create () in
+  Simkern.Trace.record trace ~time:1.5 ~source:"x" ~event:"ev" "detail, with comma";
+  let csv = Experiments.Trace_analysis.events_csv trace in
+  check_bool "header" true
+    (String.length csv > 10 && String.sub csv 0 4 = "time");
+  check_bool "quoted comma" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "\"detail, with comma\"") csv 0);
+       true
+     with Not_found -> false)
+
+let test_aggs_csv () =
+  let agg =
+    Experiments.Harness.aggregate ~label:"cfg-a"
+      [
+        {
+          Failmpi.Run.outcome = Failmpi.Run.Completed 10.0;
+          injected_faults = 1;
+          recoveries = 1;
+          committed_waves = 2;
+          confused = false;
+          checksums = [];
+          checksum_ok = Some true;
+          trace = Simkern.Trace.create ();
+        };
+      ]
+  in
+  let csv = Experiments.Harness.aggs_csv [ agg ] in
+  check_int "two lines" 2 (List.length (String.split_on_char '\n' (String.trim csv)));
+  check_bool "has label" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "cfg-a,1,1,0,0,10.0") csv 0);
+       true
+     with Not_found -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Shipped scenario files *)
+
+let read_scenario name =
+  let path = Filename.concat "../scenarios" name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_scenario_files_compile () =
+  List.iter
+    (fun (file, params) ->
+      match Fail_lang.Compile.compile_source ~params (read_scenario file) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" file msg)
+    [
+      ("random_crash.fail", [ ("PERIOD", 30) ]);
+      ("cascade.fail", [ ("START", 20) ]);
+      ("freeze_thaw.fail", [ ("PERIOD", 25) ]);
+      ("wave_sniper.fail", [ ("DELAY", 10) ]);
+    ]
+
+let run_scenario_file ?(n_ranks = 9) file params =
+  let app = Workload.Stencil.app small_params ~n_ranks in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.wave_interval = 10.0;
+      term_straggler_prob = 0.0;
+    }
+  in
+  let spec =
+    {
+      (Failmpi.Run.default_spec ~app ~cfg ~n_compute:10 ~state_bytes:500_000) with
+      Failmpi.Run.scenario = Some (read_scenario file);
+      params;
+      timeout = 500.0;
+    }
+  in
+  Failmpi.Run.execute
+    ~expected_checksum:(Workload.Stencil.reference_checksum small_params ~n_ranks)
+    spec
+
+let test_scenario_cascade () =
+  let r = run_scenario_file "cascade.fail" [ ("START", 8) ] in
+  check_bool "several faults" true (r.Failmpi.Run.injected_faults >= 2);
+  check_bool "completed" true
+    (match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false);
+  check_bool "checksum" true (r.Failmpi.Run.checksum_ok = Some true)
+
+let test_scenario_freeze_thaw () =
+  (* Freezes slow the run down but never trigger failure detection. *)
+  let r = run_scenario_file "freeze_thaw.fail" [ ("PERIOD", 12) ] in
+  check_int "no crashes" 0 r.Failmpi.Run.injected_faults;
+  check_int "no recoveries" 0 r.Failmpi.Run.recoveries;
+  (match r.Failmpi.Run.outcome with
+  | Failmpi.Run.Completed t -> check_bool "slower than fault-free" true (t > 31.0)
+  | _ -> Alcotest.fail "expected completion");
+  check_bool "checksum" true (r.Failmpi.Run.checksum_ok = Some true)
+
+let test_scenario_wave_sniper () =
+  let r = run_scenario_file "wave_sniper.fail" [ ("DELAY", 5) ] in
+  check_int "exactly one fault" 1 r.Failmpi.Run.injected_faults;
+  check_bool "completed" true
+    (match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false);
+  check_bool "checksum" true (r.Failmpi.Run.checksum_ok = Some true)
+
+let test_delay_scenario_compiles () =
+  let src = Experiments.Delay_experiment.scenario ~n_machines:10 ~delay:7 in
+  match Fail_lang.Compile.compile_source src with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "delay scenario: %s" msg
+
+let () =
+  Alcotest.run "failmpi"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "no faults completes" `Quick test_no_faults_completes;
+          Alcotest.test_case "frequency scenario recovers" `Quick test_frequency_scenario_recovers;
+          Alcotest.test_case "state-sync is buggy" `Quick test_state_sync_is_buggy;
+          Alcotest.test_case "fixed dispatcher survives" `Quick
+            test_state_sync_fixed_dispatcher_survives;
+          Alcotest.test_case "overwhelming faults non-terminating" `Quick
+            test_overwhelming_faults_non_terminating;
+          Alcotest.test_case "V2 survives overwhelming faults" `Quick
+            test_v2_survives_overwhelming_faults;
+          Alcotest.test_case "checksum mismatch detected" `Quick test_checksum_mismatch_detected;
+          Alcotest.test_case "scenario error raises" `Quick test_scenario_error_raises;
+          Alcotest.test_case "outcome names" `Quick test_outcome_names;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "render table" `Quick test_render_table;
+          Alcotest.test_case "machines_for" `Quick test_machines_for;
+          Alcotest.test_case "replicate seeds" `Quick test_replicate_seeds;
+          Alcotest.test_case "delay scenario compiles" `Quick test_delay_scenario_compiles;
+          Alcotest.test_case "trace analysis" `Quick test_trace_analysis;
+          Alcotest.test_case "trace analysis confusion" `Quick test_trace_analysis_confusion;
+          Alcotest.test_case "events csv" `Quick test_events_csv;
+          Alcotest.test_case "aggs csv" `Quick test_aggs_csv;
+        ] );
+      ( "scenario-files",
+        [
+          Alcotest.test_case "all compile" `Quick test_scenario_files_compile;
+          Alcotest.test_case "cascade" `Quick test_scenario_cascade;
+          Alcotest.test_case "freeze/thaw" `Quick test_scenario_freeze_thaw;
+          Alcotest.test_case "wave sniper" `Quick test_scenario_wave_sniper;
+        ] );
+    ]

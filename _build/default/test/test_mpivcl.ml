@@ -1,0 +1,464 @@
+(* Integration tests for the MPICH-Vcl substrate: failure-free runs,
+   rollback-recovery correctness (checksum-validated), checkpoint server
+   behaviour, the dispatcher recovery bug and its fix, and the blocking
+   protocol variant. *)
+
+open Simkern
+open Simos
+open Mpivcl
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* A small, fast stencil configuration for tests. *)
+let test_params = { Workload.Stencil.iterations = 30; compute_time = 0.5; msg_bytes = 10_000; jitter = 0.0 }
+
+let test_cfg ~n_ranks =
+  {
+    (Config.default ~n_ranks) with
+    Config.wave_interval = 5.0;
+    server_bandwidth = 1e8;
+    init_delay_min = 0.1;
+    init_delay_max = 0.1;
+    ssh_delay = 0.3;
+    relaunch_delay = 0.0;
+    term_lag_min = 0.2;
+    term_lag_max = 2.0;
+    term_straggler_prob = 0.0;
+    store_jitter = 0.0;
+  }
+
+(* Captures each rank's final state after its last (re-)execution. *)
+let instrument_app app results =
+  {
+    app with
+    App.main =
+      (fun ctx ->
+        app.App.main ctx;
+        Hashtbl.replace results ctx.App.rank ctx.App.state.(2));
+  }
+
+type run = {
+  eng : Engine.t;
+  handle : Deploy.handle;
+  results : (int, int) Hashtbl.t;
+  reference : int;
+  n_ranks : int;
+}
+
+let setup ?(seed = 7L) ?(n_ranks = 4) ?(n_compute = 6) ?cfg ?params () =
+  let params = Option.value ~default:test_params params in
+  let cfg = match cfg with Some c -> c | None -> test_cfg ~n_ranks in
+  let eng = Engine.create ~seed () in
+  let results = Hashtbl.create 16 in
+  let app = instrument_app (Workload.Stencil.app params ~n_ranks) results in
+  let handle = Deploy.launch eng ~cfg ~app ~state_bytes:1_000_000 ~n_compute () in
+  let reference = Workload.Stencil.reference_checksum params ~n_ranks in
+  { eng; handle; results; reference; n_ranks }
+
+let run_until run t = ignore (Engine.run ~until:t run.eng)
+
+let assert_completed ?(msg = "completed") run =
+  match Dispatcher.peek_outcome run.handle.Deploy.dispatcher with
+  | Some (Dispatcher.Completed _) -> ()
+  | Some (Dispatcher.Aborted reason) -> Alcotest.failf "%s: aborted: %s" msg reason
+  | None -> Alcotest.failf "%s: still running" msg
+
+let assert_checksums run =
+  check_int "all ranks reported" run.n_ranks (Hashtbl.length run.results);
+  Hashtbl.iter
+    (fun rank checksum ->
+      check_int (Printf.sprintf "rank %d checksum" rank) run.reference checksum)
+    run.results
+
+(* Kill the whole MPI task of [rank] (communication daemon + computation
+   process), as a FAIL-MPI halt does. *)
+let kill_rank run rank =
+  let cluster = Deploy.cluster run.handle in
+  let killed = ref 0 in
+  List.iter
+    (fun (h : Cluster.host) ->
+      List.iter
+        (fun p ->
+          let name = Proc.name p in
+          if
+            String.equal name (Printf.sprintf "vdaemon-%d" rank)
+            || String.equal name (Printf.sprintf "mpi-%d" rank)
+          then begin
+            Proc.kill p;
+            incr killed
+          end)
+        h.Cluster.host_tasks)
+    (Cluster.hosts cluster);
+  !killed
+
+(* ------------------------------------------------------------------ *)
+
+let test_failure_free_completes () =
+  let run = setup () in
+  run_until run 100.0;
+  assert_completed run;
+  assert_checksums run
+
+let test_failure_free_9_ranks () =
+  let run = setup ~n_ranks:9 ~n_compute:11 () in
+  run_until run 100.0;
+  assert_completed run;
+  assert_checksums run
+
+let test_single_rank () =
+  let run = setup ~n_ranks:1 ~n_compute:2 () in
+  run_until run 100.0;
+  assert_completed run;
+  assert_checksums run
+
+let test_waves_commit () =
+  let run = setup () in
+  run_until run 100.0;
+  check_bool "at least two committed waves" true
+    (match run.handle.Deploy.scheduler with
+    | Some s -> Scheduler.committed_count s >= 2
+    | None -> false)
+
+let test_frequent_waves_correct () =
+  (* Stress the non-blocking cut path: waves far more frequent than
+     iterations. *)
+  let cfg = { (test_cfg ~n_ranks:4) with Config.wave_interval = 1.0 } in
+  let run = setup ~cfg () in
+  run_until run 120.0;
+  assert_completed run;
+  assert_checksums run
+
+let test_single_fault_recovers () =
+  let run = setup () in
+  Engine.schedule run.eng ~delay:8.0 (fun () -> ignore (kill_rank run 2)) |> ignore;
+  run_until run 300.0;
+  check_bool "one recovery" true (Dispatcher.recoveries run.handle.Deploy.dispatcher >= 1);
+  assert_completed run;
+  assert_checksums run
+
+let test_fault_before_first_commit () =
+  (* Failure before any wave committed: everything restarts from
+     scratch. *)
+  let cfg = { (test_cfg ~n_ranks:4) with Config.wave_interval = 1000.0 } in
+  let run = setup ~cfg () in
+  Engine.schedule run.eng ~delay:5.0 (fun () -> ignore (kill_rank run 1)) |> ignore;
+  run_until run 300.0;
+  assert_completed run;
+  assert_checksums run
+
+let test_sequential_faults_recover () =
+  let run = setup () in
+  List.iter
+    (fun (delay, rank) ->
+      Engine.schedule run.eng ~delay (fun () -> ignore (kill_rank run rank)) |> ignore)
+    [ (7.0, 0); (13.0, 3); (19.0, 1) ];
+  run_until run 400.0;
+  check_bool "three recoveries" true (Dispatcher.recoveries run.handle.Deploy.dispatcher >= 3);
+  assert_completed run;
+  assert_checksums run
+
+let test_fault_on_spare_rank_moves () =
+  let run = setup () in
+  Engine.schedule run.eng ~delay:8.0 (fun () -> ignore (kill_rank run 2)) |> ignore;
+  run_until run 300.0;
+  assert_completed run;
+  (* The failed rank must have been reallocated to a spare host. *)
+  let trace = Engine.trace run.eng in
+  check_bool "reallocated" true (Trace.count trace ~event:"reallocate" >= 1)
+
+let test_blocking_protocol () =
+  let cfg = { (test_cfg ~n_ranks:4) with Config.protocol = Config.Blocking } in
+  let run = setup ~cfg () in
+  Engine.schedule run.eng ~delay:9.0 (fun () -> ignore (kill_rank run 1)) |> ignore;
+  run_until run 300.0;
+  assert_completed run;
+  assert_checksums run
+
+(* Engineer the recovery race: kill a rank, then kill its relaunched
+   daemon shortly after it re-registers, while old-wave daemons are still
+   stopping. *)
+let engineer_race ~buggy ~seed =
+  let cfg = { (test_cfg ~n_ranks:4) with Config.dispatcher_buggy = buggy } in
+  let run = setup ~seed ~cfg () in
+  Engine.schedule run.eng ~delay:8.0 (fun () -> ignore (kill_rank run 2)) |> ignore;
+  (* The replacement daemon registers after ~ssh (0.3 s) + handshake
+     (0.1 s); old daemons take 0.2..2 s to stop. Kill at +0.9 s. *)
+  Engine.schedule run.eng ~delay:8.9 (fun () -> ignore (kill_rank run 2)) |> ignore;
+  run_until run 400.0;
+  run
+
+let test_buggy_dispatcher_freezes () =
+  let run = engineer_race ~buggy:true ~seed:11L in
+  check_bool "dispatcher confused" true (Dispatcher.confused run.handle.Deploy.dispatcher);
+  check_bool "frozen, not completed" true
+    (Dispatcher.peek_outcome run.handle.Deploy.dispatcher = None)
+
+let test_fixed_dispatcher_survives () =
+  let run = engineer_race ~buggy:false ~seed:11L in
+  check_bool "not confused" false (Dispatcher.confused run.handle.Deploy.dispatcher);
+  assert_completed run ~msg:"fixed dispatcher";
+  assert_checksums run
+
+let test_spawn_kill_retries () =
+  (* Killing the daemon before it registers must lead to a clean retry,
+     not to confusion (the paper's Figure 9 "clean" cases). *)
+  let run = setup () in
+  Engine.schedule run.eng ~delay:8.0 (fun () -> ignore (kill_rank run 2)) |> ignore;
+  (* Relaunch ssh takes 0.3 s; kill during it (pre-Hello). *)
+  Engine.schedule run.eng ~delay:8.35 (fun () -> ignore (kill_rank run 2)) |> ignore;
+  run_until run 400.0;
+  check_bool "never confused" false (Dispatcher.confused run.handle.Deploy.dispatcher);
+  assert_completed run;
+  assert_checksums run
+
+(* ------------------------------------------------------------------ *)
+(* Sender-based message logging (MPICH-V2-style) *)
+
+let v2_cfg ~n_ranks = { (test_cfg ~n_ranks) with Config.protocol = Config.Sender_logging }
+
+let test_v2_failure_free () =
+  let run = setup ~cfg:(v2_cfg ~n_ranks:4) () in
+  run_until run 100.0;
+  assert_completed run;
+  assert_checksums run;
+  (* Independent checkpoints happened. *)
+  let trace = Engine.trace run.eng in
+  check_bool "independent checkpoints" true
+    (Trace.count trace ~event:"checkpoint-committed" >= 4)
+
+let test_v2_single_fault_restarts_only_failed () =
+  let run = setup ~cfg:(v2_cfg ~n_ranks:4) () in
+  Engine.schedule run.eng ~delay:8.0 (fun () -> ignore (kill_rank run 2)) |> ignore;
+  run_until run 300.0;
+  assert_completed run;
+  assert_checksums run;
+  let trace = Engine.trace run.eng in
+  check_int "no termination orders" 0 (Trace.count trace ~event:"terminate-order");
+  check_int "no global recovery" 0 (Trace.count trace ~event:"recovery-start");
+  check_bool "failed rank resumed individually" true
+    (Trace.count trace ~event:"rank-resumed" >= 1);
+  check_bool "log resend happened" true (Trace.count trace ~event:"resend" >= 1)
+
+let test_v2_fault_before_first_checkpoint () =
+  let cfg = { (v2_cfg ~n_ranks:4) with Config.wave_interval = 1000.0 } in
+  let run = setup ~cfg () in
+  Engine.schedule run.eng ~delay:6.0 (fun () -> ignore (kill_rank run 1)) |> ignore;
+  run_until run 300.0;
+  assert_completed run;
+  assert_checksums run
+
+let test_v2_sequential_faults () =
+  let run = setup ~cfg:(v2_cfg ~n_ranks:4) () in
+  List.iter
+    (fun (delay, rank) ->
+      Engine.schedule run.eng ~delay (fun () -> ignore (kill_rank run rank)) |> ignore)
+    [ (6.0, 0); (11.0, 3); (16.0, 0) ];
+  run_until run 300.0;
+  assert_completed run;
+  assert_checksums run;
+  check_bool "three restarts" true (Dispatcher.recoveries run.handle.Deploy.dispatcher >= 3)
+
+let test_v2_concurrent_faults () =
+  (* Two ranks down at once: each recovers from its own image; the
+     checkpointed send logs make the resends possible. *)
+  let run = setup ~cfg:(v2_cfg ~n_ranks:4) () in
+  Engine.schedule run.eng ~delay:12.0 (fun () ->
+      ignore (kill_rank run 1);
+      ignore (kill_rank run 2))
+  |> ignore;
+  run_until run 300.0;
+  assert_completed run;
+  assert_checksums run
+
+let prop_v2_random_faults_correct =
+  QCheck.Test.make ~name:"V2: random faults complete correctly" ~count:15
+    QCheck.(pair (int_bound 1_000_000) (list_of_size (Gen.int_range 1 4) (pair (int_bound 3) (float_range 5.0 40.0))))
+    (fun (seed, faults) ->
+      let run = setup ~seed:(Int64.of_int seed) ~cfg:(v2_cfg ~n_ranks:4) () in
+      List.iter
+        (fun (rank, delay) ->
+          Engine.schedule run.eng ~delay (fun () -> ignore (kill_rank run rank)) |> ignore)
+        faults;
+      run_until run 2000.0;
+      match Dispatcher.peek_outcome run.handle.Deploy.dispatcher with
+      | Some (Dispatcher.Completed _) ->
+          Hashtbl.length run.results = run.n_ranks
+          && Hashtbl.fold (fun _ v acc -> acc && v = run.reference) run.results true
+      | Some (Dispatcher.Aborted _) | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint server unit tests *)
+
+let mk_image ~rank ~wave ~bytes =
+  {
+    Message.img_rank = rank;
+    img_wave = wave;
+    img_state = [| wave; rank |];
+    img_buffer = [];
+    img_redelivery = [];
+    img_logged = [];
+    img_seen = [];
+    img_received = [];
+    img_send_log = [];
+    img_next_ssn = [];
+    img_bytes = bytes;
+  }
+
+let with_server f =
+  let eng = Engine.create () in
+  let cluster = Cluster.create eng ~size:3 in
+  let net = Simnet.Net.create eng () in
+  let server = Ckpt_server.spawn eng cluster net ~host:0 ~bandwidth:1e6 () in
+  f eng cluster net server
+
+let test_server_store_commit_fetch () =
+  with_server (fun eng cluster net server ->
+      let got = ref None in
+      ignore
+        (Cluster.spawn_on cluster ~host:1 ~name:"client" (fun () ->
+             match Simnet.Net.connect net ~host:1 ~to_host:0 ~to_port:Config.server_port with
+             | Error `Refused -> Alcotest.fail "refused"
+             | Ok conn ->
+                 ignore (Simnet.Net.send conn (Message.Store { image = mk_image ~rank:3 ~wave:1 ~bytes:1_000_000 }));
+                 (match Simnet.Net.recv conn with
+                 | Simnet.Net.Data (Message.Store_done { wave = 1 }) -> ()
+                 | _ -> Alcotest.fail "expected Store_done");
+                 (* Not committed yet: fetch must find nothing. *)
+                 ignore (Simnet.Net.send conn (Message.Fetch { rank = 3; local_wave = None }));
+                 (match Simnet.Net.recv conn with
+                 | Simnet.Net.Data (Message.Fetch_image { image = None }) -> ()
+                 | _ -> Alcotest.fail "expected empty fetch before commit");
+                 ignore (Simnet.Net.send conn (Message.Commit { wave = 1 }));
+                 Proc.sleep 0.1;
+                 ignore (Simnet.Net.send conn (Message.Fetch { rank = 3; local_wave = None }));
+                 (match Simnet.Net.recv conn with
+                 | Simnet.Net.Data (Message.Fetch_image { image = Some img }) ->
+                     got := Some img.Message.img_wave
+                 | _ -> Alcotest.fail "expected image after commit")));
+      ignore (Engine.run ~until:60.0 eng);
+      check_bool "fetched wave 1" true (!got = Some 1);
+      check_bool "committed introspection" true (Ckpt_server.committed_wave server ~rank:3 = Some 1))
+
+let test_server_transfer_takes_time () =
+  with_server (fun eng cluster net _server ->
+      let stored_at = ref 0.0 in
+      ignore
+        (Cluster.spawn_on cluster ~host:1 ~name:"client" (fun () ->
+             match Simnet.Net.connect net ~host:1 ~to_host:0 ~to_port:Config.server_port with
+             | Error `Refused -> Alcotest.fail "refused"
+             | Ok conn ->
+                 (* 2 MB at 1 MB/s: the ack must arrive after ~2 s. *)
+                 ignore
+                   (Simnet.Net.send conn (Message.Store { image = mk_image ~rank:0 ~wave:1 ~bytes:2_000_000 }));
+                 (match Simnet.Net.recv conn with
+                 | Simnet.Net.Data (Message.Store_done _) -> stored_at := Engine.now eng
+                 | _ -> Alcotest.fail "expected Store_done")));
+      ignore (Engine.run ~until:30.0 eng);
+      check_bool "took about 2s" true (!stored_at >= 2.0 && !stored_at < 2.5))
+
+let test_server_use_local () =
+  with_server (fun eng cluster net _server ->
+      let used_local = ref false in
+      ignore
+        (Cluster.spawn_on cluster ~host:1 ~name:"client" (fun () ->
+             match Simnet.Net.connect net ~host:1 ~to_host:0 ~to_port:Config.server_port with
+             | Error `Refused -> Alcotest.fail "refused"
+             | Ok conn ->
+                 ignore (Simnet.Net.send conn (Message.Store { image = mk_image ~rank:0 ~wave:4 ~bytes:1000 }));
+                 (match Simnet.Net.recv conn with
+                 | Simnet.Net.Data (Message.Store_done _) -> ()
+                 | _ -> Alcotest.fail "no store ack");
+                 ignore (Simnet.Net.send conn (Message.Commit { wave = 4 }));
+                 Proc.sleep 0.1;
+                 ignore (Simnet.Net.send conn (Message.Fetch { rank = 0; local_wave = Some 4 }));
+                 (match Simnet.Net.recv conn with
+                 | Simnet.Net.Data (Message.Fetch_use_local { wave = 4 }) -> used_local := true
+                 | _ -> ())));
+      ignore (Engine.run ~until:30.0 eng);
+      check_bool "server told client to use local disk" true !used_local)
+
+(* ------------------------------------------------------------------ *)
+(* Local disk *)
+
+let test_local_disk_retention () =
+  let disk = Local_disk.create () in
+  Local_disk.store disk ~host:1 (mk_image ~rank:0 ~wave:1 ~bytes:10);
+  Local_disk.store disk ~host:1 (mk_image ~rank:0 ~wave:2 ~bytes:10);
+  Local_disk.store disk ~host:1 (mk_image ~rank:0 ~wave:3 ~bytes:10);
+  check_bool "newest" true (Local_disk.newest_wave disk ~host:1 ~rank:0 = Some 3);
+  check_bool "wave 2 kept" true (Local_disk.lookup disk ~host:1 ~rank:0 ~wave:2 <> None);
+  check_bool "wave 1 evicted (two-file alternation)" true
+    (Local_disk.lookup disk ~host:1 ~rank:0 ~wave:1 = None);
+  check_bool "other host empty" true (Local_disk.newest_wave disk ~host:2 ~rank:0 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Property: random fault schedules with the fixed dispatcher always
+   terminate with the correct checksum. *)
+
+let prop_random_faults_correct =
+  QCheck.Test.make ~name:"random faults: fixed dispatcher completes correctly" ~count:15
+    QCheck.(pair (int_bound 1_000_000) (list_of_size (Gen.int_range 1 4) (pair (int_bound 3) (float_range 5.0 60.0))))
+    (fun (seed, faults) ->
+      let cfg = { (test_cfg ~n_ranks:4) with Config.dispatcher_buggy = false } in
+      let run = setup ~seed:(Int64.of_int seed) ~cfg () in
+      List.iter
+        (fun (rank, delay) ->
+          Engine.schedule run.eng ~delay (fun () -> ignore (kill_rank run rank)) |> ignore)
+        faults;
+      run_until run 2000.0;
+      match Dispatcher.peek_outcome run.handle.Deploy.dispatcher with
+      | Some (Dispatcher.Completed _) ->
+          Hashtbl.length run.results = run.n_ranks
+          && Hashtbl.fold (fun _ v acc -> acc && v = run.reference) run.results true
+      | Some (Dispatcher.Aborted _) | None -> false)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_random_faults_correct; prop_v2_random_faults_correct ]
+  in
+  Alcotest.run "mpivcl"
+    [
+      ( "failure-free",
+        [
+          Alcotest.test_case "completes with correct checksum" `Quick test_failure_free_completes;
+          Alcotest.test_case "9 ranks" `Quick test_failure_free_9_ranks;
+          Alcotest.test_case "single rank" `Quick test_single_rank;
+          Alcotest.test_case "waves commit" `Quick test_waves_commit;
+          Alcotest.test_case "frequent waves" `Quick test_frequent_waves_correct;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "single fault" `Quick test_single_fault_recovers;
+          Alcotest.test_case "fault before first commit" `Quick test_fault_before_first_commit;
+          Alcotest.test_case "sequential faults" `Quick test_sequential_faults_recover;
+          Alcotest.test_case "failed rank moves to spare" `Quick test_fault_on_spare_rank_moves;
+          Alcotest.test_case "blocking protocol" `Quick test_blocking_protocol;
+        ] );
+      ( "dispatcher-bug",
+        [
+          Alcotest.test_case "buggy dispatcher freezes" `Quick test_buggy_dispatcher_freezes;
+          Alcotest.test_case "fixed dispatcher survives" `Quick test_fixed_dispatcher_survives;
+          Alcotest.test_case "pre-registration kill retries cleanly" `Quick test_spawn_kill_retries;
+        ] );
+      ( "v2-protocol",
+        [
+          Alcotest.test_case "failure free" `Quick test_v2_failure_free;
+          Alcotest.test_case "restarts only failed rank" `Quick
+            test_v2_single_fault_restarts_only_failed;
+          Alcotest.test_case "fault before first checkpoint" `Quick
+            test_v2_fault_before_first_checkpoint;
+          Alcotest.test_case "sequential faults" `Quick test_v2_sequential_faults;
+          Alcotest.test_case "concurrent faults" `Quick test_v2_concurrent_faults;
+        ] );
+      ( "ckpt-server",
+        [
+          Alcotest.test_case "store/commit/fetch" `Quick test_server_store_commit_fetch;
+          Alcotest.test_case "transfer takes time" `Quick test_server_transfer_takes_time;
+          Alcotest.test_case "use local disk" `Quick test_server_use_local;
+        ] );
+      ("local-disk", [ Alcotest.test_case "retention" `Quick test_local_disk_retention ]);
+      ("properties", qsuite);
+    ]

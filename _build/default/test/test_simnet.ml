@@ -1,0 +1,255 @@
+(* Tests for the simulated network: connection lifecycle, latency and
+   bandwidth modelling, closure-on-death semantics, and the cluster/task
+   registry of simos. *)
+
+open Simkern
+open Simnet
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_float msg = check (Alcotest.float 1e-6) msg
+
+let with_net f =
+  let eng = Engine.create () in
+  let net = Net.create eng () in
+  f eng net;
+  ignore (Engine.run ~until:1000.0 eng)
+
+let test_connect_and_exchange () =
+  let got = ref None in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng ~name:"server" (fun () ->
+             let listener = Net.listen net ~host:1 ~port:80 in
+             match Net.accept listener with
+             | Some conn -> (
+                 match Net.recv conn with
+                 | Net.Data v ->
+                     got := Some v;
+                     ignore (Net.send conn (v * 2))
+                 | Net.Closed -> ())
+             | None -> ()));
+      ignore
+        (Proc.spawn eng ~name:"client" (fun () ->
+             Proc.sleep 0.01;
+             match Net.connect net ~host:0 ~to_host:1 ~to_port:80 with
+             | Ok conn ->
+                 ignore (Net.send conn 21);
+                 (match Net.recv conn with
+                 | Net.Data 42 -> ()
+                 | _ -> Alcotest.fail "expected doubled reply")
+             | Error `Refused -> Alcotest.fail "refused")));
+  check_bool "server got value" true (!got = Some 21)
+
+let test_connect_refused () =
+  let refused = ref false in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng (fun () ->
+             match Net.connect net ~host:0 ~to_host:1 ~to_port:9 with
+             | Error `Refused -> refused := true
+             | Ok _ -> ())));
+  check_bool "refused" true !refused
+
+let test_latency () =
+  (* Remote handshake costs one RTT; messages one latency. *)
+  let connected_at = ref 0.0 and received_at = ref 0.0 in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng ~name:"server" (fun () ->
+             let listener = Net.listen net ~host:1 ~port:80 in
+             match Net.accept listener with
+             | Some conn -> ignore (Net.send conn ())
+             | None -> ()));
+      ignore
+        (Proc.spawn eng ~name:"client" (fun () ->
+             Proc.sleep 1.0;
+             match Net.connect net ~host:0 ~to_host:1 ~to_port:80 with
+             | Ok conn ->
+                 connected_at := Engine.now eng;
+                 (match Net.recv conn with
+                 | Net.Data () -> received_at := Engine.now eng
+                 | Net.Closed -> ())
+             | Error `Refused -> ())));
+  let lat = Net.default_config.Net.latency in
+  check_float "handshake one RTT" (1.0 +. (2.0 *. lat)) !connected_at;
+  check_bool "message after accept" true (!received_at > !connected_at)
+
+let test_bandwidth_serialization () =
+  (* Two 1 MB messages at 100 MB/s: second arrives ~10 ms after first. *)
+  let times = ref [] in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng ~name:"server" (fun () ->
+             let listener = Net.listen net ~host:1 ~port:80 in
+             match Net.accept listener with
+             | Some conn ->
+                 for _ = 1 to 2 do
+                   match Net.recv conn with
+                   | Net.Data () -> times := Engine.now eng :: !times
+                   | Net.Closed -> ()
+                 done
+             | None -> ()));
+      ignore
+        (Proc.spawn eng ~name:"client" (fun () ->
+             match Net.connect net ~host:0 ~to_host:1 ~to_port:80 with
+             | Ok conn ->
+                 ignore (Net.send conn ~size:1_000_000 ());
+                 ignore (Net.send conn ~size:1_000_000 ())
+             | Error `Refused -> ())));
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      check_bool "10ms serialization gap" true (t2 -. t1 > 0.009 && t2 -. t1 < 0.011)
+  | _ -> Alcotest.fail "expected two messages"
+
+let test_close_observed () =
+  let observed = ref false in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng ~name:"server" (fun () ->
+             let listener = Net.listen net ~host:1 ~port:80 in
+             match Net.accept listener with
+             | Some conn -> (
+                 match Net.recv conn with
+                 | Net.Closed -> observed := true
+                 | Net.Data _ -> ())
+             | None -> ()));
+      ignore
+        (Proc.spawn eng ~name:"client" (fun () ->
+             match Net.connect net ~host:0 ~to_host:1 ~to_port:80 with
+             | Ok conn ->
+                 Proc.sleep 1.0;
+                 Net.close conn
+             | Error `Refused -> ())));
+  check_bool "peer saw close" true !observed
+
+let test_owner_death_closes () =
+  (* The paper's failure detection: killing the task closes its sockets. *)
+  let observed_at = ref 0.0 in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng ~name:"server" (fun () ->
+             let listener = Net.listen net ~host:1 ~port:80 in
+             match Net.accept listener with
+             | Some conn -> (
+                 match Net.recv conn with
+                 | Net.Closed -> observed_at := Engine.now eng
+                 | Net.Data _ -> ())
+             | None -> ()));
+      let client =
+        Proc.spawn eng ~name:"client" (fun () ->
+            match Net.connect net ~host:0 ~to_host:1 ~to_port:80 with
+            | Ok _conn -> Proc.sleep 1000.0
+            | Error `Refused -> ())
+      in
+      ignore
+        (Proc.spawn eng ~name:"killer" (fun () ->
+             Proc.sleep 5.0;
+             Proc.kill client)));
+  check_bool "closure detected promptly" true (!observed_at > 5.0 && !observed_at < 5.1)
+
+let test_send_after_close_fails () =
+  let result = ref None in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng ~name:"server" (fun () ->
+             let listener = Net.listen net ~host:1 ~port:80 in
+             ignore (Net.accept listener)));
+      ignore
+        (Proc.spawn eng ~name:"client" (fun () ->
+             match Net.connect net ~host:0 ~to_host:1 ~to_port:80 with
+             | Ok conn ->
+                 Net.close conn;
+                 result := Some (Net.send conn ())
+             | Error `Refused -> ())));
+  check_bool "send refused" true (!result = Some false)
+
+let test_recv_timeout () =
+  let got = ref (Some (Net.Data ())) in
+  with_net (fun eng net ->
+      ignore
+        (Proc.spawn eng ~name:"server" (fun () ->
+             let listener = Net.listen net ~host:1 ~port:80 in
+             match Net.accept listener with
+             | Some conn -> got := Net.recv_timeout conn ~timeout:2.0
+             | None -> ()));
+      ignore
+        (Proc.spawn eng ~name:"client" (fun () ->
+             match Net.connect net ~host:0 ~to_host:1 ~to_port:80 with
+             | Ok _ -> Proc.sleep 500.0
+             | Error `Refused -> ())));
+  check_bool "timed out" true (!got = None)
+
+let test_double_bind_rejected () =
+  with_net (fun _eng net ->
+      ignore (Net.listen net ~host:3 ~port:80);
+      try
+        ignore (Net.listen net ~host:3 ~port:80);
+        Alcotest.fail "expected bind failure"
+      with Invalid_argument _ -> ())
+
+let test_listener_close_frees_port () =
+  with_net (fun _eng net ->
+      let l = Net.listen net ~host:3 ~port:80 in
+      Net.close_listener l;
+      ignore (Net.listen net ~host:3 ~port:80))
+
+(* ------------------------------------------------------------------ *)
+(* Cluster (simos) *)
+
+let test_cluster_tasks () =
+  let eng = Engine.create () in
+  let cluster = Simos.Cluster.create eng ~size:4 in
+  let p = Simos.Cluster.spawn_on cluster ~host:2 ~name:"worker" (fun () -> Proc.sleep 10.0) in
+  ignore (Engine.run ~until:5.0 eng);
+  check_int "one task" 1 (List.length (Simos.Cluster.tasks cluster ~host:2));
+  check_bool "find by name" true
+    (match Simos.Cluster.find_task cluster ~host:2 ~name:"worker" with
+    | Some q -> Proc.pid q = Proc.pid p
+    | None -> false);
+  check_int "live count" 1 (Simos.Cluster.live_task_count cluster);
+  ignore (Engine.run ~until:20.0 eng);
+  check_int "task gone after exit" 0 (List.length (Simos.Cluster.tasks cluster ~host:2))
+
+let test_cluster_kill_all () =
+  let eng = Engine.create () in
+  let cluster = Simos.Cluster.create eng ~size:2 in
+  for _ = 1 to 3 do
+    ignore (Simos.Cluster.spawn_on cluster ~host:0 (fun () -> Proc.sleep 100.0))
+  done;
+  ignore (Simos.Cluster.spawn_on cluster ~host:1 (fun () -> Proc.sleep 100.0));
+  Engine.schedule eng ~delay:1.0 (fun () -> Simos.Cluster.kill_all cluster ~host:0) |> ignore;
+  ignore (Engine.run ~until:10.0 eng);
+  check_int "host 0 empty" 0 (List.length (Simos.Cluster.tasks cluster ~host:0));
+  check_int "host 1 untouched" 1 (List.length (Simos.Cluster.tasks cluster ~host:1))
+
+let test_cluster_bad_host () =
+  let eng = Engine.create () in
+  let cluster = Simos.Cluster.create eng ~size:2 in
+  Alcotest.check_raises "unknown host" (Invalid_argument "Cluster.host: unknown host 9")
+    (fun () -> ignore (Simos.Cluster.host cluster 9))
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "connect and exchange" `Quick test_connect_and_exchange;
+          Alcotest.test_case "connect refused" `Quick test_connect_refused;
+          Alcotest.test_case "latency" `Quick test_latency;
+          Alcotest.test_case "bandwidth serialization" `Quick test_bandwidth_serialization;
+          Alcotest.test_case "close observed" `Quick test_close_observed;
+          Alcotest.test_case "owner death closes" `Quick test_owner_death_closes;
+          Alcotest.test_case "send after close" `Quick test_send_after_close_fails;
+          Alcotest.test_case "recv timeout" `Quick test_recv_timeout;
+          Alcotest.test_case "double bind rejected" `Quick test_double_bind_rejected;
+          Alcotest.test_case "listener close frees port" `Quick test_listener_close_frees_port;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "task registry" `Quick test_cluster_tasks;
+          Alcotest.test_case "kill all" `Quick test_cluster_kill_all;
+          Alcotest.test_case "bad host" `Quick test_cluster_bad_host;
+        ] );
+    ]
