@@ -65,6 +65,35 @@ let test_fig11_cycle =
   Test.make ~name:"fig11:state-sync-run"
     (Staged.stage (fun () -> ignore (small_run ~scenario ~seed:5L ())))
 
+let small_rep_run ?scenario ~seed () =
+  let n_ranks = 4 in
+  let app = Workload.Stencil.app small_params ~n_ranks in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.protocol = Mpivcl.Config.Replication { degree = 2 };
+      term_straggler_prob = 0.0;
+    }
+  in
+  let spec =
+    {
+      (Failmpi.Run.default_spec ~app ~cfg ~n_compute:10 ~state_bytes:500_000) with
+      Failmpi.Run.scenario;
+      seed;
+      timeout = 120.0;
+    }
+  in
+  Failmpi.Run.execute spec
+
+let test_replication_cycle =
+  Test.make ~name:"families:replication-run"
+    (Staged.stage (fun () -> ignore (small_rep_run ~seed:6L ())))
+
+let test_replication_failover_cycle =
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:10 ~period:10 in
+  Test.make ~name:"families:replication-failover-run"
+    (Staged.stage (fun () -> ignore (small_rep_run ~scenario ~seed:7L ())))
+
 (* ------------------------------------------------------------------ *)
 (* Substrate micro-benchmarks *)
 
@@ -131,6 +160,8 @@ let benchmark () =
       test_fig7_cycle;
       test_fig9_cycle;
       test_fig11_cycle;
+      test_replication_cycle;
+      test_replication_failover_cycle;
       test_engine_events;
       test_mailbox_throughput;
       test_parse;
@@ -229,6 +260,14 @@ let figures full =
   print_string
     (Experiments.Ablations.render_protocol_comparison
        (Experiments.Ablations.protocol_comparison ~reps:(if full then 4 else 2) ~n_ranks ()));
+  sep "Protocol families";
+  print_string
+    (Experiments.Protocol_families.render
+       (Experiments.Protocol_families.run
+          ~config:
+            (pick Experiments.Protocol_families.quick_config
+               Experiments.Protocol_families.default_config)
+          ()));
   sep "Planned feature (delay after wave)";
   print_string
     (Experiments.Delay_experiment.render

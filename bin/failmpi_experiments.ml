@@ -114,6 +114,18 @@ let ablations ~quick () =
        (Experiments.Ablations.protocol_comparison ~reps:(if quick then 2 else 4) ~n_ranks ()));
   print_newline ()
 
+let families ~quick () =
+  let config =
+    if quick then Experiments.Protocol_families.quick_config
+    else Experiments.Protocol_families.default_config
+  in
+  let rows = Experiments.Protocol_families.run ~config () in
+  emit_csv "families" (Experiments.Protocol_families.aggs rows);
+  print_string (Experiments.Protocol_families.render rows);
+  print_newline ();
+  print_endline Experiments.Protocol_families.paper_note;
+  print_newline ()
+
 let delay ~quick () =
   let rows =
     Experiments.Delay_experiment.run
@@ -133,6 +145,7 @@ let experiments =
     ("fig9", fig9);
     ("fig11", fig11);
     ("ablations", ablations);
+    ("families", families);
     ("delay", delay);
   ]
 
@@ -157,7 +170,9 @@ let cmd =
     Arg.(
       value & pos 0 string "all"
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, delay.")
+          ~doc:
+            "One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, families, \
+             delay.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions and sizes (smoke mode).")

@@ -4,7 +4,10 @@
    Examples:
      failmpi_run --ranks 49 --class B                 (no faults)
      failmpi_run --paper fig5-frequency --seed 3
-     failmpi_run --scenario my.fail --param X=5 --trace *)
+     failmpi_run --scenario my.fail --param X=5 --trace
+     failmpi_run --protocol replication --replicas 2 --ranks 4 \
+       --scenario scenarios/replica_split.fail \
+       --param START=20 --param GAP=0 --param FIRST=2 --param SECOND=6 *)
 
 open Cmdliner
 
@@ -26,7 +29,8 @@ let parse_param s =
 
 let param_conv = Arg.conv (parse_param, fun ppf (n, v) -> Format.fprintf ppf "%s=%d" n v)
 
-let run scenario_file paper params ranks klass seed timeout fixed show_trace analyze trace_csv =
+let run scenario_file paper params ranks klass protocol replicas seed timeout fixed
+    show_trace analyze trace_csv =
   let klass =
     match Workload.Bt_model.klass_of_string klass with
     | Some k -> k
@@ -34,7 +38,31 @@ let run scenario_file paper params ranks klass seed timeout fixed show_trace ana
         prerr_endline "failmpi_run: class must be A, B or C";
         exit 1
   in
-  let n_machines = Experiments.Harness.machines_for ranks in
+  let protocol =
+    match protocol with
+    | "vcl" | "non-blocking" -> Mpivcl.Config.Non_blocking
+    | "blocking" -> Mpivcl.Config.Blocking
+    | "v2" | "logging" -> Mpivcl.Config.Sender_logging
+    | "replication" ->
+        if replicas < 1 then begin
+          prerr_endline "failmpi_run: --replicas must be at least 1";
+          exit 1
+        end;
+        Mpivcl.Config.Replication { degree = replicas }
+    | s ->
+        prerr_endline
+          (Printf.sprintf
+             "failmpi_run: unknown protocol %s (vcl, blocking, v2, replication)" s);
+        exit 1
+  in
+  (* Replication holds degree replicas per rank plus two spare hosts (so
+     e.g. --ranks 4 --replicas 2 matches scenarios/replica_split.fail's
+     machines 0..9); the rollback families keep the paper's rank+4. *)
+  let n_machines =
+    match protocol with
+    | Mpivcl.Config.Replication { degree } -> (degree * ranks) + 2
+    | _ -> Experiments.Harness.machines_for ranks
+  in
   let scenario =
     match (scenario_file, paper) with
     | Some path, None -> Some (read_file path)
@@ -52,7 +80,11 @@ let run scenario_file paper params ranks klass seed timeout fixed show_trace ana
     | None, None -> None
   in
   let cfg =
-    { (Mpivcl.Config.default ~n_ranks:ranks) with Mpivcl.Config.dispatcher_buggy = not fixed }
+    {
+      (Mpivcl.Config.default ~n_ranks:ranks) with
+      Mpivcl.Config.protocol;
+      dispatcher_buggy = not fixed;
+    }
   in
   let spec =
     {
@@ -69,10 +101,17 @@ let run scenario_file paper params ranks klass seed timeout fixed show_trace ana
     (match r.Failmpi.Run.outcome with
     | Failmpi.Run.Completed t -> Printf.sprintf " (%.1f s)" t
     | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> "");
+  Printf.printf "protocol:         %s\n" (Mpivcl.Config.protocol_name protocol);
   Printf.printf "injected faults:  %d\n" r.Failmpi.Run.injected_faults;
-  Printf.printf "recovery waves:   %d\n" r.Failmpi.Run.recoveries;
-  Printf.printf "committed ckpts:  %d\n" r.Failmpi.Run.committed_waves;
-  Printf.printf "dispatcher race:  %s\n" (if r.Failmpi.Run.confused then "HIT" else "not hit");
+  (match protocol with
+  | Mpivcl.Config.Replication _ ->
+      Printf.printf "failovers:        %d\n" r.Failmpi.Run.failovers;
+      Printf.printf "respawns:         %d\n" r.Failmpi.Run.respawns
+  | _ ->
+      Printf.printf "recovery waves:   %d\n" r.Failmpi.Run.recoveries;
+      Printf.printf "committed ckpts:  %d\n" r.Failmpi.Run.committed_waves;
+      Printf.printf "dispatcher race:  %s\n"
+        (if r.Failmpi.Run.confused then "HIT" else "not hit"));
   (match r.Failmpi.Run.checksum_ok with
   | Some true -> Printf.printf "checksums:        all %d ranks correct\n" ranks
   | Some false -> Printf.printf "checksums:        MISMATCH\n"
@@ -114,6 +153,20 @@ let cmd =
   let klass =
     Arg.(value & opt string "B" & info [ "class"; "c" ] ~docv:"CLASS" ~doc:"NAS class: A, B or C.")
   in
+  let protocol =
+    Arg.(
+      value & opt string "vcl"
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:
+            "Fault-tolerance protocol: vcl (coordinated non-blocking), blocking, v2 \
+             (sender-based message logging) or replication.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Replicas per logical rank (with --protocol replication).")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Experiment seed.") in
   let timeout =
     Arg.(
@@ -138,7 +191,7 @@ let cmd =
   Cmd.v
     (Cmd.info "failmpi_run" ~doc:"Inject faults into MPICH-Vcl running NAS BT")
     Term.(
-      const run $ scenario $ paper $ params $ ranks $ klass $ seed $ timeout $ fixed
-      $ show_trace $ analyze $ trace_csv)
+      const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ seed
+      $ timeout $ fixed $ show_trace $ analyze $ trace_csv)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,7 +10,9 @@
     (frozen by a fault-tolerance bug).
 
     Re-exports: {!Lang} (the FAIL language front end), {!Inject} (the FCI
-    runtime), {!Mpi} (the MPICH-Vcl substrate). *)
+    runtime), {!Mpi} (the MPICH-Vcl substrate), {!Rep} (the
+    replication-based backend — [Run.execute] selects it automatically
+    when [cfg.protocol] is [Replication]). *)
 
 module Lang : sig
   module Ast = Fail_lang.Ast
@@ -35,6 +37,14 @@ module Mpi : sig
   module Deploy = Mpivcl.Deploy
   module Dispatcher = Mpivcl.Dispatcher
   module Scheduler = Mpivcl.Scheduler
+end
+
+module Rep : sig
+  module Rmsg = Mpirep.Rmsg
+  module Member = Mpirep.Member
+  module Replica = Mpirep.Replica
+  module Rdispatcher = Mpirep.Rdispatcher
+  module Deploy = Mpirep.Deploy
 end
 
 module Run : sig
@@ -72,6 +82,11 @@ module Run : sig
     recoveries : int;  (** dispatcher recovery waves *)
     committed_waves : int;  (** global checkpoints committed *)
     confused : bool;  (** the dispatcher hit the §5.3 bookkeeping race *)
+    failovers : int;
+        (** replication backend: replica failures absorbed with zero
+            rollback (0 for the rollback-recovery protocols) *)
+    respawns : int;
+        (** replication backend: replicas respawned via state transfer *)
     checksums : (int * int) list;  (** (rank, final checksum) of completed runs *)
     checksum_ok : bool option;
         (** completed runs: all checksums equal the fault-free reference

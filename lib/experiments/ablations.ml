@@ -46,11 +46,7 @@ let protocol_overhead ?(n_ranks = 49) ?(intervals = [ 10.0; 30.0; 60.0 ]) () =
           in
           Harness.aggregate
             ~label:
-              (Printf.sprintf "wave %2.0fs %s" interval
-                 (match protocol with
-                 | Mpivcl.Config.Non_blocking -> "non-blocking"
-                 | Mpivcl.Config.Blocking -> "blocking"
-                 | Mpivcl.Config.Sender_logging -> "sender-logging"))
+              (Printf.sprintf "wave %2.0fs %s" interval (Mpivcl.Config.protocol_name protocol))
             results)
         [ Mpivcl.Config.Non_blocking; Mpivcl.Config.Blocking ])
     intervals

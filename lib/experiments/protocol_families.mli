@@ -1,0 +1,39 @@
+(** Three-way protocol-family comparison under the fault-frequency
+    scenario (Figure 5's harness): coordinated rollback (Vcl),
+    sender-based message logging (V2) and active replication (mpirep),
+    all driven by the same FAIL scenario text on the same cluster.
+
+    One {!run} produces, per fault period and family, the completed-run
+    time, dispatcher recovery waves (rollback families), replica
+    failovers / respawns (replication family) and checksum validation —
+    the replication rows must show zero recovery waves where the
+    rollback rows show at least one. *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  degree : int;  (** replicas per logical rank in the replication family *)
+  n_machines : int;  (** compute hosts; needs [degree * n_ranks] at least *)
+  periods : int option list;  (** [None] = fault-free baseline *)
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = {
+  family : string;
+  agg : Harness.agg;
+  mean_recoveries : float;  (** dispatcher recovery waves (rollback families) *)
+  mean_failovers : float;  (** zero-rollback failovers (replication family) *)
+  mean_respawns : float;  (** replicas restored via state transfer *)
+}
+
+val run : ?config:config -> unit -> row list
+
+(** [aggs rows] projects the plain aggregates (CSV export). *)
+val aggs : row list -> Harness.agg list
+
+val render : row list -> string
+val paper_note : string

@@ -7,6 +7,9 @@ type summary = {
   recoveries : recovery list;
   commit_times : float list;
   confusion_time : float option;
+  failover_times : float list;
+  respawn_times : float list;
+  exhaustion_time : float option;
   total_recovery_time : float;
   span : float;
 }
@@ -26,6 +29,9 @@ let summarize trace =
   let fault_times = ref [] in
   let commit_times = ref [] in
   let confusion_time = ref None in
+  let failover_times = ref [] in
+  let respawn_times = ref [] in
+  let exhaustion_time = ref None in
   let open_rec : recovery option ref = ref None in
   let recoveries = ref [] in
   let span = ref 0.0 in
@@ -56,6 +62,10 @@ let summarize trace =
       | "wave-commit" | "commit-rank" -> commit_times := e.Trace.time :: !commit_times
       | "dispatcher-confused" ->
           if !confusion_time = None then confusion_time := Some e.Trace.time
+      | "replica-failover" -> failover_times := e.Trace.time :: !failover_times
+      | "replica-respawn" -> respawn_times := e.Trace.time :: !respawn_times
+      | "replication-exhausted" ->
+          if !exhaustion_time = None then exhaustion_time := Some e.Trace.time
       | _ -> ())
     entries;
   (match !open_rec with Some r -> recoveries := r :: !recoveries | None -> ());
@@ -71,6 +81,9 @@ let summarize trace =
     recoveries;
     commit_times = List.rev !commit_times;
     confusion_time = !confusion_time;
+    failover_times = List.rev !failover_times;
+    respawn_times = List.rev !respawn_times;
+    exhaustion_time = !exhaustion_time;
     total_recovery_time;
     span = !span;
   }
@@ -96,6 +109,14 @@ let pp ppf s =
   Format.fprintf ppf "checkpoints committed: %d@," (List.length s.commit_times);
   (match s.confusion_time with
   | Some t -> Format.fprintf ppf "DISPATCHER CONFUSED at %.1f s (run frozen)@," t
+  | None -> ());
+  (match (s.failover_times, s.respawn_times) with
+  | [], [] -> ()
+  | fo, rs ->
+      Format.fprintf ppf "replica failovers: %d, respawns: %d@," (List.length fo)
+        (List.length rs));
+  (match s.exhaustion_time with
+  | Some t -> Format.fprintf ppf "REPLICATION EXHAUSTED at %.1f s (run aborted)@," t
   | None -> ());
   (match List.filter (fun r -> r.rec_end = None) s.recoveries with
   | [] -> ()

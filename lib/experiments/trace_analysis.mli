@@ -21,6 +21,12 @@ type summary = {
   recoveries : recovery list;
   commit_times : float list;  (** global wave commits or per-rank commits *)
   confusion_time : float option;  (** first dispatcher-confused event *)
+  failover_times : float list;
+      (** replication backend: zero-rollback replica failovers *)
+  respawn_times : float list;
+      (** replication backend: replicas restored via state transfer *)
+  exhaustion_time : float option;
+      (** replication backend: first replication-exhausted event *)
   total_recovery_time : float;  (** sum of closed recovery episodes *)
   span : float;  (** time of the last trace entry *)
 }

@@ -138,10 +138,46 @@ G1[%d] : ADVstate on machines 0 .. %d;
 |}
     (n_machines - 1) period (n_machines - 1) n_machines n_machines (n_machines - 1)
 
+let replica_split ~n_machines ~n_ranks ~rank ~start ~gap =
+  let second = rank + n_ranks in
+  Printf.sprintf
+    {|
+// Replica split (replication backend): kill slot 0 of rank %d at t=%d,
+// then slot 1 (machine %d = rank + n_ranks) %d s later. A gap shorter
+// than the respawn latency exhausts the rank's replication inside the
+// failover window (Buggy-equivalent); a longer gap is absorbed as two
+// independent failovers.
+Daemon SPLIT {
+  node 1:
+    time t_first = %d;
+    timer -> !crash(G1[%d]), goto 2;
+  node 2:
+    ?ok -> goto 3;
+    ?no -> goto 3;
+  node 3:
+    time t_second = %d;
+    timer -> !crash(G1[%d]), goto 4;
+  node 4:
+    ?ok -> goto 5;
+    ?no -> goto 5;
+  node 5:
+}
+%s
+P1 : SPLIT on machine %d;
+G1[%d] : ADV2 on machines 0 .. %d;
+|}
+    rank start second gap start rank gap second adv2_controller n_machines n_machines
+    (n_machines - 1)
+
 let all =
   [
     ("fig5-frequency", frequency ~n_machines:53 ~period:50);
     ("fig7-simultaneous", simultaneous ~n_machines:53 ~period:50 ~count:3);
     ("fig8-synchronized", synchronized ~n_machines:53 ~period:50);
     ("fig10-state-synchronized", state_synchronized ~n_machines:53 ~period:50);
+    (* Replication-backend scenarios: 9 ranks at degree 2 on 22 machines
+       (18 replicas + 4 spares). *)
+    ("replica-split", replica_split ~n_machines:22 ~n_ranks:9 ~rank:4 ~start:50 ~gap:0);
+    ( "replica-split-staggered",
+      replica_split ~n_machines:22 ~n_ranks:9 ~rank:4 ~start:50 ~gap:40 );
   ]

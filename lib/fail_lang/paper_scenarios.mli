@@ -37,5 +37,14 @@ val synchronized : n_machines:int -> period:int -> string
     right after it registered with the dispatcher. *)
 val state_synchronized : n_machines:int -> period:int -> string
 
+(** Replication-backend scenario: kill slot 0 of logical rank [rank] at
+    [start] seconds, then slot 1 (machine [rank + n_ranks] under the
+    mpirep layout) [gap] seconds later. [gap] shorter than the respawn
+    latency exhausts the rank's replication inside the failover window;
+    a longer gap is absorbed as two independent failovers. A parameterized
+    file version lives in [scenarios/replica_split.fail]. *)
+val replica_split :
+  n_machines:int -> n_ranks:int -> rank:int -> start:int -> gap:int -> string
+
 (** All scenarios with representative parameters, for tests and demos. *)
 val all : (string * string) list

@@ -1,0 +1,70 @@
+open Simkern
+open Simos
+module Config = Mpivcl.Config
+
+type layout = {
+  n_compute : int;
+  coordinator_host : int;
+  dispatcher_host : int;
+  total_hosts : int;
+}
+
+let make_layout ~n_compute =
+  {
+    n_compute;
+    coordinator_host = n_compute;
+    dispatcher_host = n_compute + 1;
+    total_hosts = n_compute + 2;
+  }
+
+type handle = { env : Renv.t; lay : layout; rdispatcher : Rdispatcher.t }
+
+let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
+  let degree =
+    match Config.replication_degree cfg with
+    | Some d when d >= 1 -> d
+    | Some d -> invalid_arg (Printf.sprintf "Mpirep.Deploy.launch: degree %d < 1" d)
+    | None -> invalid_arg "Mpirep.Deploy.launch: protocol is not Replication"
+  in
+  let n_ranks = cfg.Config.n_ranks in
+  if degree * n_ranks > n_compute then
+    invalid_arg
+      (Printf.sprintf
+         "Mpirep.Deploy.launch: %d replicas (degree %d x %d ranks) need more than %d compute hosts"
+         (degree * n_ranks) degree n_ranks n_compute);
+  let lay = make_layout ~n_compute in
+  let cluster = Cluster.create eng ~size:lay.total_hosts in
+  let net = Simnet.Net.create eng () in
+  let env =
+    {
+      Renv.eng;
+      cluster;
+      net;
+      fci;
+      cfg;
+      degree;
+      app;
+      state_bytes;
+      dispatcher_host = lay.dispatcher_host;
+      rng = Rng.split (Engine.rng eng);
+    }
+  in
+  (* Slot s of rank r starts on host s * n_ranks + r: replicas of a rank
+     land on distinct hosts, and slot 0 occupies the same hosts the
+     rollback backends use, so machine-indexed FAIL scenarios hit the
+     same logical ranks. *)
+  let spare_hosts = List.init (n_compute - (degree * n_ranks)) (fun i -> (degree * n_ranks) + i) in
+  let rdispatcher =
+    Rdispatcher.spawn env ~host:lay.dispatcher_host
+      ~host_of:(fun ~rank ~slot -> (slot * n_ranks) + rank)
+      ~spare_hosts
+  in
+  { env; lay; rdispatcher }
+
+let cluster h = h.env.Renv.cluster
+let net h = h.env.Renv.net
+
+let teardown h =
+  for host = 0 to h.lay.total_hosts - 1 do
+    Cluster.kill_all h.env.Renv.cluster ~host
+  done

@@ -1,0 +1,328 @@
+open Simkern
+open Simos
+module Net = Simnet.Net
+module Config = Mpivcl.Config
+
+type outcome = Completed of float | Aborted of string
+
+type ev =
+  | E_hello of int * int * int * Rmsg.t Net.conn
+  | E_msg of int * int * int * Rmsg.t
+  | E_closed of int * int * int
+  | E_spawn_died of int * int * int
+  | E_window of int * int
+
+type t = {
+  env : Renv.t;
+  host : int;
+  result : outcome Ivar.t;
+  mutable failover_count : int;
+  mutable respawn_count : int;
+  mutable is_exhausted : bool;
+}
+
+let trace t event detail = Engine.record t.env.Renv.eng ~source:"rdispatcher" ~event detail
+let tracef t event fmt = Engine.record_fmt t.env.Renv.eng ~source:"rdispatcher" ~event fmt
+
+let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
+  let eng = env.Renv.eng in
+  let cluster = env.Renv.cluster in
+  let cfg = env.Renv.cfg in
+  let degree = env.Renv.degree in
+  let n = cfg.Config.n_ranks in
+  let t =
+    {
+      env;
+      host;
+      result = Ivar.create ();
+      failover_count = 0;
+      respawn_count = 0;
+      is_exhausted = false;
+    }
+  in
+  let events : ev Mailbox.t = Mailbox.create () in
+  let members : Rmsg.t Net.conn Member.t = Member.create ~n_ranks:n ~degree ~host_of in
+  let free_hosts = ref spare_hosts in
+  let steady = ref false in
+  let finished_run = ref false in
+  (* per-rank token invalidating failover-window timers once the rank is
+     live (or finished) again *)
+  let window_token = Array.make n 0 in
+  let launch ~rank ~slot =
+    let info = Member.get members ~rank ~slot in
+    info.Member.m_inc <- info.Member.m_inc + 1;
+    info.Member.m_conn <- None;
+    info.Member.m_state <- Member.Launching;
+    let inc = info.Member.m_inc in
+    let target_host = info.Member.m_host in
+    let resume = info.Member.m_resume in
+    tracef t "launch" "replica %d.%d on host %d (inc %d%s)" rank slot target_host inc
+      (if resume then ", respawn" else "");
+    ignore
+      (Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "ssh-replica%d.%d" rank slot)
+         (fun () ->
+           if inc > 0 then Proc.sleep cfg.Config.relaunch_delay;
+           Proc.sleep cfg.Config.ssh_delay;
+           let daemon = Replica.spawn env ~rank ~slot ~host:target_host ~incarnation:inc ~resume in
+           Proc.on_exit daemon (fun _ -> Mailbox.send events (E_spawn_died (rank, slot, inc)))))
+  in
+  let move_to_spare ~rank ~slot =
+    let info = Member.get members ~rank ~slot in
+    match !free_hosts with
+    | [] -> tracef t "no-spare" "replica %d.%d relaunches in place" rank slot
+    | spare :: rest ->
+        free_hosts := rest @ [ info.Member.m_host ];
+        tracef t "reallocate" "replica %d.%d: host %d -> %d" rank slot info.Member.m_host spare;
+        info.Member.m_host <- spare
+  in
+  let arm_window ~rank =
+    window_token.(rank) <- window_token.(rank) + 1;
+    let tok = window_token.(rank) in
+    tracef t "rank-at-risk" "rank %d has no live replica; failover window %.1fs" rank
+      cfg.Config.rep_failover_window;
+    ignore
+      (Engine.schedule eng ~delay:cfg.Config.rep_failover_window (fun () ->
+           Mailbox.send events (E_window (rank, tok))))
+  in
+  let broadcast msg =
+    Member.iter
+      (fun info ->
+        match info.Member.m_conn with
+        | Some conn -> ignore (Net.send conn msg)
+        | None -> ())
+      members
+  in
+  let exhaust ~rank =
+    if not !finished_run then begin
+      t.is_exhausted <- true;
+      finished_run := true;
+      tracef t "replication-exhausted" "rank %d lost all %d replicas" rank degree;
+      broadcast Rmsg.Shutdown;
+      Ivar.fill t.result (Aborted (Printf.sprintf "replication exhausted at rank %d" rank))
+    end
+  in
+  let respawn ~rank ~slot =
+    (Member.get members ~rank ~slot).Member.m_resume <- true;
+    move_to_spare ~rank ~slot;
+    launch ~rank ~slot
+  in
+  (* A rank just lost its last live replica: at risk if a respawn is in
+     flight (bounded by the failover window), exhausted otherwise. *)
+  let rank_uncovered ~rank =
+    if Member.pending_slots members ~rank <> [] then arm_window ~rank else exhaust ~rank
+  in
+  let maybe_start () =
+    if Member.all_ready members then begin
+      let snap = Member.snapshot members in
+      Member.iter
+        (fun info ->
+          (match info.Member.m_conn with
+          | Some conn ->
+              ignore (Net.send conn (Rmsg.Start { members = snap; resume = false; donor = None }))
+          | None -> ());
+          info.Member.m_state <- Member.Computing)
+        members;
+      steady := true;
+      trace t "app-started" ""
+    end
+  in
+  let handle_hello rank slot inc conn =
+    let info = Member.get members ~rank ~slot in
+    if inc = info.Member.m_inc && info.Member.m_state = Member.Launching && not !finished_run
+    then begin
+      info.Member.m_conn <- Some conn;
+      info.Member.m_state <- Member.Registered;
+      tracef t "replica-registered" "replica %d.%d inc %d" rank slot inc;
+      if info.Member.m_resume then
+        if Member.finished members ~rank then begin
+          (* the rank completed while this respawn was in flight *)
+          ignore (Net.send conn Rmsg.Shutdown);
+          info.Member.m_state <- Member.Dead
+        end
+        else
+          match Member.live_slots members ~rank with
+          | donor :: _ ->
+              ignore
+                (Net.send conn
+                   (Rmsg.Start
+                      {
+                        members = Member.snapshot members;
+                        resume = true;
+                        donor =
+                          Some { Rmsg.mb_slot = donor.Member.slot; mb_host = donor.Member.m_host };
+                      }))
+          | [] ->
+              tracef t "respawn-no-donor" "replica %d.%d has no live sibling" rank slot;
+              info.Member.m_state <- Member.Dead;
+              info.Member.m_conn <- None;
+              Net.close conn;
+              rank_uncovered ~rank
+    end
+    else Net.close conn
+  in
+  let handle_ready rank slot =
+    let info = Member.get members ~rank ~slot in
+    if info.Member.m_state = Member.Registered then
+      if info.Member.m_resume then begin
+        info.Member.m_resume <- false;
+        info.Member.m_state <- Member.Computing;
+        t.respawn_count <- t.respawn_count + 1;
+        window_token.(rank) <- window_token.(rank) + 1;
+        tracef t "replica-respawn" "replica %d.%d live again on host %d" rank slot
+          info.Member.m_host;
+        (* mesh repair: every computing replica of the other ranks opens a
+           link to the newcomer *)
+        Member.iter
+          (fun peer ->
+            if peer.Member.rank <> rank && peer.Member.m_state = Member.Computing then
+              match peer.Member.m_conn with
+              | Some conn ->
+                  ignore
+                    (Net.send conn
+                       (Rmsg.Peer_update { rank; slot; host = info.Member.m_host }))
+              | None -> ())
+          members
+      end
+      else begin
+        info.Member.m_state <- Member.Ready;
+        maybe_start ()
+      end
+  in
+  let handle_rank_done rank slot =
+    if not (Member.finished members ~rank) then begin
+      Member.mark_finished members ~rank;
+      window_token.(rank) <- window_token.(rank) + 1;
+      tracef t "rank-finished" "rank %d (replica slot %d first)" rank slot;
+      if Member.all_finished members then begin
+        finished_run := true;
+        broadcast Rmsg.Shutdown;
+        trace t "app-completed" "";
+        Ivar.fill t.result (Completed (Engine.now eng))
+      end
+    end
+  in
+  let handle_closed rank slot inc =
+    let info = Member.get members ~rank ~slot in
+    if inc = info.Member.m_inc && not !finished_run then
+      match info.Member.m_state with
+      | Member.Computing when !steady ->
+          info.Member.m_state <- Member.Dead;
+          info.Member.m_conn <- None;
+          if Member.finished members ~rank then
+            tracef t "closure-ignored" "replica %d.%d (rank already finished)" rank slot
+          else begin
+            match Member.live_slots members ~rank with
+            | _ :: _ as live ->
+                (* Failure detection, replication-style: siblings keep
+                   computing, nothing rolls back. *)
+                t.failover_count <- t.failover_count + 1;
+                tracef t "replica-failover" "replica %d.%d down, %d live sibling%s" rank slot
+                  (List.length live)
+                  (if List.length live = 1 then "" else "s");
+                if cfg.Config.rep_respawn then respawn ~rank ~slot
+            | [] -> rank_uncovered ~rank
+          end
+      | Member.Registered | Member.Ready ->
+          info.Member.m_state <- Member.Dead;
+          info.Member.m_conn <- None;
+          if not !steady then begin
+            (* start-up failure: plain retry, no wave machinery to confuse *)
+            tracef t "spawn-retry" "replica %d.%d lost before start" rank slot;
+            move_to_spare ~rank ~slot;
+            launch ~rank ~slot
+          end
+          else begin
+            tracef t "respawn-interrupted" "replica %d.%d" rank slot;
+            match Member.live_slots members ~rank with
+            | _ :: _ -> if cfg.Config.rep_respawn then respawn ~rank ~slot
+            | [] -> rank_uncovered ~rank
+          end
+      | Member.Computing | Member.Launching | Member.Dead ->
+          tracef t "closure-ignored" "replica %d.%d in state %s" rank slot
+            (Member.state_name info.Member.m_state)
+  in
+  let handle_spawn_died rank slot inc =
+    let info = Member.get members ~rank ~slot in
+    if inc = info.Member.m_inc && info.Member.m_state = Member.Launching && not !finished_run
+    then begin
+      tracef t "spawn-failed" "replica %d.%d inc %d" rank slot inc;
+      if Member.finished members ~rank then info.Member.m_state <- Member.Dead
+      else if not info.Member.m_resume then begin
+        move_to_spare ~rank ~slot;
+        launch ~rank ~slot
+      end
+      else begin
+        info.Member.m_state <- Member.Dead;
+        match Member.live_slots members ~rank with
+        | _ :: _ -> respawn ~rank ~slot
+        | [] -> rank_uncovered ~rank
+      end
+    end
+  in
+  let handle_event = function
+    | E_hello (rank, slot, inc, conn) -> handle_hello rank slot inc conn
+    | E_msg (rank, slot, inc, msg) -> (
+        let info = Member.get members ~rank ~slot in
+        if inc = info.Member.m_inc && not !finished_run then
+          match msg with
+          | Rmsg.Ready _ -> handle_ready rank slot
+          | Rmsg.Rank_done _ -> handle_rank_done rank slot
+          | msg ->
+              trace t "protocol-error"
+                (Format.asprintf "from replica %d.%d: %a" rank slot Rmsg.pp msg))
+    | E_closed (rank, slot, inc) -> handle_closed rank slot inc
+    | E_spawn_died (rank, slot, inc) -> handle_spawn_died rank slot inc
+    | E_window (rank, tok) ->
+        if
+          tok = window_token.(rank)
+          && (not !finished_run)
+          && (not (Member.finished members ~rank))
+          && Member.live_slots members ~rank = []
+        then exhaust ~rank
+  in
+  ignore
+    (Cluster.spawn_on cluster ~host ~name:"rdispatcher" (fun () ->
+         let listener = Net.listen env.Renv.net ~host ~port:Config.dispatcher_port in
+         Fun.protect ~finally:(fun () -> Net.close_listener listener) @@ fun () ->
+         ignore
+           (Cluster.spawn_on cluster ~host ~name:"rdispatcher-accept" (fun () ->
+                let rec accept_loop () =
+                  match Net.accept listener with
+                  | None -> ()
+                  | Some conn ->
+                      ignore
+                        (Cluster.spawn_on cluster ~host ~name:"rdispatcher-conn" (fun () ->
+                             match Net.recv conn with
+                             | Net.Data (Rmsg.Hello { rank; slot; incarnation }) ->
+                                 Mailbox.send events (E_hello (rank, slot, incarnation, conn));
+                                 let rec pump_loop () =
+                                   match Net.recv conn with
+                                   | Net.Data msg ->
+                                       Mailbox.send events (E_msg (rank, slot, incarnation, msg));
+                                       pump_loop ()
+                                   | Net.Closed ->
+                                       Mailbox.send events (E_closed (rank, slot, incarnation))
+                                 in
+                                 pump_loop ()
+                             | Net.Data _ | Net.Closed -> Net.close conn));
+                      accept_loop ()
+                in
+                accept_loop ()));
+         for rank = 0 to n - 1 do
+           for slot = 0 to degree - 1 do
+             launch ~rank ~slot
+           done
+         done;
+         let rec main_loop () =
+           handle_event (Mailbox.recv events);
+           main_loop ()
+         in
+         main_loop ()));
+  t
+
+let outcome t = Ivar.read t.result
+let peek_outcome t = Ivar.peek t.result
+let failovers t = t.failover_count
+let respawns t = t.respawn_count
+let exhausted t = t.is_exhausted
+let halt t = Cluster.kill_all t.env.Renv.cluster ~host:t.host

@@ -1,0 +1,427 @@
+open Simkern
+open Simos
+module Net = Simnet.Net
+module Message = Mpivcl.Message
+module Config = Mpivcl.Config
+module App = Mpivcl.App
+
+type app_request =
+  | A_send of Message.app_msg
+  | A_recv of { src : int; tag : int; reply : int Ivar.t }
+  | A_commit of int array
+  | A_finalize
+
+type dev =
+  | D_ctrl of Rmsg.t option
+  | D_peer of (int * int) * Rmsg.t option
+  | D_peer_joined of int * int * Rmsg.t Net.conn * (int * int) list
+  | D_state_req of Rmsg.t Net.conn
+  | D_app of app_request
+
+let pump cluster ~host ~name conn wrap events =
+  ignore
+    (Cluster.spawn_on cluster ~host ~name (fun () ->
+         let rec run () =
+           match Net.recv conn with
+           | Net.Data m ->
+               Mailbox.send events (wrap (Some m));
+               run ()
+           | Net.Closed -> Mailbox.send events (wrap None)
+         in
+         run ()))
+
+let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
+  let eng = env.Renv.eng in
+  let cluster = env.Renv.cluster in
+  let cfg = env.Renv.cfg in
+  let name = Printf.sprintf "rdaemon-%d.%d" rank slot in
+  let trace event detail = Engine.record eng ~source:name ~event detail in
+  let tracef event fmt = Engine.record_fmt eng ~source:name ~event fmt in
+  Cluster.spawn_on cluster ~host ~name (fun () ->
+      let self = Proc.self () in
+      let app_proc = ref None in
+      let vars = Fci.Control.make_vars () in
+      let base_target =
+        {
+          Fci.Control.target_name = Printf.sprintf "rank%d.%d@%d" rank slot host;
+          proc = self;
+          kill =
+            (fun () ->
+              Option.iter Proc.kill !app_proc;
+              Proc.kill self);
+          freeze =
+            (fun () ->
+              Option.iter Proc.freeze !app_proc;
+              Proc.freeze self);
+          unfreeze =
+            (fun () ->
+              Option.iter Proc.unfreeze !app_proc;
+              Proc.unfreeze self);
+          read_var = (fun _ -> None);
+          write_var = (fun _ _ -> false);
+          subscribe_var = (fun _ -> ());
+        }
+      in
+      let target = Fci.Control.with_vars base_target vars in
+      (match env.Renv.fci with
+      | Some rt -> Fci.Runtime.register rt ~machine:host target
+      | None -> ());
+      tracef "daemon-start" "host %d incarnation %d%s" host incarnation
+        (if resume then " (respawn)" else "");
+      Proc.sleep
+        (cfg.Config.init_delay_min
+        +. Rng.float env.Renv.rng (cfg.Config.init_delay_max -. cfg.Config.init_delay_min));
+      match
+        Net.connect env.Renv.net ~host ~to_host:env.Renv.dispatcher_host
+          ~to_port:Config.dispatcher_port
+      with
+      | Error `Refused -> trace "daemon-abort" "dispatcher unreachable"
+      | Ok dconn -> (
+          ignore (Net.send dconn (Rmsg.Hello { rank; slot; incarnation }));
+          Proc.sleep cfg.Config.handshake_delay;
+          (match env.Renv.fci with
+          | Some rt -> Fci.Runtime.breakpoint rt ~machine:host `Before "localMPI_setCommand"
+          | None -> ());
+          let listener = Net.listen env.Renv.net ~host ~port:Config.daemon_port in
+          Fun.protect ~finally:(fun () -> Net.close_listener listener) @@ fun () ->
+          let events : dev Mailbox.t = Mailbox.create () in
+          ignore
+            (Cluster.spawn_on cluster ~host ~name:(name ^ "-accept") (fun () ->
+                 let rec accept_loop () =
+                   match Net.accept listener with
+                   | None -> ()
+                   | Some conn ->
+                       (match Net.recv conn with
+                       | Net.Data (Rmsg.Peer_hello { rank = pr; slot = ps; consumed }) ->
+                           Mailbox.send events (D_peer_joined (pr, ps, conn, consumed))
+                       | Net.Data (Rmsg.State_req _) ->
+                           Mailbox.send events (D_state_req conn)
+                       | Net.Data _ | Net.Closed -> Net.close conn);
+                       accept_loop ()
+                 in
+                 accept_loop ()));
+          pump cluster ~host ~name:(name ^ "-ctrl") dconn (fun m -> D_ctrl m) events;
+          (* A fresh replica reports Ready now and waits for the all-ready
+             Start; a respawned one gets its Start (with a donor)
+             immediately after Hello and reports Ready only once the
+             donor's state is installed. *)
+          if not resume then ignore (Net.send dconn (Rmsg.Ready { rank; slot }));
+
+          (* ---------------- protocol state ---------------- *)
+          let n = cfg.Config.n_ranks in
+          let peer_conns : (int * int, Rmsg.t Net.conn) Hashtbl.t = Hashtbl.create 32 in
+          let buffer : Message.app_msg list ref = ref [] in
+          let parked : (int * int * int Ivar.t) list ref = ref [] in
+          let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+          let redelivery : Message.app_msg list ref = ref [] in
+          let committed_state = ref (Array.make env.Renv.app.App.state_size 0) in
+          (* per-destination-rank sequencing and send log; ssns are shared
+             across the rank's replicas by construction (same deterministic
+             app, and respawns inherit the donor's log) *)
+          let next_ssn : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          let send_log : (int, (int * Message.app_msg) list) Hashtbl.t = Hashtbl.create 16 in
+          (* per-source-rank highest received ssn *)
+          let received : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          (* peer connections expected before the initial app start; -1
+             until the Start message tells us *)
+          let expected_conns = ref (-1) in
+
+          let consumed_bounds () =
+            Hashtbl.fold (fun src ssn acc -> (src, ssn) :: acc) received []
+          in
+          let forward_send (m : Message.app_msg) =
+            (* Log before sending, reusing the ssn if this send is a
+               re-execution of a logged one (post-respawn): receivers
+               deduplicate by (src, tag), and stable ssns keep every
+               replica's reception bounds comparable. *)
+            let dst = m.Message.dst in
+            let entries = Option.value ~default:[] (Hashtbl.find_opt send_log dst) in
+            let ssn =
+              match List.find_opt (fun (_, lm) -> lm.Message.tag = m.Message.tag) entries with
+              | Some (ssn, _) -> ssn
+              | None ->
+                  let ssn = Option.value ~default:1 (Hashtbl.find_opt next_ssn dst) in
+                  Hashtbl.replace next_ssn dst (ssn + 1);
+                  Hashtbl.replace send_log dst ((ssn, m) :: entries);
+                  ssn
+            in
+            let sent = ref 0 in
+            Hashtbl.iter
+              (fun (pr, _ps) conn ->
+                if pr = dst then
+                  if Net.send conn ~size:m.Message.bytes (Rmsg.App { msg = m; ssn }) then
+                    incr sent)
+              peer_conns;
+            if !sent = 0 then
+              tracef "send-deferred" "to rank %d (no live replica connected, logged)" dst
+          in
+          let deliver (m : Message.app_msg) =
+            let rec split acc = function
+              | [] -> None
+              | (src, tag, reply) :: rest when src = m.Message.src && tag = m.Message.tag ->
+                  parked := List.rev_append acc rest;
+                  Some reply
+              | r :: rest -> split (r :: acc) rest
+            in
+            match split [] !parked with
+            | Some reply ->
+                redelivery := m :: !redelivery;
+                Ivar.fill reply m.Message.data
+            | None -> buffer := !buffer @ [ m ]
+          in
+          let serve_recv src tag reply =
+            let rec split acc = function
+              | [] -> None
+              | (m : Message.app_msg) :: rest when m.Message.src = src && m.Message.tag = tag ->
+                  buffer := List.rev_append acc rest;
+                  Some m
+              | m :: rest -> split (m :: acc) rest
+            in
+            match split [] !buffer with
+            | Some m ->
+                redelivery := m :: !redelivery;
+                Ivar.fill reply m.Message.data
+            | None -> parked := !parked @ [ (src, tag, reply) ]
+          in
+          let flush_log ~peer_rank ~bound conn =
+            (* Re-send everything logged for [peer_rank] above the peer's
+               reception bound; the receiver's dedup drops overlaps. *)
+            let entries =
+              Option.value ~default:[] (Hashtbl.find_opt send_log peer_rank)
+              |> List.filter (fun (ssn, _) -> ssn > bound)
+              |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+            in
+            if entries <> [] then
+              tracef "log-flush" "%d messages to rank %d (> ssn %d)" (List.length entries)
+                peer_rank bound;
+            List.iter
+              (fun (ssn, m) ->
+                ignore (Net.send conn ~size:m.Message.bytes (Rmsg.App { msg = m; ssn })))
+              entries
+          in
+          let spawn_app () =
+            if Option.is_none !app_proc then begin
+              let state = Array.copy !committed_state in
+              let ctx =
+                {
+                  App.rank;
+                  size = n;
+                  state;
+                  send =
+                    (fun ~dst ~tag ?(bytes = 1024) data ->
+                      Mailbox.send events
+                        (D_app (A_send { Message.src = rank; dst; tag; data; bytes })));
+                  recv =
+                    (fun ~src ~tag ->
+                      let reply = Ivar.create () in
+                      Mailbox.send events (D_app (A_recv { src; tag; reply }));
+                      Ivar.read reply);
+                  commit =
+                    (fun () -> Mailbox.send events (D_app (A_commit (Array.copy state))));
+                  finalize = (fun () -> Mailbox.send events (D_app A_finalize));
+                  set_app_var = (fun var v -> Fci.Control.set_var vars var v);
+                  noise =
+                    (let salt = Rng.int64 env.Renv.rng in
+                     fun k ->
+                       let x =
+                         Int64.to_int
+                           (Int64.logand
+                              (Rng.int64 (Rng.create (Int64.add salt (Int64.of_int k))))
+                              0xFFFFFL)
+                       in
+                       (float_of_int x /. 524287.5) -. 1.0);
+                }
+              in
+              let p =
+                Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "rmpi-%d.%d" rank slot)
+                  (fun () -> env.Renv.app.App.main ctx)
+              in
+              app_proc := Some p;
+              trace "app-start" ""
+            end
+          in
+          let maybe_start_app () =
+            if !expected_conns >= 0 && Hashtbl.length peer_conns >= !expected_conns then
+              spawn_app ()
+          in
+          let register_peer pr ps conn =
+            Hashtbl.replace peer_conns (pr, ps) conn;
+            pump cluster ~host ~name:(Printf.sprintf "%s-peer%d.%d" name pr ps) conn
+              (fun m -> D_peer ((pr, ps), m))
+              events
+          in
+          let connect_peer pr ps phost =
+            if not (Hashtbl.mem peer_conns (pr, ps)) then
+              match
+                Net.connect env.Renv.net ~host ~to_host:phost ~to_port:Config.daemon_port
+              with
+              | Ok conn ->
+                  ignore
+                    (Net.send conn
+                       (Rmsg.Peer_hello { rank; slot; consumed = consumed_bounds () }));
+                  register_peer pr ps conn
+              | Error `Refused -> tracef "peer-connect-failed" "replica %d.%d" pr ps
+          in
+          let build_image () =
+            let logged =
+              Hashtbl.fold (fun _ entries acc -> List.map snd entries @ acc) send_log []
+            in
+            let img_bytes =
+              Message.image_bytes ~state_bytes:env.Renv.state_bytes
+                (!buffer @ !redelivery @ logged)
+            in
+            {
+              Message.img_rank = rank;
+              img_wave = 0;
+              img_state = Array.copy !committed_state;
+              img_buffer = !buffer;
+              img_redelivery = !redelivery;
+              img_logged = [];
+              img_seen = Hashtbl.fold (fun key () acc -> key :: acc) seen [];
+              img_received = consumed_bounds ();
+              img_send_log =
+                Hashtbl.fold (fun dst entries acc -> (dst, entries) :: acc) send_log [];
+              img_next_ssn = Hashtbl.fold (fun dst ssn acc -> (dst, ssn) :: acc) next_ssn [];
+              img_bytes;
+            }
+          in
+          let install_image (img : Message.image) =
+            committed_state := Array.copy img.Message.img_state;
+            List.iter (fun key -> Hashtbl.replace seen key ()) img.Message.img_seen;
+            List.iter
+              (fun (src, ssn) -> Hashtbl.replace received src ssn)
+              img.Message.img_received;
+            List.iter
+              (fun (dst, entries) -> Hashtbl.replace send_log dst entries)
+              img.Message.img_send_log;
+            List.iter
+              (fun (dst, ssn) -> Hashtbl.replace next_ssn dst ssn)
+              img.Message.img_next_ssn;
+            (* messages consumed since the donor's last commit are
+               re-delivered to the re-executing application *)
+            buffer := img.Message.img_redelivery @ img.Message.img_buffer
+          in
+          let rec loop () =
+            match Mailbox.recv events with
+            | D_ctrl None -> trace "daemon-exit" "dispatcher connection lost"
+            | D_ctrl (Some Rmsg.Shutdown) ->
+                Option.iter Proc.kill !app_proc;
+                trace "daemon-exit" "shutdown"
+            | D_ctrl (Some (Rmsg.Start { members; resume = false; _ })) ->
+                trace "start" "";
+                let expected = ref 0 in
+                Array.iteri
+                  (fun r' ms -> if r' <> rank then expected := !expected + List.length ms)
+                  members;
+                expected_conns := !expected;
+                (* lower ranks listen, higher ranks connect: each inter-rank
+                   replica pair gets exactly one link *)
+                for r' = 0 to rank - 1 do
+                  List.iter
+                    (fun mb -> connect_peer r' mb.Rmsg.mb_slot mb.Rmsg.mb_host)
+                    members.(r')
+                done;
+                maybe_start_app ();
+                loop ()
+            | D_ctrl (Some (Rmsg.Start { resume = true; donor; _ })) -> (
+                match donor with
+                | None -> trace "state-transfer-failed" "no donor"
+                | Some d -> (
+                    tracef "state-fetch" "from slot %d on host %d" d.Rmsg.mb_slot
+                      d.Rmsg.mb_host;
+                    match
+                      Net.connect env.Renv.net ~host ~to_host:d.Rmsg.mb_host
+                        ~to_port:Config.daemon_port
+                    with
+                    | Error `Refused -> trace "state-transfer-failed" "donor unreachable"
+                    | Ok sc -> (
+                        ignore (Net.send sc (Rmsg.State_req { rank; slot }));
+                        match Net.recv sc with
+                        | Net.Data (Rmsg.State_xfer { image }) ->
+                            Net.close sc;
+                            install_image image;
+                            Proc.sleep cfg.Config.restart_settle;
+                            tracef "restored" "from slot %d (%d bytes)" d.Rmsg.mb_slot
+                              image.Message.img_bytes;
+                            ignore (Net.send dconn (Rmsg.Ready { rank; slot }));
+                            (* peers connect to us on the dispatcher's
+                               Peer_update; until then sends are logged and
+                               flushed at link establishment *)
+                            spawn_app ();
+                            loop ()
+                        | Net.Data _ | Net.Closed ->
+                            Net.close sc;
+                            trace "state-transfer-failed" "donor lost mid-transfer")))
+            | D_ctrl (Some (Rmsg.Peer_update { rank = pr; slot = ps; host = phost })) ->
+                connect_peer pr ps phost;
+                loop ()
+            | D_ctrl (Some msg) ->
+                trace "protocol-error" (Format.asprintf "from dispatcher: %a" Rmsg.pp msg);
+                loop ()
+            | D_peer_joined (pr, ps, conn, consumed) ->
+                register_peer pr ps conn;
+                ignore
+                  (Net.send conn (Rmsg.Peer_hello { rank; slot; consumed = consumed_bounds () }));
+                flush_log ~peer_rank:pr
+                  ~bound:(Option.value ~default:0 (List.assoc_opt rank consumed))
+                  conn;
+                maybe_start_app ();
+                loop ()
+            | D_peer ((pr, ps), Some (Rmsg.Peer_hello { consumed; _ })) ->
+                (* acceptor's reply on a link we initiated: flush our log
+                   for its rank above its bound *)
+                (match Hashtbl.find_opt peer_conns (pr, ps) with
+                | Some conn ->
+                    flush_log ~peer_rank:pr
+                      ~bound:(Option.value ~default:0 (List.assoc_opt rank consumed))
+                      conn
+                | None -> ());
+                loop ()
+            | D_peer (_, Some (Rmsg.App { msg = m; ssn })) ->
+                let src = m.Message.src in
+                let bound = Option.value ~default:0 (Hashtbl.find_opt received src) in
+                if ssn > bound then Hashtbl.replace received src ssn;
+                if Hashtbl.mem seen (src, m.Message.tag) then
+                  tracef "duplicate-dropped" "%d->%d tag %d ssn %d" src m.Message.dst
+                    m.Message.tag ssn
+                else begin
+                  Hashtbl.replace seen (src, m.Message.tag) ();
+                  deliver m
+                end;
+                loop ()
+            | D_peer ((pr, ps), None) ->
+                Hashtbl.remove peer_conns (pr, ps);
+                tracef "peer-lost" "replica %d.%d" pr ps;
+                (* pre-start: a replica listed in our Start died; don't
+                   wait for a link that will be re-established (or never
+                   come) — the respawn reconnects via Peer_update *)
+                if Option.is_none !app_proc && !expected_conns > 0 then begin
+                  expected_conns := !expected_conns - 1;
+                  maybe_start_app ()
+                end;
+                loop ()
+            | D_peer ((pr, ps), Some msg) ->
+                trace "protocol-error"
+                  (Format.asprintf "from replica %d.%d: %a" pr ps Rmsg.pp msg);
+                loop ()
+            | D_state_req conn ->
+                let img = build_image () in
+                ignore (Net.send conn ~size:img.Message.img_bytes (Rmsg.State_xfer { image = img }));
+                tracef "state-serve" "%d bytes" img.Message.img_bytes;
+                loop ()
+            | D_app (A_send m) ->
+                forward_send m;
+                loop ()
+            | D_app (A_recv { src; tag; reply }) ->
+                serve_recv src tag reply;
+                loop ()
+            | D_app (A_commit snapshot) ->
+                committed_state := snapshot;
+                redelivery := [];
+                loop ()
+            | D_app A_finalize ->
+                ignore (Net.send dconn (Rmsg.Rank_done { rank; slot }));
+                trace "rank-done" "";
+                loop ()
+          in
+          loop ()))

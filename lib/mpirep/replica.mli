@@ -1,0 +1,26 @@
+(** One replica daemon: the mpirep counterpart of [Mpivcl.V2_daemon].
+
+    Hosts the application process for logical rank [rank], replica slot
+    [slot]. Every application send is logged (per destination rank, with
+    a sequence number reused on re-execution) and multicast to all
+    connected replicas of the destination; every reception is
+    deduplicated by (source rank, tag). No checkpoints are ever taken —
+    a respawned replica instead installs a full state image fetched from
+    a live sibling ([State_req] / [State_xfer]) and re-executes from the
+    sibling's last commit, its re-sends being absorbed by the receivers'
+    dedup.
+
+    With [resume = false] the daemon reports Ready after setup and waits
+    for the all-ready [Start]; with [resume = true] it waits for a
+    [Start] naming a donor, installs the donor's image, and only then
+    reports Ready (which the dispatcher counts as the end of the
+    failover). *)
+
+val spawn :
+  Renv.t ->
+  rank:int ->
+  slot:int ->
+  host:int ->
+  incarnation:int ->
+  resume:bool ->
+  Simkern.Proc.t

@@ -1,0 +1,34 @@
+type member = { mb_slot : int; mb_host : int }
+
+type t =
+  | Hello of { rank : int; slot : int; incarnation : int }
+  | Ready of { rank : int; slot : int }
+  | Start of { members : member list array; resume : bool; donor : member option }
+  | Peer_update of { rank : int; slot : int; host : int }
+  | Shutdown
+  | Rank_done of { rank : int; slot : int }
+  | Peer_hello of { rank : int; slot : int; consumed : (int * int) list }
+  | App of { msg : Mpivcl.Message.app_msg; ssn : int }
+  | State_req of { rank : int; slot : int }
+  | State_xfer of { image : Mpivcl.Message.image }
+
+let pp ppf = function
+  | Hello { rank; slot; incarnation } ->
+      Format.fprintf ppf "Hello(%d.%d, inc %d)" rank slot incarnation
+  | Ready { rank; slot } -> Format.fprintf ppf "Ready(%d.%d)" rank slot
+  | Start { resume; donor; _ } ->
+      Format.fprintf ppf "Start(resume=%b%s)" resume
+        (match donor with
+        | Some d -> Printf.sprintf ", donor slot %d@%d" d.mb_slot d.mb_host
+        | None -> "")
+  | Peer_update { rank; slot; host } ->
+      Format.fprintf ppf "Peer_update(%d.%d@%d)" rank slot host
+  | Shutdown -> Format.pp_print_string ppf "Shutdown"
+  | Rank_done { rank; slot } -> Format.fprintf ppf "Rank_done(%d.%d)" rank slot
+  | Peer_hello { rank; slot; _ } -> Format.fprintf ppf "Peer_hello(%d.%d)" rank slot
+  | App { msg; ssn } ->
+      Format.fprintf ppf "App(%d->%d tag %d ssn %d)" msg.Mpivcl.Message.src
+        msg.Mpivcl.Message.dst msg.Mpivcl.Message.tag ssn
+  | State_req { rank; slot } -> Format.fprintf ppf "State_req(%d.%d)" rank slot
+  | State_xfer { image } ->
+      Format.fprintf ppf "State_xfer(%d bytes)" image.Mpivcl.Message.img_bytes

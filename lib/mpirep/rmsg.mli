@@ -1,0 +1,43 @@
+(** Wire protocol of the replication backend.
+
+    A replica is addressed by [(rank, slot)]: [rank] is the logical MPI
+    rank, [slot] the replica index within that rank's group
+    ([0 .. degree-1]).
+
+    Peer links carry [Peer_hello] as their first message in each
+    direction; it includes the sender's per-source reception bounds
+    ([consumed]) so the receiving side can immediately flush any logged
+    messages the peer's rank has not yet consumed — this replaces the
+    explicit resend request of the V2 protocol and also heals links
+    established late (after a respawn). *)
+
+type member = { mb_slot : int; mb_host : int }
+
+type t =
+  | Hello of { rank : int; slot : int; incarnation : int }
+      (** replica daemon -> dispatcher, first message after launch *)
+  | Ready of { rank : int; slot : int }
+      (** replica is set up (fresh) or has installed donor state (respawn) *)
+  | Start of { members : member list array; resume : bool; donor : member option }
+      (** dispatcher -> replica: begin computing. [members.(r)] lists the
+          replicas of logical rank [r]. On [resume], [donor] names the
+          live sibling to fetch application state from. *)
+  | Peer_update of { rank : int; slot : int; host : int }
+      (** dispatcher -> live replicas: a respawned replica is back; open a
+          connection to it (mesh repair) *)
+  | Shutdown  (** dispatcher -> replica: tear down (completion or abort) *)
+  | Rank_done of { rank : int; slot : int }  (** replica -> dispatcher *)
+  | Peer_hello of { rank : int; slot : int; consumed : (int * int) list }
+      (** first message on a peer link; [consumed] = per-source highest
+          ssn already received by the sender *)
+  | App of { msg : Mpivcl.Message.app_msg; ssn : int }
+      (** application payload, multicast to every replica of
+          [msg.dst]; [ssn] is per (sender logical rank, dst rank) and is
+          {e reused} when a respawned replica re-executes a logged send,
+          so duplicates are recognisable at every receiver *)
+  | State_req of { rank : int; slot : int }
+      (** respawning replica -> donor sibling *)
+  | State_xfer of { image : Mpivcl.Message.image }
+      (** donor's reply: committed state, buffers and logging state *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,4 +1,8 @@
-type protocol = Non_blocking | Blocking | Sender_logging
+type protocol =
+  | Non_blocking
+  | Blocking
+  | Sender_logging
+  | Replication of { degree : int }
 
 type t = {
   n_ranks : int;
@@ -19,6 +23,8 @@ type t = {
   store_jitter : float;
   dispatcher_buggy : bool;
   restart_settle : float;
+  rep_respawn : bool;
+  rep_failover_window : float;
 }
 
 let default ~n_ranks =
@@ -41,10 +47,25 @@ let default ~n_ranks =
     store_jitter = 0.25;
     dispatcher_buggy = true;
     restart_settle = 0.1;
+    rep_respawn = true;
+    rep_failover_window = 30.0;
   }
 
 let restarts_all_ranks t =
-  match t.protocol with Non_blocking | Blocking -> true | Sender_logging -> false
+  match t.protocol with
+  | Non_blocking | Blocking -> true
+  | Sender_logging | Replication _ -> false
+
+let replication_degree t =
+  match t.protocol with
+  | Replication { degree } -> Some degree
+  | Non_blocking | Blocking | Sender_logging -> None
+
+let protocol_name = function
+  | Non_blocking -> "non-blocking"
+  | Blocking -> "blocking"
+  | Sender_logging -> "sender-logging"
+  | Replication { degree } -> Printf.sprintf "replication-r%d" degree
 
 let dispatcher_port = 100
 let scheduler_port = 101

@@ -12,6 +12,13 @@ type protocol =
           uncoordinated per-rank checkpoints; only the failed rank
           restarts (the protocol family the paper's conclusion proposes
           comparing under identical failure scenarios) *)
+  | Replication of { degree : int }
+      (** Active rank replication ([lib/mpirep]): every logical rank runs
+          as [degree] replicas on distinct hosts; senders multicast,
+          receivers deduplicate, and a replica failure costs {e no
+          rollback at all} — the run only dies when every replica of one
+          rank is lost inside the failover window. Deployed by
+          [Mpirep.Deploy], not {!Deploy}. *)
 
 type t = {
   n_ranks : int;
@@ -49,6 +56,14 @@ type t = {
       (** historical dispatcher with the recovery-wave confusion the paper
           found; [false] = the corrected dispatcher *)
   restart_settle : float;  (** daemon-side setup after image load *)
+  rep_respawn : bool;
+      (** replication only: respawn a fresh replica (state transfer from a
+          live sibling) after a replica failure, restoring the replication
+          degree; [false] = run degraded until the last replica dies *)
+  rep_failover_window : float;
+      (** replication only: how long the membership layer waits for an
+          in-flight respawn to come back live once a rank has {e zero}
+          computing replicas before declaring replication exhausted *)
 }
 
 (** Paper-like defaults for [n_ranks] ranks (non-blocking protocol,
@@ -58,8 +73,15 @@ val default : n_ranks:int -> t
 
 (** [restarts_all_ranks cfg] is true for the coordinated-checkpointing
     protocols, whose recovery rolls every rank back; [Sender_logging]
-    restarts only the failed rank. *)
+    restarts only the failed rank and [Replication] restarts nothing. *)
 val restarts_all_ranks : t -> bool
+
+(** [replication_degree cfg] is [Some degree] for the replication backend,
+    [None] for the rollback-recovery protocols. *)
+val replication_degree : t -> int option
+
+(** Short human-readable protocol label (CLI, experiment tables). *)
+val protocol_name : protocol -> string
 
 (** Ports used on service hosts. *)
 val dispatcher_port : int

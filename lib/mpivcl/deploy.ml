@@ -32,6 +32,10 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
   let lay = make_layout ~n_compute ~n_servers:cfg.Config.n_ckpt_servers in
   if cfg.Config.n_ranks > n_compute then
     invalid_arg "Deploy.launch: more ranks than compute hosts";
+  (match cfg.Config.protocol with
+  | Config.Replication _ ->
+      invalid_arg "Deploy.launch: the replication backend is deployed by Mpirep.Deploy"
+  | Config.Non_blocking | Config.Blocking | Config.Sender_logging -> ());
   let cluster = Cluster.create eng ~size:lay.total_hosts in
   let net = Simnet.Net.create eng () in
   let env =

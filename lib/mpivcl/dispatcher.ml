@@ -36,6 +36,8 @@ type t = {
 
 let trace t event detail = Engine.record t.env.Env.eng ~source:"dispatcher" ~event detail
 
+let tracef t event fmt = Engine.record_fmt t.env.Env.eng ~source:"dispatcher" ~event fmt
+
 let state_name = function
   | R_launching -> "launching"
   | R_registered -> "registered"
@@ -73,7 +75,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
     info.ri_st <- R_launching;
     let inc = info.ri_inc in
     let target_host = info.ri_host in
-    trace t "launch" (Printf.sprintf "rank %d on host %d (inc %d)" r target_host inc);
+    tracef t "launch" "rank %d on host %d (inc %d)" r target_host inc;
     ignore
       (Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "ssh-rank%d" r) (fun () ->
            if inc > 0 then Proc.sleep cfg.Config.relaunch_delay;
@@ -88,10 +90,10 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
   let move_to_spare r =
     let info = ranks.(r) in
     match !free_hosts with
-    | [] -> trace t "no-spare" (Printf.sprintf "rank %d restarts in place" r)
+    | [] -> tracef t "no-spare" "rank %d restarts in place" r
     | spare :: rest ->
         free_hosts := rest @ [ info.ri_host ];
-        trace t "reallocate" (Printf.sprintf "rank %d: host %d -> %d" r info.ri_host spare);
+        tracef t "reallocate" "rank %d: host %d -> %d" r info.ri_host spare;
         info.ri_host <- spare
   in
   let old_stopping () =
@@ -100,8 +102,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
   let begin_recovery ~failed =
     t.recovery_count <- t.recovery_count + 1;
     steady := false;
-    trace t "recovery-start"
-      (Printf.sprintf "#%d triggered by rank %d" t.recovery_count failed);
+    tracef t "recovery-start" "#%d triggered by rank %d" t.recovery_count failed;
     Array.iteri
       (fun r info ->
         if r <> failed then
@@ -136,11 +137,11 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
       | R_stopping ->
           (* Old-wave daemon terminated as ordered: relaunch in place,
              eagerly. *)
-          trace t "old-wave-stopped" (Printf.sprintf "rank %d" r);
+          tracef t "old-wave-stopped" "rank %d" r;
           launch r
       | R_computing when !steady ->
           (* Failure detection in steady state. *)
-          trace t "failure-detected" (Printf.sprintf "rank %d" r);
+          tracef t "failure-detected" "rank %d" r;
           if Config.restarts_all_ranks cfg then begin
             begin_recovery ~failed:r;
             move_to_spare r;
@@ -161,17 +162,16 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
                relaunched — the application freezes. *)
             t.is_confused <- true;
             info.ri_st <- R_forgotten;
-            trace t "dispatcher-confused"
-              (Printf.sprintf "rank %d lost while %d old-wave daemons still stopping" r
-                 (old_stopping ()))
+            tracef t "dispatcher-confused" "rank %d lost while %d old-wave daemons still stopping"
+              r (old_stopping ())
           end
           else begin
-            trace t "new-wave-failure" (Printf.sprintf "rank %d (handled)" r);
+            tracef t "new-wave-failure" "rank %d (handled)" r;
             move_to_spare r;
             launch r
           end
       | R_launching | R_forgotten ->
-          trace t "closure-ignored" (Printf.sprintf "rank %d in state %s" r (state_name info.ri_st))
+          tracef t "closure-ignored" "rank %d in state %s" r (state_name info.ri_st)
     end
   in
   let handle_event = function
@@ -180,7 +180,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
         if inc = info.ri_inc && info.ri_st = R_launching && not !completed then begin
           info.ri_conn <- Some conn;
           info.ri_st <- R_registered;
-          trace t "rank-registered" (Printf.sprintf "rank %d inc %d" r inc)
+          tracef t "rank-registered" "rank %d inc %d" r inc
         end
         else Net.close conn
     | E_msg (r, inc, msg) -> (
@@ -198,7 +198,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
                       ignore (Net.send conn (Message.Start { rank_hosts; resume = true }))
                   | None -> ());
                   info.ri_st <- R_computing;
-                  trace t "rank-resumed" (Printf.sprintf "rank %d" r)
+                  tracef t "rank-resumed" "rank %d" r
                 end
                 else begin
                   info.ri_st <- R_ready;
@@ -225,7 +225,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
           (* The daemon died before registering (e.g. killed between spawn
              and Hello): the dispatcher sees a failed launch and simply
              retries — no wave confusion possible. *)
-          trace t "spawn-failed" (Printf.sprintf "rank %d inc %d, retrying" r inc);
+          tracef t "spawn-failed" "rank %d inc %d, retrying" r inc;
           if !steady then begin
             (* Should not happen: launching implies a recovery or startup
                is in progress. *)

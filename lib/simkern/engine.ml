@@ -38,6 +38,8 @@ let trace t = t.trace
 
 let record t ~source ~event detail = Trace.record t.trace ~time:t.now ~source ~event detail
 
+let record_fmt t ~source ~event fmt = Printf.ksprintf (record t ~source ~event) fmt
+
 let fresh_pid t =
   let pid = t.next_pid in
   t.next_pid <- t.next_pid + 1;

@@ -26,6 +26,10 @@ val trace : t -> Trace.t
 (** [record t ~source ~event detail] records a trace entry at [now t]. *)
 val record : t -> source:string -> event:string -> string -> unit
 
+(** [record_fmt t ~source ~event fmt ...] is {!record} with a
+    printf-style detail (see {!Trace.record_fmt}). *)
+val record_fmt : t -> source:string -> event:string -> ('a, unit, string, unit) format4 -> 'a
+
 (** [fresh_pid t] returns a process identifier unique within this engine. *)
 val fresh_pid : t -> int
 

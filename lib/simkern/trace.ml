@@ -8,6 +8,9 @@ let record t ~time ~source ~event detail =
   t.rev_entries <- { time; source; event; detail } :: t.rev_entries;
   t.n <- t.n + 1
 
+let record_fmt t ~time ~source ~event fmt =
+  Printf.ksprintf (record t ~time ~source ~event) fmt
+
 let entries t = List.rev t.rev_entries
 
 let length t = t.n

@@ -3,7 +3,19 @@
     The paper distinguishes non-terminating runs (rollback/crash cycles)
     from buggy runs (freezes) by analysing the execution trace (§5). Every
     protocol component records its externally observable events here, and
-    {!Experiments} classifies outcomes from the same information. *)
+    {!Experiments} classifies outcomes from the same information.
+
+    Event names are free-form strings, but the protocol stacks use a
+    stable vocabulary that {!Experiments.Trace_analysis} relies on:
+    - rollback recovery (Vcl / V2): ["failure-detected"],
+      ["recovery-start"], ["recovery-complete"], ["rank-resumed"],
+      ["wave-commit"], ["commit-rank"], ["dispatcher-confused"];
+    - active replication (mpirep): ["replica-failover"] (a replica died
+      and a live sibling carries on, no rollback), ["replica-respawn"]
+      (a fresh replica rejoined after a state transfer from a live
+      sibling), ["replication-exhausted"] (every replica of one logical
+      rank died inside the failover window — the run is lost);
+    - fault injection: ["halt"] for every FAIL [halt] executed. *)
 
 type entry = {
   time : float;  (** simulated time of the event *)
@@ -19,6 +31,12 @@ val create : unit -> t
 
 (** [record t ~time ~source ~event detail] appends an entry. *)
 val record : t -> time:float -> source:string -> event:string -> string -> unit
+
+(** [record_fmt t ~time ~source ~event fmt ...] is {!record} with a
+    printf-style detail, e.g.
+    [record_fmt t ~time ~source:"dispatcher" ~event:"launch" "rank %d" r]. *)
+val record_fmt :
+  t -> time:float -> source:string -> event:string -> ('a, unit, string, unit) format4 -> 'a
 
 (** [entries t] returns all entries in recording order. *)
 val entries : t -> entry list

@@ -154,6 +154,8 @@ let test_aggregate () =
       recoveries = 1;
       committed_waves = 3;
       confused = (outcome = Failmpi.Run.Buggy);
+      failovers = 0;
+      respawns = 0;
       checksums = [];
       checksum_ok = None;
       trace = Simkern.Trace.create ();
@@ -185,6 +187,8 @@ let test_render_table () =
           recoveries = 0;
           committed_waves = 1;
           confused = false;
+          failovers = 0;
+          respawns = 0;
           checksums = [];
           checksum_ok = Some true;
           trace = Simkern.Trace.create ();
@@ -218,6 +222,8 @@ let test_replicate_seeds () =
           recoveries = 0;
           committed_waves = 0;
           confused = false;
+          failovers = 0;
+          respawns = 0;
           checksums = [];
           checksum_ok = None;
           trace = Simkern.Trace.create ();
@@ -276,6 +282,8 @@ let test_aggs_csv () =
           recoveries = 1;
           committed_waves = 2;
           confused = false;
+          failovers = 0;
+          respawns = 0;
           checksums = [];
           checksum_ok = Some true;
           trace = Simkern.Trace.create ();
