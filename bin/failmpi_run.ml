@@ -1,10 +1,11 @@
 (* failmpi_run: run one fault-injection experiment against the NAS BT
-   model on MPICH-Vcl.
+   model under any registered protocol backend.
 
    Examples:
      failmpi_run --ranks 49 --class B                 (no faults)
      failmpi_run --paper fig5-frequency --seed 3
      failmpi_run --scenario my.fail --param X=5 --trace
+     failmpi_run --list-protocols
      failmpi_run --protocol replication --replicas 2 --ranks 4 \
        --scenario scenarios/replica_split.fail \
        --param START=20 --param GAP=0 --param FIRST=2 --param SECOND=6 *)
@@ -29,105 +30,107 @@ let parse_param s =
 
 let param_conv = Arg.conv (parse_param, fun ppf (n, v) -> Format.fprintf ppf "%s=%d" n v)
 
+let list_protocols () =
+  print_endline "registered protocol backends:";
+  List.iter
+    (fun (module B : Failmpi.Backend.S) ->
+      Printf.printf "  %-12s %s%s\n" B.name B.doc
+        (match B.aliases with
+        | [] -> ""
+        | aliases -> Printf.sprintf " (aliases: %s)" (String.concat ", " aliases)))
+    (Failmpi.Backend.all ());
+  0
+
 let run scenario_file paper params ranks klass protocol replicas seed timeout fixed
-    show_trace analyze trace_csv =
-  let klass =
-    match Workload.Bt_model.klass_of_string klass with
-    | Some k -> k
-    | None ->
-        prerr_endline "failmpi_run: class must be A, B or C";
-        exit 1
-  in
-  let protocol =
-    match protocol with
-    | "vcl" | "non-blocking" -> Mpivcl.Config.Non_blocking
-    | "blocking" -> Mpivcl.Config.Blocking
-    | "v2" | "logging" -> Mpivcl.Config.Sender_logging
-    | "replication" ->
-        if replicas < 1 then begin
-          prerr_endline "failmpi_run: --replicas must be at least 1";
+    show_trace analyze trace_csv show_protocols =
+  if show_protocols then list_protocols ()
+  else begin
+    let klass =
+      match Workload.Bt_model.klass_of_string klass with
+      | Some k -> k
+      | None ->
+          prerr_endline "failmpi_run: class must be A, B or C";
           exit 1
-        end;
-        Mpivcl.Config.Replication { degree = replicas }
-    | s ->
-        prerr_endline
-          (Printf.sprintf
-             "failmpi_run: unknown protocol %s (vcl, blocking, v2, replication)" s);
-        exit 1
-  in
-  (* Replication holds degree replicas per rank plus two spare hosts (so
-     e.g. --ranks 4 --replicas 2 matches scenarios/replica_split.fail's
-     machines 0..9); the rollback families keep the paper's rank+4. *)
-  let n_machines =
-    match protocol with
-    | Mpivcl.Config.Replication { degree } -> (degree * ranks) + 2
-    | _ -> Experiments.Harness.machines_for ranks
-  in
-  let scenario =
-    match (scenario_file, paper) with
-    | Some path, None -> Some (read_file path)
-    | None, Some name -> (
-        match List.assoc_opt name Fail_lang.Paper_scenarios.all with
-        | Some src -> Some src
-        | None ->
-            prerr_endline
-              (Printf.sprintf "failmpi_run: unknown paper scenario %s (available: %s)" name
-                 (String.concat ", " (List.map fst Fail_lang.Paper_scenarios.all)));
-            exit 1)
-    | Some _, Some _ ->
-        prerr_endline "failmpi_run: give either --scenario or --paper, not both";
-        exit 1
-    | None, None -> None
-  in
-  let cfg =
-    {
-      (Mpivcl.Config.default ~n_ranks:ranks) with
-      Mpivcl.Config.protocol;
-      dispatcher_buggy = not fixed;
-    }
-  in
-  let spec =
-    {
-      (Experiments.Harness.bt_spec ~cfg ~klass ~n_ranks:ranks ~n_machines ~scenario ()) with
-      Failmpi.Run.params;
-      seed = Int64.of_int seed;
-      timeout;
-    }
-  in
-  let expected = Workload.Bt_model.reference_checksum klass ~n_ranks:ranks in
-  let r = Failmpi.Run.execute ~expected_checksum:expected spec in
-  Printf.printf "outcome:          %s%s\n"
-    (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
-    (match r.Failmpi.Run.outcome with
-    | Failmpi.Run.Completed t -> Printf.sprintf " (%.1f s)" t
-    | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> "");
-  Printf.printf "protocol:         %s\n" (Mpivcl.Config.protocol_name protocol);
-  Printf.printf "injected faults:  %d\n" r.Failmpi.Run.injected_faults;
-  (match protocol with
-  | Mpivcl.Config.Replication _ ->
-      Printf.printf "failovers:        %d\n" r.Failmpi.Run.failovers;
-      Printf.printf "respawns:         %d\n" r.Failmpi.Run.respawns
-  | _ ->
-      Printf.printf "recovery waves:   %d\n" r.Failmpi.Run.recoveries;
-      Printf.printf "committed ckpts:  %d\n" r.Failmpi.Run.committed_waves;
-      Printf.printf "dispatcher race:  %s\n"
-        (if r.Failmpi.Run.confused then "HIT" else "not hit"));
-  (match r.Failmpi.Run.checksum_ok with
-  | Some true -> Printf.printf "checksums:        all %d ranks correct\n" ranks
-  | Some false -> Printf.printf "checksums:        MISMATCH\n"
-  | None -> ());
-  if analyze then
-    Format.printf "@.trace analysis:@.%a@." Experiments.Trace_analysis.pp
-      (Experiments.Trace_analysis.summarize r.Failmpi.Run.trace);
-  (match trace_csv with
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Experiments.Trace_analysis.events_csv r.Failmpi.Run.trace);
-      close_out oc;
-      Printf.printf "trace written to %s\n" path
-  | None -> ());
-  if show_trace then Format.printf "%a@." Simkern.Trace.pp r.Failmpi.Run.trace;
-  match r.Failmpi.Run.checksum_ok with Some false -> 2 | Some true | None -> 0
+    in
+    if replicas < 1 then begin
+      prerr_endline "failmpi_run: --replicas must be at least 1";
+      exit 1
+    end;
+    let (module B : Failmpi.Backend.S) =
+      match Failmpi.Backend.find protocol with
+      | Some b -> b
+      | None ->
+          prerr_endline
+            (Printf.sprintf "failmpi_run: unknown protocol %s (registered: %s)" protocol
+               (String.concat ", " (Failmpi.Backend.names ())));
+          exit 1
+    in
+    let protocol = B.protocol ~replicas in
+    let n_machines = B.default_machines ~n_ranks:ranks ~replicas in
+    let scenario =
+      match (scenario_file, paper) with
+      | Some path, None -> Some (read_file path)
+      | None, Some name -> (
+          match List.assoc_opt name Fail_lang.Paper_scenarios.all with
+          | Some src -> Some src
+          | None ->
+              prerr_endline
+                (Printf.sprintf "failmpi_run: unknown paper scenario %s (available: %s)"
+                   name
+                   (String.concat ", " (List.map fst Fail_lang.Paper_scenarios.all)));
+              exit 1)
+      | Some _, Some _ ->
+          prerr_endline "failmpi_run: give either --scenario or --paper, not both";
+          exit 1
+      | None, None -> None
+    in
+    let cfg =
+      {
+        (Mpivcl.Config.default ~n_ranks:ranks) with
+        Mpivcl.Config.protocol;
+        dispatcher_buggy = not fixed;
+      }
+    in
+    let spec =
+      {
+        (Experiments.Harness.bt_spec ~cfg ~klass ~n_ranks:ranks ~n_machines ~scenario ())
+        with
+        Failmpi.Run.params;
+        seed = Int64.of_int seed;
+        timeout;
+      }
+    in
+    let expected = Workload.Bt_model.reference_checksum klass ~n_ranks:ranks in
+    let r = Failmpi.Run.execute ~expected_checksum:expected spec in
+    Printf.printf "outcome:          %s%s\n"
+      (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
+      (match r.Failmpi.Run.outcome with
+      | Failmpi.Run.Completed t -> Printf.sprintf " (%.1f s)" t
+      | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> "");
+    Printf.printf "protocol:         %s\n" (Mpivcl.Config.protocol_name protocol);
+    Printf.printf "injected faults:  %d\n" r.Failmpi.Run.injected_faults;
+    (* Every backend reports the same uniform counter set (plus its
+       extension counters): print them generically. *)
+    List.iter
+      (fun (name, v) -> Printf.printf "%-17s %d\n" (name ^ ":") v)
+      (Failmpi.Backend.Metrics.counters r.Failmpi.Run.metrics);
+    (match r.Failmpi.Run.checksum_ok with
+    | Some true -> Printf.printf "checksums:        all %d ranks correct\n" ranks
+    | Some false -> Printf.printf "checksums:        MISMATCH\n"
+    | None -> ());
+    if analyze then
+      Format.printf "@.trace analysis:@.%a@." Experiments.Trace_analysis.pp
+        (Experiments.Trace_analysis.summarize r.Failmpi.Run.trace);
+    (match trace_csv with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Experiments.Trace_analysis.events_csv r.Failmpi.Run.trace);
+        close_out oc;
+        Printf.printf "trace written to %s\n" path
+    | None -> ());
+    if show_trace then Format.printf "%a@." Simkern.Trace.pp r.Failmpi.Run.trace;
+    match r.Failmpi.Run.checksum_ok with Some false -> 2 | Some true | None -> 0
+  end
 
 let cmd =
   let scenario =
@@ -158,8 +161,8 @@ let cmd =
       value & opt string "vcl"
       & info [ "protocol" ] ~docv:"NAME"
           ~doc:
-            "Fault-tolerance protocol: vcl (coordinated non-blocking), blocking, v2 \
-             (sender-based message logging) or replication.")
+            "Fault-tolerance protocol backend; see $(b,--list-protocols) for the \
+             registered names.")
   in
   let replicas =
     Arg.(
@@ -188,10 +191,16 @@ let cmd =
       & opt (some string) None
       & info [ "trace-csv" ] ~docv:"FILE" ~doc:"Write the raw trace as CSV to FILE.")
   in
+  let show_protocols =
+    Arg.(
+      value & flag
+      & info [ "list-protocols" ]
+          ~doc:"List the registered protocol backends and exit.")
+  in
   Cmd.v
-    (Cmd.info "failmpi_run" ~doc:"Inject faults into MPICH-Vcl running NAS BT")
+    (Cmd.info "failmpi_run" ~doc:"Inject faults into a fault-tolerant MPI running NAS BT")
     Term.(
       const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ seed
-      $ timeout $ fixed $ show_trace $ analyze $ trace_csv)
+      $ timeout $ fixed $ show_trace $ analyze $ trace_csv $ show_protocols)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,7 +11,7 @@ let () =
   in
   Printf.printf "outcome=%s faults=%d recov=%d\n"
     (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
-    r.Failmpi.Run.injected_faults r.Failmpi.Run.recoveries;
+    r.Failmpi.Run.injected_faults (Failmpi.Run.recoveries r);
   let entries = Simkern.Trace.entries r.Failmpi.Run.trace in
   (* last interesting events *)
   let interesting =

@@ -7,7 +7,7 @@ let () =
       ~seed:250L ()
   in
   Printf.printf "outcome=%s faults=%d waves=%d\n" (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
-    r.Failmpi.Run.injected_faults r.Failmpi.Run.committed_waves;
+    r.Failmpi.Run.injected_faults (Failmpi.Run.committed_waves r);
   List.iter
     (fun e ->
       let open Simkern.Trace in

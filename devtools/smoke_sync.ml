@@ -23,7 +23,7 @@ let () =
       (match r.Failmpi.Run.outcome with
       | Failmpi.Run.Completed t -> Printf.sprintf " t=%4.0f" t
       | _ -> "       ")
-      r.Failmpi.Run.injected_faults r.Failmpi.Run.recoveries r.Failmpi.Run.confused
+      r.Failmpi.Run.injected_faults (Failmpi.Run.recoveries r) (Failmpi.Run.confused r)
       (match r.Failmpi.Run.checksum_ok with
       | Some true -> "yes"
       | Some false -> "NO"

@@ -73,7 +73,7 @@ let () =
         (match r.Failmpi.Run.outcome with
         | Failmpi.Run.Completed t -> Printf.sprintf " in %.0f s" t
         | _ -> "")
-        r.Failmpi.Run.injected_faults r.Failmpi.Run.recoveries
+        r.Failmpi.Run.injected_faults (Failmpi.Run.recoveries r)
         (match r.Failmpi.Run.checksum_ok with
         | Some true -> "correct"
         | Some false -> "WRONG"

@@ -63,8 +63,8 @@ let () =
         (float_of_int params.Workload.Stencil.iterations *. params.Workload.Stencil.compute_time)
   | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> ());
   Printf.printf "faults injected:    %d\n" result.Failmpi.Run.injected_faults;
-  Printf.printf "recovery waves:     %d\n" result.Failmpi.Run.recoveries;
-  Printf.printf "checkpoints taken:  %d\n" result.Failmpi.Run.committed_waves;
+  Printf.printf "recovery waves:     %d\n" (Failmpi.Run.recoveries result);
+  Printf.printf "checkpoints taken:  %d\n" (Failmpi.Run.committed_waves result);
   Printf.printf "checksum:           %s\n"
     (match result.Failmpi.Run.checksum_ok with
     | Some true -> "identical to the fault-free reference"

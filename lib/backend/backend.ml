@@ -1,0 +1,16 @@
+module Metrics = Metrics
+
+module type S = Intf.S
+
+type t = Intf.t
+
+module Registry = Registry
+module Builtin = Builtin
+
+(* Any access through this umbrella module forces the builtin
+   registrations, so [Registry] is never observed empty. *)
+let () = Builtin.init ()
+let of_config cfg = Registry.of_protocol cfg.Mpivcl.Config.protocol
+let find = Registry.find
+let all = Registry.all
+let names = Registry.names

@@ -1,0 +1,32 @@
+(** Protocol backends: one launch / await / metrics contract for every
+    fault-tolerance protocol family.
+
+    {!Failmpi.Run.execute} is protocol-agnostic: it resolves the backend
+    for [cfg.protocol] from the {!Registry}, launches it, spawns one
+    watchdog on {!S.await}, and classifies the outcome from
+    {!S.peek_completed} / {!S.frozen} — adding a protocol family is a
+    registry entry, not core surgery. See [docs/ARCHITECTURE.md]. *)
+
+module Metrics = Metrics
+
+(** The backend contract; see {!Intf.S} for the full documentation. *)
+module type S = Intf.S
+
+(** A backend as a first-class module. *)
+type t = Intf.t
+
+module Registry = Registry
+module Builtin = Builtin
+
+(** [of_config cfg] resolves the registered backend for
+    [cfg.protocol]. Raises [Invalid_argument] if none handles it. *)
+val of_config : Mpivcl.Config.t -> t
+
+(** [find name] resolves a registry name or alias. *)
+val find : string -> t option
+
+(** All registered backends / their canonical names, in registration
+    order. *)
+val all : unit -> t list
+
+val names : unit -> string list

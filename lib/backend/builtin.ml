@@ -1,0 +1,145 @@
+open Mpivcl
+
+(* The three rollback-recovery protocols share the MPICH-Vcl deployment
+   (dispatcher, daemons, checkpoint servers) and differ only in the
+   [Config.protocol] value they run under. *)
+module type ROLLBACK_SPEC = sig
+  val name : string
+  val aliases : string list
+  val doc : string
+  val label : string
+  val proto : Config.protocol
+end
+
+module Rollback (P : ROLLBACK_SPEC) : Intf.S = struct
+  type handle = Deploy.handle
+
+  let name = P.name
+  let aliases = P.aliases
+  let doc = P.doc
+  let family_label ~replicas:_ = P.label
+  let protocol ~replicas:_ = P.proto
+  let handles proto = proto = P.proto
+
+  (* The paper's allocation: one host per rank plus four spares
+     (53 machines for BT-49); services live beyond the compute range. *)
+  let default_machines ~n_ranks ~replicas:_ = n_ranks + 4
+
+  let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
+    if not (handles cfg.Config.protocol) then
+      invalid_arg
+        (Printf.sprintf "%s backend cannot run protocol %s" name
+           (Config.protocol_name cfg.Config.protocol));
+    Deploy.launch eng ?fci ~cfg ~app ~state_bytes ~n_compute ()
+
+  let await h = ignore (Dispatcher.outcome h.Deploy.dispatcher)
+
+  let peek_completed h =
+    match Dispatcher.peek_outcome h.Deploy.dispatcher with
+    | Some (Dispatcher.Completed t) -> Some t
+    | Some (Dispatcher.Aborted _) | None -> None
+
+  let frozen h = Dispatcher.confused h.Deploy.dispatcher
+
+  let metrics h =
+    {
+      Metrics.zero with
+      Metrics.recoveries = Dispatcher.recoveries h.Deploy.dispatcher;
+      committed_waves =
+        (match h.Deploy.scheduler with
+        | Some scheduler -> Scheduler.committed_count scheduler
+        | None -> 0);
+      confused = Dispatcher.confused h.Deploy.dispatcher;
+    }
+
+  let teardown = Deploy.teardown
+end
+
+module Vcl = Rollback (struct
+  let name = "vcl"
+  let aliases = [ "non-blocking" ]
+
+  let doc =
+    "coordinated checkpointing, non-blocking Chandy-Lamport waves; any fault rolls \
+     every rank back to the last committed wave"
+
+  let label = "Vcl (coordinated)"
+  let proto = Config.Non_blocking
+end)
+
+module Blocking = Rollback (struct
+  let name = "blocking"
+  let aliases = []
+
+  let doc =
+    "coordinated checkpointing with blocking (channel-flushing) Chandy-Lamport waves"
+
+  let label = "Vcl (blocking)"
+  let proto = Config.Blocking
+end)
+
+module V2 = Rollback (struct
+  let name = "v2"
+  let aliases = [ "logging" ]
+
+  let doc =
+    "sender-based message logging; only the failed rank restarts and replays from \
+     its own checkpoint"
+
+  let label = "V2 (msg logging)"
+  let proto = Config.Sender_logging
+end)
+
+module Replication : Intf.S = struct
+  type handle = Mpirep.Deploy.handle
+
+  let name = "replication"
+  let aliases = [ "rep" ]
+
+  let doc =
+    "active replication: degree replicas per rank, zero-rollback failover, respawn \
+     via state transfer"
+
+  let family_label ~replicas = Printf.sprintf "replication x%d" replicas
+  let protocol ~replicas = Config.Replication { degree = replicas }
+
+  let handles = function
+    | Config.Replication _ -> true
+    | Config.Non_blocking | Config.Blocking | Config.Sender_logging -> false
+
+  (* degree x ranks replicas plus two spare hosts for respawns (so e.g.
+     --ranks 4 --replicas 2 matches scenarios/replica_split.fail's
+     machines 0..9). *)
+  let default_machines ~n_ranks ~replicas = (replicas * n_ranks) + 2
+  let launch = Mpirep.Deploy.launch
+  let await h = ignore (Mpirep.Rdispatcher.outcome h.Mpirep.Deploy.rdispatcher)
+
+  let peek_completed h =
+    match Mpirep.Rdispatcher.peek_outcome h.Mpirep.Deploy.rdispatcher with
+    | Some (Mpirep.Rdispatcher.Completed t) -> Some t
+    | Some (Mpirep.Rdispatcher.Aborted _) | None -> None
+
+  let frozen h = Mpirep.Rdispatcher.exhausted h.Mpirep.Deploy.rdispatcher
+
+  let metrics h =
+    let rd = h.Mpirep.Deploy.rdispatcher in
+    {
+      Metrics.zero with
+      Metrics.failovers = Mpirep.Rdispatcher.failovers rd;
+      respawns = Mpirep.Rdispatcher.respawns rd;
+      extra = [ ("exhausted", if Mpirep.Rdispatcher.exhausted rd then 1 else 0) ];
+    }
+
+  let teardown = Mpirep.Deploy.teardown
+end
+
+let all : Intf.t list =
+  [ (module Vcl); (module Blocking); (module V2); (module Replication) ]
+
+let init =
+  let once = ref false in
+  fun () ->
+    if not !once then begin
+      once := true;
+      List.iter Registry.register all
+    end

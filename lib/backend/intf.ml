@@ -1,0 +1,73 @@
+(** The protocol-backend contract.
+
+    A backend packages one fault-tolerance protocol family behind the
+    launch / await / metrics lifecycle that {!Failmpi.Run.execute}
+    drives: deploy the runtime on a simulated cluster, block a watchdog
+    until the application finishes, expose the terminal state and the
+    uniform {!Metrics.t}, and tear everything down. Implementations are
+    first-class modules registered in {!Registry}; the core run loop is
+    protocol-agnostic and resolves the backend from
+    [Mpivcl.Config.protocol]. *)
+
+module type S = sig
+  (** Opaque per-run deployment state (cluster, network, dispatcher). *)
+  type handle
+
+  (** Canonical registry name (CLI: [--protocol <name>]). *)
+  val name : string
+
+  (** Alternative CLI spellings, e.g. ["non-blocking"] for [vcl]. *)
+  val aliases : string list
+
+  (** One-line description for [--list-protocols]. *)
+  val doc : string
+
+  (** Row label used by the protocol-families experiment;
+      [replicas] only matters to degree-parameterised backends. *)
+  val family_label : replicas:int -> string
+
+  (** The [Config.protocol] value this backend runs, e.g.
+      [Replication { degree = replicas }]. *)
+  val protocol : replicas:int -> Mpivcl.Config.protocol
+
+  (** [handles p] is true iff this backend deploys protocol [p]. *)
+  val handles : Mpivcl.Config.protocol -> bool
+
+  (** Default compute-host allocation (ranks + protocol services +
+      spares) for CLI runs, mirroring the paper's 53-for-49 style. *)
+  val default_machines : n_ranks:int -> replicas:int -> int
+
+  (** Deploy the protocol runtime. Returns immediately; progress happens
+      as the engine runs. Raises [Invalid_argument] if [cfg.protocol] is
+      not one this backend {!handles} or the cluster is too small. *)
+  val launch :
+    Simkern.Engine.t ->
+    ?fci:Fci.Runtime.t ->
+    cfg:Mpivcl.Config.t ->
+    app:Mpivcl.App.t ->
+    state_bytes:int ->
+    n_compute:int ->
+    unit ->
+    handle
+
+  (** Blocks the calling process until the run reaches a terminal state
+      (completed or aborted). Spawned as the experiment watchdog. *)
+  val await : handle -> unit
+
+  (** [Some t] once the application completed at simulated time [t]. *)
+  val peek_completed : handle -> float option
+
+  (** The protocol froze the run (corrupted dispatcher bookkeeping,
+      exhausted replication, ...): §5 classifies this as [Buggy] even
+      before the event queue drains. *)
+  val frozen : handle -> bool
+
+  (** Uniform counter snapshot; see {!Metrics}. *)
+  val metrics : handle -> Metrics.t
+
+  (** Kill every deployed task (experiment timeout). *)
+  val teardown : handle -> unit
+end
+
+(** Backends travel as first-class modules. *)
+type t = (module S)

@@ -1,0 +1,37 @@
+type t = {
+  recoveries : int;
+  committed_waves : int;
+  confused : bool;
+  failovers : int;
+  respawns : int;
+  extra : (string * int) list;
+}
+
+let zero =
+  {
+    recoveries = 0;
+    committed_waves = 0;
+    confused = false;
+    failovers = 0;
+    respawns = 0;
+    extra = [];
+  }
+
+let counters t =
+  [
+    ("recoveries", t.recoveries);
+    ("committed_waves", t.committed_waves);
+    ("confused", if t.confused then 1 else 0);
+    ("failovers", t.failovers);
+    ("respawns", t.respawns);
+  ]
+  @ t.extra
+
+let find t name = List.assoc_opt name (counters t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+       (fun ppf (name, v) -> Format.fprintf ppf "%s=%d" name v))
+    (counters t)

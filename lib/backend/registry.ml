@@ -1,0 +1,28 @@
+let registered : Intf.t list ref = ref []
+
+let spellings (module B : Intf.S) = B.name :: B.aliases
+
+let register ((module B : Intf.S) as backend) =
+  let taken = List.concat_map spellings !registered in
+  (match List.find_opt (fun n -> List.mem n taken) (spellings (module B)) with
+  | Some n ->
+      invalid_arg
+        (Printf.sprintf "Backend.Registry.register: %s already registered" n)
+  | None -> ());
+  registered := !registered @ [ backend ]
+
+let all () = !registered
+let names () = List.map (fun (module B : Intf.S) -> B.name) !registered
+
+let find name =
+  List.find_opt (fun b -> List.mem name (spellings b)) !registered
+
+let of_protocol proto =
+  match List.find_opt (fun (module B : Intf.S) -> B.handles proto) !registered with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Backend.Registry.of_protocol: no registered backend handles %s (registered: %s)"
+           (Mpivcl.Config.protocol_name proto)
+           (String.concat ", " (names ())))

@@ -1,0 +1,25 @@
+(** Name → backend registry.
+
+    The builtin protocol families ([vcl], [blocking], [v2],
+    [replication]) are registered by {!Builtin.init}, which runs as soon
+    as the [Backend] umbrella module is linked; additional backends can
+    be registered at program start. Registration order is preserved —
+    experiments that enumerate the registry report families in a stable
+    order. *)
+
+(** [register b] appends [b]. Raises [Invalid_argument] if its name or
+    one of its aliases is already taken. *)
+val register : Intf.t -> unit
+
+(** Registered backends, in registration order. *)
+val all : unit -> Intf.t list
+
+(** Canonical names, in registration order. *)
+val names : unit -> string list
+
+(** [find name] resolves a canonical name or an alias. *)
+val find : string -> Intf.t option
+
+(** [of_protocol p] is the backend with [handles p]. Raises
+    [Invalid_argument] (listing the registered names) if none does. *)
+val of_protocol : Mpivcl.Config.protocol -> Intf.t

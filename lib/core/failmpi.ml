@@ -18,18 +18,9 @@ end
 module Mpi = struct
   module Config = Mpivcl.Config
   module App = Mpivcl.App
-  module Deploy = Mpivcl.Deploy
-  module Dispatcher = Mpivcl.Dispatcher
-  module Scheduler = Mpivcl.Scheduler
 end
 
-module Rep = struct
-  module Rmsg = Mpirep.Rmsg
-  module Member = Mpirep.Member
-  module Replica = Mpirep.Replica
-  module Rdispatcher = Mpirep.Rdispatcher
-  module Deploy = Mpirep.Deploy
-end
+module Backend = Backend
 
 module Run = struct
   open Simkern
@@ -64,15 +55,18 @@ module Run = struct
   type result = {
     outcome : outcome;
     injected_faults : int;
-    recoveries : int;
-    committed_waves : int;
-    confused : bool;
-    failovers : int;
-    respawns : int;
+    metrics : Backend.Metrics.t;
     checksums : (int * int) list;
     checksum_ok : bool option;
     trace : Trace.t;
   }
+
+  let metrics r = r.metrics
+  let recoveries r = r.metrics.Backend.Metrics.recoveries
+  let committed_waves r = r.metrics.Backend.Metrics.committed_waves
+  let confused r = r.metrics.Backend.Metrics.confused
+  let failovers r = r.metrics.Backend.Metrics.failovers
+  let respawns r = r.metrics.Backend.Metrics.respawns
 
   let outcome_name = function
     | Completed _ -> "completed"
@@ -100,95 +94,54 @@ module Run = struct
             Hashtbl.replace finals ctx.Mpivcl.App.rank ctx.Mpivcl.App.state.(2));
       }
     in
-    (* Common epilogue: §5 classification (a frozen run — quiescent
-       event queue, corrupted dispatcher, or exhausted replication — is
-       a bug; a run still making failure / recovery noise at the timeout
-       is non-terminating) plus checksum collection. *)
-    let finish ~completed ~frozen ~stop_reason ~recoveries ~committed_waves ~confused
-        ~failovers ~respawns =
-      let outcome =
-        match completed with
-        | Some t -> Completed t
-        | None -> if frozen || stop_reason = `Quiescent then Buggy else Non_terminating
-      in
-      let checksums =
-        Hashtbl.fold (fun rank v acc -> (rank, v) :: acc) finals []
-        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-      in
-      let checksum_ok =
-        match (completed, expected_checksum) with
-        | Some _, Some expected ->
-            Some
-              (List.length checksums = spec.cfg.Mpivcl.Config.n_ranks
-              && List.for_all (fun (_, v) -> v = expected) checksums)
-        | _ -> None
-      in
-      {
-        outcome;
-        injected_faults =
-          (match fci with Some rt -> Fci.Runtime.injected_faults rt | None -> 0);
-        recoveries;
-        committed_waves;
-        confused;
-        failovers;
-        respawns;
-        checksums;
-        checksum_ok;
-        trace = Engine.trace eng;
-      }
+    (* One protocol-agnostic path: the backend registered for
+       [cfg.protocol] deploys the runtime; a single watchdog stops the
+       clock as soon as the application completes; otherwise the engine
+       runs to quiescence (a freeze drains the event queue) or to the
+       experiment timeout, after which every component is killed and the
+       run is classified exactly as the paper's §5 does — a frozen run
+       (quiescent event queue, corrupted dispatcher, or exhausted
+       replication) is a bug; a run still making failure / recovery
+       noise at the timeout is non-terminating. *)
+    let (module B : Backend.S) = Backend.of_config spec.cfg in
+    let handle =
+      B.launch eng ?fci ~cfg:spec.cfg ~app ~state_bytes:spec.state_bytes
+        ~n_compute:spec.n_compute ()
     in
-    match Mpivcl.Config.replication_degree spec.cfg with
-    | Some _ ->
-        let handle =
-          Mpirep.Deploy.launch eng ?fci ~cfg:spec.cfg ~app ~state_bytes:spec.state_bytes
-            ~n_compute:spec.n_compute ()
-        in
-        let rd = handle.Mpirep.Deploy.rdispatcher in
-        ignore
-          (Proc.spawn eng ~name:"experiment-watchdog" (fun () ->
-               ignore (Mpirep.Rdispatcher.outcome rd);
-               Engine.halt eng));
-        let stop_reason = Engine.run ~until:spec.timeout eng in
-        let completed =
-          match Mpirep.Rdispatcher.peek_outcome rd with
-          | Some (Mpirep.Rdispatcher.Completed t) -> Some t
-          | Some (Mpirep.Rdispatcher.Aborted _) | None -> None
-        in
-        let exhausted = Mpirep.Rdispatcher.exhausted rd in
-        Mpirep.Deploy.teardown handle;
-        Engine.halt eng;
-        finish ~completed ~frozen:exhausted ~stop_reason ~recoveries:0 ~committed_waves:0
-          ~confused:false ~failovers:(Mpirep.Rdispatcher.failovers rd)
-          ~respawns:(Mpirep.Rdispatcher.respawns rd)
-    | None ->
-        let handle =
-          Mpivcl.Deploy.launch eng ?fci ~cfg:spec.cfg ~app ~state_bytes:spec.state_bytes
-            ~n_compute:spec.n_compute ()
-        in
-        (* Stop the clock as soon as the application completes; otherwise
-           run to quiescence (a freeze drains the event queue) or the
-           experiment timeout, after which every component is killed and
-           the run is classified (§5). *)
-        ignore
-          (Proc.spawn eng ~name:"experiment-watchdog" (fun () ->
-               ignore (Mpivcl.Dispatcher.outcome handle.Mpivcl.Deploy.dispatcher);
-               Engine.halt eng));
-        let stop_reason = Engine.run ~until:spec.timeout eng in
-        let dispatcher = handle.Mpivcl.Deploy.dispatcher in
-        let completed =
-          match Mpivcl.Dispatcher.peek_outcome dispatcher with
-          | Some (Mpivcl.Dispatcher.Completed t) -> Some t
-          | Some (Mpivcl.Dispatcher.Aborted _) | None -> None
-        in
-        let confused = Mpivcl.Dispatcher.confused dispatcher in
-        let committed_waves =
-          match handle.Mpivcl.Deploy.scheduler with
-          | Some scheduler -> Mpivcl.Scheduler.committed_count scheduler
-          | None -> 0
-        in
-        Mpivcl.Deploy.teardown handle;
-        Engine.halt eng;
-        finish ~completed ~frozen:confused ~stop_reason
-          ~recoveries:(Mpivcl.Dispatcher.recoveries dispatcher)
-          ~committed_waves ~confused ~failovers:0 ~respawns:0
+    ignore
+      (Proc.spawn eng ~name:"experiment-watchdog" (fun () ->
+           B.await handle;
+           Engine.halt eng));
+    let stop_reason = Engine.run ~until:spec.timeout eng in
+    let completed = B.peek_completed handle in
+    let frozen = B.frozen handle in
+    let metrics = B.metrics handle in
+    B.teardown handle;
+    Engine.halt eng;
+    let outcome =
+      match completed with
+      | Some t -> Completed t
+      | None -> if frozen || stop_reason = `Quiescent then Buggy else Non_terminating
+    in
+    let checksums =
+      Hashtbl.fold (fun rank v acc -> (rank, v) :: acc) finals []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let checksum_ok =
+      match (completed, expected_checksum) with
+      | Some _, Some expected ->
+          Some
+            (List.length checksums = spec.cfg.Mpivcl.Config.n_ranks
+            && List.for_all (fun (_, v) -> v = expected) checksums)
+      | _ -> None
+    in
+    {
+      outcome;
+      injected_faults =
+        (match fci with Some rt -> Fci.Runtime.injected_faults rt | None -> 0);
+      metrics;
+      checksums;
+      checksum_ok;
+      trace = Engine.trace eng;
+    }
 end

@@ -2,17 +2,17 @@
 
     The one-stop public API. A fault-injection campaign is described by a
     {!Run.spec}: a FAIL scenario (source text), the application under
-    test, and the MPICH-Vcl configuration. {!Run.execute} compiles the
-    scenario, deploys the FAIL-MPI daemons and the MPI runtime on a
-    simulated cluster, runs to completion or to the experiment timeout,
-    and classifies the outcome exactly as the paper's §5 does: completed,
-    non-terminating (failure frequency too high for progress), or buggy
-    (frozen by a fault-tolerance bug).
+    test, and the protocol configuration. {!Run.execute} compiles the
+    scenario, resolves the protocol backend for [cfg.protocol] from the
+    {!Backend.Registry}, deploys the FAIL-MPI daemons and the protocol
+    runtime on a simulated cluster, runs to completion or to the
+    experiment timeout, and classifies the outcome exactly as the paper's
+    §5 does: completed, non-terminating (failure frequency too high for
+    progress), or buggy (frozen by a fault-tolerance bug).
 
     Re-exports: {!Lang} (the FAIL language front end), {!Inject} (the FCI
-    runtime), {!Mpi} (the MPICH-Vcl substrate), {!Rep} (the
-    replication-based backend — [Run.execute] selects it automatically
-    when [cfg.protocol] is [Replication]). *)
+    runtime), {!Mpi} (configuration and application types), {!Backend}
+    (the protocol-backend registry — see [docs/ARCHITECTURE.md]). *)
 
 module Lang : sig
   module Ast = Fail_lang.Ast
@@ -34,18 +34,9 @@ end
 module Mpi : sig
   module Config = Mpivcl.Config
   module App = Mpivcl.App
-  module Deploy = Mpivcl.Deploy
-  module Dispatcher = Mpivcl.Dispatcher
-  module Scheduler = Mpivcl.Scheduler
 end
 
-module Rep : sig
-  module Rmsg = Mpirep.Rmsg
-  module Member = Mpirep.Member
-  module Replica = Mpirep.Replica
-  module Rdispatcher = Mpirep.Rdispatcher
-  module Deploy = Mpirep.Deploy
-end
+module Backend = Backend
 
 module Run : sig
   type spec = {
@@ -79,20 +70,33 @@ module Run : sig
   type result = {
     outcome : outcome;
     injected_faults : int;  (** FAIL [halt] actions executed *)
-    recoveries : int;  (** dispatcher recovery waves *)
-    committed_waves : int;  (** global checkpoints committed *)
-    confused : bool;  (** the dispatcher hit the §5.3 bookkeeping race *)
-    failovers : int;
-        (** replication backend: replica failures absorbed with zero
-            rollback (0 for the rollback-recovery protocols) *)
-    respawns : int;
-        (** replication backend: replicas respawned via state transfer *)
+    metrics : Backend.Metrics.t;
+        (** the uniform counter set the protocol backend reported *)
     checksums : (int * int) list;  (** (rank, final checksum) of completed runs *)
     checksum_ok : bool option;
         (** completed runs: all checksums equal the fault-free reference
             passed via [expected_checksum]; [None] when unavailable *)
     trace : Simkern.Trace.t;
   }
+
+  val metrics : result -> Backend.Metrics.t
+
+  (** Shorthands into {!result.metrics}. *)
+
+  val recoveries : result -> int
+  (** dispatcher recovery waves (rollback families) *)
+
+  val committed_waves : result -> int
+  (** global checkpoints committed *)
+
+  val confused : result -> bool
+  (** the dispatcher hit the §5.3 bookkeeping race *)
+
+  val failovers : result -> int
+  (** replica failures absorbed with zero rollback *)
+
+  val respawns : result -> int
+  (** replicas respawned via state transfer *)
 
   val outcome_name : outcome -> string
 

@@ -10,10 +10,39 @@ type agg = {
   pct_buggy : float;
   mean_faults : float;
   checksum_failures : int;
+  mean_counters : (string * float) list;
 }
 
 let replicate ~reps ~base_seed run =
   List.init reps (fun i -> run ~seed:(Int64.of_int (base_seed + i)))
+
+(* Mean of every backend counter seen across [results], keyed by the
+   Metrics counter names, in first-seen order. A counter a run's backend
+   did not report counts as 0 for that run. *)
+let mean_counters results =
+  let names = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (name, _) -> if not (List.mem name !names) then names := name :: !names)
+        (Failmpi.Backend.Metrics.counters r.Failmpi.Run.metrics))
+    results;
+  let runs = List.length results in
+  List.rev_map
+    (fun name ->
+      let total =
+        List.fold_left
+          (fun acc r ->
+            acc
+            + Option.value ~default:0
+                (Failmpi.Backend.Metrics.find r.Failmpi.Run.metrics name))
+          0 results
+      in
+      (name, if runs = 0 then 0.0 else float_of_int total /. float_of_int runs))
+    !names
+
+let counter agg name =
+  match List.assoc_opt name agg.mean_counters with Some v -> v | None -> 0.0
 
 let aggregate ~label results =
   let runs = List.length results in
@@ -50,6 +79,7 @@ let aggregate ~label results =
       | Some m -> m
       | None -> 0.0);
     checksum_failures;
+    mean_counters = mean_counters results;
   }
 
 let render_table ~title aggs =

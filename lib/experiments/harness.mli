@@ -20,6 +20,11 @@ type agg = {
   checksum_failures : int;
       (** completed runs whose final checksum differs from the fault-free
           reference — must always be 0 *)
+  mean_counters : (string * float) list;
+      (** per-run mean of every backend counter
+          ({!Failmpi.Backend.Metrics.counters}) seen in the results, so
+          protocol-specific counters aggregate without per-protocol
+          code *)
 }
 
 (** [replicate ~reps ~base_seed run] executes [run ~seed] for seeds
@@ -29,6 +34,10 @@ val replicate :
 
 (** [aggregate ~label results] summarises replicated runs. *)
 val aggregate : label:string -> Failmpi.Run.result list -> agg
+
+(** [counter agg name] is the mean of backend counter [name]
+    (0.0 when the backends reported no such counter). *)
+val counter : agg -> string -> float
 
 (** [render_table ~title aggs] prints the paper-style rows: label, mean
     execution time of terminated runs, %% non-terminating, %% buggy. *)

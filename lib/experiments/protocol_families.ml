@@ -9,8 +9,8 @@ type config = {
 }
 
 (* 9 ranks at degree 2 fit 22 machines (18 replicas + 4 spares); the
-   rollback families run on the same cluster so all three families see
-   the exact same FAIL scenario text. *)
+   rollback families run on the same cluster so every family sees the
+   exact same FAIL scenario text. *)
 let default_config =
   {
     klass = Workload.Bt_model.A;
@@ -24,30 +24,17 @@ let default_config =
 
 let quick_config = { default_config with periods = [ None; Some 50 ]; reps = 2 }
 
-type row = {
-  family : string;
-  agg : Harness.agg;
-  mean_recoveries : float;
-  mean_failovers : float;
-  mean_respawns : float;
-}
+type row = { family : string; agg : Harness.agg }
 
-let mean_of f results =
-  match Stats.mean (List.map (fun r -> float_of_int (f r)) results) with
-  | Some m -> m
-  | None -> 0.0
-
+(* Every registered backend, not a hard-coded family list: a new backend
+   joins the comparison by registering in Backend.Registry. *)
 let families config =
   let base = Mpivcl.Config.default ~n_ranks:config.n_ranks in
-  [
-    ("Vcl (coordinated)", { base with Mpivcl.Config.protocol = Mpivcl.Config.Non_blocking });
-    ("V2 (msg logging)", { base with Mpivcl.Config.protocol = Mpivcl.Config.Sender_logging });
-    ( Printf.sprintf "replication x%d" config.degree,
-      {
-        base with
-        Mpivcl.Config.protocol = Mpivcl.Config.Replication { degree = config.degree };
-      } );
-  ]
+  List.map
+    (fun (module B : Failmpi.Backend.S) ->
+      ( B.family_label ~replicas:config.degree,
+        { base with Mpivcl.Config.protocol = B.protocol ~replicas:config.degree } ))
+    (Failmpi.Backend.all ())
 
 let label_of family = function
   | None -> Printf.sprintf "no faults %s" family
@@ -70,13 +57,7 @@ let run ?(config = default_config) () =
                 Harness.run_bt ~cfg ~klass:config.klass ~n_ranks:config.n_ranks
                   ~n_machines:config.n_machines ~scenario ~seed ())
           in
-          {
-            family;
-            agg = Harness.aggregate ~label:(label_of family period) results;
-            mean_recoveries = mean_of (fun r -> r.Failmpi.Run.recoveries) results;
-            mean_failovers = mean_of (fun r -> r.Failmpi.Run.failovers) results;
-            mean_respawns = mean_of (fun r -> r.Failmpi.Run.respawns) results;
-          })
+          { family; agg = Harness.aggregate ~label:(label_of family period) results })
         (families config))
     config.periods
 
@@ -101,7 +82,10 @@ let render rows =
            (match a.Harness.mean_time with
            | Some t -> Printf.sprintf "%.0f" t
            | None -> "-")
-           a.Harness.mean_faults r.mean_recoveries r.mean_failovers r.mean_respawns
+           a.Harness.mean_faults
+           (Harness.counter a "recoveries")
+           (Harness.counter a "failovers")
+           (Harness.counter a "respawns")
            a.Harness.pct_non_terminating a.Harness.pct_buggy
            (if a.Harness.checksum_failures = 0 then "ok"
             else Printf.sprintf "%d BAD" a.Harness.checksum_failures)))

@@ -1,13 +1,16 @@
-(** Three-way protocol-family comparison under the fault-frequency
-    scenario (Figure 5's harness): coordinated rollback (Vcl),
-    sender-based message logging (V2) and active replication (mpirep),
+(** Protocol-family comparison under the fault-frequency scenario
+    (Figure 5's harness), one row per backend registered in
+    {!Failmpi.Backend.Registry} — coordinated rollback (Vcl, blocking),
+    sender-based message logging (V2) and active replication (mpirep) —
     all driven by the same FAIL scenario text on the same cluster.
 
     One {!run} produces, per fault period and family, the completed-run
     time, dispatcher recovery waves (rollback families), replica
     failovers / respawns (replication family) and checksum validation —
     the replication rows must show zero recovery waves where the
-    rollback rows show at least one. *)
+    rollback rows show at least one. The per-family counters come
+    straight from the aggregated backend metrics
+    ({!Harness.counter}). *)
 
 type config = {
   klass : Workload.Bt_model.klass;
@@ -22,13 +25,7 @@ type config = {
 val default_config : config
 val quick_config : config
 
-type row = {
-  family : string;
-  agg : Harness.agg;
-  mean_recoveries : float;  (** dispatcher recovery waves (rollback families) *)
-  mean_failovers : float;  (** zero-rollback failovers (replication family) *)
-  mean_respawns : float;  (** replicas restored via state transfer *)
-}
+type row = { family : string; agg : Harness.agg }
 
 val run : ?config:config -> unit -> row list
 

@@ -9,12 +9,17 @@ type layout = {
   total_hosts : int;
 }
 
+(* One service host: the failover dispatcher. No checkpoint scheduler
+   and no checkpoint servers exist in this family. *)
+let base_layout ~n_compute = Layout.make ~n_compute ~n_services:1
+
 let make_layout ~n_compute =
+  let base = base_layout ~n_compute in
   {
-    n_compute;
-    coordinator_host = n_compute;
-    dispatcher_host = n_compute + 1;
-    total_hosts = n_compute + 2;
+    n_compute = base.Layout.n_compute;
+    coordinator_host = base.Layout.coordinator_host;
+    dispatcher_host = Layout.service base 0;
+    total_hosts = base.Layout.total_hosts;
   }
 
 type handle = { env : Renv.t; lay : layout; rdispatcher : Rdispatcher.t }
@@ -32,9 +37,9 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
       (Printf.sprintf
          "Mpirep.Deploy.launch: %d replicas (degree %d x %d ranks) need more than %d compute hosts"
          (degree * n_ranks) degree n_ranks n_compute);
+  let base = base_layout ~n_compute in
   let lay = make_layout ~n_compute in
-  let cluster = Cluster.create eng ~size:lay.total_hosts in
-  let net = Simnet.Net.create eng () in
+  let cluster, net = Layout.fabric eng base in
   let env =
     {
       Renv.eng;
@@ -63,8 +68,4 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
 
 let cluster h = h.env.Renv.cluster
 let net h = h.env.Renv.net
-
-let teardown h =
-  for host = 0 to h.lay.total_hosts - 1 do
-    Cluster.kill_all h.env.Renv.cluster ~host
-  done
+let teardown h = Layout.teardown h.env.Renv.cluster

@@ -10,15 +10,22 @@ type layout = {
   total_hosts : int;
 }
 
-let make_layout ~n_compute ~n_servers =
+(* Dispatcher and scheduler first, then the checkpoint servers. *)
+let base_layout ~n_compute ~n_servers =
+  Layout.make ~n_compute ~n_services:(2 + n_servers)
+
+let of_base (base : Layout.t) ~n_servers =
   {
-    n_compute;
-    coordinator_host = n_compute;
-    dispatcher_host = n_compute + 1;
-    scheduler_host = n_compute + 2;
-    server_hosts = List.init n_servers (fun i -> n_compute + 3 + i);
-    total_hosts = n_compute + 3 + n_servers;
+    n_compute = base.Layout.n_compute;
+    coordinator_host = base.Layout.coordinator_host;
+    dispatcher_host = Layout.service base 0;
+    scheduler_host = Layout.service base 1;
+    server_hosts = List.init n_servers (fun i -> Layout.service base (2 + i));
+    total_hosts = base.Layout.total_hosts;
   }
+
+let make_layout ~n_compute ~n_servers =
+  of_base (base_layout ~n_compute ~n_servers) ~n_servers
 
 type handle = {
   env : Env.t;
@@ -29,15 +36,16 @@ type handle = {
 }
 
 let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
-  let lay = make_layout ~n_compute ~n_servers:cfg.Config.n_ckpt_servers in
+  let n_servers = cfg.Config.n_ckpt_servers in
+  let base = base_layout ~n_compute ~n_servers in
+  let lay = of_base base ~n_servers in
   if cfg.Config.n_ranks > n_compute then
     invalid_arg "Deploy.launch: more ranks than compute hosts";
   (match cfg.Config.protocol with
   | Config.Replication _ ->
       invalid_arg "Deploy.launch: the replication backend is deployed by Mpirep.Deploy"
   | Config.Non_blocking | Config.Blocking | Config.Sender_logging -> ());
-  let cluster = Cluster.create eng ~size:lay.total_hosts in
-  let net = Simnet.Net.create eng () in
+  let cluster, net = Layout.fabric eng base in
   let env =
     {
       Env.eng;
@@ -79,8 +87,4 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
 
 let cluster h = h.env.Env.cluster
 let net h = h.env.Env.net
-
-let teardown h =
-  for host = 0 to h.lay.total_hosts - 1 do
-    Cluster.kill_all h.env.Env.cluster ~host
-  done
+let teardown h = Layout.teardown h.env.Env.cluster

@@ -1,0 +1,23 @@
+type t = {
+  n_compute : int;
+  coordinator_host : int;
+  service_hosts : int array;
+  total_hosts : int;
+}
+
+let make ~n_compute ~n_services =
+  if n_compute < 1 then invalid_arg "Layout.make: need at least one compute host";
+  {
+    n_compute;
+    coordinator_host = n_compute;
+    service_hosts = Array.init n_services (fun i -> n_compute + 1 + i);
+    total_hosts = n_compute + 1 + n_services;
+  }
+
+let service t i = t.service_hosts.(i)
+let fabric eng t = (Cluster.create eng ~size:t.total_hosts, Simnet.Net.create eng ())
+
+let teardown cluster =
+  for host = 0 to Cluster.size cluster - 1 do
+    Cluster.kill_all cluster ~host
+  done

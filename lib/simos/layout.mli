@@ -1,0 +1,31 @@
+(** Shared cluster-layout builder for the protocol backends.
+
+    Every backend deploys onto the same host-numbering convention
+    (shared with the FAIL scenarios of [Fail_lang.Paper_scenarios]):
+    compute hosts are [0 .. n_compute-1] and subject to fault injection,
+    the FAIL coordinator machine is [n_compute], and protocol service
+    hosts (dispatcher, scheduler, checkpoint servers, ...) come after —
+    never injected, as in the paper. *)
+
+open Simkern
+
+type t = {
+  n_compute : int;
+  coordinator_host : int;  (** P1's machine, [n_compute] *)
+  service_hosts : int array;  (** [n_compute+1 ...], allocation order *)
+  total_hosts : int;
+}
+
+(** [make ~n_compute ~n_services] computes the host map. *)
+val make : n_compute:int -> n_services:int -> t
+
+(** [service t i] is the [i]-th service host. *)
+val service : t -> int -> int
+
+(** [fabric eng t] creates the cluster and the network the deployment
+    runs on. *)
+val fabric : Engine.t -> t -> Cluster.t * 'msg Simnet.Net.t
+
+(** [teardown cluster] kills every task on every host (experiment
+    timeout). *)
+val teardown : Cluster.t -> unit

@@ -33,9 +33,9 @@ let test_no_faults_completes () =
   | Failmpi.Run.Completed t -> check_bool "plausible time" true (t > 29.0 && t < 45.0)
   | _ -> Alcotest.fail "expected completion");
   check_bool "checksums ok" true (r.Failmpi.Run.checksum_ok = Some true);
-  check_bool "waves committed" true (r.Failmpi.Run.committed_waves >= 1);
+  check_bool "waves committed" true ((Failmpi.Run.committed_waves r) >= 1);
   check_int "no faults" 0 r.Failmpi.Run.injected_faults;
-  check_int "no recoveries" 0 r.Failmpi.Run.recoveries
+  check_int "no recoveries" 0 (Failmpi.Run.recoveries r)
 
 let test_frequency_scenario_recovers () =
   let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:15 in
@@ -43,7 +43,7 @@ let test_frequency_scenario_recovers () =
   check_bool "completed" true
     (match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false);
   check_bool "faults injected" true (r.Failmpi.Run.injected_faults >= 1);
-  check_bool "recovered" true (r.Failmpi.Run.recoveries >= 1);
+  check_bool "recovered" true ((Failmpi.Run.recoveries r) >= 1);
   check_bool "checksums still ok" true (r.Failmpi.Run.checksum_ok = Some true)
 
 let test_state_sync_is_buggy () =
@@ -52,7 +52,7 @@ let test_state_sync_is_buggy () =
   let scenario = Fail_lang.Paper_scenarios.state_synchronized ~n_machines:8 ~period:15 in
   let r = Failmpi.Run.execute (small_spec ~scenario ()) in
   check_bool "buggy" true (r.Failmpi.Run.outcome = Failmpi.Run.Buggy);
-  check_bool "confused" true r.Failmpi.Run.confused;
+  check_bool "confused" true (Failmpi.Run.confused r);
   check_int "two faults" 2 r.Failmpi.Run.injected_faults
 
 let test_state_sync_fixed_dispatcher_survives () =
@@ -62,7 +62,7 @@ let test_state_sync_fixed_dispatcher_survives () =
   in
   check_bool "completed" true
     (match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false);
-  check_bool "not confused" false r.Failmpi.Run.confused;
+  check_bool "not confused" false (Failmpi.Run.confused r);
   check_bool "checksums ok" true (r.Failmpi.Run.checksum_ok = Some true)
 
 let test_overwhelming_faults_non_terminating () =
@@ -124,7 +124,7 @@ let test_determinism () =
     in
     ( Failmpi.Run.outcome_name r.Failmpi.Run.outcome,
       r.Failmpi.Run.injected_faults,
-      r.Failmpi.Run.recoveries,
+      (Failmpi.Run.recoveries r),
       Simkern.Trace.length r.Failmpi.Run.trace )
   in
   check_bool "same seed same run" true (run 42L = run 42L);
@@ -151,11 +151,13 @@ let test_aggregate () =
     {
       Failmpi.Run.outcome;
       injected_faults = 2;
-      recoveries = 1;
-      committed_waves = 3;
-      confused = (outcome = Failmpi.Run.Buggy);
-      failovers = 0;
-      respawns = 0;
+      metrics =
+        {
+          Failmpi.Backend.Metrics.zero with
+          Failmpi.Backend.Metrics.recoveries = 1;
+          committed_waves = 3;
+          confused = (outcome = Failmpi.Run.Buggy);
+        };
       checksums = [];
       checksum_ok = None;
       trace = Simkern.Trace.create ();
@@ -184,11 +186,11 @@ let test_render_table () =
         {
           Failmpi.Run.outcome = Failmpi.Run.Completed 123.0;
           injected_faults = 0;
-          recoveries = 0;
-          committed_waves = 1;
-          confused = false;
-          failovers = 0;
-          respawns = 0;
+          metrics =
+            {
+              Failmpi.Backend.Metrics.zero with
+              Failmpi.Backend.Metrics.committed_waves = 1;
+            };
           checksums = [];
           checksum_ok = Some true;
           trace = Simkern.Trace.create ();
@@ -219,11 +221,7 @@ let test_replicate_seeds () =
         {
           Failmpi.Run.outcome = Failmpi.Run.Completed 1.0;
           injected_faults = 0;
-          recoveries = 0;
-          committed_waves = 0;
-          confused = false;
-          failovers = 0;
-          respawns = 0;
+          metrics = Failmpi.Backend.Metrics.zero;
           checksums = [];
           checksum_ok = None;
           trace = Simkern.Trace.create ();
@@ -237,7 +235,7 @@ let test_trace_analysis () =
   let s = Experiments.Trace_analysis.summarize r.Failmpi.Run.trace in
   check_int "fault count matches" r.Failmpi.Run.injected_faults
     (List.length s.Experiments.Trace_analysis.fault_times);
-  check_int "recovery count matches" r.Failmpi.Run.recoveries
+  check_int "recovery count matches" (Failmpi.Run.recoveries r)
     (List.length s.Experiments.Trace_analysis.recoveries);
   check_bool "recoveries closed" true
     (List.for_all
@@ -279,11 +277,12 @@ let test_aggs_csv () =
         {
           Failmpi.Run.outcome = Failmpi.Run.Completed 10.0;
           injected_faults = 1;
-          recoveries = 1;
-          committed_waves = 2;
-          confused = false;
-          failovers = 0;
-          respawns = 0;
+          metrics =
+            {
+              Failmpi.Backend.Metrics.zero with
+              Failmpi.Backend.Metrics.recoveries = 1;
+              committed_waves = 2;
+            };
           checksums = [];
           checksum_ok = Some true;
           trace = Simkern.Trace.create ();
@@ -353,7 +352,7 @@ let test_scenario_freeze_thaw () =
   (* Freezes slow the run down but never trigger failure detection. *)
   let r = run_scenario_file "freeze_thaw.fail" [ ("PERIOD", 12) ] in
   check_int "no crashes" 0 r.Failmpi.Run.injected_faults;
-  check_int "no recoveries" 0 r.Failmpi.Run.recoveries;
+  check_int "no recoveries" 0 (Failmpi.Run.recoveries r);
   (match r.Failmpi.Run.outcome with
   | Failmpi.Run.Completed t -> check_bool "slower than fault-free" true (t > 31.0)
   | _ -> Alcotest.fail "expected completion");
