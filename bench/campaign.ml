@@ -1,0 +1,143 @@
+(* Campaign parallelism + trace-overhead benchmark, written to
+   BENCH_campaign.json (CI runs this as a smoke step on every build).
+
+   Part 1 — the same mini-campaign (a BT-9 fault-frequency sweep) timed
+   at 1, 2 and 4 domains through Harness.campaign. The results of every
+   variant are checked identical to the sequential run before any
+   timing is reported: a speedup obtained by diverging is a bug, not a
+   win. The JSON records the machine's core count, so a 1-core CI
+   runner showing speedup 1.0 is honest rather than a regression.
+
+   Part 2 — the simulator hot path: one fixed-seed run traced at Full
+   vs Summary level, reporting wall time, allocated bytes and retained
+   trace entries for each. Summary formats and retains strictly less
+   (the entry count drops several-fold); the simulation itself must be
+   bit-identical under both levels. *)
+
+let cores = Domain.recommended_domain_count ()
+
+let reps = 6
+let klass = Workload.Bt_model.A
+let n_ranks = 9
+let n_machines = Experiments.Harness.machines_for n_ranks
+
+let scenario =
+  Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:25)
+
+let cells ~trace_level =
+  [
+    Experiments.Harness.cell ~tag:"bt-faulty" ~reps ~base_seed:500 (fun ~seed ->
+        Experiments.Harness.run_bt ~trace_level ~klass ~n_ranks ~n_machines ~scenario
+          ~seed ());
+    Experiments.Harness.cell ~tag:"bt-clean" ~reps ~base_seed:900 (fun ~seed ->
+        Experiments.Harness.run_bt ~trace_level ~klass ~n_ranks ~n_machines
+          ~scenario:None ~seed ());
+  ]
+
+let fingerprint results =
+  List.map
+    (fun (tag, rs) ->
+      ( tag,
+        List.map
+          (fun (r : Failmpi.Run.result) ->
+            ( (match r.Failmpi.Run.outcome with
+              | Failmpi.Run.Completed t -> Printf.sprintf "completed:%.6f" t
+              | o -> Failmpi.Run.outcome_name o),
+              r.Failmpi.Run.injected_faults,
+              r.Failmpi.Run.checksums,
+              r.Failmpi.Run.checksum_ok ))
+          rs ))
+    results
+
+let time_campaign ~jobs =
+  let t0 = Unix.gettimeofday () in
+  let results = Experiments.Harness.campaign ~jobs (cells ~trace_level:Simkern.Trace.Summary) in
+  (Unix.gettimeofday () -. t0, fingerprint results)
+
+let time_one_run ~trace_level =
+  let before = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Experiments.Harness.run_bt ~trace_level ~klass ~n_ranks ~n_machines ~scenario
+      ~seed:500L ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let allocated = Gc.allocated_bytes () -. before in
+  (wall, allocated, Simkern.Trace.length r.Failmpi.Run.trace, r)
+
+let () =
+  let out =
+    match Sys.argv with [| _; path |] -> path | _ -> "BENCH_campaign.json"
+  in
+  let job_counts = [ 1; 2; 4 ] in
+  Printf.printf "campaign benchmark: %d cores available\n%!" cores;
+  let timings =
+    List.map
+      (fun jobs ->
+        Printf.printf "campaign at --jobs %d...\n%!" jobs;
+        let wall, fp = time_campaign ~jobs in
+        (jobs, wall, fp))
+      job_counts
+  in
+  let _, seq_wall, seq_fp = List.hd timings in
+  List.iter
+    (fun (jobs, _, fp) ->
+      if fp <> seq_fp then begin
+        Printf.eprintf "FATAL: --jobs %d diverged from the sequential campaign\n" jobs;
+        exit 1
+      end)
+    timings;
+  Printf.printf "trace overhead: Full vs Summary...\n%!";
+  let full_wall, full_alloc, full_entries, full_r =
+    time_one_run ~trace_level:Simkern.Trace.Full
+  in
+  let summ_wall, summ_alloc, summ_entries, summ_r =
+    time_one_run ~trace_level:Simkern.Trace.Summary
+  in
+  if
+    full_r.Failmpi.Run.outcome <> summ_r.Failmpi.Run.outcome
+    || full_r.Failmpi.Run.injected_faults <> summ_r.Failmpi.Run.injected_faults
+    || full_r.Failmpi.Run.checksums <> summ_r.Failmpi.Run.checksums
+  then begin
+    Printf.eprintf "FATAL: trace level changed the simulation\n";
+    exit 1
+  end;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"campaign_runs\": %d,\n" (List.length (cells ~trace_level:Simkern.Trace.Summary) * reps));
+  Buffer.add_string buf "  \"campaign\": [\n";
+  List.iteri
+    (fun i (jobs, wall, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"jobs\": %d, \"wall_time_s\": %.3f, \"speedup\": %.2f }%s\n" jobs wall
+           (seq_wall /. wall)
+           (if i = List.length timings - 1 then "" else ",")))
+    timings;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"trace_overhead\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"full\":    { \"wall_time_s\": %.3f, \"allocated_mb\": %.1f, \"trace_entries\": %d },\n"
+       full_wall (full_alloc /. 1e6) full_entries);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"summary\": { \"wall_time_s\": %.3f, \"allocated_mb\": %.1f, \"trace_entries\": %d },\n"
+       summ_wall (summ_alloc /. 1e6) summ_entries);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"entry_ratio\": %.2f\n"
+       (if summ_entries > 0 then float_of_int full_entries /. float_of_int summ_entries
+        else nan));
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  List.iter
+    (fun (jobs, wall, _) ->
+      Printf.printf "  jobs %d: %.2f s (speedup %.2fx)\n" jobs wall (seq_wall /. wall))
+    timings;
+  Printf.printf "  trace Full: %.2f s / %.0f MB / %d entries  Summary: %.2f s / %.0f MB / %d entries\n"
+    full_wall (full_alloc /. 1e6) full_entries summ_wall (summ_alloc /. 1e6) summ_entries;
+  Printf.printf "wrote %s\n" out

@@ -5,7 +5,7 @@
    Examples:
      failmpi_experiments fig5
      failmpi_experiments fig7 --quick
-     failmpi_experiments all *)
+     failmpi_experiments all --jobs 8 *)
 
 open Cmdliner
 
@@ -149,8 +149,9 @@ let experiments =
     ("delay", delay);
   ]
 
-let run exp_name quick csv =
+let run exp_name quick csv jobs =
   csv_dir := csv;
+  Option.iter Par.set_default_jobs jobs;
   let todo =
     if exp_name = "all" then List.map snd experiments
     else
@@ -183,9 +184,19 @@ let cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each figure's aggregates as CSV into DIR.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run campaign repetitions on $(docv) domains in parallel (results are \
+             bit-identical to a sequential run). Defaults to the FAILMPI_JOBS environment \
+             variable, or the number of cores.")
+  in
   Cmd.v
     (Cmd.info "failmpi_experiments"
        ~doc:"Regenerate the tables and figures of the FAIL-MPI paper")
-    Term.(const run $ exp_name $ quick $ csv)
+    Term.(const run $ exp_name $ quick $ csv $ jobs)
 
 let () = exit (Cmd.eval' cmd)

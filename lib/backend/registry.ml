@@ -1,24 +1,37 @@
+(* Pool workers resolve backends concurrently from several domains, so
+   every access to the registration list goes through one mutex.
+   Registration normally happens once, at module init, before any
+   worker domain exists; the mutex makes late registrations and
+   concurrent lookups race-free too. *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let registered : Intf.t list ref = ref []
 
 let spellings (module B : Intf.S) = B.name :: B.aliases
 
 let register ((module B : Intf.S) as backend) =
-  let taken = List.concat_map spellings !registered in
-  (match List.find_opt (fun n -> List.mem n taken) (spellings (module B)) with
-  | Some n ->
-      invalid_arg
-        (Printf.sprintf "Backend.Registry.register: %s already registered" n)
-  | None -> ());
-  registered := !registered @ [ backend ]
+  locked (fun () ->
+      let taken = List.concat_map spellings !registered in
+      (match List.find_opt (fun n -> List.mem n taken) (spellings (module B)) with
+      | Some n ->
+          invalid_arg
+            (Printf.sprintf "Backend.Registry.register: %s already registered" n)
+      | None -> ());
+      registered := !registered @ [ backend ])
 
-let all () = !registered
-let names () = List.map (fun (module B : Intf.S) -> B.name) !registered
+let all () = locked (fun () -> !registered)
+let names () = List.map (fun (module B : Intf.S) -> B.name) (all ())
 
 let find name =
-  List.find_opt (fun b -> List.mem name (spellings b)) !registered
+  List.find_opt (fun b -> List.mem name (spellings b)) (all ())
 
 let of_protocol proto =
-  match List.find_opt (fun (module B : Intf.S) -> B.handles proto) !registered with
+  match List.find_opt (fun (module B : Intf.S) -> B.handles proto) (all ()) with
   | Some b -> b
   | None ->
       invalid_arg

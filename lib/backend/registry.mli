@@ -5,7 +5,11 @@
     as the [Backend] umbrella module is linked; additional backends can
     be registered at program start. Registration order is preserved —
     experiments that enumerate the registry report families in a stable
-    order. *)
+    order.
+
+    The registry is domain-safe: all accesses are serialised by a
+    mutex, so parallel campaign workers ({!Par}) can resolve backends
+    concurrently while a late registration is in flight. *)
 
 (** [register b] appends [b]. Raises [Invalid_argument] if its name or
     one of its aliases is already taken. *)

@@ -35,6 +35,7 @@ module Run = struct
     fci_config : Fci.Runtime.config;
     seed : int64;
     timeout : float;
+    trace_level : Trace.level;
   }
 
   let default_spec ~app ~cfg ~n_compute ~state_bytes =
@@ -48,6 +49,7 @@ module Run = struct
       fci_config = Fci.Runtime.default_config;
       seed = 1L;
       timeout = 1500.0;
+      trace_level = Trace.Full;
     }
 
   type outcome = Completed of float | Non_terminating | Buggy
@@ -74,7 +76,7 @@ module Run = struct
     | Buggy -> "buggy"
 
   let execute ?expected_checksum spec =
-    let eng = Engine.create ~seed:spec.seed () in
+    let eng = Engine.create ~seed:spec.seed ~trace_level:spec.trace_level () in
     let fci =
       match spec.scenario with
       | None -> None

@@ -49,10 +49,16 @@ module Run : sig
     fci_config : Fci.Runtime.config;
     seed : int64;
     timeout : float;  (** experiment timeout (paper: 1500 s) *)
+    trace_level : Simkern.Trace.level;
+        (** what the run's trace records: [Full] keeps every event
+            (qualitative bug hunts), [Summary] drops per-message
+            protocol chatter and keeps milestone events only — the
+            allocation-light setting quantitative campaigns use. Never
+            affects the simulation itself, only what is recorded. *)
   }
 
   (** [default_spec ~app ~cfg ~n_compute ~state_bytes] fills paper
-      defaults (1500 s timeout, no scenario, seed 1). *)
+      defaults (1500 s timeout, no scenario, seed 1, [Full] trace). *)
   val default_spec :
     app:Mpivcl.App.t ->
     cfg:Mpivcl.Config.t ->

@@ -1,4 +1,8 @@
-let dispatcher_fix ?(reps = 9) ?(n_ranks = 49) () =
+let aggregate_campaign ?jobs cells =
+  List.map (fun (label, results) -> Harness.aggregate ~label results)
+    (Harness.campaign ?jobs cells)
+
+let dispatcher_fix ?jobs ?(reps = 9) ?(n_ranks = 49) () =
   let n_machines = Harness.machines_for n_ranks in
   let klass = Workload.Bt_model.B in
   let cfg buggy = { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.dispatcher_buggy = buggy } in
@@ -13,20 +17,19 @@ let dispatcher_fix ?(reps = 9) ?(n_ranks = 49) () =
     (fun (name, scenario) ->
       List.map
         (fun buggy ->
-          let results =
-            Harness.replicate ~reps ~base_seed:1000 (fun ~seed ->
-                Harness.run_bt ~cfg:(cfg buggy) ~klass ~n_ranks ~n_machines
-                  ~scenario:(Some scenario) ~seed ())
-          in
-          Harness.aggregate
-            ~label:
+          Harness.cell
+            ~tag:
               (Printf.sprintf "%s (%s)" name
                  (if buggy then "historical" else "corrected"))
-            results)
+            ~reps ~base_seed:1000
+            (fun ~seed ->
+              Harness.run_bt ~cfg:(cfg buggy) ~klass ~n_ranks ~n_machines
+                ~scenario:(Some scenario) ~seed ()))
         [ true; false ])
     scenarios
+  |> aggregate_campaign ?jobs
 
-let protocol_overhead ?(n_ranks = 49) ?(intervals = [ 10.0; 30.0; 60.0 ]) () =
+let protocol_overhead ?jobs ?(n_ranks = 49) ?(intervals = [ 10.0; 30.0; 60.0 ]) () =
   let n_machines = Harness.machines_for n_ranks in
   let klass = Workload.Bt_model.B in
   List.concat_map
@@ -40,18 +43,17 @@ let protocol_overhead ?(n_ranks = 49) ?(intervals = [ 10.0; 30.0; 60.0 ]) () =
               wave_interval = interval;
             }
           in
-          let results =
-            Harness.replicate ~reps:2 ~base_seed:700 (fun ~seed ->
-                Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario:None ~seed ())
-          in
-          Harness.aggregate
-            ~label:
+          Harness.cell
+            ~tag:
               (Printf.sprintf "wave %2.0fs %s" interval (Mpivcl.Config.protocol_name protocol))
-            results)
+            ~reps:2 ~base_seed:700
+            (fun ~seed ->
+              Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario:None ~seed ()))
         [ Mpivcl.Config.Non_blocking; Mpivcl.Config.Blocking ])
     intervals
+  |> aggregate_campaign ?jobs
 
-let wave_interval ?(reps = 4) ?(n_ranks = 49) ?(intervals = [ 10.0; 20.0; 30.0; 40.0 ]) () =
+let wave_interval ?jobs ?(reps = 4) ?(n_ranks = 49) ?(intervals = [ 10.0; 20.0; 30.0; 40.0 ]) () =
   let n_machines = Harness.machines_for n_ranks in
   let klass = Workload.Bt_model.B in
   let scenario = Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:50) in
@@ -60,14 +62,14 @@ let wave_interval ?(reps = 4) ?(n_ranks = 49) ?(intervals = [ 10.0; 20.0; 30.0; 
       let cfg =
         { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.wave_interval = interval }
       in
-      let results =
-        Harness.replicate ~reps ~base_seed:800 (fun ~seed ->
-            Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ())
-      in
-      Harness.aggregate ~label:(Printf.sprintf "ckpt every %2.0fs" interval) results)
+      Harness.cell
+        ~tag:(Printf.sprintf "ckpt every %2.0fs" interval)
+        ~reps ~base_seed:800
+        (fun ~seed -> Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ()))
     intervals
+  |> aggregate_campaign ?jobs
 
-let protocol_comparison ?(reps = 4) ?(n_ranks = 49) ?(periods = [ 65; 50; 40; 30 ]) () =
+let protocol_comparison ?jobs ?(reps = 4) ?(n_ranks = 49) ?(periods = [ 65; 50; 40; 30 ]) () =
   let n_machines = Harness.machines_for n_ranks in
   let klass = Workload.Bt_model.B in
   List.concat_map
@@ -75,11 +77,11 @@ let protocol_comparison ?(reps = 4) ?(n_ranks = 49) ?(periods = [ 65; 50; 40; 30
       let scenario = Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period) in
       List.map
         (fun (label, cfg) ->
-          let results =
-            Harness.replicate ~reps ~base_seed:1100 (fun ~seed ->
-                Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ())
-          in
-          Harness.aggregate ~label:(Printf.sprintf "1/%ds %s" period label) results)
+          Harness.cell
+            ~tag:(Printf.sprintf "1/%ds %s" period label)
+            ~reps ~base_seed:1100
+            (fun ~seed ->
+              Harness.run_bt ~cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ()))
         [
           (* Vdummy baseline: no checkpoint ever commits, so every fault
              restarts the application from scratch. *)
@@ -91,6 +93,7 @@ let protocol_comparison ?(reps = 4) ?(n_ranks = 49) ?(periods = [ 65; 50; 40; 30
             { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.protocol = Mpivcl.Config.Sender_logging } );
         ])
     periods
+  |> aggregate_campaign ?jobs
 
 let render_protocol_comparison aggs =
   Harness.render_table

@@ -1,18 +1,23 @@
-(** Ablation studies for the design choices called out in DESIGN.md. *)
+(** Ablation studies for the design choices called out in DESIGN.md.
+
+    Every study fans its grid out through one {!Harness.campaign};
+    [?jobs] is as in {!Harness.campaign}. *)
 
 (** Buggy vs corrected dispatcher under the two bug-exposing scenarios
     (Fig. 7 at 5 faults and Fig. 11): the corrected dispatcher must never
     freeze. *)
-val dispatcher_fix : ?reps:int -> ?n_ranks:int -> unit -> Harness.agg list
+val dispatcher_fix : ?jobs:int -> ?reps:int -> ?n_ranks:int -> unit -> Harness.agg list
 
 (** Non-blocking vs blocking Chandy–Lamport without faults at several
     wave intervals: the blocking variant pays for frozen communications
     during each wave. *)
-val protocol_overhead : ?n_ranks:int -> ?intervals:float list -> unit -> Harness.agg list
+val protocol_overhead :
+  ?jobs:int -> ?n_ranks:int -> ?intervals:float list -> unit -> Harness.agg list
 
 (** Checkpoint-interval sweep under one fault every 50 s: shows the
     frequency/interval crossover that explains Figure 5's 45 s anomaly. *)
-val wave_interval : ?reps:int -> ?n_ranks:int -> ?intervals:float list -> unit -> Harness.agg list
+val wave_interval :
+  ?jobs:int -> ?reps:int -> ?n_ranks:int -> ?intervals:float list -> unit -> Harness.agg list
 
 (** Coordinated checkpointing (Vcl) vs sender-based message logging
     (MPICH-V2-style) under the same Figure 5 fault-frequency scenarios —
@@ -21,7 +26,7 @@ val wave_interval : ?reps:int -> ?n_ranks:int -> ?intervals:float list -> unit -
     terminating at fault frequencies where the coordinated protocol can
     no longer commit a global wave between faults. *)
 val protocol_comparison :
-  ?reps:int -> ?n_ranks:int -> ?periods:int list -> unit -> Harness.agg list
+  ?jobs:int -> ?reps:int -> ?n_ranks:int -> ?periods:int list -> unit -> Harness.agg list
 
 val render_protocol_comparison : Harness.agg list -> string
 

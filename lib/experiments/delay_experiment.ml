@@ -25,22 +25,23 @@ G1[1] : DELAYED on machines 0 .. 0;
 |}
     delay
 
-let run ?(klass = Workload.Bt_model.B) ?(n_ranks = 49) ?(delays = [ 0; 5; 10; 15; 20; 25 ])
+let run ?jobs ?(klass = Workload.Bt_model.B) ?(n_ranks = 49) ?(delays = [ 0; 5; 10; 15; 20; 25 ])
     ?(reps = 3) () =
   let n_machines = Harness.machines_for n_ranks in
   List.map
     (fun delay ->
-      let results =
-        Harness.replicate ~reps ~base_seed:900 (fun ~seed ->
-            Harness.run_bt ~klass ~n_ranks ~n_machines
-              ~scenario:(Some (scenario ~n_machines ~delay))
-              ~seed ())
-      in
-      {
-        delay;
-        agg = Harness.aggregate ~label:(Printf.sprintf "delay %2d s after wave" delay) results;
-      })
+      Harness.cell ~tag:delay ~reps ~base_seed:900 (fun ~seed ->
+          Harness.run_bt ~klass ~n_ranks ~n_machines
+            ~scenario:(Some (scenario ~n_machines ~delay))
+            ~seed ()))
     delays
+  |> Harness.campaign ?jobs
+  |> List.map (fun (delay, results) ->
+         {
+           delay;
+           agg =
+             Harness.aggregate ~label:(Printf.sprintf "delay %2d s after wave" delay) results;
+         })
 
 let render rows =
   Harness.render_table

@@ -12,6 +12,7 @@
 type row = { delay : int; agg : Harness.agg }
 
 val run :
+  ?jobs:int ->
   ?klass:Workload.Bt_model.klass ->
   ?n_ranks:int ->
   ?delays:int list ->

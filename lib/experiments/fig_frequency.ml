@@ -23,7 +23,7 @@ let label_of = function
   | None -> "no faults"
   | Some p -> Printf.sprintf "every %d sec" p
 
-let run ?(config = default_config) () =
+let run ?jobs ?(config = default_config) () =
   List.map
     (fun period ->
       let scenario =
@@ -32,13 +32,13 @@ let run ?(config = default_config) () =
             Fail_lang.Paper_scenarios.frequency ~n_machines:config.n_machines ~period:p)
           period
       in
-      let results =
-        Harness.replicate ~reps:config.reps ~base_seed:config.base_seed (fun ~seed ->
-            Harness.run_bt ~klass:config.klass ~n_ranks:config.n_ranks
-              ~n_machines:config.n_machines ~scenario ~seed ())
-      in
-      Harness.aggregate ~label:(label_of period) results)
+      Harness.cell ~tag:period ~reps:config.reps ~base_seed:config.base_seed
+        (fun ~seed ->
+          Harness.run_bt ~klass:config.klass ~n_ranks:config.n_ranks
+            ~n_machines:config.n_machines ~scenario ~seed ()))
     config.periods
+  |> Harness.campaign ?jobs
+  |> List.map (fun (period, results) -> Harness.aggregate ~label:(label_of period) results)
 
 let render aggs = Harness.render_table ~title:"Figure 5: impact of fault frequency (BT-49 class B)" aggs
 

@@ -19,7 +19,9 @@ val default_config : config
 (** [quick_config] cuts repetitions for smoke runs. *)
 val quick_config : config
 
-val run : ?config:config -> unit -> Harness.agg list
+(** [run ?jobs ?config ()] replays the figure's grid through one
+    {!Harness.campaign} ([?jobs] as in {!Harness.campaign}). *)
+val run : ?jobs:int -> ?config:config -> unit -> Harness.agg list
 val render : Harness.agg list -> string
 
 (** The values read off the paper's Figure 5, for EXPERIMENTS.md. *)

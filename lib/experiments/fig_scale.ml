@@ -17,29 +17,29 @@ let default_config =
 
 let quick_config = { default_config with sizes = [ 25; 49 ]; reps = 2 }
 
-let run ?(config = default_config) () =
+let run ?jobs ?(config = default_config) () =
   List.concat_map
     (fun n_ranks ->
       let n_machines = Harness.machines_for n_ranks in
-      let no_fault =
-        Harness.replicate ~reps:config.reps ~base_seed:config.base_seed (fun ~seed ->
-            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario:None ~seed ())
-      in
       let scenario =
         Some (Fail_lang.Paper_scenarios.frequency ~n_machines ~period:config.period)
       in
-      let faulty =
-        Harness.replicate ~reps:config.reps ~base_seed:(config.base_seed + 50)
-          (fun ~seed ->
-            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario ~seed ())
-      in
       [
-        Harness.aggregate ~label:(Printf.sprintf "BT %d (no faults)" n_ranks) no_fault;
-        Harness.aggregate
-          ~label:(Printf.sprintf "BT %d (1/%ds)" n_ranks config.period)
-          faulty;
+        Harness.cell
+          ~tag:(Printf.sprintf "BT %d (no faults)" n_ranks)
+          ~reps:config.reps ~base_seed:config.base_seed
+          (fun ~seed ->
+            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario:None ~seed ());
+        Harness.cell
+          ~tag:(Printf.sprintf "BT %d (1/%ds)" n_ranks config.period)
+          ~reps:config.reps
+          ~base_seed:(config.base_seed + 50)
+          (fun ~seed ->
+            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario ~seed ());
       ])
     config.sizes
+  |> Harness.campaign ?jobs
+  |> List.map (fun (label, results) -> Harness.aggregate ~label results)
 
 let render aggs = Harness.render_table ~title:"Figure 6: impact of scale (1 fault every 50 s)" aggs
 

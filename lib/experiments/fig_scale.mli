@@ -17,8 +17,9 @@ type config = {
 val default_config : config
 val quick_config : config
 
-(** [run ()] returns, per size, the no-fault row and the faulty row. *)
-val run : ?config:config -> unit -> Harness.agg list
+(** [run ()] returns, per size, the no-fault row and the faulty row
+    ([?jobs] as in {!Harness.campaign}). *)
+val run : ?jobs:int -> ?config:config -> unit -> Harness.agg list
 
 val render : Harness.agg list -> string
 val paper_note : string

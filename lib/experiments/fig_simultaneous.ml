@@ -21,7 +21,7 @@ let default_config =
 
 let quick_config = { default_config with counts = [ 1; 5 ]; reps = 3 }
 
-let run ?(config = default_config) () =
+let run ?jobs ?(config = default_config) () =
   List.map
     (fun count ->
       let scenario =
@@ -29,15 +29,15 @@ let run ?(config = default_config) () =
           (Fail_lang.Paper_scenarios.simultaneous ~n_machines:config.n_machines
              ~period:config.period ~count)
       in
-      let results =
-        Harness.replicate ~reps:config.reps ~base_seed:config.base_seed (fun ~seed ->
-            Harness.run_bt ~klass:config.klass ~n_ranks:config.n_ranks
-              ~n_machines:config.n_machines ~scenario ~seed ())
-      in
-      Harness.aggregate
-        ~label:(Printf.sprintf "%d fault%s" count (if count = 1 then "" else "s"))
-        results)
+      Harness.cell
+        ~tag:(Printf.sprintf "%d fault%s" count (if count = 1 then "" else "s"))
+        ~reps:config.reps ~base_seed:config.base_seed
+        (fun ~seed ->
+          Harness.run_bt ~klass:config.klass ~n_ranks:config.n_ranks
+            ~n_machines:config.n_machines ~scenario ~seed ()))
     config.counts
+  |> Harness.campaign ?jobs
+  |> List.map (fun (label, results) -> Harness.aggregate ~label results)
 
 let render aggs =
   Harness.render_table ~title:"Figure 7: impact of simultaneous faults (BT-49, every 50 s)" aggs

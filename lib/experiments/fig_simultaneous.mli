@@ -17,6 +17,8 @@ type config = {
 
 val default_config : config
 val quick_config : config
-val run : ?config:config -> unit -> Harness.agg list
+
+(** [?jobs] as in {!Harness.campaign}. *)
+val run : ?jobs:int -> ?config:config -> unit -> Harness.agg list
 val render : Harness.agg list -> string
 val paper_note : string

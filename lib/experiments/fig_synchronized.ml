@@ -17,27 +17,29 @@ let default_config =
 
 let quick_config = { default_config with sizes = [ 25; 49 ]; reps = 3 }
 
-let run ?(config = default_config) () =
+let run ?jobs ?(config = default_config) () =
   List.concat_map
     (fun n_ranks ->
       let n_machines = Harness.machines_for n_ranks in
-      let no_fault =
-        Harness.replicate ~reps:2 ~base_seed:config.base_seed (fun ~seed ->
-            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario:None ~seed ())
-      in
       let scenario =
         Some (Fail_lang.Paper_scenarios.synchronized ~n_machines ~period:config.period)
       in
-      let faulty =
-        Harness.replicate ~reps:config.reps ~base_seed:(config.base_seed + 50)
-          (fun ~seed ->
-            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario ~seed ())
-      in
       [
-        Harness.aggregate ~label:(Printf.sprintf "BT %d (no faults)" n_ranks) no_fault;
-        Harness.aggregate ~label:(Printf.sprintf "BT %d (2 sync faults)" n_ranks) faulty;
+        Harness.cell
+          ~tag:(Printf.sprintf "BT %d (no faults)" n_ranks)
+          ~reps:2 ~base_seed:config.base_seed
+          (fun ~seed ->
+            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario:None ~seed ());
+        Harness.cell
+          ~tag:(Printf.sprintf "BT %d (2 sync faults)" n_ranks)
+          ~reps:config.reps
+          ~base_seed:(config.base_seed + 50)
+          (fun ~seed ->
+            Harness.run_bt ~klass:config.klass ~n_ranks ~n_machines ~scenario ~seed ());
       ])
     config.sizes
+  |> Harness.campaign ?jobs
+  |> List.map (fun (label, results) -> Harness.aggregate ~label results)
 
 let render aggs =
   Harness.render_table ~title:"Figure 9: impact of synchronized faults (2nd on recovery onload)"

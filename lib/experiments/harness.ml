@@ -13,8 +13,42 @@ type agg = {
   mean_counters : (string * float) list;
 }
 
-let replicate ~reps ~base_seed run =
-  List.init reps (fun i -> run ~seed:(Int64.of_int (base_seed + i)))
+let replicate ?jobs ~reps ~base_seed run = Par.map_seeds ?jobs ~reps ~base_seed run
+
+type 'a cell = {
+  tag : 'a;
+  reps : int;
+  base_seed : int;
+  runner : seed:int64 -> Failmpi.Run.result;
+}
+
+let cell ~tag ~reps ~base_seed runner = { tag; reps; base_seed; runner }
+
+(* All experiment modules funnel through here: the (cell x seed) grid is
+   flattened into one job list so the pool stays saturated even when a
+   single configuration has fewer repetitions than domains. Each job is
+   a pure function of its seed, so the parallel result list is
+   bit-for-bit the sequential one. *)
+let campaign ?jobs cells =
+  let jobs_list =
+    List.concat_map
+      (fun c -> List.init c.reps (fun i -> (c, Int64.of_int (c.base_seed + i))))
+      cells
+  in
+  let results = Par.map ?jobs (fun (c, seed) -> c.runner ~seed) jobs_list in
+  let rec regroup cells results =
+    match cells with
+    | [] -> []
+    | c :: rest ->
+        let rec take n acc = function
+          | results when n = 0 -> (List.rev acc, results)
+          | r :: results -> take (n - 1) (r :: acc) results
+          | [] -> invalid_arg "Harness.campaign: result count mismatch"
+        in
+        let mine, others = take c.reps [] results in
+        (c.tag, mine) :: regroup rest others
+  in
+  regroup cells results
 
 (* Mean of every backend counter seen across [results], keyed by the
    Metrics counter names, in first-seen order. A counter a run's backend
@@ -118,16 +152,22 @@ let aggs_csv aggs =
 
 let machines_for n_ranks = n_ranks + 4
 
-let bt_spec ?cfg ~klass ~n_ranks ~n_machines ~scenario () =
+(* Campaigns only read aggregates (outcome, counters, checksums), never
+   the trace, so the default trace level is Summary: per-message chatter
+   is never even formatted. Pass ~trace_level:Full to keep everything
+   (e.g. when feeding a run to Trace_analysis). *)
+let bt_spec ?cfg ?(trace_level = Simkern.Trace.Summary) ~klass ~n_ranks ~n_machines
+    ~scenario () =
   let cfg = match cfg with Some c -> c | None -> Mpivcl.Config.default ~n_ranks in
   let app = Workload.Bt_model.app klass ~n_ranks in
   let state_bytes = Workload.Bt_model.state_bytes klass ~n_ranks in
   {
     (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes) with
     Failmpi.Run.scenario;
+    trace_level;
   }
 
-let run_bt ?cfg ~klass ~n_ranks ~n_machines ~scenario ~seed () =
-  let spec = bt_spec ?cfg ~klass ~n_ranks ~n_machines ~scenario () in
+let run_bt ?cfg ?trace_level ~klass ~n_ranks ~n_machines ~scenario ~seed () =
+  let spec = bt_spec ?cfg ?trace_level ~klass ~n_ranks ~n_machines ~scenario () in
   let expected = Workload.Bt_model.reference_checksum klass ~n_ranks in
   Failmpi.Run.execute ~expected_checksum:expected { spec with Failmpi.Run.seed }

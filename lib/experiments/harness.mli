@@ -27,10 +27,36 @@ type agg = {
           code *)
 }
 
-(** [replicate ~reps ~base_seed run] executes [run ~seed] for seeds
-    [base_seed, base_seed+1, ...]. *)
+(** [replicate ?jobs ~reps ~base_seed run] executes [run ~seed] for
+    seeds [base_seed, base_seed+1, ...], fanned out over a {!Par}
+    domain pool ([?jobs] defaults to {!Par.default_jobs}; [~jobs:1] is
+    the plain sequential loop). Results are in seed order and identical
+    to the sequential path — every run is a pure function of its
+    seed. *)
 val replicate :
-  reps:int -> base_seed:int -> (seed:int64 -> Failmpi.Run.result) -> Failmpi.Run.result list
+  ?jobs:int ->
+  reps:int ->
+  base_seed:int ->
+  (seed:int64 -> Failmpi.Run.result) ->
+  Failmpi.Run.result list
+
+(** One configuration of a campaign: [reps] runs seeded
+    [base_seed, base_seed+1, ...], tagged for regrouping. *)
+type 'a cell
+
+val cell :
+  tag:'a ->
+  reps:int ->
+  base_seed:int ->
+  (seed:int64 -> Failmpi.Run.result) ->
+  'a cell
+
+(** [campaign ?jobs cells] runs every (cell, seed) job of the campaign
+    through one domain pool — the single parallelism chokepoint used by
+    all experiment modules — and regroups results per cell, in cell
+    order, seeds in order. Parallel and sequential execution produce
+    identical results. *)
+val campaign : ?jobs:int -> 'a cell list -> ('a * Failmpi.Run.result list) list
 
 (** [aggregate ~label results] summarises replicated runs. *)
 val aggregate : label:string -> Failmpi.Run.result list -> agg
@@ -46,11 +72,15 @@ val render_table : title:string -> agg list -> string
 (** [aggs_csv aggs] renders aggregates as CSV for external plotting. *)
 val aggs_csv : agg list -> string
 
-(** [bt_spec ?cfg ~klass ~n_ranks ~n_machines ~scenario ()] builds the
-    standard spec used by all figures: a BT application with the paper's
-    53-machines-for-49-ranks style spare allocation. *)
+(** [bt_spec ?cfg ?trace_level ~klass ~n_ranks ~n_machines ~scenario ()]
+    builds the standard spec used by all figures: a BT application with
+    the paper's 53-machines-for-49-ranks style spare allocation.
+    [trace_level] defaults to {!Simkern.Trace.Summary} — campaigns only
+    read aggregates, so per-message trace chatter is skipped; pass
+    [~trace_level:Full] for qualitative runs fed to {!Trace_analysis}. *)
 val bt_spec :
   ?cfg:Mpivcl.Config.t ->
+  ?trace_level:Simkern.Trace.level ->
   klass:Workload.Bt_model.klass ->
   n_ranks:int ->
   n_machines:int ->
@@ -58,10 +88,11 @@ val bt_spec :
   unit ->
   Failmpi.Run.spec
 
-(** [run_bt ?cfg ~klass ~n_ranks ~n_machines ~scenario ~seed ()] executes
-    one BT run with checksum validation. *)
+(** [run_bt ?cfg ?trace_level ~klass ~n_ranks ~n_machines ~scenario ~seed ()]
+    executes one BT run with checksum validation. *)
 val run_bt :
   ?cfg:Mpivcl.Config.t ->
+  ?trace_level:Simkern.Trace.level ->
   klass:Workload.Bt_model.klass ->
   n_ranks:int ->
   n_machines:int ->

@@ -40,7 +40,7 @@ let label_of family = function
   | None -> Printf.sprintf "no faults %s" family
   | Some p -> Printf.sprintf "1/%ds %s" p family
 
-let run ?(config = default_config) () =
+let run ?jobs ?(config = default_config) () =
   List.concat_map
     (fun period ->
       let scenario =
@@ -51,15 +51,17 @@ let run ?(config = default_config) () =
       in
       List.map
         (fun (family, cfg) ->
-          let results =
-            Harness.replicate ~reps:config.reps ~base_seed:config.base_seed
-              (fun ~seed ->
-                Harness.run_bt ~cfg ~klass:config.klass ~n_ranks:config.n_ranks
-                  ~n_machines:config.n_machines ~scenario ~seed ())
-          in
-          { family; agg = Harness.aggregate ~label:(label_of family period) results })
+          Harness.cell
+            ~tag:(family, label_of family period)
+            ~reps:config.reps ~base_seed:config.base_seed
+            (fun ~seed ->
+              Harness.run_bt ~cfg ~klass:config.klass ~n_ranks:config.n_ranks
+                ~n_machines:config.n_machines ~scenario ~seed ()))
         (families config))
     config.periods
+  |> Harness.campaign ?jobs
+  |> List.map (fun ((family, label), results) ->
+         { family; agg = Harness.aggregate ~label results })
 
 let aggs rows = List.map (fun r -> r.agg) rows
 

@@ -27,7 +27,8 @@ val quick_config : config
 
 type row = { family : string; agg : Harness.agg }
 
-val run : ?config:config -> unit -> row list
+(** [?jobs] as in {!Harness.campaign}. *)
+val run : ?jobs:int -> ?config:config -> unit -> row list
 
 (** [aggs rows] projects the plain aggregates (CSV export). *)
 val aggs : row list -> Harness.agg list

@@ -38,8 +38,12 @@ type t = {
 
 let engine t = t.eng
 
-let trace t inst event detail =
-  Engine.record t.eng ~source:("fci:" ^ inst.id) ~event detail
+let trace ?level t inst event detail =
+  Engine.record ?level t.eng ~source:("fci:" ^ inst.id) ~event detail
+
+(* Per-transition automaton chatter: Full-gated, lazily formatted. *)
+let tracel t inst event f =
+  Engine.record_lazy ~level:Trace.Full t.eng ~source:("fci:" ^ inst.id) ~event f
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation *)
@@ -115,7 +119,7 @@ let trigger_matches ev (trigger : Ast.trigger option) ~gen =
 let rec enter_node t inst idx =
   t.entry_depth <- t.entry_depth + 1;
   if t.entry_depth > 1000 then begin
-    trace t inst "epsilon-loop" (string_of_int idx);
+    trace ~level:Trace.Full t inst "epsilon-loop" (string_of_int idx);
     invalid_arg
       (Printf.sprintf "Runtime: epsilon-transition loop in %s at node index %d" inst.id idx)
   end;
@@ -125,7 +129,7 @@ let rec enter_node t inst idx =
   inst.timer_gen <- inst.timer_gen + 1;
   let gen = inst.timer_gen in
   let node = current_node inst in
-  trace t inst "enter-node" node.Automaton.node_id;
+  trace ~level:Trace.Full t inst "enter-node" node.Automaton.node_id;
   List.iter (fun (slot, e) -> inst.vars.(slot) <- eval t inst e) node.Automaton.always;
   (match node.Automaton.timer with
   | Some duration_expr ->
@@ -231,17 +235,17 @@ and dispatch t inst ev =
   match matching with
   | Some tr ->
       (match ev with
-      | Ev_msg (m, s) -> trace t inst "recv" (Printf.sprintf "%s from %s" m s)
-      | Ev_timer _ -> trace t inst "timer-fired" node.Automaton.node_id
-      | Ev_onload -> trace t inst "onload" ""
+      | Ev_msg (m, s) -> tracel t inst "recv" (fun () -> Printf.sprintf "%s from %s" m s)
+      | Ev_timer _ -> trace ~level:Trace.Full t inst "timer-fired" node.Automaton.node_id
+      | Ev_onload -> trace ~level:Trace.Full t inst "onload" ""
       | Ev_onexit -> trace t inst "onexit" ""
       | Ev_onerror -> trace t inst "onerror" ""
-      | Ev_breakpoint (_, fn) -> trace t inst "breakpoint" fn
-      | Ev_watch v -> trace t inst "watch" v);
+      | Ev_breakpoint (_, fn) -> trace ~level:Trace.Full t inst "breakpoint" fn
+      | Ev_watch v -> trace ~level:Trace.Full t inst "watch" v);
       exec_actions t inst tr.Automaton.actions ~sender
   | None -> (
       match ev with
-      | Ev_msg (m, s) -> trace t inst "drop" (Printf.sprintf "%s from %s" m s)
+      | Ev_msg (m, s) -> tracel t inst "drop" (fun () -> Printf.sprintf "%s from %s" m s)
       | Ev_timer _ | Ev_onload | Ev_onexit | Ev_onerror | Ev_breakpoint _ | Ev_watch _ -> ())
 
 (* ------------------------------------------------------------------ *)

@@ -21,8 +21,10 @@ type t = {
   mutable is_exhausted : bool;
 }
 
-let trace t event detail = Engine.record t.env.Renv.eng ~source:"rdispatcher" ~event detail
-let tracef t event fmt = Engine.record_fmt t.env.Renv.eng ~source:"rdispatcher" ~event fmt
+let trace ?level t event detail =
+  Engine.record ?level t.env.Renv.eng ~source:"rdispatcher" ~event detail
+let tracef ?level t event fmt =
+  Engine.record_fmt ?level t.env.Renv.eng ~source:"rdispatcher" ~event fmt
 
 let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
   let eng = env.Renv.eng in
@@ -56,7 +58,7 @@ let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
     let inc = info.Member.m_inc in
     let target_host = info.Member.m_host in
     let resume = info.Member.m_resume in
-    tracef t "launch" "replica %d.%d on host %d (inc %d%s)" rank slot target_host inc
+    tracef ~level:Trace.Full t "launch" "replica %d.%d on host %d (inc %d%s)" rank slot target_host inc
       (if resume then ", respawn" else "");
     ignore
       (Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "ssh-replica%d.%d" rank slot)
@@ -69,10 +71,11 @@ let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
   let move_to_spare ~rank ~slot =
     let info = Member.get members ~rank ~slot in
     match !free_hosts with
-    | [] -> tracef t "no-spare" "replica %d.%d relaunches in place" rank slot
+    | [] -> tracef ~level:Trace.Full t "no-spare" "replica %d.%d relaunches in place" rank slot
     | spare :: rest ->
         free_hosts := rest @ [ info.Member.m_host ];
-        tracef t "reallocate" "replica %d.%d: host %d -> %d" rank slot info.Member.m_host spare;
+        tracef ~level:Trace.Full t "reallocate" "replica %d.%d: host %d -> %d" rank slot
+          info.Member.m_host spare;
         info.Member.m_host <- spare
   in
   let arm_window ~rank =
@@ -132,7 +135,7 @@ let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
     then begin
       info.Member.m_conn <- Some conn;
       info.Member.m_state <- Member.Registered;
-      tracef t "replica-registered" "replica %d.%d inc %d" rank slot inc;
+      tracef ~level:Trace.Full t "replica-registered" "replica %d.%d inc %d" rank slot inc;
       if info.Member.m_resume then
         if Member.finished members ~rank then begin
           (* the rank completed while this respawn was in flight *)
@@ -152,7 +155,7 @@ let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
                           Some { Rmsg.mb_slot = donor.Member.slot; mb_host = donor.Member.m_host };
                       }))
           | [] ->
-              tracef t "respawn-no-donor" "replica %d.%d has no live sibling" rank slot;
+              tracef ~level:Trace.Full t "respawn-no-donor" "replica %d.%d has no live sibling" rank slot;
               info.Member.m_state <- Member.Dead;
               info.Member.m_conn <- None;
               Net.close conn;
@@ -192,7 +195,7 @@ let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
     if not (Member.finished members ~rank) then begin
       Member.mark_finished members ~rank;
       window_token.(rank) <- window_token.(rank) + 1;
-      tracef t "rank-finished" "rank %d (replica slot %d first)" rank slot;
+      tracef ~level:Trace.Full t "rank-finished" "rank %d (replica slot %d first)" rank slot;
       if Member.all_finished members then begin
         finished_run := true;
         broadcast Rmsg.Shutdown;
@@ -209,7 +212,7 @@ let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
           info.Member.m_state <- Member.Dead;
           info.Member.m_conn <- None;
           if Member.finished members ~rank then
-            tracef t "closure-ignored" "replica %d.%d (rank already finished)" rank slot
+            tracef ~level:Trace.Full t "closure-ignored" "replica %d.%d (rank already finished)" rank slot
           else begin
             match Member.live_slots members ~rank with
             | _ :: _ as live ->
@@ -227,25 +230,25 @@ let spawn (env : Renv.t) ~host ~host_of ~spare_hosts =
           info.Member.m_conn <- None;
           if not !steady then begin
             (* start-up failure: plain retry, no wave machinery to confuse *)
-            tracef t "spawn-retry" "replica %d.%d lost before start" rank slot;
+            tracef ~level:Trace.Full t "spawn-retry" "replica %d.%d lost before start" rank slot;
             move_to_spare ~rank ~slot;
             launch ~rank ~slot
           end
           else begin
-            tracef t "respawn-interrupted" "replica %d.%d" rank slot;
+            tracef ~level:Trace.Full t "respawn-interrupted" "replica %d.%d" rank slot;
             match Member.live_slots members ~rank with
             | _ :: _ -> if cfg.Config.rep_respawn then respawn ~rank ~slot
             | [] -> rank_uncovered ~rank
           end
       | Member.Computing | Member.Launching | Member.Dead ->
-          tracef t "closure-ignored" "replica %d.%d in state %s" rank slot
+          tracef ~level:Trace.Full t "closure-ignored" "replica %d.%d in state %s" rank slot
             (Member.state_name info.Member.m_state)
   in
   let handle_spawn_died rank slot inc =
     let info = Member.get members ~rank ~slot in
     if inc = info.Member.m_inc && info.Member.m_state = Member.Launching && not !finished_run
     then begin
-      tracef t "spawn-failed" "replica %d.%d inc %d" rank slot inc;
+      tracef ~level:Trace.Full t "spawn-failed" "replica %d.%d inc %d" rank slot inc;
       if Member.finished members ~rank then info.Member.m_state <- Member.Dead
       else if not info.Member.m_resume then begin
         move_to_spare ~rank ~slot;

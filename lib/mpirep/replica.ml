@@ -35,8 +35,11 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
   let cluster = env.Renv.cluster in
   let cfg = env.Renv.cfg in
   let name = Printf.sprintf "rdaemon-%d.%d" rank slot in
-  let trace event detail = Engine.record eng ~source:name ~event detail in
-  let tracef event fmt = Engine.record_fmt eng ~source:name ~event fmt in
+  let trace ?level event detail = Engine.record ?level eng ~source:name ~event detail in
+  (* Chatty per-message / per-state-transfer events are tagged Full so
+     the Summary traces used by campaigns skip both formatting and
+     storage (record_fmt defers formatting until the gate passes). *)
+  let tracef ?level event fmt = Engine.record_fmt ?level eng ~source:name ~event fmt in
   Cluster.spawn_on cluster ~host ~name (fun () ->
       let self = Proc.self () in
       let app_proc = ref None in
@@ -66,7 +69,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
       (match env.Renv.fci with
       | Some rt -> Fci.Runtime.register rt ~machine:host target
       | None -> ());
-      tracef "daemon-start" "host %d incarnation %d%s" host incarnation
+      tracef ~level:Trace.Full "daemon-start" "host %d incarnation %d%s" host incarnation
         (if resume then " (respawn)" else "");
       Proc.sleep
         (cfg.Config.init_delay_min
@@ -153,7 +156,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                     incr sent)
               peer_conns;
             if !sent = 0 then
-              tracef "send-deferred" "to rank %d (no live replica connected, logged)" dst
+              tracef ~level:Trace.Full "send-deferred" "to rank %d (no live replica connected, logged)" dst
           in
           let deliver (m : Message.app_msg) =
             let rec split acc = function
@@ -192,7 +195,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
               |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
             in
             if entries <> [] then
-              tracef "log-flush" "%d messages to rank %d (> ssn %d)" (List.length entries)
+              tracef ~level:Trace.Full "log-flush" "%d messages to rank %d (> ssn %d)" (List.length entries)
                 peer_rank bound;
             List.iter
               (fun (ssn, m) ->
@@ -237,7 +240,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                   (fun () -> env.Renv.app.App.main ctx)
               in
               app_proc := Some p;
-              trace "app-start" ""
+              trace ~level:Trace.Full "app-start" ""
             end
           in
           let maybe_start_app () =
@@ -260,7 +263,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                     (Net.send conn
                        (Rmsg.Peer_hello { rank; slot; consumed = consumed_bounds () }));
                   register_peer pr ps conn
-              | Error `Refused -> tracef "peer-connect-failed" "replica %d.%d" pr ps
+              | Error `Refused -> tracef ~level:Trace.Full "peer-connect-failed" "replica %d.%d" pr ps
           in
           let build_image () =
             let logged =
@@ -308,7 +311,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                 Option.iter Proc.kill !app_proc;
                 trace "daemon-exit" "shutdown"
             | D_ctrl (Some (Rmsg.Start { members; resume = false; _ })) ->
-                trace "start" "";
+                trace ~level:Trace.Full "start" "";
                 let expected = ref 0 in
                 Array.iteri
                   (fun r' ms -> if r' <> rank then expected := !expected + List.length ms)
@@ -327,7 +330,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                 match donor with
                 | None -> trace "state-transfer-failed" "no donor"
                 | Some d -> (
-                    tracef "state-fetch" "from slot %d on host %d" d.Rmsg.mb_slot
+                    tracef ~level:Trace.Full "state-fetch" "from slot %d on host %d" d.Rmsg.mb_slot
                       d.Rmsg.mb_host;
                     match
                       Net.connect env.Renv.net ~host ~to_host:d.Rmsg.mb_host
@@ -341,7 +344,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                             Net.close sc;
                             install_image image;
                             Proc.sleep cfg.Config.restart_settle;
-                            tracef "restored" "from slot %d (%d bytes)" d.Rmsg.mb_slot
+                            tracef ~level:Trace.Full "restored" "from slot %d (%d bytes)" d.Rmsg.mb_slot
                               image.Message.img_bytes;
                             ignore (Net.send dconn (Rmsg.Ready { rank; slot }));
                             (* peers connect to us on the dispatcher's
@@ -382,7 +385,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                 let bound = Option.value ~default:0 (Hashtbl.find_opt received src) in
                 if ssn > bound then Hashtbl.replace received src ssn;
                 if Hashtbl.mem seen (src, m.Message.tag) then
-                  tracef "duplicate-dropped" "%d->%d tag %d ssn %d" src m.Message.dst
+                  tracef ~level:Trace.Full "duplicate-dropped" "%d->%d tag %d ssn %d" src m.Message.dst
                     m.Message.tag ssn
                 else begin
                   Hashtbl.replace seen (src, m.Message.tag) ();
@@ -391,7 +394,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                 loop ()
             | D_peer ((pr, ps), None) ->
                 Hashtbl.remove peer_conns (pr, ps);
-                tracef "peer-lost" "replica %d.%d" pr ps;
+                tracef ~level:Trace.Full "peer-lost" "replica %d.%d" pr ps;
                 (* pre-start: a replica listed in our Start died; don't
                    wait for a link that will be re-established (or never
                    come) — the respawn reconnects via Peer_update *)
@@ -407,7 +410,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
             | D_state_req conn ->
                 let img = build_image () in
                 ignore (Net.send conn ~size:img.Message.img_bytes (Rmsg.State_xfer { image = img }));
-                tracef "state-serve" "%d bytes" img.Message.img_bytes;
+                tracef ~level:Trace.Full "state-serve" "%d bytes" img.Message.img_bytes;
                 loop ()
             | D_app (A_send m) ->
                 forward_send m;
@@ -421,7 +424,7 @@ let spawn (env : Renv.t) ~rank ~slot ~host ~incarnation ~resume =
                 loop ()
             | D_app A_finalize ->
                 ignore (Net.send dconn (Rmsg.Rank_done { rank; slot }));
-                trace "rank-done" "";
+                trace ~level:Trace.Full "rank-done" "";
                 loop ()
           in
           loop ()))

@@ -9,7 +9,12 @@ type t = {
   committed_tbl : (int, Message.image) Hashtbl.t;  (* rank -> last complete image *)
 }
 
-let trace t event detail = Engine.record t.eng ~source:"ckpt-server" ~event detail
+let trace ?level t event detail =
+  Engine.record ?level t.eng ~source:"ckpt-server" ~event detail
+
+(* Per-image traffic is the hottest trace path in long runs: Full-gated,
+   lazily formatted. *)
+let tracel t event f = Engine.record_lazy ~level:Trace.Full t.eng ~source:"ckpt-server" ~event f
 
 (* One transfer at a time: the server NIC/disk is the shared resource. *)
 let worker_loop jobs =
@@ -30,27 +35,27 @@ let handle_conn t ~transfer_time jobs conn =
             Mailbox.send jobs (fun () ->
                 Proc.sleep (transfer_time image.Message.img_bytes);
                 Hashtbl.replace t.pending image.Message.img_rank image;
-                trace t "store"
-                  (Printf.sprintf "rank %d wave %d (%d bytes)" image.Message.img_rank
-                     image.Message.img_wave image.Message.img_bytes);
+                tracel t "store" (fun () ->
+                    Printf.sprintf "rank %d wave %d (%d bytes)" image.Message.img_rank
+                      image.Message.img_wave image.Message.img_bytes);
                 ignore (Simnet.Net.send conn (Message.Store_done { wave = image.Message.img_wave })))
         | Message.Fetch { rank; local_wave } -> (
             match Hashtbl.find_opt t.committed_tbl rank with
             | Some image when local_wave = Some image.Message.img_wave ->
                 (* The host already has this wave on local disk: no
                    transfer needed. *)
-                trace t "fetch-local" (Printf.sprintf "rank %d wave %d" rank image.Message.img_wave);
+                tracel t "fetch-local" (fun () -> Printf.sprintf "rank %d wave %d" rank image.Message.img_wave);
                 ignore (Simnet.Net.send conn (Message.Fetch_use_local { wave = image.Message.img_wave }))
             | Some image ->
                 Mailbox.send jobs (fun () ->
                     Proc.sleep (transfer_time image.Message.img_bytes);
-                    trace t "fetch-remote"
-                      (Printf.sprintf "rank %d wave %d" rank image.Message.img_wave);
+                    tracel t "fetch-remote" (fun () ->
+                        Printf.sprintf "rank %d wave %d" rank image.Message.img_wave);
                     (* Transfer time is modelled by the worker sleep above;
                        the reply itself is metadata. *)
                     ignore (Simnet.Net.send conn (Message.Fetch_image { image = Some image })))
             | None ->
-                trace t "fetch-none" (Printf.sprintf "rank %d" rank);
+                tracel t "fetch-none" (fun () -> Printf.sprintf "rank %d" rank);
                 ignore (Simnet.Net.send conn (Message.Fetch_image { image = None })))
         | Message.Commit { wave } ->
             let moved = ref 0 in
@@ -65,7 +70,7 @@ let handle_conn t ~transfer_time jobs conn =
               (fun rank (image : Message.image) ->
                 if image.Message.img_wave <= wave then Hashtbl.remove t.pending rank)
               (Hashtbl.copy t.pending);
-            trace t "commit" (Printf.sprintf "wave %d (%d images)" wave !moved)
+            tracel t "commit" (fun () -> Printf.sprintf "wave %d (%d images)" wave !moved)
         | Message.Commit_rank { rank; wave } ->
             (match Hashtbl.find_opt t.pending rank with
             | Some image when image.Message.img_wave = wave ->
@@ -73,7 +78,7 @@ let handle_conn t ~transfer_time jobs conn =
                 Hashtbl.remove t.pending rank;
                 trace t "commit-rank" (Printf.sprintf "rank %d wave %d" rank wave)
             | Some _ | None ->
-                trace t "commit-rank-miss" (Printf.sprintf "rank %d wave %d" rank wave))
+                tracel t "commit-rank-miss" (fun () -> Printf.sprintf "rank %d wave %d" rank wave))
         | Message.Peer_hello _ | Message.App _ | Message.Marker _ | Message.Hello _
         | Message.Ready _ | Message.Start _ | Message.Terminate | Message.Rank_done _
         | Message.Shutdown | Message.Sched_hello _ | Message.Sched_marker _

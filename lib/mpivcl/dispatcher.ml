@@ -34,9 +34,11 @@ type t = {
   mutable is_confused : bool;
 }
 
-let trace t event detail = Engine.record t.env.Env.eng ~source:"dispatcher" ~event detail
+let trace ?level t event detail =
+  Engine.record ?level t.env.Env.eng ~source:"dispatcher" ~event detail
 
-let tracef t event fmt = Engine.record_fmt t.env.Env.eng ~source:"dispatcher" ~event fmt
+let tracef ?level t event fmt =
+  Engine.record_fmt ?level t.env.Env.eng ~source:"dispatcher" ~event fmt
 
 let state_name = function
   | R_launching -> "launching"
@@ -75,7 +77,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
     info.ri_st <- R_launching;
     let inc = info.ri_inc in
     let target_host = info.ri_host in
-    tracef t "launch" "rank %d on host %d (inc %d)" r target_host inc;
+    tracef ~level:Trace.Full t "launch" "rank %d on host %d (inc %d)" r target_host inc;
     ignore
       (Cluster.spawn_on cluster ~host ~name:(Printf.sprintf "ssh-rank%d" r) (fun () ->
            if inc > 0 then Proc.sleep cfg.Config.relaunch_delay;
@@ -90,10 +92,10 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
   let move_to_spare r =
     let info = ranks.(r) in
     match !free_hosts with
-    | [] -> tracef t "no-spare" "rank %d restarts in place" r
+    | [] -> tracef ~level:Trace.Full t "no-spare" "rank %d restarts in place" r
     | spare :: rest ->
         free_hosts := rest @ [ info.ri_host ];
-        tracef t "reallocate" "rank %d: host %d -> %d" r info.ri_host spare;
+        tracef ~level:Trace.Full t "reallocate" "rank %d: host %d -> %d" r info.ri_host spare;
         info.ri_host <- spare
   in
   let old_stopping () =
@@ -137,7 +139,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
       | R_stopping ->
           (* Old-wave daemon terminated as ordered: relaunch in place,
              eagerly. *)
-          tracef t "old-wave-stopped" "rank %d" r;
+          tracef ~level:Trace.Full t "old-wave-stopped" "rank %d" r;
           launch r
       | R_computing when !steady ->
           (* Failure detection in steady state. *)
@@ -166,12 +168,12 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
               r (old_stopping ())
           end
           else begin
-            tracef t "new-wave-failure" "rank %d (handled)" r;
+            tracef ~level:Trace.Full t "new-wave-failure" "rank %d (handled)" r;
             move_to_spare r;
             launch r
           end
       | R_launching | R_forgotten ->
-          tracef t "closure-ignored" "rank %d in state %s" r (state_name info.ri_st)
+          tracef ~level:Trace.Full t "closure-ignored" "rank %d in state %s" r (state_name info.ri_st)
     end
   in
   let handle_event = function
@@ -180,7 +182,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
         if inc = info.ri_inc && info.ri_st = R_launching && not !completed then begin
           info.ri_conn <- Some conn;
           info.ri_st <- R_registered;
-          tracef t "rank-registered" "rank %d inc %d" r inc
+          tracef ~level:Trace.Full t "rank-registered" "rank %d inc %d" r inc
         end
         else Net.close conn
     | E_msg (r, inc, msg) -> (
@@ -225,7 +227,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
           (* The daemon died before registering (e.g. killed between spawn
              and Hello): the dispatcher sees a failed launch and simply
              retries — no wave confusion possible. *)
-          tracef t "spawn-failed" "rank %d inc %d, retrying" r inc;
+          tracef ~level:Trace.Full t "spawn-failed" "rank %d inc %d, retrying" r inc;
           if !steady then begin
             (* Should not happen: launching implies a recovery or startup
                is in progress. *)

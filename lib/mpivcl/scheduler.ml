@@ -9,7 +9,8 @@ type t = {
   mutable committed_count : int;
 }
 
-let trace t event detail = Engine.record t.eng ~source:"ckpt-scheduler" ~event detail
+let trace ?level t event detail =
+  Engine.record ?level t.eng ~source:"ckpt-scheduler" ~event detail
 
 let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
   let t = { eng; cluster; host; last_committed = None; committed_count = 0 } in
@@ -33,7 +34,7 @@ let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
     | Simnet.Net.Data (Message.Sched_hello { rank }) ->
         Hashtbl.replace conns rank conn;
         last_change := Engine.now eng;
-        trace t "daemon-connected" (string_of_int rank);
+        trace ~level:Trace.Full t "daemon-connected" (string_of_int rank);
         ping ();
         let rec run () =
           match Simnet.Net.recv conn with
@@ -44,7 +45,7 @@ let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
               | Some c when c == conn ->
                   Hashtbl.remove conns rank;
                   last_change := Engine.now eng;
-                  trace t "daemon-lost" (string_of_int rank);
+                  trace ~level:Trace.Full t "daemon-lost" (string_of_int rank);
                   ping ()
               | Some _ | None -> ())
           | Simnet.Net.Data (Message.Sched_ack { rank = r; wave }) ->
@@ -115,7 +116,7 @@ let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
                  incr next_wave;
                  current_wave := wave;
                  Hashtbl.reset acks;
-                 trace t "wave-start" (string_of_int wave);
+                 trace ~level:Trace.Full t "wave-start" (string_of_int wave);
                  Hashtbl.iter
                    (fun _rank conn ->
                      ignore (Simnet.Net.send conn (Message.Sched_marker { wave })))
@@ -130,7 +131,7 @@ let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
                    t.committed_count <- t.committed_count + 1;
                    trace t "wave-commit" (string_of_int wave)
                  end
-                 else trace t "wave-abort" (string_of_int wave);
+                 else trace ~level:Trace.Full t "wave-abort" (string_of_int wave);
                  last_wave_end := Engine.now eng;
                  current_wave := 0
                end;

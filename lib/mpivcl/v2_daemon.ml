@@ -34,9 +34,10 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
   let cluster = env.Env.cluster in
   let cfg = env.Env.cfg in
   let name = Printf.sprintf "vdaemon-%d" rank in
-  let trace event detail =
-    Engine.record eng ~source:(Printf.sprintf "v2daemon-%d" rank) ~event detail
-  in
+  let src = Printf.sprintf "v2daemon-%d" rank in
+  let trace ?level event detail = Engine.record ?level eng ~source:src ~event detail in
+  (* Chatty per-message / per-wave events: Full-gated, lazily formatted. *)
+  let tracel event f = Engine.record_lazy ~level:Trace.Full eng ~source:src ~event f in
   Cluster.spawn_on cluster ~host ~name (fun () ->
       let self = Proc.self () in
       let app_proc = ref None in
@@ -66,7 +67,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
       (match env.Env.fci with
       | Some rt -> Fci.Runtime.register rt ~machine:host target
       | None -> ());
-      trace "daemon-start" (Printf.sprintf "host %d incarnation %d" host incarnation);
+      tracel "daemon-start" (fun () -> Printf.sprintf "host %d incarnation %d" host incarnation);
       Proc.sleep
         (cfg.Config.init_delay_min
         +. Rng.float env.Env.rng (cfg.Config.init_delay_max -. cfg.Config.init_delay_min));
@@ -105,8 +106,8 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
           in
           Proc.sleep cfg.Config.restart_settle;
           (match image with
-          | Some img -> trace "restored" (Printf.sprintf "wave %d" img.Message.img_wave)
-          | None -> trace "restored" "fresh");
+          | Some img -> tracel "restored" (fun () -> Printf.sprintf "wave %d" img.Message.img_wave)
+          | None -> trace ~level:Trace.Full "restored" "fresh");
           let listener = Net.listen env.Env.net ~host ~port:Config.daemon_port in
           Fun.protect ~finally:(fun () -> Net.close_listener listener) @@ fun () ->
           let events : dev Mailbox.t = Mailbox.create () in
@@ -187,8 +188,8 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             match Hashtbl.find_opt peer_conns dst with
             | Some conn ->
                 if not (Net.send conn ~size:m.Message.bytes (Message.App_logged { msg = m; ssn }))
-                then trace "send-deferred" (Printf.sprintf "to %d (closed, logged)" dst)
-            | None -> trace "send-deferred" (Printf.sprintf "to %d (no connection, logged)" dst)
+                then tracel "send-deferred" (fun () -> Printf.sprintf "to %d (closed, logged)" dst)
+            | None -> tracel "send-deferred" (fun () -> Printf.sprintf "to %d (no connection, logged)" dst)
           in
           let deliver (m : Message.app_msg) =
             let rec split acc = function
@@ -226,7 +227,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
           in
           let take_checkpoint () =
             match !ckpt_in_flight with
-            | Some _ -> trace "checkpoint-skipped" "previous still in flight"
+            | Some _ -> trace ~level:Trace.Full "checkpoint-skipped" "previous still in flight"
             | None ->
                 incr local_wave;
                 let wave = !local_wave in
@@ -261,7 +262,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 (match server_conn with
                 | Some conn -> ignore (Net.send conn (Message.Store { image = img }))
                 | None -> ckpt_in_flight := None);
-                trace "local-checkpoint" (Printf.sprintf "wave %d" wave)
+                tracel "local-checkpoint" (fun () -> Printf.sprintf "wave %d" wave)
           in
           let spawn_app () =
             let state =
@@ -308,7 +309,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             (* Independent checkpoint cadence, desynchronised across
                ranks. *)
             schedule_tick (Rng.float env.Env.rng cfg.Config.wave_interval);
-            trace "app-start" ""
+            trace ~level:Trace.Full "app-start" ""
           in
           let join_peer peer conn =
             Hashtbl.replace peer_conns peer conn;
@@ -327,7 +328,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 join_peer peer conn;
                 true
             | Error `Refused ->
-                trace "peer-connect-failed" (string_of_int peer);
+                trace ~level:Trace.Full "peer-connect-failed" (string_of_int peer);
                 false
           in
           let handle_resend peer consumed =
@@ -335,14 +336,15 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
               Option.value ~default:0 (List.assoc_opt rank consumed)
             in
             match Hashtbl.find_opt peer_conns peer with
-            | None -> trace "resend-no-conn" (string_of_int peer)
+            | None -> trace ~level:Trace.Full "resend-no-conn" (string_of_int peer)
             | Some conn ->
                 let entries =
                   Option.value ~default:[] (Hashtbl.find_opt send_log peer)
                   |> List.filter (fun (ssn, _) -> ssn > bound)
                   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
                 in
-                trace "resend" (Printf.sprintf "%d messages to %d (> ssn %d)" (List.length entries) peer bound);
+                tracel "resend" (fun () ->
+                    Printf.sprintf "%d messages to %d (> ssn %d)" (List.length entries) peer bound);
                 List.iter
                   (fun (ssn, m) ->
                     ignore
@@ -359,7 +361,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 Option.iter Proc.kill !app_proc;
                 trace "daemon-exit" "shutdown"
             | D_ctrl (Some (Message.Start { rank_hosts; resume })) ->
-                trace (if resume then "resume" else "start") "";
+                trace ~level:Trace.Full (if resume then "resume" else "start") "";
                 if resume then begin
                   (* I am the restarted rank: rebuild the full mesh and ask
                      every reachable peer for its logged messages. *)
@@ -390,7 +392,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 loop ()
             | D_peer (peer, None) ->
                 Hashtbl.remove peer_conns peer;
-                trace "peer-lost" (string_of_int peer);
+                trace ~level:Trace.Full "peer-lost" (string_of_int peer);
                 loop ()
             | D_peer (_, Some (Message.App_logged { msg = m; ssn })) ->
                 let src = m.Message.src in
@@ -434,7 +436,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                     let gc = Message.Log_gc { rank; consumed = snapshot_bounds } in
                     Hashtbl.iter (fun _peer conn -> ignore (Net.send conn gc)) peer_conns;
                     Fci.Control.set_var vars "wave" wave;
-                    trace "checkpoint-committed" (Printf.sprintf "wave %d" wave)
+                    tracel "checkpoint-committed" (fun () -> Printf.sprintf "wave %d" wave)
                 | Some _ | None -> ());
                 loop ()
             | D_server (Some msg) ->
@@ -458,7 +460,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 loop ()
             | D_app A_finalize ->
                 ignore (Net.send dconn (Message.Rank_done { rank }));
-                trace "rank-done" "";
+                trace ~level:Trace.Full "rank-done" "";
                 loop ()
           in
           loop ()))

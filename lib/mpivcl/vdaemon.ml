@@ -46,9 +46,11 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
   let cluster = env.Env.cluster in
   let cfg = env.Env.cfg in
   let name = Printf.sprintf "vdaemon-%d" rank in
-  let trace event detail =
-    Engine.record eng ~source:(Printf.sprintf "vdaemon-%d" rank) ~event detail
-  in
+  let trace ?level event detail = Engine.record ?level eng ~source:name ~event detail in
+  (* Chatty per-message / per-wave events: Full-gated and lazily
+     formatted, so Summary-level campaign runs pay neither the string
+     formatting nor the retention. *)
+  let tracel event f = Engine.record_lazy ~level:Trace.Full eng ~source:name ~event f in
   Cluster.spawn_on cluster ~host ~name (fun () ->
       let self = Proc.self () in
       let app_proc = ref None in
@@ -80,7 +82,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
       (match env.Env.fci with
       | Some rt -> Fci.Runtime.register rt ~machine:host target
       | None -> ());
-      trace "daemon-start" (Printf.sprintf "host %d incarnation %d" host incarnation);
+      tracel "daemon-start" (fun () -> Printf.sprintf "host %d incarnation %d" host incarnation);
       (* Process restore and socket setup before the dispatcher sees us. *)
       Proc.sleep
         (cfg.Config.init_delay_min
@@ -123,8 +125,8 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
           in
           Proc.sleep cfg.Config.restart_settle;
           (match image with
-          | Some img -> trace "restored" (Printf.sprintf "wave %d" img.Message.img_wave)
-          | None -> trace "restored" "fresh");
+          | Some img -> tracel "restored" (fun () -> Printf.sprintf "wave %d" img.Message.img_wave)
+          | None -> trace ~level:Trace.Full "restored" "fresh");
           let listener = Net.listen env.Env.net ~host ~port:Config.daemon_port in
           Fun.protect ~finally:(fun () -> Net.close_listener listener) @@ fun () ->
           let events : dev Mailbox.t = Mailbox.create () in
@@ -199,8 +201,8 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             match Hashtbl.find_opt peer_conns m.Message.dst with
             | Some conn ->
                 if not (Net.send conn ~size:m.Message.bytes (Message.App m)) then
-                  trace "send-failed" (Printf.sprintf "to %d (closed)" m.Message.dst)
-            | None -> trace "send-failed" (Printf.sprintf "to %d (no connection)" m.Message.dst)
+                  tracel "send-failed" (fun () -> Printf.sprintf "to %d (closed)" m.Message.dst)
+            | None -> tracel "send-failed" (fun () -> Printf.sprintf "to %d (no connection)" m.Message.dst)
           in
           let deliver (m : Message.app_msg) =
             let rec split acc = function
@@ -255,8 +257,8 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             (match server_conn with
             | Some conn -> ignore (Net.send conn (Message.Store { image = img }))
             | None -> ());
-            trace "local-checkpoint" (Printf.sprintf "wave %d (%d logged)" c.ck_wave
-                                        (List.length logged))
+            tracel "local-checkpoint" (fun () ->
+                Printf.sprintf "wave %d (%d logged)" c.ck_wave (List.length logged))
           in
           let maybe_complete_channels (c : ckpt) =
             if IntSet.is_empty c.ck_channels && not c.ck_stored then begin
@@ -283,7 +285,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
               }
             in
             ckpt := Some c;
-            trace "cut" (Printf.sprintf "wave %d" wave);
+            tracel "cut" (fun () -> Printf.sprintf "wave %d" wave);
             Hashtbl.iter
               (fun _peer conn -> ignore (Net.send conn (Message.Marker { wave })))
               peer_conns;
@@ -305,13 +307,13 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                      globally, so drop it and join the new one. Held sends
                      of the blocking variant stay held until the new wave
                      completes. *)
-                  trace "ckpt-abandoned"
-                    (Printf.sprintf "wave %d superseded by %d" c.ck_wave wave);
+                  tracel "ckpt-abandoned" (fun () ->
+                      Printf.sprintf "wave %d superseded by %d" c.ck_wave wave);
                   ckpt := None;
                   begin_cut wave ~from_peer
               | Some c ->
-                  trace "marker-anomaly"
-                    (Printf.sprintf "stale wave %d while checkpointing %d" wave c.ck_wave)
+                  tracel "marker-anomaly" (fun () ->
+                      Printf.sprintf "stale wave %d while checkpointing %d" wave c.ck_wave)
             end
           in
           let release_held () =
@@ -360,7 +362,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                   env.Env.app.App.main ctx)
             in
             app_proc := Some p;
-            trace "app-start" ""
+            trace ~level:Trace.Full "app-start" ""
           in
           let maybe_start () =
             if !started && Hashtbl.length peer_conns = n - 1 && !app_proc = None then
@@ -379,7 +381,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                     (fun m -> D_peer (peer, m))
                     events
               | Error `Refused ->
-                  trace "peer-connect-failed" (string_of_int peer)
+                  trace ~level:Trace.Full "peer-connect-failed" (string_of_int peer)
             done;
             maybe_start ()
           in
@@ -408,7 +410,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             | D_ctrl (Some (Message.Start { rank_hosts = hosts; resume })) ->
                 rank_hosts := hosts;
                 started := true;
-                trace (if resume then "resume" else "start") "";
+                trace ~level:Trace.Full (if resume then "resume" else "start") "";
                 connect_lower_peers ();
                 loop ()
             | D_ctrl (Some msg) ->
@@ -427,7 +429,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 (match Hashtbl.find_opt peer_conns peer with
                 | Some _ -> Hashtbl.remove peer_conns peer
                 | None -> ());
-                trace "peer-lost" (string_of_int peer);
+                trace ~level:Trace.Full "peer-lost" (string_of_int peer);
                 loop ()
             | D_peer (_, Some (Message.App m)) ->
                 (if Hashtbl.mem seen (m.Message.src, m.Message.tag) then
@@ -469,7 +471,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                     (* Expose the completed wave to the fault injector
                        (the conclusion's variable-reading feature). *)
                     Fci.Control.set_var vars "wave" wave;
-                    trace "checkpoint-acked" (Printf.sprintf "wave %d" wave)
+                    tracel "checkpoint-acked" (fun () -> Printf.sprintf "wave %d" wave)
                 | Some _ | None -> ());
                 loop ()
             | D_server (Some msg) ->
@@ -488,7 +490,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 loop ()
             | D_app A_finalize ->
                 ignore (Net.send dconn (Message.Rank_done { rank }));
-                trace "rank-done" "";
+                trace ~level:Trace.Full "rank-done" "";
                 loop ()
           in
           loop ()))

@@ -1,44 +1,56 @@
+type event_state = Pending | Cancelled | Done
+
 type event = {
   time : float;
   seq : int;
   thunk : unit -> unit;
-  mutable cancelled : bool;
+  mutable state : event_state;
+  owner : t;
 }
 
-type handle = event
-
-type t = {
+and t = {
   mutable now : float;
   mutable next_seq : int;
   mutable next_pid : int;
   mutable halted : bool;
   queue : event Heap.t;
+  mutable live : int;  (* scheduled, not yet executed or cancelled *)
+  mutable tombstones : int;  (* cancelled events still sitting in the queue *)
   rng : Rng.t;
   trace : Trace.t;
 }
+
+type handle = event
 
 let compare_events a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?trace_level () =
   {
     now = 0.0;
     next_seq = 0;
     next_pid = 0;
     halted = false;
     queue = Heap.create ~compare:compare_events;
+    live = 0;
+    tombstones = 0;
     rng = Rng.create seed;
-    trace = Trace.create ();
+    trace = Trace.create ?level:trace_level ();
   }
 
 let now t = t.now
 let rng t = t.rng
 let trace t = t.trace
 
-let record t ~source ~event detail = Trace.record t.trace ~time:t.now ~source ~event detail
+let record ?level t ~source ~event detail =
+  Trace.record ?level t.trace ~time:t.now ~source ~event detail
 
-let record_fmt t ~source ~event fmt = Printf.ksprintf (record t ~source ~event) fmt
+let record_lazy ?level t ~source ~event f =
+  Trace.record_lazy ?level t.trace ~time:t.now ~source ~event f
+
+let record_fmt ?level t ~source ~event fmt =
+  Trace.record_fmt ?level t.trace ~time:t.now ~source ~event fmt
 
 let fresh_pid t =
   let pid = t.next_pid in
@@ -49,19 +61,39 @@ let schedule_at t ~time f =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time t.now);
-  let ev = { time; seq = t.next_seq; thunk = f; cancelled = false } in
+  let ev = { time; seq = t.next_seq; thunk = f; state = Pending; owner = t } in
   t.next_seq <- t.next_seq + 1;
   Heap.push t.queue ev;
+  t.live <- t.live + 1;
   ev
 
 let schedule t ?(delay = 0.0) f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.now +. delay) f
 
-let cancel ev = ev.cancelled <- true
+(* Long runs cancel many timeouts (every satisfied [recv_timeout] leaves
+   one behind); tombstones degrade push/pop, so once they are the
+   majority of a non-trivial queue we rebuild it without them. *)
+let compact_threshold = 64
 
-let pending t =
-  List.fold_left (fun acc ev -> if ev.cancelled then acc else acc + 1) 0 (Heap.to_list t.queue)
+let compact t =
+  Heap.filter_in_place t.queue ~keep:(fun ev -> ev.state = Pending);
+  t.tombstones <- 0
+
+let cancel ev =
+  match ev.state with
+  | Cancelled | Done -> ()
+  | Pending ->
+      ev.state <- Cancelled;
+      let t = ev.owner in
+      t.live <- t.live - 1;
+      t.tombstones <- t.tombstones + 1;
+      let size = Heap.length t.queue in
+      if size >= compact_threshold && t.tombstones > size / 2 then compact t
+
+let pending t = t.live
+
+let queue_size t = Heap.length t.queue
 
 let run ?(until = infinity) t =
   t.halted <- false;
@@ -75,10 +107,14 @@ let run ?(until = infinity) t =
           `Deadline
       | Some _ ->
           let ev = Option.get (Heap.pop t.queue) in
-          if not ev.cancelled then begin
-            t.now <- ev.time;
-            ev.thunk ()
-          end;
+          (match ev.state with
+          | Cancelled -> t.tombstones <- t.tombstones - 1
+          | Done -> ()
+          | Pending ->
+              ev.state <- Done;
+              t.live <- t.live - 1;
+              t.now <- ev.time;
+              ev.thunk ());
           loop ()
   in
   loop ()

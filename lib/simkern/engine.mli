@@ -10,8 +10,11 @@ type t
 (** Cancellable handle on a scheduled event. *)
 type handle
 
-(** [create ?seed ()] returns a fresh engine with its clock at [0.]. *)
-val create : ?seed:int64 -> unit -> t
+(** [create ?seed ?trace_level ()] returns a fresh engine with its clock
+    at [0.]. [trace_level] gates what the engine trace records (default
+    {!Trace.Full}); campaigns that only read aggregates run at
+    {!Trace.Summary} to skip per-message chatter. *)
+val create : ?seed:int64 -> ?trace_level:Trace.level -> unit -> t
 
 (** [now t] is the current simulated time, in seconds. *)
 val now : t -> float
@@ -23,12 +26,25 @@ val rng : t -> Rng.t
 (** [trace t] is the engine-wide execution trace. *)
 val trace : t -> Trace.t
 
-(** [record t ~source ~event detail] records a trace entry at [now t]. *)
-val record : t -> source:string -> event:string -> string -> unit
+(** [record ?level t ~source ~event detail] records a trace entry at
+    [now t] (see {!Trace.record}). *)
+val record : ?level:Trace.level -> t -> source:string -> event:string -> string -> unit
 
-(** [record_fmt t ~source ~event fmt ...] is {!record} with a
+(** [record_lazy ?level t ~source ~event f] records an entry whose
+    detail is rendered only if the trace is read (see
+    {!Trace.record_lazy}) — use for hot-path events. *)
+val record_lazy :
+  ?level:Trace.level -> t -> source:string -> event:string -> (unit -> string) -> unit
+
+(** [record_fmt ?level t ~source ~event fmt ...] is {!record} with a
     printf-style detail (see {!Trace.record_fmt}). *)
-val record_fmt : t -> source:string -> event:string -> ('a, unit, string, unit) format4 -> 'a
+val record_fmt :
+  ?level:Trace.level ->
+  t ->
+  source:string ->
+  event:string ->
+  ('a, unit, string, unit) format4 ->
+  'a
 
 (** [fresh_pid t] returns a process identifier unique within this engine. *)
 val fresh_pid : t -> int
@@ -42,11 +58,19 @@ val schedule : t -> ?delay:float -> (unit -> unit) -> handle
     [Invalid_argument] if [time] is in the past. *)
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
 
-(** [cancel h] prevents the event from running if it has not run yet. *)
+(** [cancel h] prevents the event from running if it has not run yet.
+    Cancelled events become queue tombstones; once they outnumber the
+    live half of a non-trivial queue the engine compacts them away, so
+    long runs with many cancelled timeouts keep O(log live) push/pop. *)
 val cancel : handle -> unit
 
-(** [pending t] is the number of not-yet-executed scheduled events. *)
+(** [pending t] is the number of not-yet-executed, not-cancelled
+    scheduled events. O(1). *)
 val pending : t -> int
+
+(** [queue_size t] is the raw event-queue size including
+    not-yet-compacted tombstones (diagnostics / tests). *)
+val queue_size : t -> int
 
 (** [run ?until t] executes events in order until the queue is empty, the
     engine is halted, or the next event lies beyond [until]; in the latter

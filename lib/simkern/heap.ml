@@ -65,6 +65,25 @@ let clear h =
   h.data <- [||];
   h.size <- 0
 
+let filter_in_place h ~keep =
+  let kept = ref 0 in
+  for i = 0 to h.size - 1 do
+    if keep h.data.(i) then begin
+      h.data.(!kept) <- h.data.(i);
+      incr kept
+    end
+  done;
+  (* Release dropped slots so tombstoned thunks can be collected. *)
+  if !kept > 0 then
+    for i = !kept to h.size - 1 do
+      h.data.(i) <- h.data.(0)
+    done
+  else if h.size > 0 then h.data <- [||];
+  h.size <- !kept;
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done
+
 let to_list h =
   let rec collect i acc = if i < 0 then acc else collect (i - 1) (h.data.(i) :: acc) in
   collect (h.size - 1) []

@@ -24,5 +24,12 @@ val pop : 'a t -> 'a option
 (** [clear h] removes every element. *)
 val clear : 'a t -> unit
 
+(** [filter_in_place h ~keep] drops every element for which [keep] is
+    false and restores the heap invariant in O(n) (Floyd heapify). The
+    pop order of the survivors is unchanged (the ordering function is a
+    total order). Used by the engine to compact cancelled-event
+    tombstones. *)
+val filter_in_place : 'a t -> keep:('a -> bool) -> unit
+
 (** [to_list h] returns the elements in unspecified order. *)
 val to_list : 'a t -> 'a list

@@ -30,8 +30,19 @@ let recv_timeout mb ~timeout =
   | None ->
       let eng = Proc.engine (Proc.self ()) in
       Proc.suspend (fun waker ->
-          mb.waiters <- mb.waiters @ [ (fun v -> waker (Some v)) ];
-          Engine.schedule eng ~delay:timeout (fun () -> ignore (waker None)) |> ignore)
+          (* Cancel the timer once a message wins, so satisfied timeouts
+             become heap tombstones (compacted) instead of live no-op
+             events that keep the queue busy until they fire. *)
+          let timer = ref None in
+          mb.waiters <-
+            mb.waiters
+            @ [
+                (fun v ->
+                  let woke = waker (Some v) in
+                  if woke then Option.iter Engine.cancel !timer;
+                  woke);
+              ];
+          timer := Some (Engine.schedule eng ~delay:timeout (fun () -> ignore (waker None))))
 
 let length mb = Queue.length mb.messages
 

@@ -1,31 +1,101 @@
+type level = Summary | Full
+
+let level_name = function Summary -> "summary" | Full -> "full"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "summary" -> Some Summary
+  | "full" -> Some Full
+  | _ -> None
+
 type entry = { time : float; source : string; event : string; detail : string }
 
-type t = { mutable rev_entries : entry list; mutable n : int }
+(* Detail payloads are rendered lazily: the hot path stores the closure,
+   and the first read memoises the string. *)
+type detail = Str of string | Deferred of (unit -> string)
 
-let create () = { rev_entries = []; n = 0 }
+type cell = { c_time : float; c_source : string; c_event : string; mutable c_detail : detail }
 
-let record t ~time ~source ~event detail =
-  t.rev_entries <- { time; source; event; detail } :: t.rev_entries;
+type t = { mutable cells : cell array; mutable n : int; gate : level }
+
+let dummy_cell = { c_time = 0.0; c_source = ""; c_event = ""; c_detail = Str "" }
+
+let create ?(level = Full) () = { cells = [||]; n = 0; gate = level }
+
+let level t = t.gate
+
+(* Summary-level events pass every gate; Full-level events only a Full
+   trace. *)
+let enabled t lvl = match lvl with Summary -> true | Full -> t.gate = Full
+
+let push t cell =
+  let capacity = Array.length t.cells in
+  if t.n = capacity then begin
+    let capacity' = if capacity = 0 then 64 else capacity * 2 in
+    let cells' = Array.make capacity' dummy_cell in
+    Array.blit t.cells 0 cells' 0 t.n;
+    t.cells <- cells'
+  end;
+  t.cells.(t.n) <- cell;
   t.n <- t.n + 1
 
-let record_fmt t ~time ~source ~event fmt =
-  Printf.ksprintf (record t ~time ~source ~event) fmt
+let record ?(level = Summary) t ~time ~source ~event detail =
+  if enabled t level then
+    push t { c_time = time; c_source = source; c_event = event; c_detail = Str detail }
 
-let entries t = List.rev t.rev_entries
+let record_lazy ?(level = Summary) t ~time ~source ~event f =
+  if enabled t level then
+    push t { c_time = time; c_source = source; c_event = event; c_detail = Deferred f }
+
+let record_fmt ?(level = Summary) t ~time ~source ~event fmt =
+  if enabled t level then
+    Printf.ksprintf
+      (fun detail ->
+        push t { c_time = time; c_source = source; c_event = event; c_detail = Str detail })
+      fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
+
+let render cell =
+  let detail =
+    match cell.c_detail with
+    | Str s -> s
+    | Deferred f ->
+        let s = f () in
+        cell.c_detail <- Str s;
+        s
+  in
+  { time = cell.c_time; source = cell.c_source; event = cell.c_event; detail }
+
+let entries t = List.init t.n (fun i -> render t.cells.(i))
 
 let length t = t.n
 
 let count t ~event =
-  List.fold_left (fun acc e -> if String.equal e.event event then acc + 1 else acc) 0 t.rev_entries
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if String.equal t.cells.(i).c_event event then incr c
+  done;
+  !c
 
-let find_all t ~event = List.filter (fun e -> String.equal e.event event) (entries t)
+let find_all t ~event =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if String.equal t.cells.(i).c_event event then acc := render t.cells.(i) :: !acc
+  done;
+  !acc
 
-let last t ~event = List.find_opt (fun e -> String.equal e.event event) t.rev_entries
+let last t ~event =
+  let rec scan i =
+    if i < 0 then None
+    else if String.equal t.cells.(i).c_event event then Some (render t.cells.(i))
+    else scan (i - 1)
+  in
+  scan (t.n - 1)
 
 let last_time t ~event = Option.map (fun e -> e.time) (last t ~event)
 
 let clear t =
-  t.rev_entries <- [];
+  t.cells <- [||];
   t.n <- 0
 
 let pp_entry ppf e =
@@ -33,5 +103,7 @@ let pp_entry ppf e =
 
 let pp ppf t =
   Format.pp_open_vbox ppf 0;
-  List.iter (fun e -> Format.fprintf ppf "%a@," pp_entry e) (entries t);
+  for i = 0 to t.n - 1 do
+    Format.fprintf ppf "%a@," pp_entry (render t.cells.(i))
+  done;
   Format.pp_close_box ppf ()

@@ -15,7 +15,26 @@
       (a fresh replica rejoined after a state transfer from a live
       sibling), ["replication-exhausted"] (every replica of one logical
       rank died inside the failover window — the run is lost);
-    - fault injection: ["halt"] for every FAIL [halt] executed. *)
+    - fault injection: ["halt"] for every FAIL [halt] executed.
+
+    Recording is the simulator's hottest allocation path, so the trace
+    is tuned for campaigns that never print it: entries live in a
+    growable array (no per-entry list cell), detail payloads can be
+    deferred closures rendered only when the trace is actually read
+    ({!entries}, {!find_all}, {!last}, {!pp}), and a record-level gate
+    lets quantitative campaigns drop per-message protocol chatter
+    ({!Full}-level events) while keeping the milestone events the
+    analyses above need ({!Summary} level). *)
+
+(** Verbosity: a trace created at [Summary] keeps only milestone events;
+    [Full] (the default) keeps everything. An entry recorded with
+    [~level:Full] is dropped by a [Summary] trace. *)
+type level = Summary | Full
+
+val level_name : level -> string
+
+(** [level_of_string s] parses ["summary"] / ["full"]. *)
+val level_of_string : string -> level option
 
 type entry = {
   time : float;  (** simulated time of the event *)
@@ -26,17 +45,41 @@ type entry = {
 
 type t
 
-(** [create ()] returns an empty trace. *)
-val create : unit -> t
+(** [create ?level ()] returns an empty trace keeping events up to
+    [level] (default {!Full}). *)
+val create : ?level:level -> unit -> t
 
-(** [record t ~time ~source ~event detail] appends an entry. *)
-val record : t -> time:float -> source:string -> event:string -> string -> unit
+(** [level t] is the trace's record-level gate. *)
+val level : t -> level
 
-(** [record_fmt t ~time ~source ~event fmt ...] is {!record} with a
+(** [enabled t lvl] is [true] iff an event recorded at [lvl] is kept. *)
+val enabled : t -> level -> bool
+
+(** [record ?level t ~time ~source ~event detail] appends an entry
+    (dropped when [level] — default {!Summary}, i.e. always kept — is
+    gated out by the trace). *)
+val record : ?level:level -> t -> time:float -> source:string -> event:string -> string -> unit
+
+(** [record_lazy ?level t ~time ~source ~event f] appends an entry whose
+    detail is [f ()], rendered (once) only if the trace is read — the
+    allocation-light form for hot-path events. [f] must be pure: it may
+    run long after the simulated moment. *)
+val record_lazy :
+  ?level:level -> t -> time:float -> source:string -> event:string -> (unit -> string) -> unit
+
+(** [record_fmt ?level t ~time ~source ~event fmt ...] is {!record} with a
     printf-style detail, e.g.
-    [record_fmt t ~time ~source:"dispatcher" ~event:"launch" "rank %d" r]. *)
+    [record_fmt t ~time ~source:"dispatcher" ~event:"launch" "rank %d" r].
+    When the entry is gated out the format arguments are consumed without
+    formatting (no allocation). *)
 val record_fmt :
-  t -> time:float -> source:string -> event:string -> ('a, unit, string, unit) format4 -> 'a
+  ?level:level ->
+  t ->
+  time:float ->
+  source:string ->
+  event:string ->
+  ('a, unit, string, unit) format4 ->
+  'a
 
 (** [entries t] returns all entries in recording order. *)
 val entries : t -> entry list

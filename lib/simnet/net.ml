@@ -197,5 +197,14 @@ let recv_timeout conn ~timeout =
       else
         let eng = conn.c_net.eng in
         Proc.suspend (fun waker ->
-            conn.c_waiters <- conn.c_waiters @ [ (fun item -> waker (Some item)) ];
-            Engine.schedule eng ~delay:timeout (fun () -> ignore (waker None)) |> ignore)
+            (* Cancel the timer once data wins; see Mailbox.recv_timeout. *)
+            let timer = ref None in
+            conn.c_waiters <-
+              conn.c_waiters
+              @ [
+                  (fun item ->
+                    let woke = waker (Some item) in
+                    if woke then Option.iter Engine.cancel !timer;
+                    woke);
+                ];
+            timer := Some (Engine.schedule eng ~delay:timeout (fun () -> ignore (waker None))))

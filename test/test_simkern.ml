@@ -417,6 +417,69 @@ let test_trace_queries () =
   Trace.clear t;
   check_int "cleared" 0 (Trace.length t)
 
+let test_heap_filter_in_place () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) (List.init 20 (fun i -> 20 - i));
+  Heap.filter_in_place h ~keep:(fun x -> x mod 2 = 0);
+  check_int "half survive" 10 (Heap.length h);
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check (Alcotest.list Alcotest.int) "pop order intact"
+    [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+    (drain []);
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.filter_in_place h ~keep:(fun _ -> false);
+  check_bool "drop all" true (Heap.is_empty h)
+
+let test_engine_tombstone_compaction () =
+  let eng = Engine.create () in
+  let executed = ref 0 in
+  let handles =
+    List.init 100 (fun i ->
+        Engine.schedule eng ~delay:(float_of_int (i + 1)) (fun () -> incr executed))
+  in
+  check_int "queue holds all" 100 (Engine.queue_size eng);
+  (* Cancel 60: once tombstones outnumber live events the engine compacts
+     the queue instead of carrying the dead weight to the pop loop. *)
+  List.iteri (fun i h -> if i < 60 then Engine.cancel h) handles;
+  check_int "pending is live count" 40 (Engine.pending eng);
+  check_bool "compaction shrank the queue" true (Engine.queue_size eng < 100);
+  ignore (Engine.run eng);
+  check_int "only live events ran" 40 !executed;
+  check_int "drained" 0 (Engine.pending eng)
+
+let test_trace_level_gate () =
+  let t = Trace.create ~level:Trace.Summary () in
+  check_bool "summary enabled" true (Trace.enabled t Trace.Summary);
+  check_bool "full gated" false (Trace.enabled t Trace.Full);
+  Trace.record t ~time:1.0 ~source:"s" ~event:"milestone" "kept";
+  Trace.record ~level:Trace.Full t ~time:2.0 ~source:"s" ~event:"chatter" "dropped";
+  Trace.record_fmt ~level:Trace.Full t ~time:3.0 ~source:"s" ~event:"chatter" "x %d" 5;
+  Trace.record_lazy ~level:Trace.Full t ~time:4.0 ~source:"s" ~event:"chatter" (fun () ->
+      Alcotest.fail "gated-out lazy detail must not render");
+  check_int "only the milestone survives" 1 (Trace.length t);
+  check_int "chatter gone" 0 (Trace.count t ~event:"chatter");
+  let full = Trace.create () in
+  Trace.record ~level:Trace.Full full ~time:1.0 ~source:"s" ~event:"chatter" "kept";
+  check_int "full trace keeps chatter" 1 (Trace.length full)
+
+let test_trace_lazy_memoized () =
+  let t = Trace.create () in
+  let calls = ref 0 in
+  Trace.record_lazy t ~time:1.0 ~source:"s" ~event:"e" (fun () ->
+      incr calls;
+      "rendered");
+  check_int "not rendered while unread" 0 !calls;
+  check_int "length does not render" 1 (Trace.length t);
+  check_int "count does not render" 1 (Trace.count t ~event:"e");
+  check_bool "first read renders" true
+    (match Trace.last t ~event:"e" with
+    | Some e -> e.Trace.detail = "rendered"
+    | None -> false);
+  ignore (Trace.entries t);
+  check_int "rendered exactly once" 1 !calls
+
 let test_rng_copy_independent () =
   let a = Rng.create 5L in
   ignore (Rng.int a 10);
@@ -635,6 +698,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "filter in place" `Quick test_heap_filter_in_place;
         ] );
       ( "engine",
         [
@@ -648,6 +712,9 @@ let () =
           Alcotest.test_case "trace" `Quick test_engine_trace;
           Alcotest.test_case "pending" `Quick test_engine_pending;
           Alcotest.test_case "trace queries" `Quick test_trace_queries;
+          Alcotest.test_case "tombstone compaction" `Quick test_engine_tombstone_compaction;
+          Alcotest.test_case "trace level gate" `Quick test_trace_level_gate;
+          Alcotest.test_case "trace lazy memoized" `Quick test_trace_lazy_memoized;
         ] );
       ( "proc",
         [
