@@ -151,7 +151,13 @@ let experiments =
 
 let run exp_name quick csv jobs =
   csv_dir := csv;
-  Option.iter Par.set_default_jobs jobs;
+  (match jobs with
+  | Some n when n <= 0 ->
+      prerr_endline
+        (Printf.sprintf "failmpi_experiments: --jobs must be >= 1 (got %d)" n);
+      exit 1
+  | Some n -> Par.set_default_jobs n
+  | None -> ());
   let todo =
     if exp_name = "all" then List.map snd experiments
     else

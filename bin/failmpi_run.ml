@@ -41,7 +41,7 @@ let list_protocols () =
     (Failmpi.Backend.all ());
   0
 
-let run scenario_file paper params ranks klass protocol replicas seed timeout fixed
+let run scenario_file paper params ranks klass protocol replicas seed timeout fixed seeded
     show_trace analyze trace_csv show_protocols =
   if show_protocols then list_protocols ()
   else begin
@@ -89,6 +89,7 @@ let run scenario_file paper params ranks klass protocol replicas seed timeout fi
         (Mpivcl.Config.default ~n_ranks:ranks) with
         Mpivcl.Config.protocol;
         dispatcher_buggy = not fixed;
+        vcl_seeded_race = seeded;
       }
     in
     let spec =
@@ -181,6 +182,14 @@ let cmd =
       value & flag
       & info [ "fixed-dispatcher" ] ~doc:"Use the corrected dispatcher instead of the historical one.")
   in
+  let seeded =
+    Arg.(
+      value & flag
+      & info [ "seeded-defect" ]
+          ~doc:
+            "Enable the seeded vcl dispatcher race used by the failmpi_explore acceptance \
+             demo (replaying its minimized witnesses).")
+  in
   let show_trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the execution trace.") in
   let analyze =
     Arg.(value & flag & info [ "analyze" ] ~doc:"Print a trace analysis (faults, recoveries, checkpoints).")
@@ -201,6 +210,6 @@ let cmd =
     (Cmd.info "failmpi_run" ~doc:"Inject faults into a fault-tolerant MPI running NAS BT")
     Term.(
       const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ seed
-      $ timeout $ fixed $ show_trace $ analyze $ trace_csv $ show_protocols)
+      $ timeout $ fixed $ seeded $ show_trace $ analyze $ trace_csv $ show_protocols)
 
 let () = exit (Cmd.eval' cmd)

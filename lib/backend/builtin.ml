@@ -39,7 +39,8 @@ module Rollback (P : ROLLBACK_SPEC) : Intf.S = struct
     | Some (Dispatcher.Completed t) -> Some t
     | Some (Dispatcher.Aborted _) | None -> None
 
-  let frozen h = Dispatcher.confused h.Deploy.dispatcher
+  let frozen h =
+    Dispatcher.confused h.Deploy.dispatcher || Dispatcher.race_lost h.Deploy.dispatcher
 
   let metrics h =
     {

@@ -75,6 +75,8 @@ module Run = struct
     | Non_terminating -> "non-terminating"
     | Buggy -> "buggy"
 
+  let trace_events r = Trace.events r.trace
+
   let execute ?expected_checksum spec =
     let eng = Engine.create ~seed:spec.seed ~trace_level:spec.trace_level () in
     let fci =

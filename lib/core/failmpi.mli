@@ -106,6 +106,12 @@ module Run : sig
 
   val outcome_name : outcome -> string
 
+  (** [trace_events r] is the [(source, event)] pair of every trace
+      entry, in recording order, without rendering detail payloads — at
+      [Summary] trace level this is the run's milestone skeleton, which
+      [Explore] hashes into a coverage signature. *)
+  val trace_events : result -> (string * string) list
+
   (** [execute ?expected_checksum spec] runs one experiment. *)
   val execute : ?expected_checksum:int -> spec -> result
 end

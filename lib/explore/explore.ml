@@ -1,0 +1,355 @@
+module Plan = Plan
+module Shrink = Shrink
+module Run = Failmpi.Run
+
+type verdict = Completed | Non_terminating | Buggy
+
+let verdict_name = function
+  | Completed -> "completed"
+  | Non_terminating -> "non-terminating"
+  | Buggy -> "buggy"
+
+let verdict_of_outcome = function
+  | Run.Completed _ -> Completed
+  | Run.Non_terminating -> Non_terminating
+  | Run.Buggy -> Buggy
+
+(* FNV-1a 64-bit over the (source, event) stream; NUL-separated so
+   ("ab","c") and ("a","bc") hash apart. *)
+let signature (r : Run.result) =
+  let h = ref 0xcbf29ce484222325L in
+  let feed s =
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+      s;
+    h := Int64.mul (Int64.logxor !h 0L) 0x100000001b3L
+  in
+  List.iter
+    (fun (source, event) ->
+      feed source;
+      feed event)
+    (Run.trace_events r);
+  Printf.sprintf "%016Lx" !h
+
+type config = {
+  n_machines : int;
+  targets : int list;
+  buckets : int list;
+  kinds : Plan.kind list;
+  max_faults : int;
+  budget : int;
+  sample_seed : int;
+  shrink_grid : int list;
+  shrink_hangs : bool;
+}
+
+let default_config ~n_machines ~targets ~buckets =
+  {
+    n_machines;
+    targets;
+    buckets;
+    kinds = [ Plan.Kill ];
+    max_faults = 2;
+    budget = 200;
+    sample_seed = 1;
+    shrink_grid = [ 60; 30; 15; 5; 1 ];
+    shrink_hangs = false;
+  }
+
+let plan cfg faults = { Plan.n_machines = cfg.n_machines; faults }
+
+let singles cfg =
+  List.concat_map
+    (fun machine ->
+      List.concat_map
+        (fun bucket ->
+          List.map
+            (fun kind -> plan cfg [ { Plan.machine; anchor = Plan.After bucket; kind } ])
+            cfg.kinds)
+        cfg.buckets)
+    cfg.targets
+
+let pairs cfg =
+  List.concat_map
+    (fun first ->
+      List.map (fun second -> plan cfg [ first; second ])
+        (List.concat (List.map (fun p -> p.Plan.faults) (singles cfg))))
+    (List.concat (List.map (fun p -> p.Plan.faults) (singles cfg)))
+
+let sampled cfg ~count =
+  if count <= 0 || cfg.max_faults < 3 then []
+  else begin
+    let rng = Simkern.Rng.create (Int64.of_int cfg.sample_seed) in
+    List.init count (fun i ->
+        let n_faults = 3 + (i mod (cfg.max_faults - 2)) in
+        plan cfg
+          (List.init n_faults (fun _ ->
+               {
+                 Plan.machine = Simkern.Rng.choose rng cfg.targets;
+                 anchor = Plan.After (Simkern.Rng.choose rng cfg.buckets);
+                 kind = Simkern.Rng.choose rng cfg.kinds;
+               })))
+  end
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs
+
+let plans cfg =
+  if cfg.max_faults < 1 then invalid_arg "Explore.plans: max_faults must be >= 1";
+  if cfg.budget < 1 then invalid_arg "Explore.plans: budget must be >= 1";
+  if cfg.targets = [] || cfg.buckets = [] || cfg.kinds = [] then
+    invalid_arg "Explore.plans: targets, buckets and kinds must be non-empty";
+  let grid =
+    singles cfg @ (if cfg.max_faults >= 2 then pairs cfg else [])
+  in
+  let rest = cfg.budget - List.length grid in
+  take cfg.budget (grid @ sampled cfg ~count:rest)
+
+type record = {
+  plan : Plan.t;
+  verdict : verdict;
+  completion : float option;
+  injected : int;
+  sig_hash : string;
+}
+
+type minimized = {
+  found : Plan.t;
+  min_plan : Plan.t;
+  min_verdict : verdict;
+  probes : int;
+  scenario : string;
+}
+
+type report = {
+  config : config;
+  records : record list;
+  coverage : (string * verdict * int) list;
+  minimized : minimized list;
+}
+
+let record_of ~plan (r : Run.result) =
+  {
+    plan;
+    verdict = verdict_of_outcome r.Run.outcome;
+    completion = (match r.Run.outcome with Run.Completed t -> Some t | _ -> None);
+    injected = r.Run.injected_faults;
+    sig_hash = signature r;
+  }
+
+(* Distinct signatures in first-seen order, with counts. *)
+let coverage_of records =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun rc ->
+      match Hashtbl.find_opt tbl rc.sig_hash with
+      | Some (v, n) -> Hashtbl.replace tbl rc.sig_hash (v, n + 1)
+      | None ->
+          Hashtbl.add tbl rc.sig_hash (rc.verdict, 1);
+          order := rc.sig_hash :: !order)
+    records;
+  List.rev_map
+    (fun s ->
+      let v, n = Hashtbl.find tbl s in
+      (s, v, n))
+    !order
+
+let shrink_one cfg ~runner rc =
+  let probes = ref 0 in
+  let reproduces faults =
+    faults <> []
+    && begin
+         incr probes;
+         verdict_of_outcome (runner (plan cfg faults)).Run.outcome = rc.verdict
+       end
+  in
+  let min_faults, dd_probes = Shrink.ddmin ~test:reproduces rc.plan.Plan.faults in
+  let coarse, co_probes =
+    Shrink.coarsen ~grid:cfg.shrink_grid
+      ~test:(fun p ->
+        incr probes;
+        verdict_of_outcome (runner p).Run.outcome = rc.verdict)
+      (plan cfg min_faults)
+  in
+  ignore dd_probes;
+  ignore co_probes;
+  {
+    found = rc.plan;
+    min_plan = coarse;
+    min_verdict = rc.verdict;
+    probes = !probes;
+    scenario = Plan.to_scenario coarse;
+  }
+
+let run ?jobs cfg ~runner =
+  let searched = plans cfg in
+  let records =
+    Par.map ?jobs (fun p -> record_of ~plan:p (runner p)) searched
+  in
+  let coverage = coverage_of records in
+  (* One witness per distinct failing signature, first hit in input
+     order wins — equivalent wedges shrink once, not once per plan. *)
+  let shrinkable rc =
+    match rc.verdict with
+    | Buggy -> true
+    | Non_terminating -> cfg.shrink_hangs
+    | Completed -> false
+  in
+  let to_shrink =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun rc ->
+        shrinkable rc
+        &&
+        if Hashtbl.mem seen rc.sig_hash then false
+        else begin
+          Hashtbl.add seen rc.sig_hash ();
+          true
+        end)
+      records
+  in
+  let minimized = Par.map ?jobs (shrink_one cfg ~runner) to_shrink in
+  { config = cfg; records; coverage; minimized }
+
+let runner_of_spec (spec : Run.spec) (p : Plan.t) =
+  if p.Plan.n_machines <> spec.Run.n_compute then
+    invalid_arg
+      (Printf.sprintf "Explore.runner_of_spec: plan covers %d machines, spec has %d"
+         p.Plan.n_machines spec.Run.n_compute);
+  Run.execute
+    {
+      spec with
+      Run.scenario = Some (Plan.to_scenario p);
+      params = [];
+      trace_level = Simkern.Trace.Summary;
+    }
+
+(* ---- rendering ---------------------------------------------------- *)
+
+let tally records =
+  List.fold_left
+    (fun (c, n, b) rc ->
+      match rc.verdict with
+      | Completed -> (c + 1, n, b)
+      | Non_terminating -> (c, n + 1, b)
+      | Buggy -> (c, n, b + 1))
+    (0, 0, 0) records
+
+let render rp =
+  let buf = Buffer.create 1024 in
+  let c, n, b = tally rp.records in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "explored %d plans (max %d faults, %d targets x %d buckets): %d completed, %d \
+        non-terminating, %d buggy\n"
+       (List.length rp.records) rp.config.max_faults
+       (List.length rp.config.targets)
+       (List.length rp.config.buckets)
+       c n b);
+  Buffer.add_string buf
+    (Printf.sprintf "coverage: %d distinct milestone signatures\n" (List.length rp.coverage));
+  List.iter
+    (fun (s, v, count) ->
+      Buffer.add_string buf (Printf.sprintf "  %s  %-15s %d run(s)\n" s (verdict_name v) count))
+    rp.coverage;
+  (match rp.minimized with
+  | [] -> Buffer.add_string buf "no failing plan found\n"
+  | ms ->
+      List.iter
+        (fun m ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s witness: %s  (found as %s, %d shrink re-runs)\n"
+               (verdict_name m.min_verdict) (Plan.key m.min_plan) (Plan.key m.found) m.probes))
+        ms);
+  Buffer.contents buf
+
+(* Hand-rolled JSON, matching the bench harness idiom; field order is
+   fixed so jobs-1 and jobs-4 reports compare byte-for-byte. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_ints xs = "[" ^ String.concat ", " (List.map string_of_int xs) ^ "]"
+
+let kind_name = function
+  | Plan.Kill -> "kill"
+  | Plan.Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
+
+let fault_json (f : Plan.fault) =
+  let anchor =
+    match f.Plan.anchor with
+    | Plan.After d -> Printf.sprintf {|"after", "delay": %d|} d
+    | Plan.On_reload { nth; delay } ->
+        Printf.sprintf {|"on-reload", "nth": %d, "delay": %d|} nth delay
+  in
+  Printf.sprintf {|{"machine": %d, "kind": "%s", "anchor": %s}|} f.Plan.machine
+    (kind_name f.Plan.kind) anchor
+
+let plan_json (p : Plan.t) =
+  Printf.sprintf {|{"key": "%s", "faults": [%s]}|} (json_escape (Plan.key p))
+    (String.concat ", " (List.map fault_json p.Plan.faults))
+
+let to_json rp =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let c, n, b = tally rp.records in
+  add "{\n";
+  add "  \"config\": {\"n_machines\": %d, \"targets\": %s, \"buckets\": %s, \"kinds\": [%s], \
+       \"max_faults\": %d, \"budget\": %d, \"sample_seed\": %d},\n"
+    rp.config.n_machines (json_ints rp.config.targets) (json_ints rp.config.buckets)
+    (String.concat ", "
+       (List.map (fun k -> Printf.sprintf "\"%s\"" (kind_name k)) rp.config.kinds))
+    rp.config.max_faults rp.config.budget rp.config.sample_seed;
+  add "  \"explored\": %d,\n" (List.length rp.records);
+  add "  \"verdicts\": {\"completed\": %d, \"non_terminating\": %d, \"buggy\": %d},\n" c n b;
+  add "  \"coverage\": [\n";
+  List.iteri
+    (fun i (s, v, count) ->
+      add "    {\"signature\": \"%s\", \"verdict\": \"%s\", \"runs\": %d}%s\n" s
+        (verdict_name v) count
+        (if i = List.length rp.coverage - 1 then "" else ","))
+    rp.coverage;
+  add "  ],\n";
+  add "  \"records\": [\n";
+  List.iteri
+    (fun i rc ->
+      add "    {\"plan\": %s, \"verdict\": \"%s\", %s\"injected\": %d, \"signature\": \"%s\"}%s\n"
+        (plan_json rc.plan) (verdict_name rc.verdict)
+        (match rc.completion with
+        | Some t -> Printf.sprintf "\"completed_at\": %.6f, " t
+        | None -> "")
+        rc.injected rc.sig_hash
+        (if i = List.length rp.records - 1 then "" else ","))
+    rp.records;
+  add "  ],\n";
+  add "  \"minimized\": [\n";
+  List.iteri
+    (fun i m ->
+      add
+        "    {\"found\": %s, \"plan\": %s, \"verdict\": \"%s\", \"faults\": %d, \"probes\": \
+         %d, \"scenario\": \"%s\"}%s\n"
+        (plan_json m.found) (plan_json m.min_plan) (verdict_name m.min_verdict)
+        (List.length m.min_plan.Plan.faults)
+        m.probes
+        (json_escape m.scenario)
+        (if i = List.length rp.minimized - 1 then "" else ","))
+    rp.minimized;
+  add "  ]\n";
+  add "}\n";
+  Buffer.contents buf

@@ -1,0 +1,95 @@
+(** Systematic fault-space exploration (the paper's §6, automated).
+
+    The explorer enumerates fault plans against one deployment, runs
+    each through {!Failmpi.Run.execute} with the §5 classifier, hashes
+    every run's milestone trace into a coverage signature, and
+    delta-debugs whatever comes back buggy (optionally: hanging) down
+    to a minimal, replayable [.fail] witness.
+
+    Search strategy, deterministic in the configuration:
+    - exhaustive grid over (target machine × time bucket × kind) for
+      single faults;
+    - exhaustive grid over ordered pairs for two-fault plans (the
+      second fault's bucket is relative to the first, so pairs cover
+      the "strike inside the recovery wave" shapes);
+    - a seeded random sampler for 3 .. [max_faults] simultaneous
+      faults;
+    the stream is truncated to [budget] plans, runs fan out over
+    {!Par.map}, and reports are assembled in input order — the same
+    configuration yields byte-identical reports at any [?jobs]. *)
+
+module Plan = Plan
+module Shrink = Shrink
+module Run = Failmpi.Run
+
+type verdict = Completed | Non_terminating | Buggy
+
+val verdict_name : verdict -> string
+val verdict_of_outcome : Run.outcome -> verdict
+
+(** [signature result] hashes the run's [(source, event)] trace pairs
+    (FNV-1a 64) into a hex string: two runs with the same signature took
+    the same externally observable path through the protocol. *)
+val signature : Run.result -> string
+
+type config = {
+  n_machines : int;  (** compute hosts; must equal the runner spec's [n_compute] *)
+  targets : int list;  (** machines worth shooting (typically the initial rank hosts) *)
+  buckets : int list;  (** candidate injection delays, seconds *)
+  kinds : Plan.kind list;  (** fault kinds to draw from *)
+  max_faults : int;
+  budget : int;  (** hard cap on the number of searched plans *)
+  sample_seed : int;  (** seed of the >= 3-fault random sampler *)
+  shrink_grid : int list;  (** time grids for {!Shrink.coarsen}, coarsest first *)
+  shrink_hangs : bool;  (** also minimize non-terminating plans (default false) *)
+}
+
+(** Kill-only defaults: [max_faults] 2, budget 200, grid 60/30/15/5/1. *)
+val default_config : n_machines:int -> targets:int list -> buckets:int list -> config
+
+(** [plans config] is the deterministic search stream, truncated to
+    [config.budget]. Exposed for tests and coverage accounting. *)
+val plans : config -> Plan.t list
+
+type record = {
+  plan : Plan.t;
+  verdict : verdict;
+  completion : float option;  (** simulated completion time, when completed *)
+  injected : int;  (** FAIL [halt]s actually executed *)
+  sig_hash : string;
+}
+
+type minimized = {
+  found : Plan.t;  (** the plan the search stumbled on *)
+  min_plan : Plan.t;  (** after {!Shrink.ddmin} + {!Shrink.coarsen} *)
+  min_verdict : verdict;  (** reproduced classification *)
+  probes : int;  (** oracle re-runs spent shrinking *)
+  scenario : string;  (** [Plan.to_scenario min_plan], ready to save *)
+}
+
+type report = {
+  config : config;
+  records : record list;  (** one per searched plan, input order *)
+  coverage : (string * verdict * int) list;
+      (** distinct signatures in first-seen order, with run counts *)
+  minimized : minimized list;  (** one per distinct failing signature *)
+}
+
+(** [run ?jobs config ~runner] searches, classifies and shrinks.
+    [runner] executes one plan deterministically; it must be pure (the
+    shrinker replays it). *)
+val run : ?jobs:int -> config -> runner:(Plan.t -> Run.result) -> report
+
+(** [runner_of_spec spec] is the standard runner: [spec] with the
+    plan's scenario substituted and the trace level forced to
+    [Summary] (signatures hash milestones only). Raises
+    [Invalid_argument] if [spec.n_compute] differs from the plan's
+    [n_machines]. *)
+val runner_of_spec : Run.spec -> Plan.t -> Run.result
+
+(** Human-readable report (verdict tallies, coverage, witnesses). *)
+val render : report -> string
+
+(** JSON report, deterministic field order — what
+    [failmpi_explore --json] writes and CI archives. *)
+val to_json : report -> string

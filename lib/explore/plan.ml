@@ -1,0 +1,33 @@
+module S = Fail_lang.Codegen.Scenario
+
+type kind = S.kind = Kill | Freeze of { thaw : int }
+
+type anchor = S.anchor = After of int | On_reload of { nth : int; delay : int }
+
+type fault = S.injection = { machine : int; anchor : anchor; kind : kind }
+
+type t = { n_machines : int; faults : fault list }
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let fault_key f =
+  let kind = match f.kind with Kill -> "kill" | Freeze { thaw } -> Printf.sprintf "freeze%d" thaw in
+  match f.anchor with
+  | After d -> Printf.sprintf "%s@%d+%d" kind f.machine d
+  | On_reload { nth; delay } -> Printf.sprintf "%s@%d@reload%d+%d" kind f.machine nth delay
+
+let key p = String.concat ";" (List.map fault_key p.faults)
+
+let to_scenario p = S.source ~n_machines:p.n_machines p.faults
+
+let of_scenario ?params src =
+  match Fail_lang.Parser.parse_result src with
+  | Error e -> Error e
+  | Ok ast -> (
+      match Fail_lang.Sema.check_result ?params ast with
+      | Error e -> Error e
+      | Ok checked ->
+          Result.map
+            (fun (n_machines, faults) -> { n_machines; faults })
+            (S.injections_of_program checked))

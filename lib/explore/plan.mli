@@ -1,0 +1,38 @@
+(** Fault plans: the explorer's unit of search.
+
+    A plan is an ordered list of fault injections against the machines
+    of one deployment — a thin, comparable wrapper around
+    {!Fail_lang.Codegen.Scenario} that converts losslessly to and from
+    FAIL source, so every plan the explorer runs, and every minimized
+    witness it emits, is replayable with [failmpi_run --scenario]. *)
+
+type kind = Fail_lang.Codegen.Scenario.kind = Kill | Freeze of { thaw : int }
+
+type anchor = Fail_lang.Codegen.Scenario.anchor =
+  | After of int  (** seconds after the previous fault fired (scenario start for the first) *)
+  | On_reload of { nth : int; delay : int }
+      (** [delay] seconds after the [nth] cumulative daemon registration *)
+
+type fault = Fail_lang.Codegen.Scenario.injection = {
+  machine : int;
+  anchor : anchor;
+  kind : kind;
+}
+
+type t = { n_machines : int; faults : fault list }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [key p] is a compact, human-readable identifier, e.g.
+    ["kill@3+12;freeze8@0@reload5+2"] — stable across processes, used to
+    label report rows and emitted files. *)
+val key : t -> string
+
+(** [to_scenario p] renders the plan as FAIL source (no parameters). *)
+val to_scenario : t -> string
+
+(** [of_scenario ?params src] parses FAIL source of the generated shape
+    back into a plan (parameterized files need their [params], exactly
+    like [failmpi_run --param]). *)
+val of_scenario : ?params:(string * int) list -> string -> (t, string) result

@@ -169,6 +169,17 @@ G1[%d] : ADV2 on machines 0 .. %d;
     rank start second gap start rank gap second adv2_controller n_machines n_machines
     (n_machines - 1)
 
+let double_strike ~n_machines ~first ~second ~start ~nth ~gap =
+  Codegen.Scenario.source ~n_machines
+    [
+      { Codegen.Scenario.machine = first; anchor = Codegen.Scenario.After start; kind = Codegen.Scenario.Kill };
+      {
+        Codegen.Scenario.machine = second;
+        anchor = Codegen.Scenario.On_reload { nth; delay = gap };
+        kind = Codegen.Scenario.Kill;
+      };
+    ]
+
 let all =
   [
     ("fig5-frequency", frequency ~n_machines:53 ~period:50);
@@ -180,4 +191,10 @@ let all =
     ("replica-split", replica_split ~n_machines:22 ~n_ranks:9 ~rank:4 ~start:50 ~gap:0);
     ( "replica-split-staggered",
       replica_split ~n_machines:22 ~n_ranks:9 ~rank:4 ~start:50 ~gap:40 );
+    (* §6 shape for 9 ranks on 13 machines: first kill at t=25, second
+       1 s after the 10th cumulative registration — i.e. 1 s after the
+       first daemon of the recovery wave re-registers. A file version
+       lives in scenarios/double_strike.fail. *)
+    ( "double-strike",
+      double_strike ~n_machines:13 ~first:1 ~second:2 ~start:25 ~nth:10 ~gap:1 );
   ]

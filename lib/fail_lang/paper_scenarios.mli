@@ -46,5 +46,14 @@ val state_synchronized : n_machines:int -> period:int -> string
 val replica_split :
   n_machines:int -> n_ranks:int -> rank:int -> start:int -> gap:int -> string
 
+(** §6 shape, in the explorer's fault-plan form ({!Codegen.Scenario}):
+    kill machine [first] at [start] seconds, then kill machine [second]
+    [gap] seconds after the [nth] cumulative daemon registration —
+    with [nth] = initial launches + 1, that is [gap] seconds into the
+    recovery wave the first kill triggered. A parameterized file version
+    lives in [scenarios/double_strike.fail]. *)
+val double_strike :
+  n_machines:int -> first:int -> second:int -> start:int -> nth:int -> gap:int -> string
+
 (** All scenarios with representative parameters, for tests and demos. *)
 val all : (string * string) list

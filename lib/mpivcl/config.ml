@@ -22,6 +22,7 @@ type t = {
   term_straggler_extra : float;
   store_jitter : float;
   dispatcher_buggy : bool;
+  vcl_seeded_race : bool;
   restart_settle : float;
   rep_respawn : bool;
   rep_failover_window : float;
@@ -46,6 +47,7 @@ let default ~n_ranks =
     term_straggler_extra = 14.0;
     store_jitter = 0.25;
     dispatcher_buggy = true;
+    vcl_seeded_race = false;
     restart_settle = 0.1;
     rep_respawn = true;
     rep_failover_window = 30.0;

@@ -55,6 +55,14 @@ type t = {
   dispatcher_buggy : bool;
       (** historical dispatcher with the recovery-wave confusion the paper
           found; [false] = the corrected dispatcher *)
+  vcl_seeded_race : bool;
+      (** seeded defect for the explorer's acceptance demo (default
+          [false], independent of [dispatcher_buggy]): a §6-style
+          dispatcher race — a rank lost {e before the recovery wave
+          reaches steady state} is forgotten instead of relaunched, and
+          the deployment wedges. [lib/explore] must rediscover this from
+          a bounded fault-space search and shrink the witness to two
+          faults; it is never enabled by any experiment. *)
   restart_settle : float;  (** daemon-side setup after image load *)
   rep_respawn : bool;
       (** replication only: respawn a fresh replica (state transfer from a

@@ -32,6 +32,7 @@ type t = {
   result : outcome Ivar.t;
   mutable recovery_count : int;
   mutable is_confused : bool;
+  mutable is_race_lost : bool;
 }
 
 let trace ?level t event detail =
@@ -53,7 +54,10 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
   let cluster = env.Env.cluster in
   let cfg = env.Env.cfg in
   let n = cfg.Config.n_ranks in
-  let t = { env; host; result = Ivar.create (); recovery_count = 0; is_confused = false } in
+  let t =
+    { env; host; result = Ivar.create (); recovery_count = 0; is_confused = false;
+      is_race_lost = false }
+  in
   let events : ev Mailbox.t = Mailbox.create () in
   let ranks =
     Array.init n (fun r ->
@@ -166,6 +170,18 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
             info.ri_st <- R_forgotten;
             tracef t "dispatcher-confused" "rank %d lost while %d old-wave daemons still stopping"
               r (old_stopping ())
+          end
+          else if cfg.Config.vcl_seeded_race && t.recovery_count > 0 && not !steady then begin
+            (* Seeded defect for the explorer demo (§6 shape, flag-gated,
+               off by default): a rank that already re-registered in the
+               current recovery wave dies again before the wave reaches
+               steady state, and the dispatcher drops it on the floor —
+               it takes a second, well-timed fault to reach this state. *)
+            t.is_race_lost <- true;
+            let was = state_name info.ri_st in
+            info.ri_st <- R_forgotten;
+            tracef t "dispatcher-race" "rank %d (%s) lost mid-recovery, wave #%d" r was
+              t.recovery_count
           end
           else begin
             tracef ~level:Trace.Full t "new-wave-failure" "rank %d (handled)" r;
@@ -282,4 +298,5 @@ let outcome t = Ivar.read t.result
 let peek_outcome t = Ivar.peek t.result
 let recoveries t = t.recovery_count
 let confused t = t.is_confused
+let race_lost t = t.is_race_lost
 let halt t = Cluster.kill_all t.env.Env.cluster ~host:t.host

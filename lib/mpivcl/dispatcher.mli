@@ -14,7 +14,13 @@
       as an old-wave termination and forgets to relaunch that rank — the
       application freezes (the bug located in §5.3);
     - the {b corrected} dispatcher: such failures re-enter the relaunch
-      path once the previous wave is fully stopped. *)
+      path once the previous wave is fully stopped.
+
+    Orthogonally, [Config.vcl_seeded_race] plants a §6-style defect used
+    by [lib/explore]'s acceptance demo: once a recovery wave is under
+    way, losing a rank that already rejoined the new wave {e before} the
+    wave reaches steady state forgets that rank and wedges the run. It
+    needs two well-placed faults to trigger and is off by default. *)
 
 
 
@@ -42,6 +48,10 @@ val recoveries : t -> int
 (** [confused t] is true once the buggy dispatcher has corrupted its
     bookkeeping (the run will freeze). *)
 val confused : t -> bool
+
+(** [race_lost t] is true once the seeded [Config.vcl_seeded_race]
+    defect has dropped a rank mid-recovery (the run will freeze). *)
+val race_lost : t -> bool
 
 (** [halt t] tears the dispatcher down (experiment timeout). *)
 val halt : t -> unit

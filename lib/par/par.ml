@@ -8,13 +8,24 @@ let set_default_jobs n =
   if n < 1 then invalid_arg "Par.set_default_jobs: jobs must be >= 1";
   override := Some (clamp n)
 
+(* A malformed FAILMPI_JOBS must not silently fall back to the core
+   count — warn (once per process) so a typo'd pool width is visible. *)
+let env_warned = Atomic.make false
+
 let jobs_from_env () =
   match Sys.getenv_opt "FAILMPI_JOBS" with
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> Some (clamp n)
-      | Some _ | None -> None)
+      | Some _ | None ->
+          if not (Atomic.exchange env_warned true) then
+            Printf.eprintf
+              "warning: ignoring FAILMPI_JOBS=%s (expected an integer >= 1); using the \
+               default pool width\n\
+               %!"
+              s;
+          None)
 
 let default_jobs () =
   match !override with

@@ -55,18 +55,35 @@ let record_fmt ?(level = Summary) t ~time ~source ~event fmt =
       fmt
   else Printf.ikfprintf (fun () -> ()) () fmt
 
+(* Completed runs are read from several domains at once (parallel
+   campaigns, the explorer's shrinker), so the Deferred -> Str
+   memoisation must be published safely: double-checked under a mutex,
+   the closure runs exactly once and no reader observes a torn cell.
+   The lock is per-module, not per-trace — it is only ever taken on the
+   cold first-read path, never while recording. *)
+let memo_mutex = Mutex.create ()
+
 let render cell =
   let detail =
     match cell.c_detail with
     | Str s -> s
-    | Deferred f ->
-        let s = f () in
-        cell.c_detail <- Str s;
-        s
+    | Deferred _ ->
+        Mutex.lock memo_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock memo_mutex)
+          (fun () ->
+            match cell.c_detail with
+            | Str s -> s
+            | Deferred f ->
+                let s = f () in
+                cell.c_detail <- Str s;
+                s)
   in
   { time = cell.c_time; source = cell.c_source; event = cell.c_event; detail }
 
 let entries t = List.init t.n (fun i -> render t.cells.(i))
+
+let events t = List.init t.n (fun i -> (t.cells.(i).c_source, t.cells.(i).c_event))
 
 let length t = t.n
 

@@ -63,7 +63,9 @@ val record : ?level:level -> t -> time:float -> source:string -> event:string ->
 (** [record_lazy ?level t ~time ~source ~event f] appends an entry whose
     detail is [f ()], rendered (once) only if the trace is read — the
     allocation-light form for hot-path events. [f] must be pure: it may
-    run long after the simulated moment. *)
+    run long after the simulated moment. Rendering is safe when several
+    domains read the same completed trace concurrently: the memoisation
+    is guarded, so [f] runs exactly once. *)
 val record_lazy :
   ?level:level -> t -> time:float -> source:string -> event:string -> (unit -> string) -> unit
 
@@ -83,6 +85,11 @@ val record_fmt :
 
 (** [entries t] returns all entries in recording order. *)
 val entries : t -> entry list
+
+(** [events t] returns the [(source, event)] pair of every entry in
+    recording order, without rendering detail payloads — the cheap
+    projection {!Explore} hashes into a run's coverage signature. *)
+val events : t -> (string * string) list
 
 (** [length t] is the number of entries. *)
 val length : t -> int

@@ -1,0 +1,282 @@
+(* Tests for lib/explore: plan <-> scenario conversion, the ddmin /
+   coarsen shrinker on synthetic oracles, and the end-to-end acceptance
+   demo — the seeded vcl dispatcher race must be rediscovered by the
+   search, shrunk to a two-fault witness that replays through
+   Failmpi.Run with the same classification, and disappear entirely
+   when the defect is compiled out. Reports must be byte-identical at
+   jobs 1 and jobs 4. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+module Plan = Explore.Plan
+module Shrink = Explore.Shrink
+
+let plan_testable =
+  Alcotest.testable
+    (fun ppf p -> Format.fprintf ppf "%d machines: %s" p.Plan.n_machines (Plan.key p))
+    Plan.equal
+
+let vname = Explore.verdict_name
+
+let parse_back ?params src =
+  match Plan.of_scenario ?params src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "of_scenario failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Plan <-> scenario round-trips *)
+
+let sample_plans =
+  [
+    { Plan.n_machines = 8; faults = [ { Plan.machine = 3; anchor = Plan.After 12; kind = Plan.Kill } ] };
+    {
+      Plan.n_machines = 8;
+      faults = [ { Plan.machine = 0; anchor = Plan.After 5; kind = Plan.Freeze { thaw = 8 } } ];
+    };
+    {
+      Plan.n_machines = 10;
+      faults =
+        [
+          { Plan.machine = 2; anchor = Plan.After 20; kind = Plan.Kill };
+          { Plan.machine = 7; anchor = Plan.On_reload { nth = 5; delay = 2 }; kind = Plan.Kill };
+        ];
+    };
+    {
+      Plan.n_machines = 13;
+      faults =
+        [
+          { Plan.machine = 1; anchor = Plan.After 25; kind = Plan.Kill };
+          { Plan.machine = 4; anchor = Plan.After 3; kind = Plan.Freeze { thaw = 6 } };
+          { Plan.machine = 2; anchor = Plan.On_reload { nth = 10; delay = 1 }; kind = Plan.Kill };
+        ];
+    };
+  ]
+
+let test_plan_roundtrip () =
+  List.iter
+    (fun p -> check plan_testable (Plan.key p) p (parse_back (Plan.to_scenario p)))
+    sample_plans
+
+let test_plan_key () =
+  check_str "key shape" "kill@2+20;kill@7@reload5+2" (Plan.key (List.nth sample_plans 2));
+  check_str "freeze key" "freeze8@0+5" (Plan.key (List.nth sample_plans 1))
+
+let read_scenario name =
+  let path = Filename.concat "../scenarios" name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The shipped double_strike.fail, its registered paper-scenario twin
+   and a hand-built plan must all denote the same two-fault strike. *)
+let test_double_strike_file () =
+  let expected =
+    {
+      Plan.n_machines = 13;
+      faults =
+        [
+          { Plan.machine = 1; anchor = Plan.After 25; kind = Plan.Kill };
+          { Plan.machine = 2; anchor = Plan.On_reload { nth = 10; delay = 1 }; kind = Plan.Kill };
+        ];
+    }
+  in
+  let from_file =
+    parse_back
+      ~params:[ ("START", 25); ("GAP", 1); ("FIRST", 1); ("SECOND", 2); ("NTH", 10) ]
+      (read_scenario "double_strike.fail")
+  in
+  check plan_testable "double_strike.fail" expected from_file;
+  let registered =
+    match List.assoc_opt "double-strike" Fail_lang.Paper_scenarios.all with
+    | Some src -> src
+    | None -> Alcotest.fail "double-strike not registered in Paper_scenarios.all"
+  in
+  check plan_testable "paper scenario" expected (parse_back registered);
+  check plan_testable "generated source" expected (parse_back (Plan.to_scenario expected))
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker on synthetic oracles *)
+
+let guarded test xs =
+  if xs = [] then Alcotest.fail "oracle probed the empty list";
+  test xs
+
+let test_ddmin_singleton () =
+  let minimal, probes = Shrink.ddmin ~test:(guarded (List.mem 5)) (List.init 8 Fun.id) in
+  check (Alcotest.list Alcotest.int) "single culprit" [ 5 ] minimal;
+  check_bool "probed" true (probes > 0)
+
+let test_ddmin_pair () =
+  let test = guarded (fun l -> List.mem 2 l && List.mem 7 l) in
+  let minimal, _ = Shrink.ddmin ~test (List.init 10 Fun.id) in
+  check (Alcotest.list Alcotest.int) "two culprits, order kept" [ 2; 7 ] minimal
+
+let test_ddmin_irreducible () =
+  (* Nothing can be removed: ddmin must hand the input back. *)
+  let xs = [ 10; 20; 30; 40 ] in
+  let minimal, _ = Shrink.ddmin ~test:(guarded (fun l -> List.length l = 4)) xs in
+  check (Alcotest.list Alcotest.int) "all four needed" xs minimal
+
+let delays p = List.map (fun f -> match f.Plan.anchor with Plan.After d -> d | Plan.On_reload { delay; _ } -> delay) p.Plan.faults
+
+let test_coarsen () =
+  let p =
+    {
+      Plan.n_machines = 8;
+      faults =
+        [
+          { Plan.machine = 0; anchor = Plan.After 17; kind = Plan.Kill };
+          { Plan.machine = 1; anchor = Plan.On_reload { nth = 3; delay = 7 }; kind = Plan.Kill };
+        ];
+    }
+  in
+  (* Reproduces iff the first strike lands at >= 10 s and the second
+     >= 5 s after the reload: 17 must snap to 15 (grid 15), 7 to 5. *)
+  let test q = match delays q with [ a; b ] -> a >= 10 && b >= 5 | _ -> false in
+  let coarse, probes = Shrink.coarsen ~grid:[ 60; 30; 15; 5; 1 ] ~test p in
+  check (Alcotest.list Alcotest.int) "snapped delays" [ 15; 5 ] (delays coarse);
+  check_bool "probed" true (probes > 0);
+  (* Anchors and machines survive coarsening untouched. *)
+  check_bool "anchor kept" true
+    (match (List.nth coarse.Plan.faults 1).Plan.anchor with
+    | Plan.On_reload { nth = 3; delay = 5 } -> true
+    | _ -> false)
+
+let test_coarsen_already_coarse () =
+  let p = { Plan.n_machines = 8; faults = [ { Plan.machine = 0; anchor = Plan.After 60; kind = Plan.Kill } ] } in
+  let coarse, probes = Shrink.coarsen ~grid:[ 60; 30; 15; 5; 1 ] ~test:(fun _ -> true) p in
+  check plan_testable "already on the coarsest grid" p coarse;
+  check_int "free" 0 probes
+
+(* ------------------------------------------------------------------ *)
+(* Search streams *)
+
+let stream_config =
+  { (Explore.default_config ~n_machines:8 ~targets:[ 0; 1; 2; 3 ] ~buckets:[ 12; 3 ]) with Explore.budget = 80 }
+
+let test_plans_stream () =
+  (* 4 targets x 2 buckets x 1 kind = 8 singles, 64 ordered pairs. *)
+  let ps = Explore.plans stream_config in
+  check_int "grid size" 72 (List.length ps);
+  check_int "budget truncates" 10 (List.length (Explore.plans { stream_config with Explore.budget = 10 }));
+  let sampled = Explore.plans { stream_config with Explore.max_faults = 3; budget = 80 } in
+  check_int "sampler fills the budget" 80 (List.length sampled);
+  check_bool "sampled plans carry 3 faults" true
+    (List.exists (fun p -> List.length p.Plan.faults = 3) sampled);
+  check (Alcotest.list plan_testable) "stream is deterministic" sampled
+    (Explore.plans { stream_config with Explore.max_faults = 3; budget = 80 })
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance demo: the seeded dispatcher race *)
+
+(* Small stencil deployment (the test_par golden configuration): fast,
+   deterministic, and — with the seeded race compiled in — buggy
+   whenever a second strike lands inside a recovery wave. *)
+let demo_spec ~seeded =
+  let n_ranks = 4 and n_machines = 8 in
+  let app =
+    Workload.Stencil.app
+      { Workload.Stencil.iterations = 60; compute_time = 0.5; msg_bytes = 5_000; jitter = 0.0 }
+      ~n_ranks
+  in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.protocol = Mpivcl.Config.Non_blocking;
+      wave_interval = 10.0;
+      term_straggler_prob = 0.0;
+      dispatcher_buggy = false;
+      vcl_seeded_race = seeded;
+    }
+  in
+  {
+    (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes:1_000_000) with
+    Failmpi.Run.timeout = 300.0;
+    seed = 1L;
+  }
+
+let search ~seeded ~jobs =
+  Explore.run ~jobs stream_config ~runner:(Explore.runner_of_spec (demo_spec ~seeded))
+
+let seeded_j4 = lazy (search ~seeded:true ~jobs:4)
+let seeded_j1 = lazy (search ~seeded:true ~jobs:1)
+let defect_off = lazy (search ~seeded:false ~jobs:4)
+
+let buggy_records rp =
+  List.filter (fun rc -> rc.Explore.verdict = Explore.Buggy) rp.Explore.records
+
+let test_seeded_defect_found () =
+  let rp = Lazy.force seeded_j4 in
+  check_int "all plans ran" 72 (List.length rp.Explore.records);
+  check_bool "the race was rediscovered" true (buggy_records rp <> []);
+  check_bool "single faults never trigger it" true
+    (List.for_all
+       (fun rc -> List.length rc.Explore.plan.Plan.faults >= 2)
+       (buggy_records rp));
+  (* Coverage partitions the records. *)
+  check_int "coverage counts partition the runs" (List.length rp.Explore.records)
+    (List.fold_left (fun acc (_, _, n) -> acc + n) 0 rp.Explore.coverage);
+  check_bool "has witnesses" true (rp.Explore.minimized <> []);
+  List.iter
+    (fun m ->
+      check_str "witness classification" (vname Explore.Buggy) (vname m.Explore.min_verdict);
+      check_bool "shrunk to <= 2 faults" true (List.length m.Explore.min_plan.Plan.faults <= 2);
+      check_bool "shrinking re-ran the oracle" true (m.Explore.probes > 0))
+    rp.Explore.minimized
+
+let test_witness_replays () =
+  let rp = Lazy.force seeded_j4 in
+  let m = List.hd rp.Explore.minimized in
+  (* The emitted FAIL source parses back to exactly the minimized plan... *)
+  check plan_testable "emitted scenario round-trips" m.Explore.min_plan
+    (parse_back m.Explore.scenario);
+  (* ...replays with the same classification with the defect present... *)
+  let replay = Explore.runner_of_spec (demo_spec ~seeded:true) m.Explore.min_plan in
+  check_str "replay reproduces the verdict" (vname Explore.Buggy)
+    (vname (Explore.verdict_of_outcome replay.Failmpi.Run.outcome));
+  check_bool "both strikes landed" true (replay.Failmpi.Run.injected_faults >= 2);
+  (* ...and completes cleanly once the defect is disabled. *)
+  let fixed = Explore.runner_of_spec (demo_spec ~seeded:false) m.Explore.min_plan in
+  check_str "defect off: witness is harmless" (vname Explore.Completed)
+    (vname (Explore.verdict_of_outcome fixed.Failmpi.Run.outcome))
+
+let test_defect_off_clean () =
+  let rp = Lazy.force defect_off in
+  check_int "zero buggy runs" 0 (List.length (buggy_records rp));
+  check_int "nothing to minimize" 0 (List.length rp.Explore.minimized)
+
+let test_jobs_identical () =
+  check_str "jobs 1 = jobs 4, byte for byte"
+    (Explore.to_json (Lazy.force seeded_j1))
+    (Explore.to_json (Lazy.force seeded_j4))
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "scenario round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "keys" `Quick test_plan_key;
+          Alcotest.test_case "double_strike.fail" `Quick test_double_strike_file;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "ddmin singleton" `Quick test_ddmin_singleton;
+          Alcotest.test_case "ddmin pair" `Quick test_ddmin_pair;
+          Alcotest.test_case "ddmin irreducible" `Quick test_ddmin_irreducible;
+          Alcotest.test_case "coarsen" `Quick test_coarsen;
+          Alcotest.test_case "coarsen already coarse" `Quick test_coarsen_already_coarse;
+        ] );
+      ("stream", [ Alcotest.test_case "plans" `Quick test_plans_stream ]);
+      ( "acceptance",
+        [
+          Alcotest.test_case "seeded defect found and shrunk" `Quick test_seeded_defect_found;
+          Alcotest.test_case "witness replays" `Quick test_witness_replays;
+          Alcotest.test_case "defect off is clean" `Quick test_defect_off_clean;
+          Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_identical;
+        ] );
+    ]

@@ -191,6 +191,30 @@ let test_roundtrip_edge_cases () =
   roundtrip "Daemon D { int x = 0 - 5; node 1: x < 3 * (x + 2) -> x = x % 2, goto 1; }";
   roundtrip "Daemon D { node a: ?m -> !m(P), stop, continue, halt; node b: } P : D on machine 0;"
 
+(* Every scenario file we ship must survive parse -> print -> parse.
+   (Round-tripping is parameter-independent: [Pp] prints the AST before
+   [Sema] substitutes anything.) *)
+let test_roundtrip_scenario_files () =
+  let dir = "../scenarios" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".fail")
+    |> List.sort String.compare
+  in
+  check_bool "scenario files present" true (List.length files >= 6);
+  List.iter
+    (fun file ->
+      let path = Filename.concat dir file in
+      let ic = open_in_bin path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      try roundtrip src
+      with exn -> Alcotest.failf "%s: %s" file (Printexc.to_string exn))
+    files
+
 (* Random expression generator for print/parse round-trip. *)
 let gen_expr =
   let open QCheck.Gen in
@@ -550,6 +574,7 @@ let () =
         [
           Alcotest.test_case "paper scenarios round-trip" `Quick test_roundtrip_paper_scenarios;
           Alcotest.test_case "edge cases round-trip" `Quick test_roundtrip_edge_cases;
+          Alcotest.test_case "scenario files round-trip" `Quick test_roundtrip_scenario_files;
         ] );
       ( "sema",
         [

@@ -150,6 +150,39 @@ let test_golden_under_parallelism () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Deferred trace details under concurrent readers *)
+
+let test_trace_lazy_concurrent_render () =
+  (* Campaign workers share completed run results across domains; every
+     deferred detail closure must render exactly once no matter how many
+     domains read the trace simultaneously. *)
+  let n = 200 in
+  let t = Simkern.Trace.create () in
+  let runs = Array.init n (fun _ -> Atomic.make 0) in
+  for i = 0 to n - 1 do
+    Simkern.Trace.record_lazy t ~time:(float_of_int i) ~source:"test" ~event:"lazy"
+      (fun () ->
+        Atomic.incr runs.(i);
+        Printf.sprintf "detail %d" i)
+  done;
+  let reads =
+    Par.map ~jobs:4
+      (fun _ ->
+        List.map (fun e -> e.Simkern.Trace.detail) (Simkern.Trace.entries t))
+      (List.init 8 Fun.id)
+  in
+  let expected = List.init n (Printf.sprintf "detail %d") in
+  List.iteri
+    (fun i details ->
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "reader %d sees every detail" i)
+        expected details)
+    reads;
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "closure %d ran exactly once" i) 1 (Atomic.get c))
+    runs
+
+(* ------------------------------------------------------------------ *)
 (* Registry under concurrent lookups *)
 
 let test_registry_concurrent_lookups () =
@@ -185,6 +218,11 @@ let () =
         [
           Alcotest.test_case "parallel identical" `Quick test_campaign_parallel_identical;
           Alcotest.test_case "golden under jobs 4" `Quick test_golden_under_parallelism;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "lazy details under concurrent readers" `Quick
+            test_trace_lazy_concurrent_render;
         ] );
       ( "registry",
         [
