@@ -126,6 +126,18 @@ let families ~quick () =
   print_endline Experiments.Protocol_families.paper_note;
   print_newline ()
 
+let netfault ~quick () =
+  let config =
+    if quick then Experiments.Fig_netfault.quick_config
+    else Experiments.Fig_netfault.default_config
+  in
+  let rows = Experiments.Fig_netfault.run ~config () in
+  emit_csv "netfault" (Experiments.Fig_netfault.aggs rows);
+  print_string (Experiments.Fig_netfault.render rows);
+  print_newline ();
+  print_endline Experiments.Fig_netfault.paper_note;
+  print_newline ()
+
 let delay ~quick () =
   let rows =
     Experiments.Delay_experiment.run
@@ -146,6 +158,7 @@ let experiments =
     ("fig11", fig11);
     ("ablations", ablations);
     ("families", families);
+    ("netfault", netfault);
     ("delay", delay);
   ]
 
@@ -179,7 +192,7 @@ let cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, families, \
-             delay.")
+             netfault, delay.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions and sizes (smoke mode).")

@@ -28,7 +28,7 @@ let ints_conv =
         Format.pp_print_string ppf (String.concat "," (List.map string_of_int xs)) )
 
 let run protocol replicas ranks klass max_faults budget jobs seed targets buckets freeze
-    timeout fixed seeded shrink_hangs json_file emit_dir =
+    timeout fixed seeded shrink_hangs net json_file emit_dir =
   (match jobs with
   | Some n when n <= 0 ->
       prerr_endline (Printf.sprintf "failmpi_explore: --jobs must be >= 1 (got %d)" n);
@@ -78,7 +78,19 @@ let run protocol replicas ranks klass max_faults budget jobs seed targets bucket
       budget;
       sample_seed = seed;
       kinds =
-        (Explore.Plan.Kill :: (match freeze with Some thaw -> [ Explore.Plan.Freeze { thaw } ] | None -> []));
+        (Explore.Plan.Kill
+        :: ((match freeze with Some thaw -> [ Explore.Plan.Freeze { thaw } ] | None -> [])
+           @
+           (* --net: mix network faults into the search space — isolate a
+              machine, degrade its links (5% loss + 2 ms), and the heal
+              that lets partitioned plans recover. *)
+           if net then
+             [
+               Explore.Plan.Partition;
+               Explore.Plan.Degrade { loss = 50; latency = 2 };
+               Explore.Plan.Heal;
+             ]
+           else []));
       shrink_hangs;
     }
   in
@@ -207,6 +219,14 @@ let cmd =
       value & flag
       & info [ "shrink-hangs" ] ~doc:"Also minimize non-terminating plans, not just buggy ones.")
   in
+  let net =
+    Arg.(
+      value & flag
+      & info [ "net" ]
+          ~doc:
+            "Also draw network faults (partition, degraded links, heal), searching the \
+             combined process x network fault space.")
+  in
   let json_file =
     Arg.(
       value
@@ -229,7 +249,7 @@ let cmd =
          ])
     Term.(
       const run $ protocol $ replicas $ ranks $ klass $ max_faults $ budget $ jobs $ seed
-      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ json_file
-      $ emit_dir)
+      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ net
+      $ json_file $ emit_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,6 +30,54 @@ let parse_param s =
 
 let param_conv = Arg.conv (parse_param, fun ppf (n, v) -> Format.fprintf ppf "%s=%d" n v)
 
+(* "0,1,2:3,4" -> ([0;1;2], [3;4]) — the two sides of a --net-partition. *)
+let parse_partition s =
+  let hosts part =
+    let fields = String.split_on_char ',' part in
+    let fields = List.filter (fun f -> f <> "") fields in
+    if fields = [] then Error (`Msg "empty host list")
+    else
+      List.fold_left
+        (fun acc f ->
+          match (acc, int_of_string_opt (String.trim f)) with
+          | Ok hs, Some h when h >= 0 -> Ok (h :: hs)
+          | Ok _, _ -> Error (`Msg (Printf.sprintf "bad host %S" f))
+          | (Error _ as e), _ -> e)
+        (Ok []) fields
+      |> Result.map List.rev
+  in
+  match String.index_opt s ':' with
+  | None -> Error (`Msg "expected HOSTS:HOSTS (e.g. 0,1:2,3)")
+  | Some i -> (
+      match
+        ( hosts (String.sub s 0 i),
+          hosts (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Ok a, Ok b -> Ok (a, b)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+
+let partition_conv =
+  Arg.conv
+    ( parse_partition,
+      fun ppf (a, b) ->
+        let side hs = String.concat "," (List.map string_of_int hs) in
+        Format.fprintf ppf "%s:%s" (side a) (side b) )
+
+let net_profile ~loss ~latency ~jitter ~partition ~heal ~net_seed =
+  if
+    loss = 0.0 && latency = 0.0 && jitter = 0.0 && partition = None && heal = None
+    && net_seed = None
+  then None
+  else
+    Some
+      {
+        Simnet.Net.Perturb.default_profile with
+        Simnet.Net.Perturb.base = { Simnet.Net.Perturb.loss; latency; jitter };
+        partition;
+        heal_at = heal;
+        seed = Option.map Int64.of_int net_seed;
+      }
+
 let list_protocols () =
   print_endline "registered protocol backends:";
   List.iter
@@ -42,9 +90,16 @@ let list_protocols () =
   0
 
 let run scenario_file paper params ranks klass protocol replicas seed timeout fixed seeded
-    show_trace analyze trace_csv show_protocols =
+    show_trace analyze trace_csv show_protocols net =
   if show_protocols then list_protocols ()
   else begin
+    (match net with
+    | Some profile -> (
+        try Simnet.Net.Perturb.check_profile profile
+        with Invalid_argument msg ->
+          prerr_endline (Printf.sprintf "failmpi_run: %s" msg);
+          exit 1)
+    | None -> ());
     let klass =
       match Workload.Bt_model.klass_of_string klass with
       | Some k -> k
@@ -90,6 +145,7 @@ let run scenario_file paper params ranks klass protocol replicas seed timeout fi
         Mpivcl.Config.protocol;
         dispatcher_buggy = not fixed;
         vcl_seeded_race = seeded;
+        net;
       }
     in
     let spec =
@@ -107,7 +163,7 @@ let run scenario_file paper params ranks klass protocol replicas seed timeout fi
       (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
       (match r.Failmpi.Run.outcome with
       | Failmpi.Run.Completed t -> Printf.sprintf " (%.1f s)" t
-      | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> "");
+      | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung -> "");
     Printf.printf "protocol:         %s\n" (Mpivcl.Config.protocol_name protocol);
     Printf.printf "injected faults:  %d\n" r.Failmpi.Run.injected_faults;
     (* Every backend reports the same uniform counter set (plus its
@@ -206,10 +262,63 @@ let cmd =
       & info [ "list-protocols" ]
           ~doc:"List the registered protocol backends and exit.")
   in
+  let net_loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "net-loss" ] ~docv:"P"
+          ~doc:
+            "Per-message drop probability on every inter-host link, in [0,1]. The \
+             reliable transport retransmits with exponential backoff, so moderate loss \
+             costs time, not correctness.")
+  in
+  let net_latency =
+    Arg.(
+      value & opt float 0.0
+      & info [ "net-latency" ] ~docv:"SECONDS"
+          ~doc:"Extra one-way latency added to every inter-host link.")
+  in
+  let net_jitter =
+    Arg.(
+      value & opt float 0.0
+      & info [ "net-jitter" ] ~docv:"SECONDS"
+          ~doc:"Uniform extra delay in [0,SECONDS) per message.")
+  in
+  let net_partition =
+    Arg.(
+      value
+      & opt (some partition_conv) None
+      & info [ "net-partition" ] ~docv:"HOSTS:HOSTS"
+          ~doc:
+            "Open a bidirectional cut between two comma-separated host sets from \
+             launch, e.g. $(b,0,1:2,3). Combine with $(b,--net-heal) to close it.")
+  in
+  let net_heal =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "net-heal" ] ~docv:"SECONDS"
+          ~doc:"Remove every network fault at this simulated time.")
+  in
+  let net_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "net-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the network perturbation RNG (defaults to a stream split from \
+             the experiment seed; fix it to vary fault timing independently of the \
+             workload).")
+  in
+  let net =
+    Term.(
+      const (fun loss latency jitter partition heal net_seed ->
+          net_profile ~loss ~latency ~jitter ~partition ~heal ~net_seed)
+      $ net_loss $ net_latency $ net_jitter $ net_partition $ net_heal $ net_seed)
+  in
   Cmd.v
     (Cmd.info "failmpi_run" ~doc:"Inject faults into a fault-tolerant MPI running NAS BT")
     Term.(
       const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ seed
-      $ timeout $ fixed $ seeded $ show_trace $ analyze $ trace_csv $ show_protocols)
+      $ timeout $ fixed $ seeded $ show_trace $ analyze $ trace_csv $ show_protocols $ net)
 
 let () = exit (Cmd.eval' cmd)

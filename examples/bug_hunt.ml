@@ -26,6 +26,7 @@ let describe r =
   | Failmpi.Run.Completed t -> Printf.sprintf "completed in %.0f s" t
   | Failmpi.Run.Non_terminating -> "non-terminating"
   | Failmpi.Run.Buggy -> "FROZE (dispatcher confused)"
+  | Failmpi.Run.Net_hung -> "net-hung (network-explained wedge)"
 
 let () =
   print_endline "step 1: stress test with 5 simultaneous faults every 50 s";

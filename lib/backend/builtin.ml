@@ -1,5 +1,21 @@
 open Mpivcl
 
+(* Fabric counters, appended to a backend's metrics only when the
+   perturbation layer was ever touched — the §5 classifier reads
+   [net_dropped]/[net_conn_timeouts] to tell a network-explained wedge
+   ([Net_hung]) from a protocol bug. *)
+let net_extra net =
+  let p = Simnet.Net.perturb net in
+  if not (Simnet.Net.Perturb.touched p) then []
+  else
+    let s = Simnet.Net.Perturb.stats p in
+    [
+      ("net_dropped", s.Simnet.Net.Perturb.dropped);
+      ("net_delayed", s.Simnet.Net.Perturb.delayed);
+      ("net_retransmits", s.Simnet.Net.Perturb.retransmits);
+      ("net_conn_timeouts", s.Simnet.Net.Perturb.conn_timeouts);
+    ]
+
 (* The three rollback-recovery protocols share the MPICH-Vcl deployment
    (dispatcher, daemons, checkpoint servers) and differ only in the
    [Config.protocol] value they run under. *)
@@ -51,6 +67,7 @@ module Rollback (P : ROLLBACK_SPEC) : Intf.S = struct
         | Some scheduler -> Scheduler.committed_count scheduler
         | None -> 0);
       confused = Dispatcher.confused h.Deploy.dispatcher;
+      extra = net_extra (Deploy.net h);
     }
 
   let teardown = Deploy.teardown
@@ -128,7 +145,9 @@ module Replication : Intf.S = struct
       Metrics.zero with
       Metrics.failovers = Mpirep.Rdispatcher.failovers rd;
       respawns = Mpirep.Rdispatcher.respawns rd;
-      extra = [ ("exhausted", if Mpirep.Rdispatcher.exhausted rd then 1 else 0) ];
+      extra =
+        (("exhausted", if Mpirep.Rdispatcher.exhausted rd then 1 else 0)
+        :: net_extra (Mpirep.Deploy.net h));
     }
 
   let teardown = Mpirep.Deploy.teardown

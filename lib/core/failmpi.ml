@@ -52,7 +52,7 @@ module Run = struct
       trace_level = Trace.Full;
     }
 
-  type outcome = Completed of float | Non_terminating | Buggy
+  type outcome = Completed of float | Non_terminating | Buggy | Net_hung
 
   type result = {
     outcome : outcome;
@@ -74,6 +74,7 @@ module Run = struct
     | Completed _ -> "completed"
     | Non_terminating -> "non-terminating"
     | Buggy -> "buggy"
+    | Net_hung -> "net-hung"
 
   let trace_events r = Trace.events r.trace
 
@@ -121,11 +122,28 @@ module Run = struct
     let frozen = B.frozen handle in
     let metrics = B.metrics handle in
     B.teardown handle;
+    (match fci with Some rt -> Fci.Runtime.shutdown rt | None -> ());
     Engine.halt eng;
+    (* Distinguish a wedge the network explains from a protocol bug: a run
+       that neither completed nor kept making progress, while the fabric
+       was actively losing messages or tearing connections down, is
+       [Net_hung] — a latency-only degradation cannot mask a genuine
+       [Buggy] verdict because it drops nothing. *)
+    let net_interference =
+      let count name =
+        match List.assoc_opt name metrics.Backend.Metrics.extra with
+        | Some n -> n
+        | None -> 0
+      in
+      count "net_dropped" + count "net_conn_timeouts" > 0
+    in
     let outcome =
       match completed with
       | Some t -> Completed t
-      | None -> if frozen || stop_reason = `Quiescent then Buggy else Non_terminating
+      | None ->
+          if frozen || stop_reason = `Quiescent then
+            if net_interference then Net_hung else Buggy
+          else Non_terminating
     in
     let checksums =
       Hashtbl.fold (fun rank v acc -> (rank, v) :: acc) finals []

@@ -8,7 +8,9 @@
     runtime on a simulated cluster, runs to completion or to the
     experiment timeout, and classifies the outcome exactly as the paper's
     §5 does: completed, non-terminating (failure frequency too high for
-    progress), or buggy (frozen by a fault-tolerance bug).
+    progress), or buggy (frozen by a fault-tolerance bug) — refined to
+    net-hung when the wedge is explained by an actively lossy or
+    partitioned network fabric.
 
     Re-exports: {!Lang} (the FAIL language front end), {!Inject} (the FCI
     runtime), {!Mpi} (configuration and application types), {!Backend}
@@ -72,6 +74,12 @@ module Run : sig
         (** still rolling back / recovering at the timeout: the failure
             frequency leaves no room for progress (green bars) *)
     | Buggy  (** frozen by a fault-tolerance bug (red bars) *)
+    | Net_hung
+        (** frozen, but the perturbed network was dropping messages or
+            tearing connections down — the wedge is explained by the
+            fabric, not (necessarily) a protocol bug. Only reachable when
+            network faults are active; latency-only degradation never
+            produces it. *)
 
   type result = {
     outcome : outcome;

@@ -1,0 +1,102 @@
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  degree : int;
+  n_machines : int;
+  loss_levels : float list;
+  reps : int;
+  base_seed : int;
+}
+
+(* Same cluster shape as the protocol-family comparison (9 ranks fit the
+   22 machines that degree-2 replication needs), so every backend rides
+   the exact same perturbed fabric. *)
+let default_config =
+  {
+    klass = Workload.Bt_model.A;
+    n_ranks = 9;
+    degree = 2;
+    n_machines = 22;
+    loss_levels = [ 0.0; 0.02; 0.05; 0.10 ];
+    reps = 3;
+    base_seed = 1700;
+  }
+
+let quick_config = { default_config with loss_levels = [ 0.0; 0.05 ]; reps = 2 }
+
+type row = { family : string; loss : float; agg : Harness.agg }
+
+let families config =
+  let base = Mpivcl.Config.default ~n_ranks:config.n_ranks in
+  List.map
+    (fun (module B : Failmpi.Backend.S) ->
+      ( B.family_label ~replicas:config.degree,
+        { base with Mpivcl.Config.protocol = B.protocol ~replicas:config.degree } ))
+    (Failmpi.Backend.all ())
+
+let label_of family loss =
+  if loss = 0.0 then Printf.sprintf "loss 0%% %s" family
+  else Printf.sprintf "loss %g%% %s" (loss *. 100.0) family
+
+let net_of loss =
+  if loss = 0.0 then None
+  else
+    Some
+      {
+        Simnet.Net.Perturb.default_profile with
+        Simnet.Net.Perturb.base =
+          { Simnet.Net.Perturb.loss; latency = 0.0; jitter = 0.0 };
+      }
+
+let run ?jobs ?(config = default_config) () =
+  List.concat_map
+    (fun loss ->
+      List.map
+        (fun (family, cfg) ->
+          let cfg = { cfg with Mpivcl.Config.net = net_of loss } in
+          Harness.cell
+            ~tag:(family, loss, label_of family loss)
+            ~reps:config.reps ~base_seed:config.base_seed
+            (fun ~seed ->
+              Harness.run_bt ~cfg ~klass:config.klass ~n_ranks:config.n_ranks
+                ~n_machines:config.n_machines ~scenario:None ~seed ()))
+        (families config))
+    config.loss_levels
+  |> Harness.campaign ?jobs
+  |> List.map (fun ((family, loss, label), results) ->
+         { family; loss; agg = Harness.aggregate ~label results })
+
+let aggs rows = List.map (fun r -> r.agg) rows
+
+let render rows =
+  let title = "Network faults: message loss vs protocol backend (reliable transport)" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %5s %9s %9s %9s %8s %8s %5s\n" "configuration" "runs"
+       "time(s)" "dropped" "retrans" "%nethung" "%buggy" "chk");
+  List.iter
+    (fun r ->
+      let a = r.agg in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %5d %9s %9.0f %9.0f %8.0f %8.0f %5s\n" a.Harness.label
+           a.Harness.runs
+           (match a.Harness.mean_time with
+           | Some t -> Printf.sprintf "%.0f" t
+           | None -> "-")
+           (Harness.counter a "net_dropped")
+           (Harness.counter a "net_retransmits")
+           a.Harness.pct_net_hung a.Harness.pct_buggy
+           (if a.Harness.checksum_failures = 0 then "ok"
+            else Printf.sprintf "%d BAD" a.Harness.checksum_failures)))
+    rows;
+  Buffer.contents buf
+
+let paper_note =
+  "Expectation: with the reliable transport armed, moderate loss costs\n\
+   retransmission time, not correctness — every backend completes with\n\
+   matching checksums, slower as loss grows (replication pays the most:\n\
+   its multicast multiplies exposed messages). A run that wedges under\n\
+   active loss is classified net-hung, never buggy: the §5 classifier\n\
+   only calls 'buggy' a freeze the fabric cannot explain."

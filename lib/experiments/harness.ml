@@ -4,10 +4,12 @@ type agg = {
   completed : int;
   non_terminating : int;
   buggy : int;
+  net_hung : int;
   mean_time : float option;
   stddev_time : float option;
   pct_non_terminating : float;
   pct_buggy : float;
+  pct_net_hung : float;
   mean_faults : float;
   checksum_failures : int;
   mean_counters : (string * float) list;
@@ -85,7 +87,7 @@ let aggregate ~label results =
       (fun r ->
         match r.Failmpi.Run.outcome with
         | Failmpi.Run.Completed t -> Some t
-        | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> None)
+        | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung -> None)
       results
   in
   let count p = List.length (List.filter p results) in
@@ -94,6 +96,7 @@ let aggregate ~label results =
     count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Non_terminating)
   in
   let buggy = count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Buggy) in
+  let net_hung = count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Net_hung) in
   let checksum_failures = count (fun r -> r.Failmpi.Run.checksum_ok = Some false) in
   {
     label;
@@ -101,10 +104,12 @@ let aggregate ~label results =
     completed;
     non_terminating;
     buggy;
+    net_hung;
     mean_time = Stats.mean times;
     stddev_time = Stats.stddev times;
     pct_non_terminating = Stats.percent ~total:runs non_terminating;
     pct_buggy = Stats.percent ~total:runs buggy;
+    pct_net_hung = Stats.percent ~total:runs net_hung;
     mean_faults =
       (match
          Stats.mean
@@ -121,15 +126,15 @@ let render_table ~title aggs =
   Buffer.add_string buf (title ^ "\n");
   Buffer.add_string buf (String.make (String.length title) '-' ^ "\n");
   Buffer.add_string buf
-    (Printf.sprintf "%-22s %6s %10s %8s %9s %8s %8s %7s\n" "configuration" "runs"
-       "time(s)" "stddev" "faults" "%nonterm" "%buggy" "chk");
+    (Printf.sprintf "%-22s %6s %10s %8s %9s %8s %8s %8s %7s\n" "configuration" "runs"
+       "time(s)" "stddev" "faults" "%nonterm" "%buggy" "%nethung" "chk");
   List.iter
     (fun a ->
       Buffer.add_string buf
-        (Printf.sprintf "%-22s %6d %10s %8s %9.1f %8.0f %8.0f %7s\n" a.label a.runs
+        (Printf.sprintf "%-22s %6d %10s %8s %9.1f %8.0f %8.0f %8.0f %7s\n" a.label a.runs
            (match a.mean_time with Some t -> Printf.sprintf "%.0f" t | None -> "-")
            (match a.stddev_time with Some s -> Printf.sprintf "%.0f" s | None -> "-")
-           a.mean_faults a.pct_non_terminating a.pct_buggy
+           a.mean_faults a.pct_non_terminating a.pct_buggy a.pct_net_hung
            (if a.checksum_failures = 0 then "ok"
             else Printf.sprintf "%d BAD" a.checksum_failures)))
     aggs;
@@ -138,15 +143,16 @@ let render_table ~title aggs =
 let aggs_csv aggs =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "label,runs,completed,non_terminating,buggy,mean_time,stddev_time,pct_non_terminating,pct_buggy,mean_faults,checksum_failures\n";
+    "label,runs,completed,non_terminating,buggy,net_hung,mean_time,stddev_time,pct_non_terminating,pct_buggy,pct_net_hung,mean_faults,checksum_failures\n";
   List.iter
     (fun a ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%d,%d,%s,%s,%.1f,%.1f,%.1f,%d\n" a.label a.runs a.completed
-           a.non_terminating a.buggy
+        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%s,%s,%.1f,%.1f,%.1f,%.1f,%d\n" a.label a.runs
+           a.completed a.non_terminating a.buggy a.net_hung
            (match a.mean_time with Some t -> Printf.sprintf "%.1f" t | None -> "")
            (match a.stddev_time with Some s -> Printf.sprintf "%.1f" s | None -> "")
-           a.pct_non_terminating a.pct_buggy a.mean_faults a.checksum_failures))
+           a.pct_non_terminating a.pct_buggy a.pct_net_hung a.mean_faults
+           a.checksum_failures))
     aggs;
   Buffer.contents buf
 

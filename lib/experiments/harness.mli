@@ -12,10 +12,12 @@ type agg = {
   completed : int;
   non_terminating : int;
   buggy : int;
+  net_hung : int;  (** wedges explained by an actively faulty network *)
   mean_time : float option;  (** over completed runs *)
   stddev_time : float option;
   pct_non_terminating : float;
   pct_buggy : float;
+  pct_net_hung : float;
   mean_faults : float;  (** injected faults per run *)
   checksum_failures : int;
       (** completed runs whose final checksum differs from the fault-free

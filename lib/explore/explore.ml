@@ -2,17 +2,19 @@ module Plan = Plan
 module Shrink = Shrink
 module Run = Failmpi.Run
 
-type verdict = Completed | Non_terminating | Buggy
+type verdict = Completed | Non_terminating | Buggy | Net_hung
 
 let verdict_name = function
   | Completed -> "completed"
   | Non_terminating -> "non-terminating"
   | Buggy -> "buggy"
+  | Net_hung -> "net-hung"
 
 let verdict_of_outcome = function
   | Run.Completed _ -> Completed
   | Run.Non_terminating -> Non_terminating
   | Run.Buggy -> Buggy
+  | Run.Net_hung -> Net_hung
 
 (* FNV-1a 64-bit over the (source, event) stream; NUL-separated so
    ("ab","c") and ("a","bc") hash apart. *)
@@ -198,7 +200,7 @@ let run ?jobs cfg ~runner =
      order wins — equivalent wedges shrink once, not once per plan. *)
   let shrinkable rc =
     match rc.verdict with
-    | Buggy -> true
+    | Buggy | Net_hung -> true
     | Non_terminating -> cfg.shrink_hangs
     | Completed -> false
   in
@@ -235,24 +237,25 @@ let runner_of_spec (spec : Run.spec) (p : Plan.t) =
 
 let tally records =
   List.fold_left
-    (fun (c, n, b) rc ->
+    (fun (c, n, b, h) rc ->
       match rc.verdict with
-      | Completed -> (c + 1, n, b)
-      | Non_terminating -> (c, n + 1, b)
-      | Buggy -> (c, n, b + 1))
-    (0, 0, 0) records
+      | Completed -> (c + 1, n, b, h)
+      | Non_terminating -> (c, n + 1, b, h)
+      | Buggy -> (c, n, b + 1, h)
+      | Net_hung -> (c, n, b, h + 1))
+    (0, 0, 0, 0) records
 
 let render rp =
   let buf = Buffer.create 1024 in
-  let c, n, b = tally rp.records in
+  let c, n, b, h = tally rp.records in
   Buffer.add_string buf
     (Printf.sprintf
        "explored %d plans (max %d faults, %d targets x %d buckets): %d completed, %d \
-        non-terminating, %d buggy\n"
+        non-terminating, %d buggy, %d net-hung\n"
        (List.length rp.records) rp.config.max_faults
        (List.length rp.config.targets)
        (List.length rp.config.buckets)
-       c n b);
+       c n b h);
   Buffer.add_string buf
     (Printf.sprintf "coverage: %d distinct milestone signatures\n" (List.length rp.coverage));
   List.iter
@@ -290,6 +293,9 @@ let json_ints xs = "[" ^ String.concat ", " (List.map string_of_int xs) ^ "]"
 let kind_name = function
   | Plan.Kill -> "kill"
   | Plan.Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
+  | Plan.Partition -> "partition"
+  | Plan.Degrade { loss; latency } -> Printf.sprintf "degrade%dl%d" loss latency
+  | Plan.Heal -> "heal"
 
 let fault_json (f : Plan.fault) =
   let anchor =
@@ -308,7 +314,7 @@ let plan_json (p : Plan.t) =
 let to_json rp =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let c, n, b = tally rp.records in
+  let c, n, b, h = tally rp.records in
   add "{\n";
   add "  \"config\": {\"n_machines\": %d, \"targets\": %s, \"buckets\": %s, \"kinds\": [%s], \
        \"max_faults\": %d, \"budget\": %d, \"sample_seed\": %d},\n"
@@ -317,7 +323,10 @@ let to_json rp =
        (List.map (fun k -> Printf.sprintf "\"%s\"" (kind_name k)) rp.config.kinds))
     rp.config.max_faults rp.config.budget rp.config.sample_seed;
   add "  \"explored\": %d,\n" (List.length rp.records);
-  add "  \"verdicts\": {\"completed\": %d, \"non_terminating\": %d, \"buggy\": %d},\n" c n b;
+  add
+    "  \"verdicts\": {\"completed\": %d, \"non_terminating\": %d, \"buggy\": %d, \
+     \"net_hung\": %d},\n"
+    c n b h;
   add "  \"coverage\": [\n";
   List.iteri
     (fun i (s, v, count) ->

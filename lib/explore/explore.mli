@@ -22,7 +22,7 @@ module Plan = Plan
 module Shrink = Shrink
 module Run = Failmpi.Run
 
-type verdict = Completed | Non_terminating | Buggy
+type verdict = Completed | Non_terminating | Buggy | Net_hung
 
 val verdict_name : verdict -> string
 val verdict_of_outcome : Run.outcome -> verdict

@@ -1,6 +1,11 @@
 module S = Fail_lang.Codegen.Scenario
 
-type kind = S.kind = Kill | Freeze of { thaw : int }
+type kind = S.kind =
+  | Kill
+  | Freeze of { thaw : int }
+  | Partition
+  | Degrade of { loss : int; latency : int }
+  | Heal
 
 type anchor = S.anchor = After of int | On_reload of { nth : int; delay : int }
 
@@ -12,7 +17,14 @@ let equal a b = a = b
 let compare = Stdlib.compare
 
 let fault_key f =
-  let kind = match f.kind with Kill -> "kill" | Freeze { thaw } -> Printf.sprintf "freeze%d" thaw in
+  let kind =
+    match f.kind with
+    | Kill -> "kill"
+    | Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
+    | Partition -> "part"
+    | Degrade { loss; latency } -> Printf.sprintf "deg%dl%d" loss latency
+    | Heal -> "heal"
+  in
   match f.anchor with
   | After d -> Printf.sprintf "%s@%d+%d" kind f.machine d
   | On_reload { nth; delay } -> Printf.sprintf "%s@%d@reload%d+%d" kind f.machine nth delay

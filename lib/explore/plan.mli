@@ -6,7 +6,14 @@
     FAIL source, so every plan the explorer runs, and every minimized
     witness it emits, is replayable with [failmpi_run --scenario]. *)
 
-type kind = Fail_lang.Codegen.Scenario.kind = Kill | Freeze of { thaw : int }
+type kind = Fail_lang.Codegen.Scenario.kind =
+  | Kill
+  | Freeze of { thaw : int }
+  | Partition  (** isolate the target machine from every other host *)
+  | Degrade of { loss : int; latency : int }
+      (** worsen every link touching the target ([loss] permille,
+          [latency] ms) *)
+  | Heal  (** clear every installed network fault (machine ignored) *)
 
 type anchor = Fail_lang.Codegen.Scenario.anchor =
   | After of int  (** seconds after the previous fault fired (scenario start for the first) *)

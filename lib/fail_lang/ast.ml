@@ -25,6 +25,16 @@ type guard = { trigger : trigger option; conds : cond list }
 
 type dest = D_instance of string | D_indexed of string * expr | D_group of string | D_sender
 
+(* Network degradation: [loss] in permille, [latency]/[jitter] in
+   milliseconds (FAIL expressions are integers). Omitted fields mean
+   "unchanged" (zero). *)
+type degrade = {
+  deg_target : dest;
+  deg_loss : expr option;
+  deg_latency : expr option;
+  deg_jitter : expr option;
+}
+
 type action =
   | A_goto of string
   | A_send of string * dest
@@ -33,6 +43,10 @@ type action =
   | A_stop
   | A_continue
   | A_set_app of string * expr
+  | A_partition of dest * dest option
+      (* cut between two deployment sets; one operand isolates it *)
+  | A_heal
+  | A_degrade of degrade
 
 type transition = { t_loc : Loc.t; guard : guard; actions : action list }
 
@@ -93,8 +107,18 @@ let equal_action a1 a2 =
   | A_send (m1, d1), A_send (m2, d2) -> String.equal m1 m2 && equal_dest d1 d2
   | A_assign (v1, e1), A_assign (v2, e2) | A_set_app (v1, e1), A_set_app (v2, e2) ->
       String.equal v1 v2 && equal_expr e1 e2
-  | A_halt, A_halt | A_stop, A_stop | A_continue, A_continue -> true
-  | (A_goto _ | A_send _ | A_assign _ | A_halt | A_stop | A_continue | A_set_app _), _ -> false
+  | A_halt, A_halt | A_stop, A_stop | A_continue, A_continue | A_heal, A_heal -> true
+  | A_partition (a1', b1), A_partition (a2', b2) ->
+      equal_dest a1' a2' && Option.equal equal_dest b1 b2
+  | A_degrade d1, A_degrade d2 ->
+      equal_dest d1.deg_target d2.deg_target
+      && Option.equal equal_expr d1.deg_loss d2.deg_loss
+      && Option.equal equal_expr d1.deg_latency d2.deg_latency
+      && Option.equal equal_expr d1.deg_jitter d2.deg_jitter
+  | ( ( A_goto _ | A_send _ | A_assign _ | A_halt | A_stop | A_continue | A_set_app _
+      | A_partition _ | A_heal | A_degrade _ ),
+      _ ) ->
+      false
 
 let equal_transition t1 t2 =
   equal_guard t1.guard t2.guard && List.equal equal_action t1.actions t2.actions

@@ -53,6 +53,18 @@ type dest =
   | D_group of string  (** a whole group (broadcast) *)
   | D_sender  (** [FAIL_SENDER]: sender of the triggering message *)
 
+(** Network degradation targeting the machines behind a destination:
+    [degrade G1 loss = 50 latency = 20 jitter = 5]. Units are what FAIL's
+    integer expressions allow — [loss] in permille (0..1000), [latency]
+    and [jitter] in milliseconds. Omitted fields leave that dimension
+    unchanged (zero). *)
+type degrade = {
+  deg_target : dest;
+  deg_loss : expr option;
+  deg_latency : expr option;
+  deg_jitter : expr option;
+}
+
 type action =
   | A_goto of string
   | A_send of string * dest  (** [!msg(dest)] *)
@@ -61,6 +73,12 @@ type action =
   | A_stop  (** suspend the controlled process *)
   | A_continue  (** resume the controlled process *)
   | A_set_app of string * expr  (** [set name = expr] on the controlled process *)
+  | A_partition of dest * dest option
+      (** [partition A B]: bidirectional network cut between the machines
+          of [A] and those of [B]; [partition A] isolates [A]'s machines
+          from every other host *)
+  | A_heal  (** remove every installed network fault *)
+  | A_degrade of degrade  (** [degrade DEST loss = p latency = d jitter = j] *)
 
 type transition = { t_loc : Loc.t; guard : guard; actions : action list }
 

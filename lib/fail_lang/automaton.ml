@@ -17,6 +17,10 @@ type caction =
   | C_stop
   | C_continue
   | C_set_app of string * cexpr
+  | C_partition of cdest * cdest option
+  | C_heal
+  | C_degrade of cdest * cexpr option * cexpr option * cexpr option
+      (* loss permille, latency ms, jitter ms *)
 
 type ctransition = {
   trigger : Ast.trigger option;
@@ -99,6 +103,29 @@ let pp_caction ppf = function
   | C_stop -> Format.pp_print_string ppf "stop"
   | C_continue -> Format.pp_print_string ppf "continue"
   | C_set_app (name, e) -> Format.fprintf ppf "set @@%s := %a" name pp_cexpr e
+  | C_partition (a, b) ->
+      let dest_s = function
+        | CD_instance i -> i
+        | CD_indexed (g, e) -> Format.asprintf "%s[%a]" g pp_cexpr e
+        | CD_group g -> g
+        | CD_sender -> "sender"
+      in
+      Format.fprintf ppf "partition %s%s" (dest_s a)
+        (match b with Some b -> " " ^ dest_s b | None -> " (isolate)")
+  | C_heal -> Format.pp_print_string ppf "heal"
+  | C_degrade (d, loss, latency, jitter) ->
+      let dest_s = function
+        | CD_instance i -> i
+        | CD_indexed (g, e) -> Format.asprintf "%s[%a]" g pp_cexpr e
+        | CD_group g -> g
+        | CD_sender -> "sender"
+      in
+      let field name = function
+        | Some e -> Format.asprintf " %s=%a" name pp_cexpr e
+        | None -> ""
+      in
+      Format.fprintf ppf "degrade %s%s%s%s" (dest_s d) (field "loss" loss)
+        (field "latency" latency) (field "jitter" jitter)
 
 let pp_trigger ppf = function
   | Ast.T_timer -> Format.pp_print_string ppf "timer"

@@ -29,6 +29,11 @@ type caction =
   | C_stop
   | C_continue
   | C_set_app of string * cexpr
+  | C_partition of cdest * cdest option
+      (** cut between two deployment sets; [None] isolates the first *)
+  | C_heal
+  | C_degrade of cdest * cexpr option * cexpr option * cexpr option
+      (** target, loss (permille), latency (ms), jitter (ms) *)
 
 type ctransition = {
   trigger : Ast.trigger option;

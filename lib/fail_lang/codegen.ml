@@ -62,7 +62,19 @@ let to_dot (a : Automaton.t) =
 (* Fault-plan scenario generation (the explorer's replay format). *)
 
 module Scenario = struct
-  type kind = Kill | Freeze of { thaw : int }
+  (* Process faults go through a controller message ([kill]/[freezeN]);
+     network faults are executed directly by the coordinator via the
+     first-class FAIL network actions, so they need no controller
+     cooperation. [Partition] isolates the target machine; [Degrade]
+     worsens every link touching it ([loss] permille, [latency] ms);
+     [Heal] clears all installed network faults (its machine is
+     canonically 0 and otherwise ignored). *)
+  type kind =
+    | Kill
+    | Freeze of { thaw : int }
+    | Partition
+    | Degrade of { loss : int; latency : int }
+    | Heal
 
   type anchor = After of int | On_reload of { nth : int; delay : int }
 
@@ -73,6 +85,8 @@ module Scenario = struct
   let msg_of_kind = function
     | Kill -> "kill"
     | Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
+    | Partition | Degrade _ | Heal ->
+        invalid_arg "Scenario.msg_of_kind: network faults have no controller message"
 
   let kind_of_msg msg =
     if String.equal msg "kill" then Some Kill
@@ -93,7 +107,10 @@ module Scenario = struct
   let thaws injections =
     List.sort_uniq compare
       (List.filter_map
-         (fun i -> match i.kind with Freeze { thaw } -> Some thaw | Kill -> None)
+         (fun i ->
+           match i.kind with
+           | Freeze { thaw } -> Some thaw
+           | Kill | Partition | Degrade _ | Heal -> None)
          injections)
 
   (* Every controller registration is forwarded to the coordinator as a
@@ -126,6 +143,21 @@ module Scenario = struct
       List.concat
         (List.mapi
            (fun i inj ->
+             let fault_action =
+               let target = Ast.D_indexed ("G1", Ast.Int inj.machine) in
+               match inj.kind with
+               | Kill | Freeze _ -> Ast.A_send (msg_of_kind inj.kind, target)
+               | Partition -> Ast.A_partition (target, None)
+               | Degrade { loss; latency } ->
+                   Ast.A_degrade
+                     {
+                       Ast.deg_target = target;
+                       deg_loss = Some (Ast.Int loss);
+                       deg_latency = Some (Ast.Int latency);
+                       deg_jitter = None;
+                     }
+               | Heal -> Ast.A_heal
+             in
              let fire delay =
                {
                  Ast.n_loc = loc;
@@ -136,12 +168,7 @@ module Scenario = struct
                    {
                      Ast.t_loc = loc;
                      guard = { Ast.trigger = Some Ast.T_timer; conds = [] };
-                     actions =
-                       [
-                         Ast.A_send
-                           (msg_of_kind inj.kind, Ast.D_indexed ("G1", Ast.Int inj.machine));
-                         Ast.A_goto (next_entry i);
-                       ];
+                     actions = [ fault_action; Ast.A_goto (next_entry i) ];
                    }
                    :: counting;
                }
@@ -328,18 +355,37 @@ module Scenario = struct
     (* Structural walk over the coordinator's nodes, in declaration
        order: a reload-wait node carries the [nth] threshold of the fire
        node that follows it; any other shape is rejected. *)
+    (* The structural inverse of [fault_action] above: recover (machine,
+       kind) from the leading action of a timer transition. *)
+    let kind_of_actions = function
+      | Ast.A_send (msg, Ast.D_indexed (_, machine_e)) :: _ -> (
+          match (fold_const machine_e, kind_of_msg msg) with
+          | Some machine, Some kind -> Some (machine, kind)
+          | _ -> None)
+      | Ast.A_partition (Ast.D_indexed (_, machine_e), None) :: _ ->
+          Option.map (fun machine -> (machine, Partition)) (fold_const machine_e)
+      | Ast.A_degrade
+          { Ast.deg_target = Ast.D_indexed (_, machine_e); deg_loss; deg_latency; _ }
+        :: _ -> (
+          let dim = function None -> Some 0 | Some e -> fold_const e in
+          match (fold_const machine_e, dim deg_loss, dim deg_latency) with
+          | Some machine, Some loss, Some latency ->
+              Some (machine, Degrade { loss; latency })
+          | _ -> None)
+      | Ast.A_heal :: _ -> Some (0, Heal)
+      | _ -> None
+    in
     let fire_of_node node =
       match node.Ast.n_timer with
       | None -> None
       | Some (_, delay_e) ->
           List.find_map
             (fun t ->
-              match (t.Ast.guard.Ast.trigger, t.Ast.actions) with
-              | ( Some Ast.T_timer,
-                  Ast.A_send (msg, Ast.D_indexed (_, machine_e)) :: _ ) -> (
-                  match (fold_const delay_e, fold_const machine_e, kind_of_msg msg) with
-                  | Some delay, Some machine, Some kind -> Some (machine, delay, kind)
-                  | _ -> None)
+              match (t.Ast.guard.Ast.trigger, kind_of_actions t.Ast.actions) with
+              | Some Ast.T_timer, Some (machine, kind) -> (
+                  match fold_const delay_e with
+                  | Some delay -> Some (machine, delay, kind)
+                  | None -> None)
               | _ -> None)
             node.Ast.n_transitions
     in

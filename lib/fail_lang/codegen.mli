@@ -35,7 +35,19 @@ val to_dot : Automaton.t -> string
     ({!injections_of_program} is its structural inverse), can be saved
     as a [.fail] file and replayed with [failmpi_run]. *)
 module Scenario : sig
-  type kind = Kill | Freeze of { thaw : int }  (** [stop] then [continue] after [thaw] s *)
+  (** Process faults ([Kill], [Freeze]) are delivered as controller
+      messages; network faults compile to the first-class FAIL network
+      actions executed by the coordinator itself. [Partition] isolates
+      the target machine from every other host; [Degrade] worsens all
+      links touching it ([loss] in permille, [latency] in ms); [Heal]
+      clears every installed network fault (its [machine] is canonically
+      0 and otherwise ignored). *)
+  type kind =
+    | Kill
+    | Freeze of { thaw : int }  (** [stop] then [continue] after [thaw] s *)
+    | Partition
+    | Degrade of { loss : int; latency : int }
+    | Heal
 
   type anchor = After of int | On_reload of { nth : int; delay : int }
 

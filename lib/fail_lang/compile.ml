@@ -69,6 +69,15 @@ let compile_action lookup node_of_id loc = function
   | A_stop -> Automaton.C_stop
   | A_continue -> Automaton.C_continue
   | A_set_app (name, e) -> Automaton.C_set_app (name, compile_expr lookup loc e)
+  | A_partition (a, b) ->
+      Automaton.C_partition
+        (compile_dest lookup loc a, Option.map (compile_dest lookup loc) b)
+  | A_heal -> Automaton.C_heal
+  | A_degrade d ->
+      let sub = Option.map (compile_expr lookup loc) in
+      Automaton.C_degrade
+        (compile_dest lookup loc d.deg_target, sub d.deg_loss, sub d.deg_latency,
+         sub d.deg_jitter)
 
 let compile_daemon d =
   let daemon_slots, node_slots, var_names = assign_slots d in

@@ -42,6 +42,9 @@ let keyword_of_ident = function
   | "FAIL_SENDER" -> Some Token.KW_sender
   | "watch" -> Some Token.KW_watch
   | "set" -> Some Token.KW_set
+  | "partition" -> Some Token.KW_partition
+  | "heal" -> Some Token.KW_heal
+  | "degrade" -> Some Token.KW_degrade
   | _ -> None
 
 let rec skip_ws_and_comments st =

@@ -180,6 +180,19 @@ let double_strike ~n_machines ~first ~second ~start ~nth ~gap =
       };
     ]
 
+let partition_wave ~n_machines ~victim ~target ~loss ~latency ~start ~wave ~gap ~heal =
+  Codegen.Scenario.source ~n_machines
+    [
+      {
+        Codegen.Scenario.machine = victim;
+        anchor = Codegen.Scenario.After start;
+        kind = Codegen.Scenario.Degrade { loss; latency };
+      };
+      { Codegen.Scenario.machine = victim; anchor = Codegen.Scenario.After wave; kind = Codegen.Scenario.Partition };
+      { Codegen.Scenario.machine = target; anchor = Codegen.Scenario.After gap; kind = Codegen.Scenario.Kill };
+      { Codegen.Scenario.machine = 0; anchor = Codegen.Scenario.After heal; kind = Codegen.Scenario.Heal };
+    ]
+
 let all =
   [
     ("fig5-frequency", frequency ~n_machines:53 ~period:50);
@@ -197,4 +210,12 @@ let all =
        lives in scenarios/double_strike.fail. *)
     ( "double-strike",
       double_strike ~n_machines:13 ~first:1 ~second:2 ~start:25 ~nth:10 ~gap:1 );
+    (* Network fault cascade for 9 ranks on 13 machines: degrade the
+       victim's links at t=20 (10% loss, +2 ms), cut it off 10 s later,
+       kill another rank mid-outage, heal 8 s after the kill — early
+       enough that connect retries have not exhausted. A parameterized
+       file version lives in scenarios/partition_wave.fail. *)
+    ( "partition-wave",
+      partition_wave ~n_machines:13 ~victim:2 ~target:5 ~loss:100 ~latency:2 ~start:20
+        ~wave:10 ~gap:5 ~heal:8 );
   ]

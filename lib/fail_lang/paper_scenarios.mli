@@ -55,5 +55,26 @@ val replica_split :
 val double_strike :
   n_machines:int -> first:int -> second:int -> start:int -> nth:int -> gap:int -> string
 
+(** Network fault cascade, in the explorer's fault-plan form
+    ({!Codegen.Scenario}): degrade the [victim] machine's links at
+    [start] seconds ([loss] permille message loss, [latency] ms extra
+    delay), partition it off [wave] seconds later, kill the process on
+    machine [target] [gap] seconds into the outage, then [heal] the
+    fabric [heal] seconds after the kill. With the reliable transport
+    armed the run completes if the heal lands before connect retries
+    exhaust; otherwise it verdicts net-hung. A parameterized file
+    version lives in [scenarios/partition_wave.fail]. *)
+val partition_wave :
+  n_machines:int ->
+  victim:int ->
+  target:int ->
+  loss:int ->
+  latency:int ->
+  start:int ->
+  wave:int ->
+  gap:int ->
+  heal:int ->
+  string
+
 (** All scenarios with representative parameters, for tests and demos. *)
 val all : (string * string) list

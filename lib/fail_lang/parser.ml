@@ -206,11 +206,61 @@ let parse_dest st =
       else D_instance name
   | t -> Loc.error (cur_loc st) "expected message destination, found %s" (Token.to_string t)
 
+(* Lookahead for [degrade] fields: an IDENT immediately followed by [=]
+   is a field assignment, anything else ends the field list (so the
+   comma-separated action list keeps parsing normally). *)
+let peek_tok st =
+  if st.idx + 1 < Array.length st.toks then st.toks.(st.idx + 1).Token.tok else Token.EOF
+
+let parse_degrade_fields st =
+  let loss = ref None and latency = ref None and jitter = ref None in
+  let rec loop () =
+    match cur_tok st with
+    | Token.IDENT name when peek_tok st = Token.ASSIGN ->
+        let loc = cur_loc st in
+        let slot =
+          match name with
+          | "loss" -> loss
+          | "latency" -> latency
+          | "jitter" -> jitter
+          | _ ->
+              Loc.error loc "unknown degrade field %s (expected loss, latency or jitter)"
+                name
+        in
+        advance st;
+        advance st;
+        let e = parse_expr_prec st in
+        (match !slot with
+        | Some _ -> Loc.error loc "duplicate degrade field %s" name
+        | None -> slot := Some e);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  (!loss, !latency, !jitter)
+
 let parse_action st =
   match cur_tok st with
   | Token.KW_goto ->
       advance st;
       A_goto (expect_node_id st)
+  | Token.KW_partition ->
+      advance st;
+      let a = parse_dest st in
+      let b =
+        match cur_tok st with
+        | Token.IDENT _ | Token.KW_sender -> Some (parse_dest st)
+        | _ -> None
+      in
+      A_partition (a, b)
+  | Token.KW_heal ->
+      advance st;
+      A_heal
+  | Token.KW_degrade ->
+      advance st;
+      let deg_target = parse_dest st in
+      let deg_loss, deg_latency, deg_jitter = parse_degrade_fields st in
+      A_degrade { deg_target; deg_loss; deg_latency; deg_jitter }
   | Token.BANG ->
       advance st;
       let msg = expect_ident st in

@@ -64,6 +64,18 @@ let pp_action ppf = function
   | A_stop -> Format.pp_print_string ppf "stop"
   | A_continue -> Format.pp_print_string ppf "continue"
   | A_set_app (v, e) -> Format.fprintf ppf "set %s = %a" v pp_expr e
+  | A_partition (a, None) -> Format.fprintf ppf "partition %a" pp_dest a
+  | A_partition (a, Some b) -> Format.fprintf ppf "partition %a %a" pp_dest a pp_dest b
+  | A_heal -> Format.pp_print_string ppf "heal"
+  | A_degrade d ->
+      Format.fprintf ppf "degrade %a" pp_dest d.deg_target;
+      let field name = function
+        | Some e -> Format.fprintf ppf " %s = %a" name pp_expr e
+        | None -> ()
+      in
+      field "loss" d.deg_loss;
+      field "latency" d.deg_latency;
+      field "jitter" d.deg_jitter
 
 let pp_transition ppf t =
   Format.fprintf ppf "@[<h>%a ->@ %a;@]" pp_guard t.guard

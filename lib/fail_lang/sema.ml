@@ -77,6 +77,29 @@ let check_action deps scope ~node_ids ~has_recv_trigger loc = function
   | A_stop -> A_stop
   | A_continue -> A_continue
   | A_set_app (name, e) -> A_set_app (name, subst_expr scope loc e)
+  | A_partition (a, b) ->
+      (* Network faults target deployment sets, never the dynamic sender. *)
+      let check_side d =
+        match resolve_dest deps scope loc d with
+        | D_sender -> Loc.error loc "partition cannot target FAIL_SENDER"
+        | (D_instance _ | D_indexed _ | D_group _) as d -> d
+      in
+      A_partition (check_side a, Option.map check_side b)
+  | A_heal -> A_heal
+  | A_degrade d ->
+      let deg_target =
+        match resolve_dest deps scope loc d.deg_target with
+        | D_sender -> Loc.error loc "degrade cannot target FAIL_SENDER"
+        | (D_instance _ | D_indexed _ | D_group _) as dest -> dest
+      in
+      let sub = Option.map (subst_expr scope loc) in
+      A_degrade
+        {
+          deg_target;
+          deg_loss = sub d.deg_loss;
+          deg_latency = sub d.deg_latency;
+          deg_jitter = sub d.deg_jitter;
+        }
 
 let check_transition deps scope ~node_ids ~has_timer t =
   let loc = t.t_loc in

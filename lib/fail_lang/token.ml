@@ -23,6 +23,9 @@ type t =
   | KW_sender
   | KW_watch
   | KW_set
+  | KW_partition
+  | KW_heal
+  | KW_degrade
   | LBRACE
   | RBRACE
   | LPAREN
@@ -79,6 +82,9 @@ let to_string = function
   | KW_sender -> "'FAIL_SENDER'"
   | KW_watch -> "'watch'"
   | KW_set -> "'set'"
+  | KW_partition -> "'partition'"
+  | KW_heal -> "'heal'"
+  | KW_degrade -> "'degrade'"
   | LBRACE -> "'{'"
   | RBRACE -> "'}'"
   | LPAREN -> "'('"

@@ -25,6 +25,9 @@ type t =
   | KW_sender  (** [FAIL_SENDER] *)
   | KW_watch
   | KW_set
+  | KW_partition  (** network cut between host sets *)
+  | KW_heal  (** remove every network fault *)
+  | KW_degrade  (** lossy / slow links *)
   | LBRACE
   | RBRACE
   | LPAREN

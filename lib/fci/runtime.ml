@@ -1,9 +1,25 @@
 open Simkern
 open Fail_lang
+module Perturb = Simnet.Net.Perturb
 
-type config = { msg_latency : float }
+type config = {
+  msg_latency : float;
+  heartbeat_period : float;
+  suspicion_timeout : float;
+  retry_rto : float;
+  retry_rto_max : float;
+  max_retries : int;
+}
 
-let default_config = { msg_latency = 0.11 }
+let default_config =
+  {
+    msg_latency = 0.11;
+    heartbeat_period = 2.0;
+    suspicion_timeout = 10.0;
+    retry_rto = 0.5;
+    retry_rto_max = 8.0;
+    max_retries = 6;
+  }
 
 type event =
   | Ev_msg of string * string  (* message name, sender instance id *)
@@ -22,7 +38,10 @@ type instance = {
   rng : Rng.t;
   mutable node : int;
   mutable timer_gen : int;
+  mutable timer_handle : Engine.handle option;
   mutable ctl : Control.target option;
+  mutable suspected : bool;  (* quarantined after missed heartbeats *)
+  mutable hb_miss : int;
 }
 
 type t = {
@@ -34,6 +53,13 @@ type t = {
   mutable all : instance list;  (* deployment order *)
   mutable fault_count : int;
   mutable entry_depth : int;  (* guards against epsilon-transition loops *)
+  mutable net : Perturb.t option;  (* fabric the control plane rides on *)
+  mutable seq : int;  (* hardened-delivery sequence numbers *)
+  seen : (string, unit) Hashtbl.t;  (* "<sender>#<seq>" dedup *)
+  retries : (int, Engine.handle) Hashtbl.t;  (* seq -> armed retry *)
+  mutable hb_handle : Engine.handle option;  (* heartbeat monitor tick *)
+  mutable net_fault_count : int;
+  mutable stopped : bool;
 }
 
 let engine t = t.eng
@@ -104,6 +130,8 @@ let eval_cond t inst (op, a, b) =
 
 let current_node inst = inst.automaton.Automaton.nodes.(inst.node)
 
+let machines_s ms = String.concat "," (List.map string_of_int ms)
+
 let trigger_matches ev (trigger : Ast.trigger option) ~gen =
   match (ev, trigger) with
   | Ev_msg (m, _), Some (Ast.T_recv m') -> String.equal m m'
@@ -131,12 +159,23 @@ let rec enter_node t inst idx =
   let node = current_node inst in
   trace ~level:Trace.Full t inst "enter-node" node.Automaton.node_id;
   List.iter (fun (slot, e) -> inst.vars.(slot) <- eval t inst e) node.Automaton.always;
+  (* A node change obsoletes the previous node's timer; cancelling it (the
+     generation check below stays as a safety net) keeps [Engine.pending]
+     honest so the whole control plane drains to zero after a run. *)
+  (match inst.timer_handle with
+  | Some h ->
+      Engine.cancel h;
+      inst.timer_handle <- None
+  | None -> ());
   (match node.Automaton.timer with
   | Some duration_expr ->
       let duration = float_of_int (eval t inst duration_expr) in
-      Engine.schedule t.eng ~delay:(Float.max 0.0 duration) (fun () ->
-          dispatch t inst (Ev_timer gen))
-      |> ignore
+      let h =
+        Engine.schedule t.eng ~delay:(Float.max 0.0 duration) (fun () ->
+            inst.timer_handle <- None;
+            dispatch t inst (Ev_timer gen))
+      in
+      inst.timer_handle <- Some h
   | None -> ());
   (* Epsilon transitions: condition-only guards fire on entry. *)
   let epsilon =
@@ -182,16 +221,162 @@ and exec_actions t inst actions ~sender =
           | Some ctl ->
               if not (ctl.Control.write_var name v) then
                 trace t inst "set-error" (Printf.sprintf "unknown app var %s" name)
-          | None -> trace t inst "set-no-target" name))
+          | None -> trace t inst "set-no-target" name)
+      | Automaton.C_partition (a, b) -> (
+          match t.net with
+          | None -> trace t inst "net-no-fabric" "partition"
+          | Some p -> (
+              let ma = machines_of_dest t inst a ~sender in
+              match b with
+              | Some b_dest ->
+                  let mb = machines_of_dest t inst b_dest ~sender in
+                  if ma <> [] && mb <> [] then begin
+                    Perturb.partition p ma mb;
+                    t.net_fault_count <- t.net_fault_count + 1;
+                    trace t inst "partition"
+                      (Printf.sprintf "%s | %s" (machines_s ma) (machines_s mb));
+                    ensure_monitor t
+                  end
+              | None ->
+                  if ma <> [] then begin
+                    Perturb.isolate p ma;
+                    t.net_fault_count <- t.net_fault_count + 1;
+                    trace t inst "partition" (Printf.sprintf "isolate %s" (machines_s ma));
+                    ensure_monitor t
+                  end))
+      | Automaton.C_heal -> (
+          match t.net with
+          | None -> trace t inst "net-no-fabric" "heal"
+          | Some p ->
+              Perturb.heal p;
+              trace t inst "heal" "")
+      | Automaton.C_degrade (d, loss_e, latency_e, jitter_e) -> (
+          match t.net with
+          | None -> trace t inst "net-no-fabric" "degrade"
+          | Some p ->
+              let hosts = machines_of_dest t inst d ~sender in
+              if hosts <> [] then begin
+                let dim e = match e with Some e -> eval t inst e | None -> 0 in
+                (* FAIL source carries integers: loss in permille,
+                   latency/jitter in milliseconds. *)
+                let loss =
+                  Float.min 1.0 (Float.max 0.0 (float_of_int (dim loss_e) /. 1000.0))
+                in
+                let latency = Float.max 0.0 (float_of_int (dim latency_e) /. 1000.0) in
+                let jitter = Float.max 0.0 (float_of_int (dim jitter_e) /. 1000.0) in
+                Perturb.degrade p ~hosts { Perturb.loss; latency; jitter };
+                t.net_fault_count <- t.net_fault_count + 1;
+                trace t inst "degrade"
+                  (Printf.sprintf "%s loss=%.3f latency=%.3fs jitter=%.3fs"
+                     (machines_s hosts) loss latency jitter);
+                ensure_monitor t
+              end))
     actions;
   match !goto with Some idx -> enter_node t inst idx | None -> ()
 
+(* Resolve a destination to the machines it deploys on — the unit network
+   faults act on. *)
+and machines_of_dest t inst dest ~sender =
+  match dest with
+  | Automaton.CD_instance name -> (
+      match Hashtbl.find_opt t.by_name name with
+      | Some i -> [ i.machine ]
+      | None ->
+          trace t inst "net-error" (Printf.sprintf "unknown instance %s" name);
+          [])
+  | Automaton.CD_indexed (group, e) -> (
+      let idx = eval t inst e in
+      match Hashtbl.find_opt t.groups group with
+      | Some members when idx >= 0 && idx < Array.length members ->
+          [ members.(idx).machine ]
+      | Some members ->
+          trace t inst "net-error"
+            (Printf.sprintf "%s[%d] out of range 0..%d" group idx (Array.length members - 1));
+          []
+      | None ->
+          trace t inst "net-error" (Printf.sprintf "unknown group %s" group);
+          [])
+  | Automaton.CD_group group -> (
+      match Hashtbl.find_opt t.groups group with
+      | Some members -> Array.to_list (Array.map (fun i -> i.machine) members)
+      | None ->
+          trace t inst "net-error" (Printf.sprintf "unknown group %s" group);
+          [])
+  | Automaton.CD_sender -> (
+      match sender with
+      | Some name -> (
+          match Hashtbl.find_opt t.by_name name with
+          | Some i -> [ i.machine ]
+          | None ->
+              trace t inst "net-error" (Printf.sprintf "vanished sender %s" name);
+              [])
+      | None ->
+          trace t inst "net-error" "FAIL_SENDER with no sender";
+          [])
+
+(* The daemons' own heartbeat monitor: once the fabric is perturbed, the
+   first deployed instance (the coordinator) probes every other daemon each
+   [heartbeat_period]; after [suspicion_timeout] worth of consecutive
+   misses the peer is suspected and outgoing control messages to it are
+   quarantined instead of retried forever. A later successful round trip
+   (e.g. after [heal]) lifts the suspicion. *)
+and ensure_monitor t =
+  match t.hb_handle with
+  | Some _ -> ()
+  | None ->
+      if not t.stopped then
+        t.hb_handle <-
+          Some (Engine.schedule t.eng ~delay:t.cfg.heartbeat_period (fun () -> hb_tick t))
+
+and hb_tick t =
+  t.hb_handle <- None;
+  if not t.stopped then begin
+    (match t.net with Some p when Perturb.touched p -> probe_all t p | Some _ | None -> ());
+    t.hb_handle <-
+      Some (Engine.schedule t.eng ~delay:t.cfg.heartbeat_period (fun () -> hb_tick t))
+  end
+
+and probe_all t p =
+  match t.all with
+  | [] -> ()
+  | root :: rest ->
+      let threshold =
+        max 1 (int_of_float (Float.ceil (t.cfg.suspicion_timeout /. t.cfg.heartbeat_period)))
+      in
+      List.iter
+        (fun inst ->
+          if inst.machine <> root.machine then begin
+            let fwd = Perturb.sample p ~src:root.machine ~dst:inst.machine ~kind:`Data in
+            let bwd = Perturb.sample p ~src:inst.machine ~dst:root.machine ~kind:`Data in
+            match (fwd, bwd) with
+            | `Deliver _, `Deliver _ ->
+                inst.hb_miss <- 0;
+                if inst.suspected then begin
+                  inst.suspected <- false;
+                  trace t inst "unsuspect" "heartbeat round trip"
+                end
+            | `Drop, _ | _, `Drop ->
+                inst.hb_miss <- inst.hb_miss + 1;
+                if inst.hb_miss >= threshold && not inst.suspected then begin
+                  inst.suspected <- true;
+                  trace t inst "suspect"
+                    (Printf.sprintf "%d missed heartbeats" inst.hb_miss)
+                end
+          end)
+        rest
+
 and send t inst msg dest ~sender =
+  if t.stopped then ()
+  else
   let deliver target_inst =
-    trace t inst "send" (Printf.sprintf "%s -> %s" msg target_inst.id);
-    Engine.schedule t.eng ~delay:t.cfg.msg_latency (fun () ->
-        dispatch t target_inst (Ev_msg (msg, inst.id)))
-    |> ignore
+    match t.net with
+    | Some p when Perturb.touched p && inst.machine <> target_inst.machine ->
+        deliver_hardened t p inst target_inst msg
+    | Some _ | None ->
+        trace t inst "send" (Printf.sprintf "%s -> %s" msg target_inst.id);
+        Engine.schedule t.eng ~delay:t.cfg.msg_latency (fun () ->
+            dispatch t target_inst (Ev_msg (msg, inst.id)))
+        |> ignore
   in
   match dest with
   | Automaton.CD_instance name -> (
@@ -217,6 +402,77 @@ and send t inst msg dest ~sender =
           | Some target_inst -> deliver target_inst
           | None -> trace t inst "send-error" (Printf.sprintf "vanished sender %s" name))
       | None -> trace t inst "send-error" "FAIL_SENDER with no sender")
+
+(* Once the fabric is perturbed, inter-machine control messages ride it:
+   each send is sequence-numbered, sampled against the link like any wire
+   message, retransmitted with exponential backoff until an (also sampled)
+   acknowledgement cancels the retry, and deduplicated at the receiver so
+   a lost ack only costs a duplicate. After [max_retries] the target is
+   suspected and further traffic to it is quarantined — the §5 analogue of
+   an MPI runtime's unreachable-daemon handling. *)
+and deliver_hardened t p inst target_inst msg =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let key = Printf.sprintf "%s#%d" inst.id seq in
+  trace t inst "send" (Printf.sprintf "%s -> %s #%d" msg target_inst.id seq);
+  let rec attempt k =
+    if t.stopped then ()
+    else if target_inst.suspected then
+      trace t inst "quarantine-drop"
+        (Printf.sprintf "%s -> %s #%d" msg target_inst.id seq)
+    else begin
+      (match Perturb.sample p ~src:inst.machine ~dst:target_inst.machine ~kind:`Data with
+      | `Deliver extra ->
+          Engine.schedule t.eng ~delay:(t.cfg.msg_latency +. extra) (fun () ->
+              if not (Hashtbl.mem t.seen key) then begin
+                Hashtbl.replace t.seen key ();
+                (* Ack travels the reverse link; losing it only provokes a
+                   retransmission the [seen] table absorbs. *)
+                (match
+                   Perturb.sample p ~src:target_inst.machine ~dst:inst.machine
+                     ~kind:`Data
+                 with
+                | `Deliver ack_extra ->
+                    Engine.schedule t.eng ~delay:(t.cfg.msg_latency +. ack_extra)
+                      (fun () ->
+                        match Hashtbl.find_opt t.retries seq with
+                        | Some h ->
+                            Engine.cancel h;
+                            Hashtbl.remove t.retries seq
+                        | None -> ())
+                    |> ignore
+                | `Drop -> ());
+                dispatch t target_inst (Ev_msg (msg, inst.id))
+              end)
+          |> ignore
+      | `Drop -> ());
+      if k < t.cfg.max_retries then begin
+        let delay =
+          Perturb.backoff ~rto_initial:t.cfg.retry_rto ~rto_max:t.cfg.retry_rto_max
+            ~attempt:k
+        in
+        let h =
+          Engine.schedule t.eng ~delay (fun () ->
+              Hashtbl.remove t.retries seq;
+              tracel t inst "retry" (fun () ->
+                  Printf.sprintf "%s -> %s #%d attempt %d" msg target_inst.id seq
+                    (k + 1));
+              attempt (k + 1))
+        in
+        Hashtbl.replace t.retries seq h
+      end
+      else begin
+        trace t inst "give-up"
+          (Printf.sprintf "%s -> %s #%d after %d attempts" msg target_inst.id seq
+             t.cfg.max_retries);
+        if not target_inst.suspected then begin
+          target_inst.suspected <- true;
+          trace t target_inst "suspect" "control message exhausted retries"
+        end
+      end
+    end
+  in
+  attempt 0
 
 and dispatch t inst ev =
   (* Lifecycle bookkeeping happens regardless of scenario transitions. *)
@@ -262,6 +518,13 @@ let create eng ?(config = default_config) (plan : Compile.plan) =
       all = [];
       fault_count = 0;
       entry_depth = 0;
+      net = None;
+      seq = 0;
+      seen = Hashtbl.create 64;
+      retries = Hashtbl.create 16;
+      hb_handle = None;
+      net_fault_count = 0;
+      stopped = false;
     }
   in
   let make_instance ~id ~machine ~daemon =
@@ -282,7 +545,10 @@ let create eng ?(config = default_config) (plan : Compile.plan) =
         rng = Rng.split (Engine.rng eng);
         node = 0;
         timer_gen = 0;
+        timer_handle = None;
         ctl = None;
+        suspected = false;
+        hb_miss = 0;
       }
     in
     List.iter
@@ -383,3 +649,37 @@ let read_var t ~instance name =
       find 0
 
 let injected_faults t = t.fault_count
+let net_faults t = t.net_fault_count
+
+let suspected t =
+  List.filter_map (fun inst -> if inst.suspected then Some inst.id else None) t.all
+
+(* ------------------------------------------------------------------ *)
+(* Fabric attachment and teardown *)
+
+let set_fabric t p =
+  t.net <- Some p;
+  (* A launch-time profile ([--net-loss] etc.) has already touched the
+     fabric by the time the runtime sees it; scenario-driven faults start
+     the monitor from their own actions instead. *)
+  if Perturb.touched p then ensure_monitor t
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (match t.hb_handle with
+    | Some h ->
+        Engine.cancel h;
+        t.hb_handle <- None
+    | None -> ());
+    Hashtbl.iter (fun _ h -> Engine.cancel h) t.retries;
+    Hashtbl.reset t.retries;
+    List.iter
+      (fun inst ->
+        match inst.timer_handle with
+        | Some h ->
+            Engine.cancel h;
+            inst.timer_handle <- None
+        | None -> ())
+      t.all
+  end

@@ -20,9 +20,22 @@ type t
 type config = {
   msg_latency : float;
       (** one-way latency of daemon-to-daemon control messages, including
-          daemon processing time (default 0.25 s — the injection
+          daemon processing time (default 0.11 s — the injection
           control plane runs through debugger-instrumented daemons and is
           much slower than the data plane) *)
+  heartbeat_period : float;
+      (** period of the coordinator's peer probes once the fabric is
+          perturbed (default 2 s) *)
+  suspicion_timeout : float;
+      (** how long a daemon must miss consecutive heartbeats before it is
+          suspected and quarantined (default 10 s) *)
+  retry_rto : float;
+      (** initial retransmission timeout of hardened control messages
+          (default 0.5 s) *)
+  retry_rto_max : float;  (** backoff cap (default 8 s) *)
+  max_retries : int;
+      (** retransmissions before giving up and suspecting the target
+          (default 6) *)
 }
 
 val default_config : config
@@ -73,3 +86,28 @@ val read_var : t -> instance:string -> string -> int option
 
 (** [injected_faults t] counts [halt] actions executed so far. *)
 val injected_faults : t -> int
+
+(** [net_faults t] counts [partition]/[degrade] actions executed so far
+    ([heal] is not a fault). *)
+val net_faults : t -> int
+
+(** [suspected t] lists the ids of currently quarantined instances. *)
+val suspected : t -> string list
+
+(** {2 Network fabric} *)
+
+(** [set_fabric t perturb] subjects the control plane to the simulated
+    network's perturbation layer: scenario [partition]/[degrade]/[heal]
+    actions act on it, inter-machine daemon messages are sampled against
+    it (with sequence numbers, ack-cancelled exponential-backoff
+    retransmission and receiver-side dedup), and a heartbeat monitor
+    suspects — quarantines — daemons whose probes miss for longer than
+    [suspicion_timeout]. With no fabric attached, or an untouched one,
+    message delivery is byte-identical to the historical runtime. *)
+val set_fabric : t -> Simnet.Net.Perturb.t -> unit
+
+(** [shutdown t] cancels every outstanding control-plane event — node
+    timers, armed retransmissions, the heartbeat monitor — so a finished
+    run drains the engine queue. Idempotent; further sends become
+    no-ops. *)
+val shutdown : t -> unit

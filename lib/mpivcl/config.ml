@@ -26,6 +26,7 @@ type t = {
   restart_settle : float;
   rep_respawn : bool;
   rep_failover_window : float;
+  net : Simnet.Net.Perturb.profile option;
 }
 
 let default ~n_ranks =
@@ -51,6 +52,7 @@ let default ~n_ranks =
     restart_settle = 0.1;
     rep_respawn = true;
     rep_failover_window = 30.0;
+    net = None;
   }
 
 let restarts_all_ranks t =

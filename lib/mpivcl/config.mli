@@ -72,6 +72,12 @@ type t = {
       (** replication only: how long the membership layer waits for an
           in-flight respawn to come back live once a rank has {e zero}
           computing replicas before declaring replication exhausted *)
+  net : Simnet.Net.Perturb.profile option;
+      (** launch-time network perturbation ([failmpi_run --net-*]):
+          applied to the deployment's fabric before any process starts
+          and wired into the FCI control plane. [None] (the default)
+          leaves the network byte-identical to the unperturbed
+          simulator. *)
 }
 
 (** Paper-like defaults for [n_ranks] ranks (non-blocking protocol,

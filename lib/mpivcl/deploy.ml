@@ -46,6 +46,14 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
       invalid_arg "Deploy.launch: the replication backend is deployed by Mpirep.Deploy"
   | Config.Non_blocking | Config.Blocking | Config.Sender_logging -> ());
   let cluster, net = Layout.fabric eng base in
+  (* Perturb the fabric before any process starts, then hand it to the
+     FCI control plane so daemon traffic rides the same links. *)
+  (match cfg.Config.net with
+  | Some profile -> Simnet.Net.Perturb.apply (Simnet.Net.perturb net) profile
+  | None -> ());
+  (match fci with
+  | Some rt -> Fci.Runtime.set_fabric rt (Simnet.Net.perturb net)
+  | None -> ());
   let env =
     {
       Env.eng;

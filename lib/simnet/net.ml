@@ -10,11 +10,280 @@ type config = {
 let default_config =
   { latency = 1e-4; bandwidth = 1e8; local_latency = 5e-6; local_bandwidth = 1e9 }
 
+let check_config c =
+  let bad name v =
+    invalid_arg
+      (Printf.sprintf "Net.create: %s must be a positive number (got %g)" name v)
+  in
+  (* [not (v > 0.)] also rejects NaN, which would otherwise propagate into
+     arrival times and silently wedge the event queue. *)
+  if not (c.latency > 0.0) then bad "latency" c.latency;
+  if not (c.bandwidth > 0.0) then bad "bandwidth" c.bandwidth;
+  if not (c.local_latency > 0.0) then bad "local_latency" c.local_latency;
+  if not (c.local_bandwidth > 0.0) then bad "local_bandwidth" c.local_bandwidth
+
+module Perturb = struct
+  type spec = { loss : float; latency : float; jitter : float }
+
+  let zero = { loss = 0.0; latency = 0.0; jitter = 0.0 }
+
+  let check_spec ?(what = "Net.Perturb") s =
+    if not (s.loss >= 0.0 && s.loss <= 1.0) then
+      invalid_arg (Printf.sprintf "%s: loss must be within [0, 1] (got %g)" what s.loss);
+    if not (s.latency >= 0.0) then
+      invalid_arg
+        (Printf.sprintf "%s: added latency must be non-negative (got %g)" what s.latency);
+    if not (s.jitter >= 0.0) then
+      invalid_arg (Printf.sprintf "%s: jitter must be non-negative (got %g)" what s.jitter)
+
+  type profile = {
+    base : spec;
+    partition : (int list * int list) option;
+    heal_at : float option;
+    seed : int64 option;
+    reliable : bool;
+    rto_initial : float;
+    rto_max : float;
+    max_attempts : int;
+  }
+
+  let default_profile =
+    {
+      base = zero;
+      partition = None;
+      heal_at = None;
+      seed = None;
+      reliable = true;
+      rto_initial = 0.25;
+      rto_max = 4.0;
+      max_attempts = 8;
+    }
+
+  let check_profile p =
+    check_spec ~what:"Net.Perturb profile" p.base;
+    if not (p.rto_initial > 0.0) then
+      invalid_arg
+        (Printf.sprintf "Net.Perturb profile: rto_initial must be positive (got %g)"
+           p.rto_initial);
+    if not (p.rto_max >= p.rto_initial) then
+      invalid_arg
+        (Printf.sprintf "Net.Perturb profile: rto_max (%g) must be >= rto_initial (%g)"
+           p.rto_max p.rto_initial);
+    if p.max_attempts < 1 then
+      invalid_arg
+        (Printf.sprintf "Net.Perturb profile: max_attempts must be >= 1 (got %d)"
+           p.max_attempts)
+
+  let backoff ~rto_initial ~rto_max ~attempt =
+    if attempt < 0 then invalid_arg "Net.Perturb.backoff: attempt must be >= 0";
+    Float.min rto_max (rto_initial *. (2.0 ** float_of_int attempt))
+
+  type cut = Sets of int list * int list | Isolate of int list
+
+  type flap = { f_hosts : int list; f_period : float; f_downtime : float; f_start : float }
+
+  type stats = { dropped : int; delayed : int; retransmits : int; conn_timeouts : int }
+
+  type t = {
+    p_eng : Engine.t;
+    mutable p_rng : Rng.t option;
+    mutable p_seed : int64 option;
+    mutable p_base : spec;
+    p_degraded : (int, spec) Hashtbl.t;
+    mutable p_cuts : cut list;
+    mutable p_flaps : flap list;
+    mutable p_touched : bool;
+    mutable p_reliable : bool;
+    mutable p_rto_initial : float;
+    mutable p_rto_max : float;
+    mutable p_max_attempts : int;
+    mutable p_dropped : int;
+    mutable p_delayed : int;
+    mutable p_retransmits : int;
+    mutable p_conn_timeouts : int;
+  }
+
+  let make eng =
+    {
+      p_eng = eng;
+      p_rng = None;
+      p_seed = None;
+      p_base = zero;
+      p_degraded = Hashtbl.create 8;
+      p_cuts = [];
+      p_flaps = [];
+      p_touched = false;
+      p_reliable = default_profile.reliable;
+      p_rto_initial = default_profile.rto_initial;
+      p_rto_max = default_profile.rto_max;
+      p_max_attempts = default_profile.max_attempts;
+      p_dropped = 0;
+      p_delayed = 0;
+      p_retransmits = 0;
+      p_conn_timeouts = 0;
+    }
+
+  let seed p s = p.p_seed <- Some s
+
+  (* The perturbation RNG is derived lazily, the first time a rule is
+     installed: a network that is never perturbed draws nothing from the
+     engine RNG, keeping the reliable fast path byte-identical to a build
+     without this layer. *)
+  let rng p =
+    match p.p_rng with
+    | Some r -> r
+    | None ->
+        let r =
+          match p.p_seed with
+          | Some s -> Rng.create s
+          | None -> Rng.split (Engine.rng p.p_eng)
+        in
+        p.p_rng <- Some r;
+        r
+
+  let touch p =
+    p.p_touched <- true;
+    ignore (rng p)
+
+  let touched p = p.p_touched
+  let reliable p = p.p_touched && p.p_reliable
+  let set_reliable p b = p.p_reliable <- b
+  let rto_initial p = p.p_rto_initial
+  let rto_max p = p.p_rto_max
+  let max_attempts p = p.p_max_attempts
+  let note_retransmits p n = p.p_retransmits <- p.p_retransmits + n
+  let note_conn_timeout p = p.p_conn_timeouts <- p.p_conn_timeouts + 1
+
+  let stats p =
+    {
+      dropped = p.p_dropped;
+      delayed = p.p_delayed;
+      retransmits = p.p_retransmits;
+      conn_timeouts = p.p_conn_timeouts;
+    }
+
+  let set_base p spec =
+    check_spec spec;
+    touch p;
+    p.p_base <- spec
+
+  let degrade p ~hosts spec =
+    check_spec spec;
+    touch p;
+    List.iter (fun h -> Hashtbl.replace p.p_degraded h spec) hosts
+
+  let partition p a b =
+    touch p;
+    p.p_cuts <- Sets (a, b) :: p.p_cuts
+
+  let isolate p hosts =
+    touch p;
+    p.p_cuts <- Isolate hosts :: p.p_cuts
+
+  let flap p ~hosts ~period ~downtime =
+    if not (period > 0.0 && downtime > 0.0 && downtime < period) then
+      invalid_arg
+        (Printf.sprintf
+           "Net.Perturb.flap: need 0 < downtime < period (got downtime %g, period %g)"
+           downtime period);
+    touch p;
+    p.p_flaps <-
+      { f_hosts = hosts; f_period = period; f_downtime = downtime; f_start = Engine.now p.p_eng }
+      :: p.p_flaps
+
+  (* [heal] removes every rule (partitions, flapping, degradations) but
+     leaves the transport hardening armed so in-flight retransmissions can
+     drain over the now-clean links. *)
+  let heal p =
+    p.p_cuts <- [];
+    p.p_flaps <- [];
+    Hashtbl.reset p.p_degraded;
+    p.p_base <- zero
+
+  let crosses_cut cut a b =
+    match cut with
+    | Sets (x, y) -> (List.mem a x && List.mem b y) || (List.mem a y && List.mem b x)
+    | Isolate hs -> List.mem a hs <> List.mem b hs
+
+  let flap_down now f =
+    let phase = Float.rem (Float.max 0.0 (now -. f.f_start)) f.f_period in
+    phase < f.f_downtime
+
+  let cut p ~src ~dst =
+    src <> dst
+    && (List.exists (fun c -> crosses_cut c src dst) p.p_cuts
+       || (p.p_flaps <> []
+          &&
+          let now = Engine.now p.p_eng in
+          List.exists
+            (fun f -> List.mem src f.f_hosts <> List.mem dst f.f_hosts && flap_down now f)
+            p.p_flaps))
+
+  let spec_for p ~src ~dst =
+    let comb acc h =
+      match Hashtbl.find_opt p.p_degraded h with
+      | None -> acc
+      | Some s ->
+          {
+            loss = Float.max acc.loss s.loss;
+            latency = Float.max acc.latency s.latency;
+            jitter = Float.max acc.jitter s.jitter;
+          }
+    in
+    comb (comb p.p_base src) dst
+
+  (* Decide the fate of one message. Same-host links model Unix sockets
+     and are never perturbed; [`Closed] markers survive random loss (the
+     kernel resets the connection even when the link is lossy) but not an
+     active partition. *)
+  let sample p ~src ~dst ~kind =
+    if src = dst then `Deliver 0.0
+    else if cut p ~src ~dst then begin
+      p.p_dropped <- p.p_dropped + 1;
+      `Drop
+    end
+    else begin
+      let s = spec_for p ~src ~dst in
+      if s.loss > 0.0 && kind = `Data && Rng.float (rng p) 1.0 < s.loss then begin
+        p.p_dropped <- p.p_dropped + 1;
+        `Drop
+      end
+      else begin
+        let extra =
+          s.latency +. (if s.jitter > 0.0 then Rng.float (rng p) s.jitter else 0.0)
+        in
+        if extra > 0.0 then p.p_delayed <- p.p_delayed + 1;
+        `Deliver extra
+      end
+    end
+
+  let apply p profile =
+    check_profile profile;
+    (match profile.seed with Some s -> p.p_seed <- Some s | None -> ());
+    p.p_reliable <- profile.reliable;
+    p.p_rto_initial <- profile.rto_initial;
+    p.p_rto_max <- profile.rto_max;
+    p.p_max_attempts <- profile.max_attempts;
+    if profile.base <> zero then set_base p profile.base;
+    (match profile.partition with Some (a, b) -> partition p a b | None -> ());
+    match profile.heal_at with
+    | Some t ->
+        touch p;
+        Engine.schedule_at p.p_eng ~time:t (fun () -> heal p) |> ignore
+    | None -> ()
+end
+
 type 'a recv_result = Data of 'a | Closed
+
+(* Wire format. The reliable transport (active only when the network is
+   perturbed) wraps payloads with sequence numbers and acknowledges them
+   cumulatively; the pristine path always uses [W_plain]. *)
+type 'a wire = W_plain of 'a recv_result | W_seq of int * 'a recv_result | W_ack of int
 
 type 'a t = {
   eng : Engine.t;
   cfg : config;
+  perturb : Perturb.t;
   listeners : (int * int, 'a listener) Hashtbl.t;
 }
 
@@ -35,15 +304,24 @@ and 'a conn = {
   mutable c_closed_local : bool;
   mutable c_closed_remote : bool;
   mutable c_tx_free_at : float;
+  mutable c_last_arrival : float;
   mutable c_peer : 'a conn option;
   mutable c_owner_hooked : bool;
+  (* Reliable-transport state (unused while the network is pristine). *)
+  mutable c_next_seq : int;
+  mutable c_expect : int;
+  mutable c_unacked : (int * int * 'a recv_result) list;  (* seq, size, payload *)
+  mutable c_retx_timer : Engine.handle option;
+  mutable c_attempts : int;
 }
 
 let create eng ?(config = default_config) () =
-  { eng; cfg = config; listeners = Hashtbl.create 64 }
+  check_config config;
+  { eng; cfg = config; perturb = Perturb.make eng; listeners = Hashtbl.create 64 }
 
 let engine net = net.eng
 let config net = net.cfg
+let perturb net = net.perturb
 
 let link_params net ~src ~dst =
   if src = dst then (net.cfg.local_latency, net.cfg.local_bandwidth)
@@ -66,13 +344,28 @@ let close_listener l =
     Mailbox.send l.l_pending None
   end
 
-(* Deliver an item at the receiving endpoint. Runs as an engine event at
-   the arrival time. *)
-let arrive conn item =
+let reliable_on conn =
+  conn.c_local_host <> conn.c_peer_host && Perturb.reliable conn.c_net.perturb
+
+let kind_of_wire = function W_plain Closed -> `Closed | W_plain _ | W_seq _ | W_ack _ -> `Data
+
+let cancel_retx conn =
+  match conn.c_retx_timer with
+  | Some h ->
+      Engine.cancel h;
+      conn.c_retx_timer <- None
+  | None -> ()
+
+(* Deliver an item at the receiving endpoint, queue wire messages,
+   acknowledge and retransmit. All of these run as engine events. *)
+let rec deliver conn item =
   if not conn.c_closed_remote then begin
     match item with
     | Closed ->
         conn.c_closed_remote <- true;
+        (* Whatever we still had in flight can never be acknowledged. *)
+        conn.c_unacked <- [];
+        cancel_retx conn;
         let waiters = conn.c_waiters in
         conn.c_waiters <- [];
         List.iter (fun waker -> ignore (waker Closed)) waiters
@@ -86,9 +379,79 @@ let arrive conn item =
         offer conn.c_waiters
   end
 
-(* Queue [item] on the wire from [conn] to its peer, honouring per-direction
-   serialization (a single NIC transmits one message at a time). *)
-let transmit conn ~size item =
+and arrive conn w =
+  match w with
+  | W_plain item -> if not conn.c_closed_remote then deliver conn item
+  | W_ack n -> on_ack conn n
+  | W_seq (seq, item) ->
+      (* Endpoints whose owner died (or that closed locally) stay silent:
+         the peer must discover the failure by closure or timeout, never
+         from a ghost acknowledgement. *)
+      if (not conn.c_closed_remote) && not conn.c_closed_local then
+        if seq = conn.c_expect then begin
+          conn.c_expect <- seq + 1;
+          send_ack conn;
+          deliver conn item
+        end
+        else
+          (* Duplicate or gap (go-back-N): re-advertise the cumulative ack
+             and let the sender retransmit in order. *)
+          send_ack conn
+
+and send_ack conn = transmit conn ~size:0 (W_ack conn.c_expect)
+
+and on_ack conn n =
+  let before = conn.c_unacked in
+  conn.c_unacked <- List.filter (fun (s, _, _) -> s >= n) conn.c_unacked;
+  if List.compare_lengths conn.c_unacked before < 0 then conn.c_attempts <- 0;
+  if conn.c_unacked = [] then cancel_retx conn
+
+and arm_retx conn =
+  if conn.c_retx_timer = None && conn.c_unacked <> [] then begin
+    let p = conn.c_net.perturb in
+    let delay =
+      Perturb.backoff ~rto_initial:(Perturb.rto_initial p) ~rto_max:(Perturb.rto_max p)
+        ~attempt:conn.c_attempts
+    in
+    conn.c_retx_timer <- Some (Engine.schedule conn.c_net.eng ~delay (fun () -> retx_fire conn))
+  end
+
+and retx_fire conn =
+  conn.c_retx_timer <- None;
+  if conn.c_unacked <> [] then begin
+    let p = conn.c_net.perturb in
+    conn.c_attempts <- conn.c_attempts + 1;
+    if conn.c_attempts > Perturb.max_attempts p then conn_timeout conn
+    else begin
+      Perturb.note_retransmits p (List.length conn.c_unacked);
+      List.iter
+        (fun (seq, size, item) -> transmit conn ~size (W_seq (seq, item)))
+        conn.c_unacked;
+      arm_retx conn
+    end
+  end
+
+(* The retransmission budget is exhausted: tear the connection down the
+   way TCP does on ETIMEDOUT. The local side observes [Closed] now; the
+   peer's own keepalive gives up one rto_max later (it cannot be told over
+   the dead link). *)
+and conn_timeout conn =
+  let p = conn.c_net.perturb in
+  Perturb.note_conn_timeout p;
+  conn.c_unacked <- [];
+  conn.c_closed_local <- true;
+  deliver conn Closed;
+  match conn.c_peer with
+  | Some peer ->
+      Engine.schedule conn.c_net.eng ~delay:(Perturb.rto_max p) (fun () -> deliver peer Closed)
+      |> ignore
+  | None -> ()
+
+(* Queue a wire message from [conn] to its peer, honouring per-direction
+   serialization (a single NIC transmits one message at a time). When the
+   network is perturbed the message is sampled for loss/partition/extra
+   latency; arrivals stay FIFO per direction (degraded TCP, not UDP). *)
+and transmit conn ~size item =
   match conn.c_peer with
   | None -> ()
   | Some peer ->
@@ -100,8 +463,21 @@ let transmit conn ~size item =
       let start = Float.max now conn.c_tx_free_at in
       let tx_time = float_of_int size /. bandwidth in
       conn.c_tx_free_at <- start +. tx_time;
-      let arrival = start +. tx_time +. latency in
-      Engine.schedule_at eng ~time:arrival (fun () -> arrive peer item) |> ignore
+      let p = conn.c_net.perturb in
+      let fate =
+        if Perturb.touched p then
+          Perturb.sample p ~src:conn.c_local_host ~dst:conn.c_peer_host
+            ~kind:(kind_of_wire item)
+        else `Deliver 0.0
+      in
+      (match fate with
+      | `Drop -> ()
+      | `Deliver extra ->
+          let arrival =
+            Float.max (start +. tx_time +. latency +. extra) conn.c_last_arrival
+          in
+          conn.c_last_arrival <- arrival;
+          Engine.schedule_at eng ~time:arrival (fun () -> arrive peer item) |> ignore)
 
 let close conn =
   if not conn.c_closed_local then begin
@@ -110,7 +486,14 @@ let close conn =
     let waiters = conn.c_waiters in
     conn.c_waiters <- [];
     List.iter (fun waker -> ignore (waker Closed)) waiters;
-    transmit conn ~size:0 Closed
+    if reliable_on conn && not conn.c_closed_remote then begin
+      let seq = conn.c_next_seq in
+      conn.c_next_seq <- seq + 1;
+      conn.c_unacked <- conn.c_unacked @ [ (seq, 0, Closed) ];
+      transmit conn ~size:0 (W_seq (seq, Closed));
+      arm_retx conn
+    end
+    else transmit conn ~size:0 (W_plain Closed)
   end
 
 let is_open conn = not (conn.c_closed_local || conn.c_closed_remote)
@@ -138,8 +521,14 @@ let make_pair net ~host_a ~host_b =
       c_closed_local = false;
       c_closed_remote = false;
       c_tx_free_at = now;
+      c_last_arrival = now;
       c_peer = None;
       c_owner_hooked = false;
+      c_next_seq = 0;
+      c_expect = 0;
+      c_unacked = [];
+      c_retx_timer = None;
+      c_attempts = 0;
     }
   in
   let a = fresh host_a host_b in
@@ -151,22 +540,59 @@ let make_pair net ~host_a ~host_b =
 let connect net ~host ~to_host ~to_port =
   let eng = net.eng in
   let latency, _ = link_params net ~src:host ~dst:to_host in
-  let result = Ivar.create () in
-  Engine.schedule eng ~delay:latency (fun () ->
-      match Hashtbl.find_opt net.listeners (to_host, to_port) with
-      | Some l when l.l_open ->
-          let a, b = make_pair net ~host_a:host ~host_b:to_host in
-          Mailbox.send l.l_pending (Some b);
-          Engine.schedule eng ~delay:latency (fun () -> Ivar.fill result (Ok a)) |> ignore
-      | Some _ | None ->
-          Engine.schedule eng ~delay:latency (fun () -> Ivar.fill result (Error `Refused))
-          |> ignore)
-  |> ignore;
-  match Ivar.read result with
-  | Ok conn ->
-      adopt conn;
-      Ok conn
-  | Error `Refused -> Error `Refused
+  let p = net.perturb in
+  let sample () =
+    if Perturb.touched p then Perturb.sample p ~src:host ~dst:to_host ~kind:`Data
+    else `Deliver 0.0
+  in
+  (* One handshake round trip. Each hop is sampled like a message: a lost
+     or partitioned SYN is a network failure ([`Lost]) that the reliable
+     connector retries with backoff below, while a missing listener
+     refuses immediately (a TCP RST is not worth retrying). *)
+  let attempt_once () =
+    let result = Ivar.create () in
+    let finish ~extra v =
+      Engine.schedule eng ~delay:(latency +. extra) (fun () -> Ivar.fill result v) |> ignore
+    in
+    (match sample () with
+    | `Drop -> finish ~extra:0.0 (Error `Lost)
+    | `Deliver extra1 ->
+        Engine.schedule eng ~delay:(latency +. extra1) (fun () ->
+            match Hashtbl.find_opt net.listeners (to_host, to_port) with
+            | Some l when l.l_open -> (
+                match sample () with
+                | `Drop -> finish ~extra:0.0 (Error `Lost)
+                | `Deliver extra2 ->
+                    let a, b = make_pair net ~host_a:host ~host_b:to_host in
+                    Mailbox.send l.l_pending (Some b);
+                    finish ~extra:extra2 (Ok a))
+            | Some _ | None -> finish ~extra:0.0 (Error `Refused))
+        |> ignore);
+    Ivar.read result
+  in
+  let retrying = host <> to_host && Perturb.reliable p in
+  let rec go attempt =
+    match attempt_once () with
+    | Ok conn ->
+        adopt conn;
+        Ok conn
+    | Error `Refused -> Error `Refused
+    | Error `Lost ->
+        if retrying && attempt < Perturb.max_attempts p then begin
+          Perturb.note_retransmits p 1;
+          Proc.sleep
+            (Perturb.backoff ~rto_initial:(Perturb.rto_initial p)
+               ~rto_max:(Perturb.rto_max p) ~attempt);
+          go (attempt + 1)
+        end
+        else begin
+          (* Out of SYN retries: the peer is unreachable, like connect(2)
+             returning ETIMEDOUT. *)
+          if retrying then Perturb.note_conn_timeout p;
+          Error `Refused
+        end
+  in
+  go 0
 
 let accept l =
   match Mailbox.recv l.l_pending with
@@ -177,8 +603,16 @@ let accept l =
 
 let send conn ?(size = 64) v =
   if conn.c_closed_local || conn.c_closed_remote then false
+  else if reliable_on conn then begin
+    let seq = conn.c_next_seq in
+    conn.c_next_seq <- seq + 1;
+    conn.c_unacked <- conn.c_unacked @ [ (seq, size, Data v) ];
+    transmit conn ~size (W_seq (seq, Data v));
+    arm_retx conn;
+    true
+  end
   else begin
-    transmit conn ~size (Data v);
+    transmit conn ~size (W_plain (Data v));
     true
   end
 

@@ -12,7 +12,18 @@
     any reason, including a FAIL-MPI [halt] — the peer observes the closure
     on its next receive. "A failure is assumed after any unexpected socket
     closure"; detection is immediate because experiments kill tasks, not
-    operating systems. *)
+    operating systems.
+
+    {!Perturb} relaxes the perfect-network assumption: per-link loss,
+    added latency and jitter, bidirectional partitions between host sets
+    with heal, and link flapping — all deterministic functions of the run
+    seed. While the network is perturbed, inter-host connections switch to
+    a reliable transport (sequence numbers, cumulative acks, bounded
+    exponential-backoff retransmission) so degraded links behave like slow
+    TCP rather than UDP; a connection that exhausts its retransmission
+    budget is torn down like ETIMEDOUT and both ends eventually observe
+    [Closed]. A network that is never perturbed takes the historical fast
+    path, byte-identical to the pre-perturbation simulator. *)
 
 open Simkern
 
@@ -28,9 +39,129 @@ type config = {
 (** GigE-like defaults: 100 us latency, 100 MB/s; local: 5 us, 1 GB/s. *)
 val default_config : config
 
+(** Network perturbation: deterministic link faults drawn from the run
+    seed. All state lives inside the owning network (and therefore inside
+    one run's engine), so campaigns stay reproducible at any [--jobs]. *)
+module Perturb : sig
+  (** Degradation of a link: [loss] is the per-message drop probability in
+      [\[0, 1\]], [latency] an added one-way delay in seconds, [jitter] a
+      uniform extra delay in [\[0, jitter)]. Arrivals remain FIFO per
+      direction. [Closed] markers survive random loss (a kernel reset gets
+      through a lossy link) but not an active partition. *)
+  type spec = { loss : float; latency : float; jitter : float }
+
+  val zero : spec
+
+  (** A launch-time perturbation profile ([failmpi_run --net-*]): [base]
+      degrades every inter-host link, [partition] opens a bidirectional
+      cut between two host sets, [heal_at] schedules {!heal}, [seed]
+      overrides the lazily split perturbation RNG, [reliable] arms the
+      retransmitting transport (default [true]), and [rto_initial]/
+      [rto_max]/[max_attempts] bound its exponential backoff. *)
+  type profile = {
+    base : spec;
+    partition : (int list * int list) option;
+    heal_at : float option;
+    seed : int64 option;
+    reliable : bool;
+    rto_initial : float;
+    rto_max : float;
+    max_attempts : int;
+  }
+
+  (** No degradation, no partition, reliable transport armed with
+      [rto_initial = 0.25 s], [rto_max = 4 s], [max_attempts = 8]. *)
+  val default_profile : profile
+
+  (** Raise [Invalid_argument] on parameters outside their domain (loss
+      outside [\[0,1\]], negative delays, non-positive backoff). *)
+  val check_spec : ?what:string -> spec -> unit
+
+  val check_profile : profile -> unit
+
+  (** [backoff ~rto_initial ~rto_max ~attempt] is the retransmission delay
+      before attempt [attempt] (0-based): [rto_initial * 2^attempt] capped
+      at [rto_max]. Pure; unit-tested by the backoff-schedule tests. *)
+  val backoff : rto_initial:float -> rto_max:float -> attempt:int -> float
+
+  type t
+
+  type stats = {
+    dropped : int;  (** messages dropped by loss or an active cut *)
+    delayed : int;  (** messages delivered with added latency/jitter *)
+    retransmits : int;  (** wire messages re-sent by the reliable transport *)
+    conn_timeouts : int;  (** connections torn down after exhausting retries *)
+  }
+
+  (** [touched t] is true once any rule was ever installed — the gate for
+      every perturbation code path. A never-touched network is
+      byte-identical to the historical simulator. *)
+  val touched : t -> bool
+
+  val stats : t -> stats
+
+  (** [sample t ~src ~dst ~kind] draws the fate of one wire message on
+      the [src -> dst] link: [`Deliver extra] adds [extra] seconds of
+      latency/jitter, [`Drop] loses it (and counts it in {!stats}).
+      Same-host traffic always delivers. [`Closed] markers ride through
+      random loss but not an active cut. Used by the FCI control plane
+      to subject its own messages to the same fabric as the
+      application's. *)
+  val sample :
+    t ->
+    src:int ->
+    dst:int ->
+    kind:[ `Data | `Closed ] ->
+    [ `Deliver of float | `Drop ]
+
+  (** [seed t s] fixes the perturbation RNG seed ([--net-seed]); without
+      it, the RNG is split from the engine RNG on first use. Must be
+      called before the first rule is installed to take effect. *)
+  val seed : t -> int64 -> unit
+
+  (** [apply t profile] installs a launch-time profile: backoff limits,
+      base degradation, partition and scheduled heal. *)
+  val apply : t -> profile -> unit
+
+  (** [set_base t spec] degrades every inter-host link. *)
+  val set_base : t -> spec -> unit
+
+  (** [degrade t ~hosts spec] degrades every link touching one of
+      [hosts]; the worse of base/endpoint specs applies per link. *)
+  val degrade : t -> hosts:int list -> spec -> unit
+
+  (** [partition t a b] drops everything crossing the cut between host
+      sets [a] and [b], both directions, and refuses new connections. *)
+  val partition : t -> int list -> int list -> unit
+
+  (** [isolate t hosts] partitions [hosts] from every other host. *)
+  val isolate : t -> int list -> unit
+
+  (** [flap t ~hosts ~period ~downtime] makes the links between [hosts]
+      and the rest of the cluster go down for the first [downtime] seconds
+      of every [period], starting now. *)
+  val flap : t -> hosts:int list -> period:float -> downtime:float -> unit
+
+  (** [heal t] removes every rule (partitions, flapping, degradations).
+      The reliable transport stays armed so in-flight retransmissions
+      drain over the healed links. *)
+  val heal : t -> unit
+
+  (** [set_reliable t b] arms or disarms the retransmitting transport
+      (tests use [false] to expose raw loss to the protocols). *)
+  val set_reliable : t -> bool -> unit
+end
+
+(** [create eng ?config ()] builds a network. Raises [Invalid_argument]
+    if any latency or bandwidth in [config] is not a positive number. *)
 val create : Engine.t -> ?config:config -> unit -> 'a t
+
 val engine : 'a t -> Engine.t
 val config : 'a t -> config
+
+(** [perturb net] is the network's perturbation layer (dormant until a
+    rule is installed). *)
+val perturb : 'a t -> Perturb.t
 
 type 'a listener
 type 'a conn
@@ -53,7 +184,8 @@ val close_listener : 'a listener -> unit
 (** [connect net ~host ~to_host ~to_port] opens a connection from [host].
     Blocks the calling process for the handshake round-trip; the caller
     becomes the owner of the returned endpoint. [Error `Refused] if no
-    listener is bound. *)
+    listener is bound — or, on a perturbed network, if the handshake was
+    lost or the hosts are partitioned. *)
 val connect : 'a t -> host:int -> to_host:int -> to_port:int -> ('a conn, [ `Refused ]) result
 
 (** [send conn ?size v] queues [v] for delivery ([size] in bytes, default

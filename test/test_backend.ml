@@ -251,7 +251,7 @@ let check_golden name ~protocol g =
   check_str (ctx "time") g.g_time
     (match r.Failmpi.Run.outcome with
     | Failmpi.Run.Completed t -> Printf.sprintf "%.6f" t
-    | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy -> "-");
+    | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung -> "-");
   check_int (ctx "faults") g.g_faults r.Failmpi.Run.injected_faults;
   check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) (ctx "checksums")
     g.g_checksums r.Failmpi.Run.checksums;

@@ -165,6 +165,35 @@ let test_parse_set_and_watch () =
   | [ Ast.A_set_app ("speed", Ast.Int 2); Ast.A_goto "1" ] -> ()
   | _ -> Alcotest.fail "expected set action"
 
+let test_parse_net_actions () =
+  let p =
+    Parser.parse
+      "Daemon D { node 1: timer -> partition G1[2], goto 2; time t = 5;\n\
+      \ node 2: timer -> degrade G1[3] loss = 100 latency = 2, goto 3; time t = 1;\n\
+      \ node 3: timer -> partition G1[0] G1[1], heal; time t = 1; }"
+  in
+  let d = List.hd p.Ast.daemons in
+  let actions n = (List.hd (List.nth d.Ast.d_nodes n).Ast.n_transitions).Ast.actions in
+  (match actions 0 with
+  | [ Ast.A_partition (Ast.D_indexed ("G1", Ast.Int 2), None); Ast.A_goto "2" ] -> ()
+  | _ -> Alcotest.fail "expected one-sided partition");
+  (match actions 1 with
+  | [ Ast.A_degrade d; Ast.A_goto "3" ] ->
+      check_bool "loss" true (d.Ast.deg_loss = Some (Ast.Int 100));
+      check_bool "latency" true (d.Ast.deg_latency = Some (Ast.Int 2));
+      check_bool "jitter" true (d.Ast.deg_jitter = None)
+  | _ -> Alcotest.fail "expected degrade");
+  match actions 2 with
+  | [ Ast.A_partition (_, Some (Ast.D_indexed ("G1", Ast.Int 1))); Ast.A_heal ] -> ()
+  | _ -> Alcotest.fail "expected two-sided partition then heal"
+
+let test_parse_degrade_bad_field () =
+  match
+    Parser.parse_result "Daemon D { node 1: timer -> degrade G1[0] speed = 2; time t = 1; }"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown-field error"
+
 let test_parse_error_location () =
   match Parser.parse_result "Daemon D {\n node 1:\n onload -> ;\n}" with
   | Error msg -> check_bool "line 3 reported" true (String.length msg > 0 && String.sub msg 0 6 = "line 3")
@@ -190,6 +219,50 @@ let test_roundtrip_paper_scenarios () =
 let test_roundtrip_edge_cases () =
   roundtrip "Daemon D { int x = 0 - 5; node 1: x < 3 * (x + 2) -> x = x % 2, goto 1; }";
   roundtrip "Daemon D { node a: ?m -> !m(P), stop, continue, halt; node b: } P : D on machine 0;"
+
+(* Every net-action shape the printer can emit survives print -> parse:
+   one- and two-sided partition, heal, and degrade with every subset of
+   the three dimension fields. *)
+let test_roundtrip_net_actions () =
+  roundtrip "Daemon D { node 1: timer -> partition G1[2], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> partition G1[0] G1[1], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> partition FAIL_SENDER, heal; ?cut -> heal, goto 1; }";
+  roundtrip "Daemon D { node 1: timer -> degrade G1[2] loss = 100, goto 1; time t = 5; }";
+  roundtrip
+    "Daemon D { node 1: timer -> degrade G1[2] loss = N * 10 latency = 2 jitter = 1, goto 1; \
+     time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> degrade P latency = 7; time t = 5; } P : D on machine 0;"
+
+(* Codegen.Scenario: [injections_of_program] is the inverse of [source]
+   for every fault kind, including the network ones. *)
+let test_scenario_injection_roundtrip () =
+  let open Codegen.Scenario in
+  let plans =
+    [
+      [ { machine = 2; anchor = After 20; kind = Partition } ];
+      [
+        { machine = 1; anchor = After 10; kind = Degrade { loss = 50; latency = 3 } };
+        { machine = 1; anchor = After 15; kind = Kill };
+        { machine = 0; anchor = After 8; kind = Heal };
+      ];
+      [
+        { machine = 3; anchor = After 25; kind = Kill };
+        { machine = 4; anchor = On_reload { nth = 10; delay = 1 }; kind = Freeze { thaw = 30 } };
+        { machine = 3; anchor = After 2; kind = Partition };
+        { machine = 0; anchor = After 12; kind = Heal };
+      ];
+    ]
+  in
+  List.iter
+    (fun injections ->
+      let src = source ~n_machines:13 injections in
+      let p = Parser.parse src in
+      match injections_of_program p with
+      | Ok (n_machines, got) ->
+          check_bool "machine count survives round-trip" true (n_machines = 13);
+          check_bool "injections survive round-trip" true (got = injections)
+      | Error e -> Alcotest.failf "injections_of_program failed: %s\n%s" e src)
+    plans
 
 (* Every scenario file we ship must survive parse -> print -> parse.
    (Round-tripping is parameter-independent: [Pp] prints the AST before
@@ -568,12 +641,17 @@ let () =
           Alcotest.test_case "FAIL_SENDER dest" `Quick test_parse_sender_dest;
           Alcotest.test_case "before trigger" `Quick test_parse_before;
           Alcotest.test_case "set and watch" `Quick test_parse_set_and_watch;
+          Alcotest.test_case "net actions" `Quick test_parse_net_actions;
+          Alcotest.test_case "degrade bad field" `Quick test_parse_degrade_bad_field;
           Alcotest.test_case "error location" `Quick test_parse_error_location;
         ] );
       ( "pretty-printer",
         [
           Alcotest.test_case "paper scenarios round-trip" `Quick test_roundtrip_paper_scenarios;
           Alcotest.test_case "edge cases round-trip" `Quick test_roundtrip_edge_cases;
+          Alcotest.test_case "net actions round-trip" `Quick test_roundtrip_net_actions;
+          Alcotest.test_case "scenario injections round-trip" `Quick
+            test_scenario_injection_roundtrip;
           Alcotest.test_case "scenario files round-trip" `Quick test_roundtrip_scenario_files;
         ] );
       ( "sema",

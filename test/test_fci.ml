@@ -16,7 +16,7 @@ let deploy ?config ?params eng src =
   | Error msg -> Alcotest.failf "compile failed: %s" msg
 
 (* Fast control plane for unit tests. *)
-let fast = { Fci.Runtime.msg_latency = 0.01 }
+let fast = { Fci.Runtime.default_config with msg_latency = 0.01 }
 
 let test_deploy_instances () =
   let eng = Engine.create () in
