@@ -138,6 +138,18 @@ let netfault ~quick () =
   print_endline Experiments.Fig_netfault.paper_note;
   print_newline ()
 
+let shrink ~quick () =
+  let config =
+    if quick then Experiments.Fig_shrink.quick_config
+    else Experiments.Fig_shrink.default_config
+  in
+  let rows = Experiments.Fig_shrink.run ~config () in
+  emit_csv "shrink" (Experiments.Fig_shrink.aggs rows);
+  print_string (Experiments.Fig_shrink.render rows);
+  print_newline ();
+  print_endline Experiments.Fig_shrink.paper_note;
+  print_newline ()
+
 let delay ~quick () =
   let rows =
     Experiments.Delay_experiment.run
@@ -159,6 +171,7 @@ let experiments =
     ("ablations", ablations);
     ("families", families);
     ("netfault", netfault);
+    ("shrink", shrink);
     ("delay", delay);
   ]
 
@@ -192,7 +205,7 @@ let cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, families, \
-             netfault, delay.")
+             netfault, shrink, delay.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions and sizes (smoke mode).")

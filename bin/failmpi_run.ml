@@ -89,8 +89,8 @@ let list_protocols () =
     (Failmpi.Backend.all ());
   0
 
-let run scenario_file paper params ranks klass protocol replicas seed timeout fixed seeded
-    show_trace analyze trace_csv show_protocols net =
+let run scenario_file paper params ranks klass protocol replicas spares seed timeout fixed
+    seeded show_trace analyze trace_csv show_protocols net =
   if show_protocols then list_protocols ()
   else begin
     (match net with
@@ -111,6 +111,10 @@ let run scenario_file paper params ranks klass protocol replicas seed timeout fi
       prerr_endline "failmpi_run: --replicas must be at least 1";
       exit 1
     end;
+    if spares < 0 then begin
+      prerr_endline "failmpi_run: --spares must be at least 0";
+      exit 1
+    end;
     let (module B : Failmpi.Backend.S) =
       match Failmpi.Backend.find protocol with
       | Some b -> b
@@ -120,8 +124,21 @@ let run scenario_file paper params ranks klass protocol replicas seed timeout fi
                (String.concat ", " (Failmpi.Backend.names ())));
           exit 1
     in
-    let protocol = B.protocol ~replicas in
-    let n_machines = B.default_machines ~n_ranks:ranks ~replicas in
+    let protocol =
+      match B.protocol ~replicas with
+      | Mpivcl.Config.Ulfm _ -> Mpivcl.Config.Ulfm { spares }
+      | p ->
+          if spares > 0 then begin
+            prerr_endline
+              (Printf.sprintf
+                 "failmpi_run: --spares only applies to the ulfm backend, not %s" B.name);
+            exit 1
+          end;
+          p
+    in
+    (* Warm spares live on compute hosts beyond the ranks; grow the
+       allocation if the paper-style default leaves no room for them. *)
+    let n_machines = max (B.default_machines ~n_ranks:ranks ~replicas) (ranks + spares) in
     let scenario =
       match (scenario_file, paper) with
       | Some path, None -> Some (read_file path)
@@ -163,6 +180,9 @@ let run scenario_file paper params ranks klass protocol replicas seed timeout fi
       (Failmpi.Run.outcome_name r.Failmpi.Run.outcome)
       (match r.Failmpi.Run.outcome with
       | Failmpi.Run.Completed t -> Printf.sprintf " (%.1f s)" t
+      | Failmpi.Run.Degraded { at; survivors } ->
+          Printf.sprintf " (%.1f s, %d survivors)" at survivors
+      | Failmpi.Run.Aborted reason -> Printf.sprintf " (%s)" reason
       | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung -> "");
     Printf.printf "protocol:         %s\n" (Mpivcl.Config.protocol_name protocol);
     Printf.printf "injected faults:  %d\n" r.Failmpi.Run.injected_faults;
@@ -226,6 +246,14 @@ let cmd =
       value & opt int 2
       & info [ "replicas" ] ~docv:"N"
           ~doc:"Replicas per logical rank (with --protocol replication).")
+  in
+  let spares =
+    Arg.(
+      value & opt int 0
+      & info [ "spares" ] ~docv:"N"
+          ~doc:
+            "Warm spare daemons promoted into the communicator on shrink (with \
+             --protocol ulfm).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Experiment seed.") in
   let timeout =
@@ -318,7 +346,8 @@ let cmd =
   Cmd.v
     (Cmd.info "failmpi_run" ~doc:"Inject faults into a fault-tolerant MPI running NAS BT")
     Term.(
-      const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ seed
-      $ timeout $ fixed $ seeded $ show_trace $ analyze $ trace_csv $ show_protocols $ net)
+      const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ spares
+      $ seed $ timeout $ fixed $ seeded $ show_trace $ analyze $ trace_csv $ show_protocols
+      $ net)
 
 let () = exit (Cmd.eval' cmd)

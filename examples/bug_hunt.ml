@@ -24,6 +24,9 @@ let run ?(buggy = true) ~scenario ~seed () =
 let describe r =
   match r.Failmpi.Run.outcome with
   | Failmpi.Run.Completed t -> Printf.sprintf "completed in %.0f s" t
+  | Failmpi.Run.Degraded { at; survivors } ->
+      Printf.sprintf "degraded: completed in %.0f s on %d survivors" at survivors
+  | Failmpi.Run.Aborted reason -> Printf.sprintf "aborted: %s" reason
   | Failmpi.Run.Non_terminating -> "non-terminating"
   | Failmpi.Run.Buggy -> "FROZE (dispatcher confused)"
   | Failmpi.Run.Net_hung -> "net-hung (network-explained wedge)"

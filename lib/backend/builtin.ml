@@ -70,6 +70,10 @@ module Rollback (P : ROLLBACK_SPEC) : Intf.S = struct
       extra = net_extra (Deploy.net h);
     }
 
+  (* Rollback recovery restores the original membership; terminal failure
+     is [frozen], never a shrink or a clean abort. *)
+  let survivors _ = None
+  let aborted _ = None
   let teardown = Deploy.teardown
 end
 
@@ -123,7 +127,8 @@ module Replication : Intf.S = struct
 
   let handles = function
     | Config.Replication _ -> true
-    | Config.Non_blocking | Config.Blocking | Config.Sender_logging -> false
+    | Config.Non_blocking | Config.Blocking | Config.Sender_logging | Config.Ulfm _ ->
+        false
 
   (* degree x ranks replicas plus two spare hosts for respawns (so e.g.
      --ranks 4 --replicas 2 matches scenarios/replica_split.fail's
@@ -150,11 +155,74 @@ module Replication : Intf.S = struct
         :: net_extra (Mpirep.Deploy.net h));
     }
 
+  (* Failover restores the full logical membership (every rank keeps
+     computing somewhere); exhaustion is [frozen], preserving the §5
+     [Buggy] classification of the historical goldens. *)
+  let survivors _ = None
+  let aborted _ = None
   let teardown = Mpirep.Deploy.teardown
 end
 
+module Ulfm : Intf.S = struct
+  type handle = Mpiulfm.Deploy.handle
+
+  let name = "ulfm"
+  let aliases = [ "shrink" ]
+
+  let doc =
+    "ULFM-style shrink-and-continue: heartbeat failure detection raised into the \
+     running collective, survivor agreement (majority of the superseded epoch), \
+     communicator shrink with warm-spare promotion; completes degraded instead of \
+     restoring membership"
+
+  let family_label ~replicas:_ = "ULFM (shrink)"
+  let protocol ~replicas:_ = Config.Ulfm { spares = 0 }
+
+  let handles = function
+    | Config.Ulfm _ -> true
+    | Config.Non_blocking | Config.Blocking | Config.Sender_logging | Config.Replication _
+      ->
+        false
+
+  (* One host per daemon; the paper-style four extra hosts double as the
+     warm-spare pool when [--spares] asks for one. *)
+  let default_machines ~n_ranks ~replicas:_ = n_ranks + 4
+  let launch = Mpiulfm.Deploy.launch
+  let await h = ignore (Mpiulfm.Udispatcher.outcome h.Mpiulfm.Deploy.udispatcher)
+
+  let peek_completed h =
+    match Mpiulfm.Udispatcher.peek_outcome h.Mpiulfm.Deploy.udispatcher with
+    | Some (Mpiulfm.Udispatcher.Completed t) -> Some t
+    | Some (Mpiulfm.Udispatcher.Aborted _) | None -> None
+
+  (* A ulfm run never freezes by protocol design — it completes, aborts
+     cleanly, or is still detecting/agreeing at the timeout — except for
+     a split-brain (two daemons deciding the same epoch differently),
+     which the dispatcher cross-checks for and which is a genuine
+     protocol bug. *)
+  let frozen h = Mpiulfm.Udispatcher.divergent h.Mpiulfm.Deploy.udispatcher
+
+  let metrics h =
+    let ud = h.Mpiulfm.Deploy.udispatcher in
+    {
+      Metrics.zero with
+      Metrics.recoveries = Mpiulfm.Udispatcher.shrinks ud;
+      extra =
+        [
+          ("agree_ballots", Mpiulfm.Udispatcher.ballots ud);
+          ("ranks_adopted", Mpiulfm.Udispatcher.adopted ud);
+          ("spares_promoted", Mpiulfm.Udispatcher.promoted ud);
+        ]
+        @ net_extra (Mpiulfm.Deploy.net h);
+    }
+
+  let survivors h = Mpiulfm.Udispatcher.survivors h.Mpiulfm.Deploy.udispatcher
+  let aborted h = Mpiulfm.Udispatcher.abort_reason h.Mpiulfm.Deploy.udispatcher
+  let teardown = Mpiulfm.Deploy.teardown
+end
+
 let all : Intf.t list =
-  [ (module Vcl); (module Blocking); (module V2); (module Replication) ]
+  [ (module Vcl); (module Blocking); (module V2); (module Replication); (module Ulfm) ]
 
 let init =
   let once = ref false in

@@ -1,12 +1,14 @@
-(** The four builtin protocol backends, one per [Config.protocol]
+(** The five builtin protocol backends, one per [Config.protocol]
     constructor. *)
 
 module Vcl : Intf.S
 module Blocking : Intf.S
 module V2 : Intf.S
 module Replication : Intf.S
+module Ulfm : Intf.S
 
-(** [vcl], [blocking], [v2], [replication] — in registration order. *)
+(** [vcl], [blocking], [v2], [replication], [ulfm] — in registration
+    order. *)
 val all : Intf.t list
 
 (** Registers {!all} into {!Registry}; idempotent. Runs automatically

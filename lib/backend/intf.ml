@@ -65,6 +65,20 @@ module type S = sig
   (** Uniform counter snapshot; see {!Metrics}. *)
   val metrics : handle -> Metrics.t
 
+  (** For shrink-and-continue backends: [Some n] when the run completed
+      on a communicator rebuilt over [n] surviving daemons — the signal
+      behind the [Degraded] verdict. [None] for every backend whose
+      protocol restores the original membership (the four rollback /
+      replication families), and for runs that never shrank. *)
+  val survivors : handle -> int option
+
+  (** For backends that can give up cleanly (e.g. a survivor agreement
+      that refuses to decide without a quorum): the reported reason.
+      [None] elsewhere; rollback families express terminal failure as
+      {!frozen} instead, preserving the paper's §5 [Buggy]
+      classification. *)
+  val aborted : handle -> string option
+
   (** Kill every deployed task (experiment timeout). *)
   val teardown : handle -> unit
 end

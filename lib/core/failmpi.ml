@@ -52,7 +52,13 @@ module Run = struct
       trace_level = Trace.Full;
     }
 
-  type outcome = Completed of float | Non_terminating | Buggy | Net_hung
+  type outcome =
+    | Completed of float
+    | Degraded of { at : float; survivors : int }
+    | Aborted of string
+    | Non_terminating
+    | Buggy
+    | Net_hung
 
   type result = {
     outcome : outcome;
@@ -72,6 +78,8 @@ module Run = struct
 
   let outcome_name = function
     | Completed _ -> "completed"
+    | Degraded _ -> "degraded"
+    | Aborted _ -> "aborted"
     | Non_terminating -> "non-terminating"
     | Buggy -> "buggy"
     | Net_hung -> "net-hung"
@@ -121,6 +129,8 @@ module Run = struct
     let completed = B.peek_completed handle in
     let frozen = B.frozen handle in
     let metrics = B.metrics handle in
+    let survivors = B.survivors handle in
+    let aborted = B.aborted handle in
     B.teardown handle;
     (match fci with Some rt -> Fci.Runtime.shutdown rt | None -> ());
     Engine.halt eng;
@@ -137,13 +147,25 @@ module Run = struct
       in
       count "net_dropped" + count "net_conn_timeouts" > 0
     in
+    (* A run that finished on a shrunken communicator is never [Ok]-plain:
+       the answer may be right, but the machine is smaller — report
+       [Degraded n] so harnesses keep answer quality and capacity loss
+       apart. A backend-reported clean abort (e.g. survivor agreement
+       refusing to decide without a quorum) beats the frozen/quiescent
+       heuristics: giving up loudly is a protocol outcome, not a wedge. *)
     let outcome =
       match completed with
-      | Some t -> Completed t
-      | None ->
-          if frozen || stop_reason = `Quiescent then
-            if net_interference then Net_hung else Buggy
-          else Non_terminating
+      | Some t -> (
+          match survivors with
+          | Some n -> Degraded { at = t; survivors = n }
+          | None -> Completed t)
+      | None -> (
+          match aborted with
+          | Some reason -> Aborted reason
+          | None ->
+              if frozen || stop_reason = `Quiescent then
+                if net_interference then Net_hung else Buggy
+              else Non_terminating)
     in
     let checksums =
       Hashtbl.fold (fun rank v acc -> (rank, v) :: acc) finals []

@@ -70,6 +70,16 @@ module Run : sig
 
   type outcome =
     | Completed of float  (** wall-clock (simulated) execution time *)
+    | Degraded of { at : float; survivors : int }
+        (** completed, but on a communicator shrunk to [survivors]
+            daemons (ulfm backend): never folded into [Completed] so
+            answer quality and capacity loss stay distinguishable;
+            [checksum_ok] still says whether the degraded answer is
+            right *)
+    | Aborted of string
+        (** the backend gave up cleanly and said why — e.g. the survivor
+            agreement refused to decide without a majority of the
+            superseded epoch (split-brain protection under partition) *)
     | Non_terminating
         (** still rolling back / recovering at the timeout: the failure
             frequency leaves no room for progress (green bars) *)

@@ -2,11 +2,16 @@ type agg = {
   label : string;
   runs : int;
   completed : int;
+  degraded : int;
+  aborted : int;
   non_terminating : int;
   buggy : int;
   net_hung : int;
   mean_time : float option;
   stddev_time : float option;
+  mean_survivors : float option;
+  pct_degraded : float;
+  pct_aborted : float;
   pct_non_terminating : float;
   pct_buggy : float;
   pct_net_hung : float;
@@ -53,8 +58,10 @@ let campaign ?jobs cells =
   regroup cells results
 
 (* Mean of every backend counter seen across [results], keyed by the
-   Metrics counter names, in first-seen order. A counter a run's backend
-   did not report counts as 0 for that run. *)
+   Metrics counter names. Names are sorted so mixed-backend campaigns
+   emit a stable column order no matter which backend's results arrive
+   first. A counter a run's backend did not report counts as 0 for that
+   run. *)
 let mean_counters results =
   let names = ref [] in
   List.iter
@@ -64,34 +71,55 @@ let mean_counters results =
         (Failmpi.Backend.Metrics.counters r.Failmpi.Run.metrics))
     results;
   let runs = List.length results in
-  List.rev_map
-    (fun name ->
-      let total =
-        List.fold_left
-          (fun acc r ->
-            acc
-            + Option.value ~default:0
-                (Failmpi.Backend.Metrics.find r.Failmpi.Run.metrics name))
-          0 results
-      in
-      (name, if runs = 0 then 0.0 else float_of_int total /. float_of_int runs))
-    !names
+  List.sort String.compare !names
+  |> List.map (fun name ->
+         let total =
+           List.fold_left
+             (fun acc r ->
+               acc
+               + Option.value ~default:0
+                   (Failmpi.Backend.Metrics.find r.Failmpi.Run.metrics name))
+             0 results
+         in
+         (name, if runs = 0 then 0.0 else float_of_int total /. float_of_int runs))
 
 let counter agg name =
   match List.assoc_opt name agg.mean_counters with Some v -> v | None -> 0.0
 
 let aggregate ~label results =
   let runs = List.length results in
+  (* Degraded runs finished and have a wall-clock time: they count in the
+     time statistics (that IS the recovery-time-vs-answer-quality
+     trade-off) but are tallied separately from plain completions. *)
   let times =
     List.filter_map
       (fun r ->
         match r.Failmpi.Run.outcome with
         | Failmpi.Run.Completed t -> Some t
-        | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung -> None)
+        | Failmpi.Run.Degraded { at; _ } -> Some at
+        | Failmpi.Run.Aborted _ | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy
+        | Failmpi.Run.Net_hung ->
+            None)
+      results
+  in
+  let survivor_counts =
+    List.filter_map
+      (fun r ->
+        match r.Failmpi.Run.outcome with
+        | Failmpi.Run.Degraded { survivors; _ } -> Some (float_of_int survivors)
+        | _ -> None)
       results
   in
   let count p = List.length (List.filter p results) in
-  let completed = List.length times in
+  let completed =
+    count (fun r ->
+        match r.Failmpi.Run.outcome with Failmpi.Run.Completed _ -> true | _ -> false)
+  in
+  let degraded = List.length survivor_counts in
+  let aborted =
+    count (fun r ->
+        match r.Failmpi.Run.outcome with Failmpi.Run.Aborted _ -> true | _ -> false)
+  in
   let non_terminating =
     count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Non_terminating)
   in
@@ -102,11 +130,16 @@ let aggregate ~label results =
     label;
     runs;
     completed;
+    degraded;
+    aborted;
     non_terminating;
     buggy;
     net_hung;
     mean_time = Stats.mean times;
     stddev_time = Stats.stddev times;
+    mean_survivors = Stats.mean survivor_counts;
+    pct_degraded = Stats.percent ~total:runs degraded;
+    pct_aborted = Stats.percent ~total:runs aborted;
     pct_non_terminating = Stats.percent ~total:runs non_terminating;
     pct_buggy = Stats.percent ~total:runs buggy;
     pct_net_hung = Stats.percent ~total:runs net_hung;
@@ -126,33 +159,49 @@ let render_table ~title aggs =
   Buffer.add_string buf (title ^ "\n");
   Buffer.add_string buf (String.make (String.length title) '-' ^ "\n");
   Buffer.add_string buf
-    (Printf.sprintf "%-22s %6s %10s %8s %9s %8s %8s %8s %7s\n" "configuration" "runs"
-       "time(s)" "stddev" "faults" "%nonterm" "%buggy" "%nethung" "chk");
+    (Printf.sprintf "%-22s %6s %10s %8s %9s %6s %8s %8s %8s %7s\n" "configuration" "runs"
+       "time(s)" "stddev" "faults" "%degr" "%nonterm" "%buggy" "%nethung" "chk");
   List.iter
     (fun a ->
       Buffer.add_string buf
-        (Printf.sprintf "%-22s %6d %10s %8s %9.1f %8.0f %8.0f %8.0f %7s\n" a.label a.runs
+        (Printf.sprintf "%-22s %6d %10s %8s %9.1f %6.0f %8.0f %8.0f %8.0f %7s\n" a.label
+           a.runs
            (match a.mean_time with Some t -> Printf.sprintf "%.0f" t | None -> "-")
            (match a.stddev_time with Some s -> Printf.sprintf "%.0f" s | None -> "-")
-           a.mean_faults a.pct_non_terminating a.pct_buggy a.pct_net_hung
+           a.mean_faults a.pct_degraded a.pct_non_terminating a.pct_buggy a.pct_net_hung
            (if a.checksum_failures = 0 then "ok"
             else Printf.sprintf "%d BAD" a.checksum_failures)))
     aggs;
   Buffer.contents buf
 
+(* The counter columns are the sorted union of every backend counter any
+   aggregate reported, so a five-backend campaign produces one rectangular
+   CSV whose column order does not depend on row order. *)
 let aggs_csv aggs =
+  let counter_names =
+    List.concat_map (fun a -> List.map fst a.mean_counters) aggs
+    |> List.sort_uniq String.compare
+  in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "label,runs,completed,non_terminating,buggy,net_hung,mean_time,stddev_time,pct_non_terminating,pct_buggy,pct_net_hung,mean_faults,checksum_failures\n";
+    "label,runs,completed,degraded,aborted,non_terminating,buggy,net_hung,mean_time,stddev_time,mean_survivors,pct_degraded,pct_aborted,pct_non_terminating,pct_buggy,pct_net_hung,mean_faults,checksum_failures";
+  List.iter (fun name -> Buffer.add_string buf ("," ^ name)) counter_names;
+  Buffer.add_char buf '\n';
   List.iter
     (fun a ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%s,%s,%.1f,%.1f,%.1f,%.1f,%d\n" a.label a.runs
-           a.completed a.non_terminating a.buggy a.net_hung
+        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d"
+           a.label a.runs a.completed a.degraded a.aborted a.non_terminating a.buggy
+           a.net_hung
            (match a.mean_time with Some t -> Printf.sprintf "%.1f" t | None -> "")
            (match a.stddev_time with Some s -> Printf.sprintf "%.1f" s | None -> "")
-           a.pct_non_terminating a.pct_buggy a.pct_net_hung a.mean_faults
-           a.checksum_failures))
+           (match a.mean_survivors with Some s -> Printf.sprintf "%.1f" s | None -> "")
+           a.pct_degraded a.pct_aborted a.pct_non_terminating a.pct_buggy a.pct_net_hung
+           a.mean_faults a.checksum_failures);
+      List.iter
+        (fun name -> Buffer.add_string buf (Printf.sprintf ",%.1f" (counter a name)))
+        counter_names;
+      Buffer.add_char buf '\n')
     aggs;
   Buffer.contents buf
 

@@ -9,24 +9,31 @@
 type agg = {
   label : string;
   runs : int;
-  completed : int;
+  completed : int;  (** finished on the full original membership *)
+  degraded : int;
+      (** finished, but on a shrunken communicator (ulfm backend) —
+          counted in the time statistics, kept apart in the tallies *)
+  aborted : int;  (** the backend gave up cleanly (e.g. no shrink quorum) *)
   non_terminating : int;
   buggy : int;
   net_hung : int;  (** wedges explained by an actively faulty network *)
-  mean_time : float option;  (** over completed runs *)
+  mean_time : float option;  (** over completed and degraded runs *)
   stddev_time : float option;
+  mean_survivors : float option;  (** over degraded runs *)
+  pct_degraded : float;
+  pct_aborted : float;
   pct_non_terminating : float;
   pct_buggy : float;
   pct_net_hung : float;
   mean_faults : float;  (** injected faults per run *)
   checksum_failures : int;
-      (** completed runs whose final checksum differs from the fault-free
-          reference — must always be 0 *)
+      (** completed or degraded runs whose final checksum differs from
+          the fault-free reference — must always be 0 *)
   mean_counters : (string * float) list;
       (** per-run mean of every backend counter
-          ({!Failmpi.Backend.Metrics.counters}) seen in the results, so
-          protocol-specific counters aggregate without per-protocol
-          code *)
+          ({!Failmpi.Backend.Metrics.counters}) seen in the results,
+          sorted by counter name so mixed-backend campaigns render a
+          stable column order *)
 }
 
 (** [replicate ?jobs ~reps ~base_seed run] executes [run ~seed] for
@@ -71,7 +78,10 @@ val counter : agg -> string -> float
     execution time of terminated runs, %% non-terminating, %% buggy. *)
 val render_table : title:string -> agg list -> string
 
-(** [aggs_csv aggs] renders aggregates as CSV for external plotting. *)
+(** [aggs_csv aggs] renders aggregates as CSV for external plotting. The
+    fixed verdict columns are followed by one column per backend counter
+    — the sorted union across all aggregates, so the sheet is
+    rectangular and the column order is independent of row order. *)
 val aggs_csv : agg list -> string
 
 (** [bt_spec ?cfg ?trace_level ~klass ~n_ranks ~n_machines ~scenario ()]

@@ -2,16 +2,20 @@ module Plan = Plan
 module Shrink = Shrink
 module Run = Failmpi.Run
 
-type verdict = Completed | Non_terminating | Buggy | Net_hung
+type verdict = Completed | Degraded | Aborted | Non_terminating | Buggy | Net_hung
 
 let verdict_name = function
   | Completed -> "completed"
+  | Degraded -> "degraded"
+  | Aborted -> "aborted"
   | Non_terminating -> "non-terminating"
   | Buggy -> "buggy"
   | Net_hung -> "net-hung"
 
 let verdict_of_outcome = function
   | Run.Completed _ -> Completed
+  | Run.Degraded _ -> Degraded
+  | Run.Aborted _ -> Aborted
   | Run.Non_terminating -> Non_terminating
   | Run.Buggy -> Buggy
   | Run.Net_hung -> Net_hung
@@ -140,7 +144,11 @@ let record_of ~plan (r : Run.result) =
   {
     plan;
     verdict = verdict_of_outcome r.Run.outcome;
-    completion = (match r.Run.outcome with Run.Completed t -> Some t | _ -> None);
+    completion =
+      (match r.Run.outcome with
+      | Run.Completed t -> Some t
+      | Run.Degraded { at; _ } -> Some at
+      | _ -> None);
     injected = r.Run.injected_faults;
     sig_hash = signature r;
   }
@@ -198,11 +206,13 @@ let run ?jobs cfg ~runner =
   let coverage = coverage_of records in
   (* One witness per distinct failing signature, first hit in input
      order wins — equivalent wedges shrink once, not once per plan. *)
+  (* A clean abort is a reproducible refusal worth a witness; a degraded
+     completion is the ulfm backend working as designed, not a failure. *)
   let shrinkable rc =
     match rc.verdict with
-    | Buggy | Net_hung -> true
+    | Buggy | Net_hung | Aborted -> true
     | Non_terminating -> cfg.shrink_hangs
-    | Completed -> false
+    | Completed | Degraded -> false
   in
   let to_shrink =
     let seen = Hashtbl.create 8 in
@@ -237,25 +247,27 @@ let runner_of_spec (spec : Run.spec) (p : Plan.t) =
 
 let tally records =
   List.fold_left
-    (fun (c, n, b, h) rc ->
+    (fun (c, d, a, n, b, h) rc ->
       match rc.verdict with
-      | Completed -> (c + 1, n, b, h)
-      | Non_terminating -> (c, n + 1, b, h)
-      | Buggy -> (c, n, b + 1, h)
-      | Net_hung -> (c, n, b, h + 1))
-    (0, 0, 0, 0) records
+      | Completed -> (c + 1, d, a, n, b, h)
+      | Degraded -> (c, d + 1, a, n, b, h)
+      | Aborted -> (c, d, a + 1, n, b, h)
+      | Non_terminating -> (c, d, a, n + 1, b, h)
+      | Buggy -> (c, d, a, n, b + 1, h)
+      | Net_hung -> (c, d, a, n, b, h + 1))
+    (0, 0, 0, 0, 0, 0) records
 
 let render rp =
   let buf = Buffer.create 1024 in
-  let c, n, b, h = tally rp.records in
+  let c, d, a, n, b, h = tally rp.records in
   Buffer.add_string buf
     (Printf.sprintf
        "explored %d plans (max %d faults, %d targets x %d buckets): %d completed, %d \
-        non-terminating, %d buggy, %d net-hung\n"
+        degraded, %d aborted, %d non-terminating, %d buggy, %d net-hung\n"
        (List.length rp.records) rp.config.max_faults
        (List.length rp.config.targets)
        (List.length rp.config.buckets)
-       c n b h);
+       c d a n b h);
   Buffer.add_string buf
     (Printf.sprintf "coverage: %d distinct milestone signatures\n" (List.length rp.coverage));
   List.iter
@@ -314,7 +326,7 @@ let plan_json (p : Plan.t) =
 let to_json rp =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let c, n, b, h = tally rp.records in
+  let c, d, a, n, b, h = tally rp.records in
   add "{\n";
   add "  \"config\": {\"n_machines\": %d, \"targets\": %s, \"buckets\": %s, \"kinds\": [%s], \
        \"max_faults\": %d, \"budget\": %d, \"sample_seed\": %d},\n"
@@ -324,9 +336,9 @@ let to_json rp =
     rp.config.max_faults rp.config.budget rp.config.sample_seed;
   add "  \"explored\": %d,\n" (List.length rp.records);
   add
-    "  \"verdicts\": {\"completed\": %d, \"non_terminating\": %d, \"buggy\": %d, \
-     \"net_hung\": %d},\n"
-    c n b h;
+    "  \"verdicts\": {\"completed\": %d, \"degraded\": %d, \"aborted\": %d, \
+     \"non_terminating\": %d, \"buggy\": %d, \"net_hung\": %d},\n"
+    c d a n b h;
   add "  \"coverage\": [\n";
   List.iteri
     (fun i (s, v, count) ->

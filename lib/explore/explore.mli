@@ -22,7 +22,10 @@ module Plan = Plan
 module Shrink = Shrink
 module Run = Failmpi.Run
 
-type verdict = Completed | Non_terminating | Buggy | Net_hung
+(** [Degraded] is a ulfm run that finished on a shrunken communicator
+    (by design, not shrinkable); [Aborted] is a backend that gave up
+    cleanly — reproducible and minimizable like [Buggy]. *)
+type verdict = Completed | Degraded | Aborted | Non_terminating | Buggy | Net_hung
 
 val verdict_name : verdict -> string
 val verdict_of_outcome : Run.outcome -> verdict

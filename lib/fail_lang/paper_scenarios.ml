@@ -193,6 +193,24 @@ let partition_wave ~n_machines ~victim ~target ~loss ~latency ~start ~wave ~gap 
       { Codegen.Scenario.machine = 0; anchor = Codegen.Scenario.After heal; kind = Codegen.Scenario.Heal };
     ]
 
+let shrink_storm ~n_machines ~targets ~start ~step ~victim ~lag =
+  Codegen.Scenario.source ~n_machines
+    (List.mapi
+       (fun i m ->
+         {
+           Codegen.Scenario.machine = m;
+           anchor = Codegen.Scenario.After (if i = 0 then start else step);
+           kind = Codegen.Scenario.Kill;
+         })
+       targets
+    @ [
+        {
+          Codegen.Scenario.machine = victim;
+          anchor = Codegen.Scenario.After lag;
+          kind = Codegen.Scenario.Partition;
+        };
+      ])
+
 let all =
   [
     ("fig5-frequency", frequency ~n_machines:53 ~period:50);
@@ -218,4 +236,15 @@ let all =
     ( "partition-wave",
       partition_wave ~n_machines:13 ~victim:2 ~target:5 ~loss:100 ~latency:2 ~start:20
         ~wave:10 ~gap:5 ~heal:8 );
+    (* Shrink storm for 9 ranks on 13 machines (hosts 9..12 double as the
+       ulfm warm-spare pool): staggered kills at t=25, 28, 31 land inside
+       a running collective, then machine 2 is cut off 2 s after the last
+       kill — during the survivor agreement the kills triggered. The
+       unsuspected membership drops to exactly a majority of the original
+       epoch, so the shrink backend must still decide (and the partition
+       victim, alone on its side, must not). A parameterized file version
+       lives in scenarios/shrink_storm.fail. *)
+    ( "shrink-storm",
+      shrink_storm ~n_machines:13 ~targets:[ 1; 5; 7 ] ~start:25 ~step:3 ~victim:2
+        ~lag:2 );
   ]

@@ -76,5 +76,24 @@ val partition_wave :
   heal:int ->
   string
 
+(** Shrink storm, in the explorer's fault-plan form
+    ({!Codegen.Scenario}): kill the [targets] machines one by one —
+    the first at [start] seconds, each following kill [step] seconds
+    after the previous — staggered so they land inside a running
+    collective, then partition machine [victim] [lag] seconds after the
+    last kill, i.e. during the survivor agreement the kills triggered.
+    Aimed at the shrink-and-continue backend: the agreement must either
+    reach a majority of the superseded epoch and decide, or refuse —
+    never decide differently on the two sides of the cut. A
+    parameterized file version lives in [scenarios/shrink_storm.fail]. *)
+val shrink_storm :
+  n_machines:int ->
+  targets:int list ->
+  start:int ->
+  step:int ->
+  victim:int ->
+  lag:int ->
+  string
+
 (** All scenarios with representative parameters, for tests and demos. *)
 val all : (string * string) list

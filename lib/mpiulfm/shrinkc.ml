@@ -1,0 +1,126 @@
+let ballot ~population ~attempt ~id = (attempt * population) + id
+let ballot_attempt ~population b = b / population
+let quorum members = (List.length members / 2) + 1
+
+type decision = {
+  d_epoch : int;
+  d_members : int list;
+  d_assign : (int * int) list;
+  d_restart : int;
+  d_donors : (int * int) list;
+  d_promoted : int;
+  d_adopted : int;
+}
+
+let survivors d =
+  List.sort_uniq Int.compare (List.map snd d.d_assign) |> List.length
+
+let holds avail ~member ~rank ~iter =
+  match List.assoc_opt member avail with
+  | None -> false
+  | Some per_rank -> (
+      match List.assoc_opt rank per_rank with
+      | None -> false
+      | Some iters -> List.mem iter iters)
+
+let next ~n_ranks ~prev_assign ~members ~avail ~epoch =
+  let members = List.sort_uniq Int.compare members in
+  let kept =
+    List.filter (fun (r, d) -> r < n_ranks && List.mem d members) prev_assign
+  in
+  let orphans =
+    List.init n_ranks Fun.id
+    |> List.filter (fun r -> not (List.mem_assoc r kept))
+  in
+  let loaded = List.map snd kept in
+  let spares = List.filter (fun d -> not (List.mem d loaded)) members in
+  let rec promote acc orphans spares =
+    match (orphans, spares) with
+    | r :: orphans, d :: spares -> promote ((r, d) :: acc) orphans spares
+    | orphans, _ -> (List.rev acc, orphans)
+  in
+  let promoted, leftovers = promote [] orphans spares in
+  let k = List.length members in
+  let member_at i = List.nth members (i mod k) in
+  let adopted = List.mapi (fun i r -> (r, member_at i)) leftovers in
+  let assign =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (kept @ promoted @ adopted)
+  in
+  (* Restart at the highest iteration available for every rank; 0 (the
+     initial state) needs no snapshot and is always constructible. *)
+  let candidates =
+    List.concat_map
+      (fun (_, per_rank) -> List.concat_map snd per_rank)
+      avail
+    |> List.sort_uniq (fun a b -> Int.compare b a)
+  in
+  let available_everywhere iter =
+    List.for_all
+      (fun r -> List.exists (fun m -> holds avail ~member:m ~rank:r ~iter) members)
+      (List.init n_ranks Fun.id)
+  in
+  let restart =
+    match List.find_opt available_everywhere candidates with
+    | Some iter -> iter
+    | None -> 0
+  in
+  let donors =
+    if restart = 0 then []
+    else
+      List.filter_map
+        (fun (r, d) ->
+          if holds avail ~member:d ~rank:r ~iter:restart then None
+          else
+            List.find_opt
+              (fun m -> holds avail ~member:m ~rank:r ~iter:restart)
+              members
+            |> Option.map (fun donor -> (r, donor)))
+        assign
+  in
+  {
+    d_epoch = epoch;
+    d_members = members;
+    d_assign = assign;
+    d_restart = restart;
+    d_donors = donors;
+    d_promoted = List.length promoted;
+    d_adopted = List.length adopted;
+  }
+
+type sync_plan =
+  | Solo
+  | Edge of { partner : int }
+  | Core of { edge : int option; rounds : int array }
+
+let sync_plan ~members ~me =
+  let members = Array.of_list (List.sort_uniq Int.compare members) in
+  let k = Array.length members in
+  if k <= 1 then Solo
+  else begin
+    let log2p = ref 0 in
+    while 1 lsl (!log2p + 1) <= k do
+      incr log2p
+    done;
+    let p = 1 lsl !log2p in
+    let r = k - p in
+    let i =
+      let found = ref (-1) in
+      Array.iteri (fun j m -> if m = me then found := j) members;
+      if !found < 0 then invalid_arg "Shrinkc.sync_plan: not a member";
+      !found
+    in
+    (* Core index <-> member index: the first 2r members fold pairwise
+       (odd member indices drop out), the rest map straight across. *)
+    let member_of_core c = if c < r then 2 * c else c + r in
+    if i < 2 * r && i mod 2 = 1 then Edge { partner = members.(i - 1) }
+    else begin
+      let ci = if i < 2 * r then i / 2 else i - r in
+      let edge = if i < 2 * r then Some members.(i + 1) else None in
+      let rounds =
+        Array.init !log2p (fun j -> members.(member_of_core (ci lxor (1 lsl j))))
+      in
+      Core { edge; rounds }
+    end
+  end

@@ -1,0 +1,79 @@
+(** Pure shrink calculus: everything about a communicator shrink that can
+    be computed without touching the network.
+
+    Keeping ballot arithmetic, survivor assignment and the collective
+    schedule in one side-effect-free module makes shrink determinism
+    testable directly: the same survivor set must map to byte-identical
+    decisions at any [--jobs], because nothing here reads a clock or an
+    RNG. *)
+
+(** {1 Ballots}
+
+    Agreement ballots are globally unique and totally ordered:
+    [attempt * population + id] for [attempt >= 1], so two candidates can
+    never tie and a rejected candidate can jump past the ballot that beat
+    it. *)
+
+val ballot : population:int -> attempt:int -> id:int -> int
+val ballot_attempt : population:int -> int -> int
+
+(** Majority of the epoch being superseded: any two shrink quorums for
+    the same epoch intersect, which is what makes a partitioned minority
+    unable to install a second, conflicting survivor set. *)
+val quorum : 'a list -> int
+
+(** {1 Decisions} *)
+
+(** The agreed value of one shrink: the next epoch's dense communicator.
+    [d_assign] maps every logical rank to the member daemon that hosts it
+    after the shrink; [d_restart] is the uniform iteration all ranks
+    restart from (0 = initial state); [d_donors] lists the ranks whose new
+    host must fetch the restart snapshot, with the member that serves
+    it. *)
+type decision = {
+  d_epoch : int;
+  d_members : int list;
+  d_assign : (int * int) list;
+  d_restart : int;
+  d_donors : (int * int) list;
+  d_promoted : int;
+  d_adopted : int;
+}
+
+(** Distinct daemons hosting at least one rank after the shrink. *)
+val survivors : decision -> int
+
+(** [next ~n_ranks ~prev_assign ~members ~avail ~epoch] computes the
+    epoch-[epoch] decision for survivor set [members]. Ranks whose
+    previous host survived stay put; orphaned ranks go to idle spares
+    first (promotion, in rank order) and are then adopted round-robin by
+    the surviving members. [avail] lists, per member, the snapshot
+    iterations it holds per rank; the restart iteration is the highest
+    one available for {e every} rank (0, the initial state, is always
+    available). Pure and deterministic in all arguments. *)
+val next :
+  n_ranks:int ->
+  prev_assign:(int * int) list ->
+  members:int list ->
+  avail:(int * (int * int list) list) list ->
+  epoch:int ->
+  decision
+
+(** {1 Recursive-doubling schedule}
+
+    The post-shrink synchronisation collective is a recursive-doubling
+    allreduce over the (possibly non-power-of-two) member list: the
+    excess members fold their contribution into a partner and drop out,
+    the surviving power-of-two core exchanges partial sums in
+    [log2] rounds, and the folded members get the result back. *)
+type sync_plan =
+  | Solo  (** single member: nothing to exchange *)
+  | Edge of { partner : int }
+      (** pre-fold contributor: send the contribution to [partner], then
+          wait for the final sum from it *)
+  | Core of { edge : int option; rounds : int array }
+      (** core participant: absorb [edge]'s contribution if any, exchange
+          partials with [rounds.(j)] in round [j], then return the sum to
+          [edge] *)
+
+val sync_plan : members:int list -> me:int -> sync_plan

@@ -1,0 +1,15 @@
+open Simkern
+open Simos
+
+type t = {
+  eng : Engine.t;
+  cluster : Cluster.t;
+  net : Umsg.t Simnet.Net.t;
+  fci : Fci.Runtime.t option;
+  cfg : Mpivcl.Config.t;
+  app : Mpivcl.App.t;
+  state_bytes : int;
+  dispatcher_host : int;
+  population : int;  (** computing daemons plus warm spares *)
+  rng : Rng.t;
+}

@@ -1,0 +1,86 @@
+(* Everything that travels between ulfm daemons and their dispatcher.
+   One wire type for both planes, like [Mpirep.Rmsg]: the simulated
+   network is typed per overlay, and the control/peer split is by
+   connection, not by message type. *)
+
+type t =
+  (* daemon <-> dispatcher *)
+  | Hello of { id : int; inc : int }
+  | Ready of { id : int }
+  | Start of { ids : int list }
+  | Shutdown
+  | Rank_done of { rank : int }
+  | Epoch_report of {
+      epoch : int;
+      members : int list;
+      survivors : int;
+      promoted : int;
+      adopted : int;
+      ballots : int;
+      restart : int;
+    }
+  | Abort of { id : int; reason : string }
+  (* daemon <-> daemon: liveness *)
+  | Peer_hello of { id : int }
+  | Heartbeat of { id : int; epoch : int }
+  | Probe of { id : int; epoch : int }
+  | Revoke of { id : int; epoch : int }
+  (* daemon <-> daemon: survivor agreement *)
+  | Prepare of { id : int; ballot : int; epoch : int }
+  | Grant of {
+      id : int;
+      ballot : int;
+      epoch : int;
+      accepted : (int * Shrinkc.decision) option;
+      avail : (int * int list) list;
+    }
+  | Reject of { id : int; ballot : int; promised : int }
+  | Accept of { id : int; ballot : int; decision : Shrinkc.decision }
+  | Accepted of { id : int; ballot : int; epoch : int }
+  | Decide of { decision : Shrinkc.decision }
+  | Stale of { decision : Shrinkc.decision }
+  (* daemon <-> daemon: snapshots and the sync collective *)
+  | Backup of { rank : int; iter : int; state : int array }
+  | Fetch of { id : int; rank : int; iter : int }
+  | Snapshot of { rank : int; iter : int; state : int array }
+  | Sync of { id : int; epoch : int; phase : int; value : int }
+  (* daemon <-> daemon: epoch-fenced application traffic *)
+  | App of { epoch : int; msg : Mpivcl.Message.app_msg }
+
+let pp ppf = function
+  | Hello { id; inc } -> Format.fprintf ppf "Hello(%d, inc %d)" id inc
+  | Ready { id } -> Format.fprintf ppf "Ready(%d)" id
+  | Start { ids } -> Format.fprintf ppf "Start(%d daemons)" (List.length ids)
+  | Shutdown -> Format.pp_print_string ppf "Shutdown"
+  | Rank_done { rank } -> Format.fprintf ppf "Rank_done(%d)" rank
+  | Epoch_report { epoch; members; restart; _ } ->
+      Format.fprintf ppf "Epoch_report(e%d, %d members, restart %d)" epoch
+        (List.length members) restart
+  | Abort { id; reason } -> Format.fprintf ppf "Abort(%d, %s)" id reason
+  | Peer_hello { id } -> Format.fprintf ppf "Peer_hello(%d)" id
+  | Heartbeat { id; epoch } -> Format.fprintf ppf "Heartbeat(%d, e%d)" id epoch
+  | Probe { id; epoch } -> Format.fprintf ppf "Probe(%d, e%d)" id epoch
+  | Revoke { id; epoch } -> Format.fprintf ppf "Revoke(%d, e%d)" id epoch
+  | Prepare { id; ballot; epoch } ->
+      Format.fprintf ppf "Prepare(%d, b%d, e%d)" id ballot epoch
+  | Grant { id; ballot; epoch; _ } ->
+      Format.fprintf ppf "Grant(%d, b%d, e%d)" id ballot epoch
+  | Reject { id; ballot; promised } ->
+      Format.fprintf ppf "Reject(%d, b%d, promised b%d)" id ballot promised
+  | Accept { id; ballot; decision } ->
+      Format.fprintf ppf "Accept(%d, b%d, e%d)" id ballot decision.Shrinkc.d_epoch
+  | Accepted { id; ballot; epoch } ->
+      Format.fprintf ppf "Accepted(%d, b%d, e%d)" id ballot epoch
+  | Decide { decision } ->
+      Format.fprintf ppf "Decide(e%d, %d members)" decision.Shrinkc.d_epoch
+        (List.length decision.Shrinkc.d_members)
+  | Stale { decision } -> Format.fprintf ppf "Stale(e%d)" decision.Shrinkc.d_epoch
+  | Backup { rank; iter; _ } -> Format.fprintf ppf "Backup(rank %d, iter %d)" rank iter
+  | Fetch { id; rank; iter } -> Format.fprintf ppf "Fetch(%d, rank %d, iter %d)" id rank iter
+  | Snapshot { rank; iter; _ } ->
+      Format.fprintf ppf "Snapshot(rank %d, iter %d)" rank iter
+  | Sync { id; epoch; phase; value } ->
+      Format.fprintf ppf "Sync(%d, e%d, phase %d, value %d)" id epoch phase value
+  | App { epoch; msg } ->
+      Format.fprintf ppf "App(e%d, %d->%d tag %d)" epoch msg.Mpivcl.Message.src
+        msg.Mpivcl.Message.dst msg.Mpivcl.Message.tag

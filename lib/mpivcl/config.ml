@@ -3,6 +3,7 @@ type protocol =
   | Blocking
   | Sender_logging
   | Replication of { degree : int }
+  | Ulfm of { spares : int }
 
 type t = {
   n_ranks : int;
@@ -26,6 +27,10 @@ type t = {
   restart_settle : float;
   rep_respawn : bool;
   rep_failover_window : float;
+  ulfm_heartbeat_period : float;
+  ulfm_suspicion_timeout : float;
+  ulfm_agree_timeout : float;
+  ulfm_max_ballots : int;
   net : Simnet.Net.Perturb.profile option;
 }
 
@@ -52,24 +57,35 @@ let default ~n_ranks =
     restart_settle = 0.1;
     rep_respawn = true;
     rep_failover_window = 30.0;
+    ulfm_heartbeat_period = 2.0;
+    ulfm_suspicion_timeout = 8.0;
+    ulfm_agree_timeout = 3.0;
+    ulfm_max_ballots = 25;
     net = None;
   }
 
 let restarts_all_ranks t =
   match t.protocol with
   | Non_blocking | Blocking -> true
-  | Sender_logging | Replication _ -> false
+  | Sender_logging | Replication _ | Ulfm _ -> false
 
 let replication_degree t =
   match t.protocol with
   | Replication { degree } -> Some degree
-  | Non_blocking | Blocking | Sender_logging -> None
+  | Non_blocking | Blocking | Sender_logging | Ulfm _ -> None
+
+let ulfm_spares t =
+  match t.protocol with
+  | Ulfm { spares } -> Some spares
+  | Non_blocking | Blocking | Sender_logging | Replication _ -> None
 
 let protocol_name = function
   | Non_blocking -> "non-blocking"
   | Blocking -> "blocking"
   | Sender_logging -> "sender-logging"
   | Replication { degree } -> Printf.sprintf "replication-r%d" degree
+  | Ulfm { spares } ->
+      if spares = 0 then "ulfm" else Printf.sprintf "ulfm-s%d" spares
 
 let dispatcher_port = 100
 let scheduler_port = 101

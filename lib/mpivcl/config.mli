@@ -19,6 +19,14 @@ type protocol =
           rollback at all} — the run only dies when every replica of one
           rank is lost inside the failover window. Deployed by
           [Mpirep.Deploy], not {!Deploy}. *)
+  | Ulfm of { spares : int }
+      (** ULFM-style shrink-and-continue ([lib/mpiulfm]): no rollback
+          wave and no redundant computation — on a failure the survivors
+          run a two-phase agreement over the suspected set, {e shrink}
+          to a dense communicator, adopt (or hand to a promoted warm
+          spare) the logical ranks of the dead, and continue from
+          in-memory buddy snapshots. [spares] warm spare daemons idle
+          until promoted. Deployed by [Mpiulfm.Deploy], not {!Deploy}. *)
 
 type t = {
   n_ranks : int;
@@ -72,6 +80,20 @@ type t = {
       (** replication only: how long the membership layer waits for an
           in-flight respawn to come back live once a rank has {e zero}
           computing replicas before declaring replication exhausted *)
+  ulfm_heartbeat_period : float;
+      (** ulfm only: period of the all-to-all daemon heartbeat that
+          drives failure suspicion *)
+  ulfm_suspicion_timeout : float;
+      (** ulfm only: silence (no heartbeat, no app traffic) after which
+          a peer is locally suspected and a revoke is raised into any
+          running collective *)
+  ulfm_agree_timeout : float;
+      (** ulfm only: per-ballot agreement round timeout before the
+          candidate abandons the ballot and retries with a higher one *)
+  ulfm_max_ballots : int;
+      (** ulfm only: agreement attempts before a daemon concludes it is
+          on the wrong side of a partition and aborts cleanly rather
+          than risk a split-brain shrink *)
   net : Simnet.Net.Perturb.profile option;
       (** launch-time network perturbation ([failmpi_run --net-*]):
           applied to the deployment's fabric before any process starts
@@ -93,6 +115,10 @@ val restarts_all_ranks : t -> bool
 (** [replication_degree cfg] is [Some degree] for the replication backend,
     [None] for the rollback-recovery protocols. *)
 val replication_degree : t -> int option
+
+(** [ulfm_spares cfg] is [Some spares] for the shrink-and-continue
+    backend, [None] otherwise. *)
+val ulfm_spares : t -> int option
 
 (** Short human-readable protocol label (CLI, experiment tables). *)
 val protocol_name : protocol -> string

@@ -44,6 +44,8 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
   (match cfg.Config.protocol with
   | Config.Replication _ ->
       invalid_arg "Deploy.launch: the replication backend is deployed by Mpirep.Deploy"
+  | Config.Ulfm _ ->
+      invalid_arg "Deploy.launch: the ulfm backend is deployed by Mpiulfm.Deploy"
   | Config.Non_blocking | Config.Blocking | Config.Sender_logging -> ());
   let cluster, net = Layout.fabric eng base in
   (* Perturb the fabric before any process starts, then hand it to the

@@ -23,7 +23,7 @@ let backend_name (module B : Backend.S) = B.name
 
 let test_builtin_names () =
   check (Alcotest.list Alcotest.string) "registration order"
-    [ "vcl"; "blocking"; "v2"; "replication" ]
+    [ "vcl"; "blocking"; "v2"; "replication"; "ulfm" ]
     (Backend.names ())
 
 let test_aliases_resolve () =
@@ -40,6 +40,8 @@ let test_aliases_resolve () =
       ("logging", "v2");
       ("replication", "replication");
       ("rep", "replication");
+      ("ulfm", "ulfm");
+      ("shrink", "ulfm");
     ];
   check_bool "unknown name" true (Backend.find "raid0" = None)
 
@@ -55,6 +57,8 @@ let test_every_protocol_resolves () =
       (Mpivcl.Config.Sender_logging, "v2");
       (Mpivcl.Config.Replication { degree = 2 }, "replication");
       (Mpivcl.Config.Replication { degree = 5 }, "replication");
+      (Mpivcl.Config.Ulfm { spares = 0 }, "ulfm");
+      (Mpivcl.Config.Ulfm { spares = 2 }, "ulfm");
     ]
 
 let test_protocol_roundtrip () =
@@ -87,7 +91,7 @@ let test_duplicate_registration_rejected () =
   end in
   reject (module Imposter : Backend.S);
   check (Alcotest.list Alcotest.string) "registry unchanged"
-    [ "vcl"; "blocking"; "v2"; "replication" ]
+    [ "vcl"; "blocking"; "v2"; "replication"; "ulfm" ]
     (Backend.names ())
 
 let test_default_machines () =
@@ -99,7 +103,8 @@ let test_default_machines () =
   (* Paper allocation for the rollback families: 53 hosts for BT-49. *)
   check_int "vcl" 53 (machines "vcl" ~replicas:2);
   check_int "v2" 53 (machines "v2" ~replicas:2);
-  check_int "replication x2" 100 (machines "replication" ~replicas:2)
+  check_int "replication x2" 100 (machines "replication" ~replicas:2);
+  check_int "ulfm" 53 (machines "ulfm" ~replicas:2)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
@@ -251,7 +256,10 @@ let check_golden name ~protocol g =
   check_str (ctx "time") g.g_time
     (match r.Failmpi.Run.outcome with
     | Failmpi.Run.Completed t -> Printf.sprintf "%.6f" t
-    | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung -> "-");
+    | Failmpi.Run.Degraded { at; _ } -> Printf.sprintf "%.6f" at
+    | Failmpi.Run.Aborted _ | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy
+    | Failmpi.Run.Net_hung ->
+        "-");
   check_int (ctx "faults") g.g_faults r.Failmpi.Run.injected_faults;
   check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) (ctx "checksums")
     g.g_checksums r.Failmpi.Run.checksums;

@@ -274,7 +274,7 @@ let test_roundtrip_scenario_files () =
     |> List.filter (fun f -> Filename.check_suffix f ".fail")
     |> List.sort String.compare
   in
-  check_bool "scenario files present" true (List.length files >= 6);
+  check_bool "scenario files present" true (List.length files >= 8);
   List.iter
     (fun file ->
       let path = Filename.concat dir file in

@@ -293,9 +293,42 @@ let test_aggs_csv () =
   check_int "two lines" 2 (List.length (String.split_on_char '\n' (String.trim csv)));
   check_bool "has label" true
     (try
-       ignore (Str.search_forward (Str.regexp_string "cfg-a,1,1,0,0,0,10.0") csv 0);
+       ignore (Str.search_forward (Str.regexp_string "cfg-a,1,1,0,0,0,0,0,10.0") csv 0);
        true
      with Not_found -> false)
+
+(* Degraded and aborted runs in the aggregate: a degraded run counts in
+   the time statistics and the survivor mean, an aborted one in neither;
+   neither inflates [completed]. *)
+let test_aggregate_degraded () =
+  let result outcome =
+    {
+      Failmpi.Run.outcome;
+      injected_faults = 2;
+      metrics = Failmpi.Backend.Metrics.zero;
+      checksums = [];
+      checksum_ok = None;
+      trace = Simkern.Trace.create ();
+    }
+  in
+  let agg =
+    Experiments.Harness.aggregate ~label:"shrunk"
+      [
+        result (Failmpi.Run.Completed 10.0);
+        result (Failmpi.Run.Degraded { at = 20.0; survivors = 7 });
+        result (Failmpi.Run.Degraded { at = 30.0; survivors = 5 });
+        result (Failmpi.Run.Aborted "no quorum");
+      ]
+  in
+  check_int "completed" 1 agg.Experiments.Harness.completed;
+  check_int "degraded" 2 agg.Experiments.Harness.degraded;
+  check_int "aborted" 1 agg.Experiments.Harness.aborted;
+  check (Alcotest.option (Alcotest.float 1e-9)) "mean over completed+degraded"
+    (Some 20.0) agg.Experiments.Harness.mean_time;
+  check (Alcotest.option (Alcotest.float 1e-9)) "mean survivors" (Some 6.0)
+    agg.Experiments.Harness.mean_survivors;
+  check (Alcotest.float 1e-9) "pct degraded" 50.0 agg.Experiments.Harness.pct_degraded;
+  check (Alcotest.float 1e-9) "pct aborted" 25.0 agg.Experiments.Harness.pct_aborted
 
 (* ------------------------------------------------------------------ *)
 (* Shipped scenario files *)
@@ -318,6 +351,16 @@ let test_scenario_files_compile () =
       ("cascade.fail", [ ("START", 20) ]);
       ("freeze_thaw.fail", [ ("PERIOD", 25) ]);
       ("wave_sniper.fail", [ ("DELAY", 10) ]);
+      ( "shrink_storm.fail",
+        [
+          ("START", 25);
+          ("STEP", 3);
+          ("LAG", 2);
+          ("K1", 1);
+          ("K2", 5);
+          ("K3", 7);
+          ("VICTIM", 2);
+        ] );
     ]
 
 let run_scenario_file ?(n_ranks = 9) file params =
@@ -402,6 +445,7 @@ let () =
           Alcotest.test_case "trace analysis confusion" `Quick test_trace_analysis_confusion;
           Alcotest.test_case "events csv" `Quick test_events_csv;
           Alcotest.test_case "aggs csv" `Quick test_aggs_csv;
+          Alcotest.test_case "aggregate degraded/aborted" `Quick test_aggregate_degraded;
         ] );
       ( "scenario-files",
         [
