@@ -150,6 +150,18 @@ let shrink ~quick () =
   print_endline Experiments.Fig_shrink.paper_note;
   print_newline ()
 
+let scale ~quick () =
+  let config =
+    if quick then Experiments.Fig_scale.big_quick_config
+    else Experiments.Fig_scale.big_default_config
+  in
+  let aggs = Experiments.Fig_scale.run_big ~config () in
+  emit_csv "scale" aggs;
+  print_string (Experiments.Fig_scale.render_big aggs);
+  print_newline ();
+  print_endline Experiments.Fig_scale.big_paper_note;
+  print_newline ()
+
 let delay ~quick () =
   let rows =
     Experiments.Delay_experiment.run
@@ -172,6 +184,7 @@ let experiments =
     ("families", families);
     ("netfault", netfault);
     ("shrink", shrink);
+    ("scale", scale);
     ("delay", delay);
   ]
 
@@ -205,7 +218,7 @@ let cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, families, \
-             netfault, shrink, delay.")
+             netfault, shrink, scale, delay.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions and sizes (smoke mode).")

@@ -26,7 +26,7 @@ let () =
               name = Printf.sprintf "vdaemon-%d" rank
               || name = Printf.sprintf "mpi-%d" rank
             then Proc.kill p)
-          h.Simos.Cluster.host_tasks)
+          (Simos.Cluster.tasks cluster ~host:h.Simos.Cluster.host_id))
       (Simos.Cluster.hosts cluster)
   in
   ignore (Engine.schedule eng ~delay:9.0 (fun () -> kill_rank 1));

@@ -13,7 +13,7 @@ let () =
         let name = Proc.name p in
         if name = Printf.sprintf "vdaemon-%d" rank || name = Printf.sprintf "mpi-%d" rank then begin
           Printf.printf "%8.3f killing %s\n" (Engine.now eng) name; Proc.kill p end)
-        h.Simos.Cluster.host_tasks)
+        (Simos.Cluster.tasks cluster ~host:h.Simos.Cluster.host_id))
       (Simos.Cluster.hosts cluster)
   in
   List.iter (fun (d, r) -> ignore (Engine.schedule eng ~delay:d (fun () -> kill_rank r)))

@@ -57,10 +57,17 @@ module Run : sig
             protocol chatter and keeps milestone events only — the
             allocation-light setting quantitative campaigns use. Never
             affects the simulation itself, only what is recorded. *)
+    regions : int option;
+        (** engine event-region (shard) count; [None] (the default)
+            derives it from the cluster size via
+            {!Simkern.Engine.recommended_regions}. Purely a scheduling
+            data-structure knob — outcomes, traces and checksums are
+            identical for every value. *)
   }
 
   (** [default_spec ~app ~cfg ~n_compute ~state_bytes] fills paper
-      defaults (1500 s timeout, no scenario, seed 1, [Full] trace). *)
+      defaults (1500 s timeout, no scenario, seed 1, [Full] trace,
+      auto-sized regions). *)
   val default_spec :
     app:Mpivcl.App.t ->
     cfg:Mpivcl.Config.t ->
@@ -130,6 +137,9 @@ module Run : sig
       [Explore] hashes into a coverage signature. *)
   val trace_events : result -> (string * string) list
 
-  (** [execute ?expected_checksum spec] runs one experiment. *)
+  (** [execute ?expected_checksum spec] runs one experiment.
+
+      @raise Invalid_argument on absurd inputs: [cfg.n_ranks <= 0],
+        [n_compute < cfg.n_ranks], or [regions = Some r] with [r < 1]. *)
   val execute : ?expected_checksum:int -> spec -> result
 end

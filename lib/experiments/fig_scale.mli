@@ -23,3 +23,21 @@ val run : ?jobs:int -> ?config:config -> unit -> Harness.agg list
 
 val render : Harness.agg list -> string
 val paper_note : string
+
+(** Figure 6 re-run at simulation scale: thousands of ranks, the
+    paper's three protocol families (non-blocking, blocking,
+    sender-logging), one seed per cell — the workload behind the
+    [failmpi_experiments scale] command. *)
+
+type big_config = {
+  big_klass : Workload.Bt_model.klass;
+  big_sizes : int list;  (** square rank counts (e.g. 1024, 4096) *)
+  big_period : int;  (** seconds between injected faults *)
+  big_seed : int;
+}
+
+val big_default_config : big_config
+val big_quick_config : big_config
+val run_big : ?jobs:int -> ?config:big_config -> unit -> Harness.agg list
+val render_big : Harness.agg list -> string
+val big_paper_note : string

@@ -205,7 +205,11 @@ let aggs_csv aggs =
     aggs;
   Buffer.contents buf
 
-let machines_for n_ranks = n_ranks + 4
+let machines_for n_ranks =
+  if n_ranks <= 0 then
+    invalid_arg
+      (Printf.sprintf "Harness.machines_for: n_ranks must be positive (got %d)" n_ranks);
+  n_ranks + 4
 
 (* Campaigns only read aggregates (outcome, counters, checksums), never
    the trace, so the default trace level is Summary: per-message chatter

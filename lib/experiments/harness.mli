@@ -114,5 +114,7 @@ val run_bt :
   Failmpi.Run.result
 
 (** [machines_for n_ranks] is the paper-style host allocation
-    ([n_ranks + 4] spares; 53 for BT-49). *)
+    ([n_ranks + 4] spares; 53 for BT-49).
+
+    @raise Invalid_argument when [n_ranks <= 0]. *)
 val machines_for : int -> int

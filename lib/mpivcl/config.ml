@@ -25,6 +25,7 @@ type t = {
   dispatcher_buggy : bool;
   vcl_seeded_race : bool;
   restart_settle : float;
+  lazy_peer_mesh : bool;
   rep_respawn : bool;
   rep_failover_window : float;
   ulfm_heartbeat_period : float;
@@ -55,6 +56,7 @@ let default ~n_ranks =
     dispatcher_buggy = true;
     vcl_seeded_race = false;
     restart_settle = 0.1;
+    lazy_peer_mesh = false;
     rep_respawn = true;
     rep_failover_window = 30.0;
     ulfm_heartbeat_period = 2.0;

@@ -72,6 +72,16 @@ type t = {
           a bounded fault-space search and shrink the witness to two
           faults; it is never enabled by any experiment. *)
   restart_settle : float;  (** daemon-side setup after image load *)
+  lazy_peer_mesh : bool;
+      (** open daemon-to-daemon connections on first send instead of
+          eagerly building the full [n*(n-1)/2] mesh at start-up. The
+          historical MPICH-V daemons connect all-to-all, which is faithful
+          to the paper's 32-rank runs but quadratic in memory and events;
+          sparse workloads at thousands of ranks only ever touch
+          O(neighbours) links. Checkpoint waves adapt: a cut counts only
+          the channels that exist, and a channel opened mid-wave exchanges
+          markers on establishment. [false] (the default) keeps the eager
+          mesh and stays byte-identical to the historical simulator. *)
   rep_respawn : bool;
       (** replication only: respawn a fresh replica (state transfer from a
           live sibling) after a replica failure, restoring the replication

@@ -138,6 +138,8 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
 
           (* ---------------- protocol state ---------------- *)
           let n = cfg.Config.n_ranks in
+          let lazy_mesh = cfg.Config.lazy_peer_mesh in
+          let rank_hosts = ref [||] in
           let peer_conns : (int, Message.t Net.conn) Hashtbl.t = Hashtbl.create 16 in
           let buffer : Message.app_msg list ref = ref [] in
           let parked : (int * int * int Ivar.t) list ref = ref [] in
@@ -177,6 +179,31 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
           let consumed_bounds () =
             Hashtbl.fold (fun src ssn acc -> (src, ssn) :: acc) received []
           in
+          let join_peer peer conn =
+            (* Under a lazy mesh a simultaneous cross-connect can race
+               this accept with a connect of our own; each side keeps the
+               first connection it obtained for its sends, so per-sender
+               ssns stay contiguous on a single FIFO channel. *)
+            if not (lazy_mesh && Hashtbl.mem peer_conns peer) then
+              Hashtbl.replace peer_conns peer conn;
+            pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
+              (fun m -> D_peer (peer, m))
+              events;
+            if IntSet.mem peer !resend_pending then begin
+              resend_pending := IntSet.remove peer !resend_pending;
+              ignore (Net.send conn (Message.Resend { rank; consumed = consumed_bounds () }))
+            end
+          in
+          let connect_peer peer peer_host =
+            match Net.connect env.Env.net ~host ~to_host:peer_host ~to_port:Config.daemon_port with
+            | Ok conn ->
+                ignore (Net.send conn (Message.Peer_hello { rank }));
+                join_peer peer conn;
+                true
+            | Error `Refused ->
+                trace ~level:Trace.Full "peer-connect-failed" (string_of_int peer);
+                false
+          in
           let forward_send (m : Message.app_msg) =
             (* Log before sending: a resend must be possible even if the
                wire send fails (the peer may be restarting). *)
@@ -185,6 +212,12 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             Hashtbl.replace next_ssn dst (ssn + 1);
             Hashtbl.replace send_log dst
               ((ssn, m) :: Option.value ~default:[] (Hashtbl.find_opt send_log dst));
+            (* Lazy mesh: open the channel on first send. *)
+            if
+              (not (Hashtbl.mem peer_conns dst))
+              && lazy_mesh
+              && Array.length !rank_hosts > dst
+            then ignore (connect_peer dst (!rank_hosts).(dst));
             match Hashtbl.find_opt peer_conns dst with
             | Some conn ->
                 if not (Net.send conn ~size:m.Message.bytes (Message.App_logged { msg = m; ssn }))
@@ -311,26 +344,6 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             schedule_tick (Rng.float env.Env.rng cfg.Config.wave_interval);
             trace ~level:Trace.Full "app-start" ""
           in
-          let join_peer peer conn =
-            Hashtbl.replace peer_conns peer conn;
-            pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
-              (fun m -> D_peer (peer, m))
-              events;
-            if IntSet.mem peer !resend_pending then begin
-              resend_pending := IntSet.remove peer !resend_pending;
-              ignore (Net.send conn (Message.Resend { rank; consumed = consumed_bounds () }))
-            end
-          in
-          let connect_peer peer peer_host =
-            match Net.connect env.Env.net ~host ~to_host:peer_host ~to_port:Config.daemon_port with
-            | Ok conn ->
-                ignore (Net.send conn (Message.Peer_hello { rank }));
-                join_peer peer conn;
-                true
-            | Error `Refused ->
-                trace ~level:Trace.Full "peer-connect-failed" (string_of_int peer);
-                false
-          in
           let handle_resend peer consumed =
             let bound =
               Option.value ~default:0 (List.assoc_opt rank consumed)
@@ -360,14 +373,18 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             | D_ctrl (Some Message.Shutdown) ->
                 Option.iter Proc.kill !app_proc;
                 trace "daemon-exit" "shutdown"
-            | D_ctrl (Some (Message.Start { rank_hosts; resume })) ->
+            | D_ctrl (Some (Message.Start { rank_hosts = hosts; resume })) ->
+                rank_hosts := hosts;
                 trace ~level:Trace.Full (if resume then "resume" else "start") "";
                 if resume then begin
                   (* I am the restarted rank: rebuild the full mesh and ask
-                     every reachable peer for its logged messages. *)
+                     every reachable peer for its logged messages. Even
+                     under a lazy mesh every peer must be asked — a
+                     first-contact message can be logged at a sender this
+                     rank has no local record of. *)
                   for peer = 0 to n - 1 do
                     if peer <> rank then
-                      if connect_peer peer rank_hosts.(peer) then
+                      if connect_peer peer hosts.(peer) then
                         ignore
                           (Net.send (Hashtbl.find peer_conns peer)
                              (Message.Resend { rank; consumed = consumed_bounds () }))
@@ -375,9 +392,10 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                   done;
                   spawn_app ()
                 end
+                else if lazy_mesh then spawn_app ()
                 else begin
                   for peer = 0 to rank - 1 do
-                    ignore (connect_peer peer rank_hosts.(peer))
+                    ignore (connect_peer peer hosts.(peer))
                   done;
                   if Hashtbl.length peer_conns = n - 1 then spawn_app ()
                 end;
@@ -387,7 +405,10 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 loop ()
             | D_peer_joined (peer, conn) ->
                 join_peer peer conn;
-                if (not (Option.is_some !app_proc)) && Hashtbl.length peer_conns = n - 1
+                if
+                  (not lazy_mesh)
+                  && (not (Option.is_some !app_proc))
+                  && Hashtbl.length peer_conns = n - 1
                 then spawn_app ();
                 loop ()
             | D_peer (peer, None) ->

@@ -170,6 +170,7 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
 
           (* ---------------- protocol state ---------------- *)
           let n = cfg.Config.n_ranks in
+          let lazy_mesh = cfg.Config.lazy_peer_mesh in
           let peer_conns : (int, Message.t Net.conn) Hashtbl.t = Hashtbl.create 16 in
           let buffer : Message.app_msg list ref = ref [] in
           (* parked receive requests from the computation process *)
@@ -197,12 +198,45 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
               buffer :=
                 img.Message.img_redelivery @ img.Message.img_buffer @ img.Message.img_logged);
 
+          let send_app conn (m : Message.app_msg) =
+            if not (Net.send conn ~size:m.Message.bytes (Message.App m)) then
+              tracel "send-failed" (fun () -> Printf.sprintf "to %d (closed)" m.Message.dst)
+          in
+          (* Lazy mesh: open the channel on first send. If a wave is in
+             progress, our marker must precede every message of ours on
+             the new connection, and the peer's marker is awaited before
+             the wave can end (the peer may not have cut yet — anything
+             it sends before its marker is pre-cut channel state). *)
+          let connect_on_demand dst =
+            match
+              Net.connect env.Env.net ~host ~to_host:(!rank_hosts).(dst)
+                ~to_port:Config.daemon_port
+            with
+            | Error `Refused ->
+                tracel "send-failed" (fun () -> Printf.sprintf "to %d (unreachable)" dst);
+                None
+            | Ok conn ->
+                ignore (Net.send conn (Message.Peer_hello { rank }));
+                Hashtbl.replace peer_conns dst conn;
+                pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name dst) conn
+                  (fun m -> D_peer (dst, m))
+                  events;
+                (match !ckpt with
+                | Some c when not c.ck_stored ->
+                    ignore (Net.send conn (Message.Marker { wave = c.ck_wave }));
+                    c.ck_channels <- IntSet.add dst c.ck_channels
+                | Some _ | None -> ());
+                Some conn
+          in
           let forward_send (m : Message.app_msg) =
             match Hashtbl.find_opt peer_conns m.Message.dst with
-            | Some conn ->
-                if not (Net.send conn ~size:m.Message.bytes (Message.App m)) then
-                  tracel "send-failed" (fun () -> Printf.sprintf "to %d (closed)" m.Message.dst)
-            | None -> tracel "send-failed" (fun () -> Printf.sprintf "to %d (no connection)" m.Message.dst)
+            | Some conn -> send_app conn m
+            | None when lazy_mesh && Array.length !rank_hosts > m.Message.dst -> (
+                match connect_on_demand m.Message.dst with
+                | Some conn -> send_app conn m
+                | None -> ())
+            | None ->
+                tracel "send-failed" (fun () -> Printf.sprintf "to %d (no connection)" m.Message.dst)
           in
           let deliver (m : Message.app_msg) =
             let rec split acc = function
@@ -267,10 +301,20 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             end
           in
           let begin_cut wave ~from_peer =
+            (* Eager mesh: every peer holds a channel to us, so every
+               marker is awaited. Lazy mesh: only established channels can
+               carry pre-cut messages — a peer that connects mid-wave is
+               added (and sent our marker) on establishment. *)
             let channels =
-              List.init n Fun.id
-              |> List.filter (fun r -> r <> rank && Some r <> from_peer)
-              |> IntSet.of_list
+              if lazy_mesh then
+                Hashtbl.fold
+                  (fun peer _ acc ->
+                    if Some peer = from_peer then acc else IntSet.add peer acc)
+                  peer_conns IntSet.empty
+              else
+                List.init n Fun.id
+                |> List.filter (fun r -> r <> rank && Some r <> from_peer)
+                |> IntSet.of_list
             in
             let c =
               {
@@ -365,24 +409,28 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             trace ~level:Trace.Full "app-start" ""
           in
           let maybe_start () =
-            if !started && Hashtbl.length peer_conns = n - 1 && !app_proc = None then
-              spawn_app ()
+            if
+              !started
+              && (lazy_mesh || Hashtbl.length peer_conns = n - 1)
+              && !app_proc = None
+            then spawn_app ()
           in
           let connect_lower_peers () =
-            for peer = 0 to rank - 1 do
-              let peer_host = !rank_hosts.(peer) in
-              match
-                Net.connect env.Env.net ~host ~to_host:peer_host ~to_port:Config.daemon_port
-              with
-              | Ok conn ->
-                  ignore (Net.send conn (Message.Peer_hello { rank }));
-                  Hashtbl.replace peer_conns peer conn;
-                  pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
-                    (fun m -> D_peer (peer, m))
-                    events
-              | Error `Refused ->
-                  trace ~level:Trace.Full "peer-connect-failed" (string_of_int peer)
-            done;
+            if not lazy_mesh then
+              for peer = 0 to rank - 1 do
+                let peer_host = !rank_hosts.(peer) in
+                match
+                  Net.connect env.Env.net ~host ~to_host:peer_host ~to_port:Config.daemon_port
+                with
+                | Ok conn ->
+                    ignore (Net.send conn (Message.Peer_hello { rank }));
+                    Hashtbl.replace peer_conns peer conn;
+                    pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
+                      (fun m -> D_peer (peer, m))
+                      events
+                | Error `Refused ->
+                    trace ~level:Trace.Full "peer-connect-failed" (string_of_int peer)
+              done;
             maybe_start ()
           in
           let blocking = cfg.Config.protocol = Config.Blocking in
@@ -417,12 +465,27 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
                 trace "protocol-error" (Format.asprintf "from dispatcher: %a" Message.pp msg);
                 loop ()
             | D_peer_joined (peer, conn) ->
-                Hashtbl.replace peer_conns peer conn;
+                (* Under a lazy mesh a simultaneous cross-connect can race
+                   this accept with our own connect_on_demand; each side
+                   keeps the first connection it obtained for its sends,
+                   so every direction stays FIFO on a single channel
+                   (markers order correctly against app messages). The
+                   second connection is still pumped for receives. *)
+                let fresh = not (Hashtbl.mem peer_conns peer) in
+                if fresh || not lazy_mesh then Hashtbl.replace peer_conns peer conn;
                 pump cluster ~host ~name:(Printf.sprintf "%s-peer%d" name peer) conn
                   (fun m -> D_peer (peer, m))
                   events;
                 (* A wave may already be in progress: this channel's marker
-                   is still expected through the new connection. *)
+                   is still expected through the new connection. With a
+                   lazy mesh the cut did not count unconnected peers, so a
+                   channel opening mid-wave exchanges markers now. *)
+                (if lazy_mesh && fresh then
+                   match !ckpt with
+                   | Some c when not c.ck_stored ->
+                       ignore (Net.send conn (Message.Marker { wave = c.ck_wave }));
+                       c.ck_channels <- IntSet.add peer c.ck_channels
+                   | Some _ | None -> ());
                 maybe_start ();
                 loop ()
             | D_peer (peer, None) ->

@@ -3,19 +3,33 @@ type event_state = Pending | Cancelled | Done
 type event = {
   time : float;
   seq : int;
+  region : int;  (* shard index, in [0, Array.length owner.shards) *)
   thunk : unit -> unit;
   mutable state : event_state;
   owner : t;
 }
 
+(* A merge-heap entry advertises that [m_shard]'s head was the event with
+   key [(m_time, m_seq)] when the entry was pushed. Entries are lazy:
+   when the shard head has moved on (the event was popped, compacted
+   away, or superseded by a smaller push that got its own entry) the
+   entry is stale and is discarded on contact. Sequence numbers are
+   globally unique, so matching [m_seq] against the head is exact. *)
+and merge_entry = { m_time : float; m_seq : int; m_shard : int }
+
+and shard = { s_heap : event Heap.t }
+
 and t = {
   mutable now : float;
-  mutable next_seq : int;
+  mutable next_seq : int;  (* stamped globally, across all shards *)
   mutable next_pid : int;
   mutable halted : bool;
-  queue : event Heap.t;
+  shards : shard array;
+  merge : merge_entry Heap.t;  (* unused when there is a single shard *)
+  mutable current_region : int;  (* region of the event being executed *)
   mutable live : int;  (* scheduled, not yet executed or cancelled *)
-  mutable tombstones : int;  (* cancelled events still sitting in the queue *)
+  mutable tombstones : int;  (* cancelled events still sitting in the queues *)
+  mutable total_events : int;  (* live + tombstones actually enqueued *)
   rng : Rng.t;
   trace : Trace.t;
 }
@@ -26,18 +40,45 @@ let compare_events a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(seed = 1L) ?trace_level () =
+(* Sequence numbers are globally unique, so [(time, seq)] is already a
+   total order; the shard index only documents the merge key. *)
+let compare_entries a b =
+  let c = Float.compare a.m_time b.m_time in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.m_seq b.m_seq in
+    if c <> 0 then c else Int.compare a.m_shard b.m_shard
+
+let create ?(seed = 1L) ?trace_level ?(regions = 1) () =
+  if regions < 1 then
+    invalid_arg (Printf.sprintf "Engine.create: regions must be >= 1 (got %d)" regions);
   {
     now = 0.0;
     next_seq = 0;
     next_pid = 0;
     halted = false;
-    queue = Heap.create ~compare:compare_events;
+    shards = Array.init regions (fun _ -> { s_heap = Heap.create ~compare:compare_events });
+    merge = Heap.create ~compare:compare_entries;
+    current_region = 0;
     live = 0;
     tombstones = 0;
+    total_events = 0;
     rng = Rng.create seed;
     trace = Trace.create ?level:trace_level ();
   }
+
+(* Shard count for a cluster of [hosts] hosts: roughly sqrt so shard
+   heaps and the merge heap grow together, capped so tiny runs keep a
+   single queue and huge ones do not fragment into thousands. *)
+let recommended_regions ~hosts =
+  if hosts <= 16 then 1
+  else
+    let rec ceil_sqrt i = if i * i >= hosts then i else ceil_sqrt (i + 1) in
+    max 2 (min 128 (ceil_sqrt 1))
+
+let regions t = Array.length t.shards
+
+let current_region t = t.current_region
 
 let now t = t.now
 let rng t = t.rng
@@ -57,28 +98,95 @@ let fresh_pid t =
   t.next_pid <- t.next_pid + 1;
   pid
 
-let schedule_at t ~time f =
+let entry_of ev = { m_time = ev.time; m_seq = ev.seq; m_shard = ev.region }
+
+let push_event t ev =
+  let sh = t.shards.(ev.region) in
+  Heap.push sh.s_heap ev;
+  t.total_events <- t.total_events + 1;
+  if Array.length t.shards > 1 then
+    (* Only a new shard minimum needs advertising; otherwise the entry
+       already covering the head also covers this deeper event. *)
+    match Heap.peek sh.s_heap with
+    | Some head when head == ev -> Heap.push t.merge (entry_of ev)
+    | Some _ | None -> ()
+
+(* Discard stale merge entries until the top matches some shard's head;
+   that head is then the global minimum (every non-empty shard keeps an
+   entry matching its head, and the merge heap returns the least). *)
+let rec peek_min t =
+  if Array.length t.shards = 1 then Heap.peek t.shards.(0).s_heap
+  else
+    match Heap.peek t.merge with
+    | None -> None
+    | Some m -> (
+        match Heap.peek t.shards.(m.m_shard).s_heap with
+        | Some head when head.seq = m.m_seq -> Some head
+        | Some _ | None ->
+            ignore (Heap.pop t.merge);
+            peek_min t)
+
+let pop_min t =
+  match peek_min t with
+  | None -> None
+  | Some _ when Array.length t.shards = 1 ->
+      t.total_events <- t.total_events - 1;
+      Heap.pop t.shards.(0).s_heap
+  | Some _ ->
+      let m = Option.get (Heap.pop t.merge) in
+      let sh = t.shards.(m.m_shard) in
+      let ev = Option.get (Heap.pop sh.s_heap) in
+      t.total_events <- t.total_events - 1;
+      (match Heap.peek sh.s_heap with
+      | Some head -> Heap.push t.merge (entry_of head)
+      | None -> ());
+      Some ev
+
+let schedule_at ?region t ~time f =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time t.now);
-  let ev = { time; seq = t.next_seq; thunk = f; state = Pending; owner = t } in
+  let region =
+    match region with
+    | None -> t.current_region
+    | Some r ->
+        if r < 0 then
+          invalid_arg
+            (Printf.sprintf "Engine.schedule: region must be >= 0 (got %d)" r);
+        r mod Array.length t.shards
+  in
+  let ev = { time; seq = t.next_seq; region; thunk = f; state = Pending; owner = t } in
   t.next_seq <- t.next_seq + 1;
-  Heap.push t.queue ev;
+  push_event t ev;
   t.live <- t.live + 1;
   ev
 
-let schedule t ?(delay = 0.0) f =
+let schedule ?region t ?(delay = 0.0) f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.now +. delay) f
+  schedule_at ?region t ~time:(t.now +. delay) f
 
 (* Long runs cancel many timeouts (every satisfied [recv_timeout] leaves
    one behind); tombstones degrade push/pop, so once they are the
-   majority of a non-trivial queue we rebuild it without them. *)
+   majority of a non-trivial queue we rebuild the shards without them.
+   The merge heap is rebuilt from the surviving heads, which also drops
+   any stale entries it accumulated. *)
 let compact_threshold = 64
 
 let compact t =
-  Heap.filter_in_place t.queue ~keep:(fun ev -> ev.state = Pending);
-  t.tombstones <- 0
+  Array.iter
+    (fun sh -> Heap.filter_in_place sh.s_heap ~keep:(fun ev -> ev.state = Pending))
+    t.shards;
+  t.total_events <- t.live;
+  t.tombstones <- 0;
+  if Array.length t.shards > 1 then begin
+    Heap.clear t.merge;
+    Array.iter
+      (fun sh ->
+        match Heap.peek sh.s_heap with
+        | Some head -> Heap.push t.merge (entry_of head)
+        | None -> ())
+      t.shards
+  end
 
 let cancel ev =
   match ev.state with
@@ -88,25 +196,25 @@ let cancel ev =
       let t = ev.owner in
       t.live <- t.live - 1;
       t.tombstones <- t.tombstones + 1;
-      let size = Heap.length t.queue in
+      let size = t.total_events in
       if size >= compact_threshold && t.tombstones > size / 2 then compact t
 
 let pending t = t.live
 
-let queue_size t = Heap.length t.queue
+let queue_size t = t.total_events
 
 let run ?(until = infinity) t =
   t.halted <- false;
   let rec loop () =
     if t.halted then `Halted
     else
-      match Heap.peek t.queue with
+      match peek_min t with
       | None -> `Quiescent
       | Some ev when ev.time > until ->
           t.now <- until;
           `Deadline
       | Some _ ->
-          let ev = Option.get (Heap.pop t.queue) in
+          let ev = Option.get (pop_min t) in
           (match ev.state with
           | Cancelled -> t.tombstones <- t.tombstones - 1
           | Done -> ()
@@ -114,6 +222,7 @@ let run ?(until = infinity) t =
               ev.state <- Done;
               t.live <- t.live - 1;
               t.now <- ev.time;
+              t.current_region <- ev.region;
               ev.thunk ());
           loop ()
   in

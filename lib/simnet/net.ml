@@ -78,9 +78,17 @@ module Perturb = struct
     if attempt < 0 then invalid_arg "Net.Perturb.backoff: attempt must be >= 0";
     Float.min rto_max (rto_initial *. (2.0 ** float_of_int attempt))
 
-  type cut = Sets of int list * int list | Isolate of int list
+  (* Perturbation state is kept O(active perturbations), never O(links):
+     membership in a cut or flap is a per-host byte map built once when
+     the rule is installed (O(1) lookup per message, no list scans), and
+     per-host degradations live in a host-indexed array with a dense
+     "touched hosts" list so installing, querying and healing walk only
+     the hosts a rule actually names. A cut's byte map uses two bits —
+     bit 0 for side A, bit 1 for side B — so a host listed on both sides
+     of a partition keeps the historical semantics exactly. *)
+  type cut = Cut_sets of Bytes.t | Cut_isolate of Bytes.t
 
-  type flap = { f_hosts : int list; f_period : float; f_downtime : float; f_start : float }
+  type flap = { f_member : Bytes.t; f_period : float; f_downtime : float; f_start : float }
 
   type stats = { dropped : int; delayed : int; retransmits : int; conn_timeouts : int }
 
@@ -89,7 +97,8 @@ module Perturb = struct
     mutable p_rng : Rng.t option;
     mutable p_seed : int64 option;
     mutable p_base : spec;
-    p_degraded : (int, spec) Hashtbl.t;
+    mutable p_degraded : spec array;  (* indexed by host; [zero] = untouched *)
+    mutable p_deg_hosts : int list;  (* dense set of hosts with an entry *)
     mutable p_cuts : cut list;
     mutable p_flaps : flap list;
     mutable p_touched : bool;
@@ -109,7 +118,8 @@ module Perturb = struct
       p_rng = None;
       p_seed = None;
       p_base = zero;
-      p_degraded = Hashtbl.create 8;
+      p_degraded = [||];
+      p_deg_hosts = [];
       p_cuts = [];
       p_flaps = [];
       p_touched = false;
@@ -122,6 +132,30 @@ module Perturb = struct
       p_retransmits = 0;
       p_conn_timeouts = 0;
     }
+
+  (* Byte map over the hosts a rule names, one (hosts, mark) group per
+     side; reads beyond the map are 0 (not a member), so maps never need
+     to know the cluster size. *)
+  let member_map groups =
+    let top =
+      List.fold_left
+        (fun acc (hs, _) -> List.fold_left (fun a h -> max a h) acc hs)
+        (-1) groups
+    in
+    let m = Bytes.make (top + 1) '\000' in
+    List.iter
+      (fun (hs, mark) ->
+        List.iter
+          (fun h ->
+            if h >= 0 then
+              Bytes.unsafe_set m h
+                (Char.chr (Char.code (Bytes.unsafe_get m h) lor mark)))
+          hs)
+      groups;
+    m
+
+  let member_bits m h =
+    if h >= 0 && h < Bytes.length m then Char.code (Bytes.unsafe_get m h) else 0
 
   let seed p s = p.p_seed <- Some s
 
@@ -167,18 +201,37 @@ module Perturb = struct
     touch p;
     p.p_base <- spec
 
+  let ensure_degraded p h =
+    let n = Array.length p.p_degraded in
+    if h >= n then begin
+      let n' = max (h + 1) (max 8 (2 * n)) in
+      let a = Array.make n' zero in
+      Array.blit p.p_degraded 0 a 0 n;
+      p.p_degraded <- a
+    end
+
   let degrade p ~hosts spec =
     check_spec spec;
     touch p;
-    List.iter (fun h -> Hashtbl.replace p.p_degraded h spec) hosts
+    (* Replace semantics per host, matching the historical behaviour:
+       the latest [degrade] naming a host wins outright. *)
+    List.iter
+      (fun h ->
+        if h >= 0 then begin
+          ensure_degraded p h;
+          if p.p_degraded.(h) == zero && not (spec == zero) then
+            p.p_deg_hosts <- h :: p.p_deg_hosts;
+          p.p_degraded.(h) <- spec
+        end)
+      hosts
 
   let partition p a b =
     touch p;
-    p.p_cuts <- Sets (a, b) :: p.p_cuts
+    p.p_cuts <- Cut_sets (member_map [ (a, 1); (b, 2) ]) :: p.p_cuts
 
   let isolate p hosts =
     touch p;
-    p.p_cuts <- Isolate hosts :: p.p_cuts
+    p.p_cuts <- Cut_isolate (member_map [ (hosts, 1) ]) :: p.p_cuts
 
   let flap p ~hosts ~period ~downtime =
     if not (period > 0.0 && downtime > 0.0 && downtime < period) then
@@ -188,22 +241,31 @@ module Perturb = struct
            downtime period);
     touch p;
     p.p_flaps <-
-      { f_hosts = hosts; f_period = period; f_downtime = downtime; f_start = Engine.now p.p_eng }
+      {
+        f_member = member_map [ (hosts, 1) ];
+        f_period = period;
+        f_downtime = downtime;
+        f_start = Engine.now p.p_eng;
+      }
       :: p.p_flaps
 
   (* [heal] removes every rule (partitions, flapping, degradations) but
      leaves the transport hardening armed so in-flight retransmissions can
-     drain over the now-clean links. *)
+     drain over the now-clean links. Cost is O(hosts actually degraded),
+     not O(cluster). *)
   let heal p =
     p.p_cuts <- [];
     p.p_flaps <- [];
-    Hashtbl.reset p.p_degraded;
+    List.iter (fun h -> p.p_degraded.(h) <- zero) p.p_deg_hosts;
+    p.p_deg_hosts <- [];
     p.p_base <- zero
 
   let crosses_cut cut a b =
     match cut with
-    | Sets (x, y) -> (List.mem a x && List.mem b y) || (List.mem a y && List.mem b x)
-    | Isolate hs -> List.mem a hs <> List.mem b hs
+    | Cut_sets m ->
+        let sa = member_bits m a and sb = member_bits m b in
+        (sa land 1 <> 0 && sb land 2 <> 0) || (sa land 2 <> 0 && sb land 1 <> 0)
+    | Cut_isolate m -> member_bits m a <> member_bits m b
 
   let flap_down now f =
     let phase = Float.rem (Float.max 0.0 (now -. f.f_start)) f.f_period in
@@ -216,14 +278,19 @@ module Perturb = struct
           &&
           let now = Engine.now p.p_eng in
           List.exists
-            (fun f -> List.mem src f.f_hosts <> List.mem dst f.f_hosts && flap_down now f)
+            (fun f ->
+              member_bits f.f_member src <> member_bits f.f_member dst
+              && flap_down now f)
             p.p_flaps))
 
   let spec_for p ~src ~dst =
+    let n = Array.length p.p_degraded in
     let comb acc h =
-      match Hashtbl.find_opt p.p_degraded h with
-      | None -> acc
-      | Some s ->
+      if h < 0 || h >= n then acc
+      else
+        let s = Array.unsafe_get p.p_degraded h in
+        if s == zero then acc
+        else
           {
             loss = Float.max acc.loss s.loss;
             latency = Float.max acc.latency s.latency;

@@ -114,6 +114,17 @@ module Perturb : sig
     kind:[ `Data | `Closed ] ->
     [ `Deliver of float | `Drop ]
 
+  (** [cut t ~src ~dst] is true when the [src -> dst] link is currently
+      severed by a partition, an isolation or a down flap. A host listed
+      on both sides of a partition cuts against both sides; same-host
+      links are never cut. O(active cuts), O(1) per membership probe. *)
+  val cut : t -> src:int -> dst:int -> bool
+
+  (** [spec_for t ~src ~dst] is the effective degradation of one link:
+      the base spec combined with the [src]- and [dst]-host entries by
+      per-field max. O(1). *)
+  val spec_for : t -> src:int -> dst:int -> spec
+
   (** [seed t s] fixes the perturbation RNG seed ([--net-seed]); without
       it, the RNG is split from the engine RNG on first use. Must be
       called before the first rule is installed to take effect. *)

@@ -3,7 +3,15 @@
     Mirrors the paper's Grid Explorer setup: an experiment devotes more
     machines than application processes (e.g. 53 hosts for BT-49) so that
     spare processors are always available after failures. Host identifiers
-    double as network addresses in {!Simnet.Net}. *)
+    double as network addresses in {!Simnet.Net} and as event-queue
+    regions in {!Simkern.Engine}.
+
+    Task tracking is flat state: slots in preallocated parallel arrays
+    recycled through a free-list, with an intrusive per-host list over
+    the slots. Spawn and exit bookkeeping are O(1), {!task_count} and
+    {!live_task_count} are O(1) counters, and {!kill_all} / {!find_task}
+    walk only the tasks of one host — the invariants that keep a
+    10k–100k-host cluster cheap. *)
 
 open Simkern
 
@@ -12,7 +20,8 @@ type t
 type host = {
   host_id : int;
   host_name : string;
-  mutable host_tasks : Proc.t list;  (** live tasks, most recent first *)
+  mutable head_slot : int;  (** head of the host's slot list (internal) *)
+  mutable task_count : int;  (** live tasks on this host, maintained on spawn/exit *)
 }
 
 (** [create engine ~size] builds a cluster of [size] hosts with ids
@@ -28,19 +37,25 @@ val host : t -> int -> host
 
 val hosts : t -> host list
 
-(** [spawn_on t ~host ?name body] starts a task on [host]. The task is
-    tracked in the host's registry until it exits. *)
+(** [spawn_on t ~host ?name body] starts a task on [host]; the task's
+    start event lives in host [host]'s engine region. The task is
+    tracked in the host's slot list until it exits. *)
 val spawn_on : t -> host:int -> ?name:string -> (unit -> unit) -> Proc.t
 
-(** [tasks t ~host] returns the live tasks on [host]. *)
+(** [tasks t ~host] returns the live tasks on [host], most recent
+    first. O(tasks-on-host). *)
 val tasks : t -> host:int -> Proc.t list
 
 (** [find_task t ~host ~name] returns the most recently spawned live task
-    with the given name. *)
+    with the given name. O(tasks-on-host). *)
 val find_task : t -> host:int -> name:string -> Proc.t option
 
-(** [kill_all t ~host] kills every live task on [host]. *)
+(** [kill_all t ~host] kills every live task on [host], most recent
+    first. O(tasks-on-host). *)
 val kill_all : t -> host:int -> unit
 
-(** [live_task_count t] is the total number of live tasks. *)
+(** [task_count t ~host] is the number of live tasks on [host]. O(1). *)
+val task_count : t -> host:int -> int
+
+(** [live_task_count t] is the total number of live tasks. O(1). *)
 val live_task_count : t -> int

@@ -115,6 +115,46 @@ let test_outcome_names () =
     (Failmpi.Run.outcome_name Failmpi.Run.Non_terminating);
   check Alcotest.string "buggy" "buggy" (Failmpi.Run.outcome_name Failmpi.Run.Buggy)
 
+let test_run_validation () =
+  (* Absurd inputs are rejected up front with a clear message instead of
+     crashing somewhere inside deployment. *)
+  let spec = small_spec () in
+  Alcotest.check_raises "zero ranks"
+    (Invalid_argument "Run.execute: cfg.n_ranks must be positive (got 0)")
+    (fun () ->
+      ignore
+        (Failmpi.Run.execute
+           {
+             spec with
+             Failmpi.Run.cfg = { spec.Failmpi.Run.cfg with Mpivcl.Config.n_ranks = 0 };
+           }));
+  Alcotest.check_raises "more ranks than compute hosts"
+    (Invalid_argument
+       "Run.execute: n_compute (3) cannot seat 4 ranks — need at least one compute \
+        host per rank")
+    (fun () -> ignore (Failmpi.Run.execute { spec with Failmpi.Run.n_compute = 3 }));
+  Alcotest.check_raises "zero regions"
+    (Invalid_argument "Run.execute: regions must be >= 1 (got 0)")
+    (fun () -> ignore (Failmpi.Run.execute { spec with Failmpi.Run.regions = Some 0 }))
+
+let test_regions_equivalent () =
+  (* Region placement is structural: a faulty run splits identically at
+     any region count, down to recovery and wave counters. *)
+  let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:15 in
+  let run regions =
+    let r =
+      Failmpi.Run.execute ~expected_checksum:expected
+        { (small_spec ~scenario ()) with Failmpi.Run.regions }
+    in
+    ( (match r.Failmpi.Run.outcome with
+      | Failmpi.Run.Completed t -> Printf.sprintf "completed %.9f" t
+      | o -> Failmpi.Run.outcome_name o),
+      r.Failmpi.Run.injected_faults,
+      r.Failmpi.Run.checksums,
+      Failmpi.Backend.Metrics.counters r.Failmpi.Run.metrics )
+  in
+  check_bool "4 regions = 1 region" true (run (Some 1) = run (Some 4))
+
 let test_determinism () =
   (* The whole experiment is a pure function of the seed. *)
   let scenario = Fail_lang.Paper_scenarios.frequency ~n_machines:8 ~period:15 in
@@ -211,7 +251,13 @@ let test_render_table () =
 
 let test_machines_for () =
   check_int "paper allocation" 53 (Experiments.Harness.machines_for 49);
-  check_int "bt-25" 29 (Experiments.Harness.machines_for 25)
+  check_int "bt-25" 29 (Experiments.Harness.machines_for 25);
+  Alcotest.check_raises "zero ranks"
+    (Invalid_argument "Harness.machines_for: n_ranks must be positive (got 0)")
+    (fun () -> ignore (Experiments.Harness.machines_for 0));
+  Alcotest.check_raises "negative ranks"
+    (Invalid_argument "Harness.machines_for: n_ranks must be positive (got -3)")
+    (fun () -> ignore (Experiments.Harness.machines_for (-3)))
 
 let test_replicate_seeds () =
   let seeds = ref [] in
@@ -431,6 +477,8 @@ let () =
           Alcotest.test_case "checksum mismatch detected" `Quick test_checksum_mismatch_detected;
           Alcotest.test_case "scenario error raises" `Quick test_scenario_error_raises;
           Alcotest.test_case "outcome names" `Quick test_outcome_names;
+          Alcotest.test_case "spec validation" `Quick test_run_validation;
+          Alcotest.test_case "regions equivalent" `Quick test_regions_equivalent;
           Alcotest.test_case "determinism" `Quick test_determinism;
         ] );
       ( "harness",

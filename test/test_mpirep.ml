@@ -87,7 +87,7 @@ let kill_replica run rank slot =
             Proc.kill p;
             incr killed
           end)
-        h.Cluster.host_tasks)
+        (Cluster.tasks cluster ~host:h.Cluster.host_id))
     (Cluster.hosts cluster);
   !killed
 

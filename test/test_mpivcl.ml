@@ -89,7 +89,7 @@ let kill_rank run rank =
             Proc.kill p;
             incr killed
           end)
-        h.Cluster.host_tasks)
+        (Cluster.tasks cluster ~host:h.Cluster.host_id))
     (Cluster.hosts cluster);
   !killed
 

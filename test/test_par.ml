@@ -108,6 +108,63 @@ let test_campaign_parallel_identical () =
         (flatten (List.map fingerprint par_rs)))
     seq par
 
+(* Byte-identical reports at 4096 ranks: two fixed-seed fault-free
+   stencil runs on a 4102-host cluster, executed sequentially and on a
+   4-domain pool. Every per-run observable and the rendered campaign
+   table must match exactly. Short (2-iteration) stencil plus the lazy
+   daemon mesh keep the pair of 4096-rank runs in test-suite budget. *)
+
+let big_cells () =
+  let n_ranks = 4096 in
+  let params =
+    { Workload.Stencil.iterations = 2; compute_time = 0.5; msg_bytes = 10_000; jitter = 0.0 }
+  in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.wave_interval = 20.0;
+      init_delay_min = 0.1;
+      init_delay_max = 0.1;
+      term_straggler_prob = 0.0;
+      store_jitter = 0.0;
+      lazy_peer_mesh = true;
+    }
+  in
+  let app = Workload.Stencil.app params ~n_ranks in
+  let spec =
+    {
+      (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_ranks ~state_bytes:100_000) with
+      Failmpi.Run.timeout = 600.0;
+      trace_level = Simkern.Trace.Summary;
+    }
+  in
+  [
+    Experiments.Harness.cell ~tag:"bt-4096" ~reps:2 ~base_seed:500 (fun ~seed ->
+        Failmpi.Run.execute { spec with Failmpi.Run.seed });
+  ]
+
+let test_campaign_4096_identical () =
+  let seq = Experiments.Harness.campaign ~jobs:1 (big_cells ()) in
+  let par = Experiments.Harness.campaign ~jobs:4 (big_cells ()) in
+  List.iter2
+    (fun (tag, seq_rs) (_, par_rs) ->
+      List.iter
+        (fun (r : Failmpi.Run.result) ->
+          check_bool "completed" true
+            (match r.Failmpi.Run.outcome with
+            | Failmpi.Run.Completed _ -> true
+            | _ -> false))
+        seq_rs;
+      check fp_testable (tag ^ " runs identical")
+        (flatten (List.map fingerprint seq_rs))
+        (flatten (List.map fingerprint par_rs)))
+    seq par;
+  let table results =
+    Experiments.Harness.render_table ~title:"scale"
+      (List.map (fun (tag, rs) -> Experiments.Harness.aggregate ~label:tag rs) results)
+  in
+  check_str "rendered report identical" (table seq) (table par)
+
 (* The vcl golden runs of test_backend, reproduced on a 4-domain pool:
    same spec, same seeds, times pinned to the pre-refactor captures. *)
 
@@ -217,6 +274,7 @@ let () =
       ( "campaign",
         [
           Alcotest.test_case "parallel identical" `Quick test_campaign_parallel_identical;
+          Alcotest.test_case "4096 ranks jobs 1 = jobs 4" `Quick test_campaign_4096_identical;
           Alcotest.test_case "golden under jobs 4" `Quick test_golden_under_parallelism;
         ] );
       ( "trace",

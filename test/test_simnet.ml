@@ -230,6 +230,118 @@ let test_cluster_bad_host () =
   Alcotest.check_raises "unknown host" (Invalid_argument "Cluster.host: unknown host 9")
     (fun () -> ignore (Simos.Cluster.host cluster 9))
 
+let test_cluster_counters_o1 () =
+  (* task_count / live_task_count are maintained counters, and they stay
+     consistent through spawn, exit and kill_all. *)
+  let eng = Engine.create () in
+  let cluster = Simos.Cluster.create eng ~size:3 in
+  for i = 1 to 4 do
+    ignore
+      (Simos.Cluster.spawn_on cluster ~host:0
+         ~name:(Printf.sprintf "short-%d" i)
+         (fun () -> Proc.sleep 1.0))
+  done;
+  for i = 1 to 3 do
+    ignore
+      (Simos.Cluster.spawn_on cluster ~host:2
+         ~name:(Printf.sprintf "long-%d" i)
+         (fun () -> Proc.sleep 100.0))
+  done;
+  ignore (Engine.run ~until:0.5 eng);
+  check_int "host 0 count" 4 (Simos.Cluster.task_count cluster ~host:0);
+  check_int "host 2 count" 3 (Simos.Cluster.task_count cluster ~host:2);
+  check_int "live total" 7 (Simos.Cluster.live_task_count cluster);
+  ignore (Engine.run ~until:5.0 eng);
+  check_int "short tasks exited" 0 (Simos.Cluster.task_count cluster ~host:0);
+  check_int "live total after exits" 3 (Simos.Cluster.live_task_count cluster);
+  Simos.Cluster.kill_all cluster ~host:2;
+  ignore (Engine.run ~until:10.0 eng);
+  check_int "host 2 emptied" 0 (Simos.Cluster.task_count cluster ~host:2);
+  check_int "all gone" 0 (Simos.Cluster.live_task_count cluster)
+
+let test_cluster_slot_reuse () =
+  (* Slots freed by exits are recycled: churn far beyond the initial
+     capacity keeps the registry consistent (the free-list path). *)
+  let eng = Engine.create () in
+  let cluster = Simos.Cluster.create eng ~size:2 in
+  for round = 0 to 9 do
+    Engine.schedule eng ~delay:(float_of_int round) (fun () ->
+        for i = 1 to 40 do
+          ignore
+            (Simos.Cluster.spawn_on cluster ~host:(i mod 2)
+               ~name:(Printf.sprintf "r%d-%d" round i)
+               (fun () -> Proc.sleep 0.5))
+        done)
+    |> ignore
+  done;
+  ignore (Engine.run ~until:100.0 eng);
+  check_int "all recycled" 0 (Simos.Cluster.live_task_count cluster);
+  check_int "host 0 empty" 0 (Simos.Cluster.task_count cluster ~host:0);
+  check_int "host 1 empty" 0 (Simos.Cluster.task_count cluster ~host:1)
+
+let test_cluster_tasks_order () =
+  (* [tasks] lists most-recently-spawned first — the order protocol code
+     and the pre-refactor golden traces rely on. *)
+  let eng = Engine.create () in
+  let cluster = Simos.Cluster.create eng ~size:1 in
+  List.iter
+    (fun name ->
+      ignore (Simos.Cluster.spawn_on cluster ~host:0 ~name (fun () -> Proc.sleep 50.0)))
+    [ "first"; "second"; "third" ];
+  ignore (Engine.run ~until:1.0 eng);
+  check (Alcotest.list Alcotest.string) "newest first" [ "third"; "second"; "first" ]
+    (List.map Proc.name (Simos.Cluster.tasks cluster ~host:0))
+
+(* ------------------------------------------------------------------ *)
+(* Perturbation bookkeeping (O(active-rules) representation) *)
+
+let test_perturb_overlapping_partition () =
+  (* A host listed on BOTH sides of a partition cuts against both sides
+     — the two-bit membership encoding must preserve this. *)
+  let eng = Engine.create () in
+  let net : unit Net.t = Net.create eng () in
+  let p = Net.perturb net in
+  Net.Perturb.partition p [ 0; 1 ] [ 1; 2 ];
+  check_bool "0 vs 2 cut" true (Net.Perturb.cut p ~src:0 ~dst:2);
+  check_bool "1 vs 2 cut" true (Net.Perturb.cut p ~src:1 ~dst:2);
+  check_bool "1 vs 0 cut" true (Net.Perturb.cut p ~src:1 ~dst:0);
+  check_bool "same host never cut" false (Net.Perturb.cut p ~src:1 ~dst:1);
+  (* Hosts outside every set are unaffected. *)
+  check_bool "3 vs 4 clean" false (Net.Perturb.cut p ~src:3 ~dst:4);
+  check_bool "0 vs 3 clean" false (Net.Perturb.cut p ~src:0 ~dst:3)
+
+let test_perturb_isolate_and_heal () =
+  let eng = Engine.create () in
+  let net : unit Net.t = Net.create eng () in
+  let p = Net.perturb net in
+  Net.Perturb.isolate p [ 2; 5 ];
+  check_bool "inside vs outside cut" true (Net.Perturb.cut p ~src:2 ~dst:0);
+  check_bool "inside vs inside clean" false (Net.Perturb.cut p ~src:2 ~dst:5);
+  check_bool "outside vs outside clean" false (Net.Perturb.cut p ~src:0 ~dst:1);
+  Net.Perturb.degrade p ~hosts:[ 7 ]
+    { Net.Perturb.loss = 0.5; latency = 1.0; jitter = 0.0 };
+  Net.Perturb.heal p;
+  check_bool "cut healed" false (Net.Perturb.cut p ~src:2 ~dst:0);
+  let s = Net.Perturb.spec_for p ~src:7 ~dst:0 in
+  check_bool "degradation healed" true (s = Net.Perturb.zero);
+  check_bool "transport stays armed" true (Net.Perturb.touched p)
+
+let test_perturb_degrade_semantics () =
+  let eng = Engine.create () in
+  let net : unit Net.t = Net.create eng () in
+  let p = Net.perturb net in
+  let spec l = { Net.Perturb.loss = l; latency = 0.0; jitter = 0.0 } in
+  Net.Perturb.degrade p ~hosts:[ 3; 9 ] (spec 0.2);
+  (* Latest call naming a host replaces its entry outright. *)
+  Net.Perturb.degrade p ~hosts:[ 3 ] (spec 0.05);
+  check_bool "replace semantics" true
+    ((Net.Perturb.spec_for p ~src:3 ~dst:100).Net.Perturb.loss = 0.05);
+  (* src and dst entries combine by per-field max. *)
+  check_bool "max combine" true
+    ((Net.Perturb.spec_for p ~src:3 ~dst:9).Net.Perturb.loss = 0.2);
+  check_bool "untouched pair" true
+    (Net.Perturb.spec_for p ~src:50 ~dst:60 = Net.Perturb.zero)
+
 let () =
   Alcotest.run "simnet"
     [
@@ -251,5 +363,15 @@ let () =
           Alcotest.test_case "task registry" `Quick test_cluster_tasks;
           Alcotest.test_case "kill all" `Quick test_cluster_kill_all;
           Alcotest.test_case "bad host" `Quick test_cluster_bad_host;
+          Alcotest.test_case "o(1) counters" `Quick test_cluster_counters_o1;
+          Alcotest.test_case "slot reuse" `Quick test_cluster_slot_reuse;
+          Alcotest.test_case "tasks newest first" `Quick test_cluster_tasks_order;
+        ] );
+      ( "perturb-bookkeeping",
+        [
+          Alcotest.test_case "overlapping partition" `Quick
+            test_perturb_overlapping_partition;
+          Alcotest.test_case "isolate and heal" `Quick test_perturb_isolate_and_heal;
+          Alcotest.test_case "degrade semantics" `Quick test_perturb_degrade_semantics;
         ] );
     ]
