@@ -28,12 +28,25 @@ let ints_conv =
         Format.pp_print_string ppf (String.concat "," (List.map string_of_int xs)) )
 
 let run protocol replicas ranks klass max_faults budget jobs seed targets buckets freeze
-    timeout fixed seeded shrink_hangs net json_file emit_dir =
+    timeout fixed seeded shrink_hangs net fork corpus json_file emit_dir =
   (match jobs with
   | Some n when n <= 0 ->
       prerr_endline (Printf.sprintf "failmpi_explore: --jobs must be >= 1 (got %d)" n);
       exit 1
   | _ -> ());
+  if budget <= 0 then begin
+    prerr_endline (Printf.sprintf "failmpi_explore: --budget must be >= 1 (got %d)" budget);
+    exit 1
+  end;
+  (match corpus with
+  | Some dir ->
+      let parent = Filename.dirname dir in
+      if not (Sys.file_exists parent && Sys.is_directory parent) then begin
+        prerr_endline
+          (Printf.sprintf "failmpi_explore: --corpus parent directory %s does not exist" parent);
+        exit 1
+      end
+  | None -> ());
   let klass =
     match Workload.Bt_model.klass_of_string klass with
     | Some k -> k
@@ -95,7 +108,20 @@ let run protocol replicas ranks klass max_faults budget jobs seed targets bucket
     }
   in
   let t0 = Unix.gettimeofday () in
-  let report = Explore.run ?jobs ecfg ~runner:(Explore.runner_of_spec spec) in
+  let report, _stats =
+    try Explore.run_spec ?jobs ~fork ?corpus ecfg ~spec
+    with Invalid_argument msg ->
+      (* [Explore.run_spec] prefixes its own name; re-badge for the CLI. *)
+      let prefix = "Explore.run_spec: " in
+      let plen = String.length prefix in
+      let msg =
+        if String.length msg > plen && String.sub msg 0 plen = prefix then
+          String.sub msg plen (String.length msg - plen)
+        else msg
+      in
+      prerr_endline ("failmpi_explore: " ^ msg);
+      exit 1
+  in
   print_string (Explore.render report);
   Printf.printf "[%.1f s wall clock]\n" (Unix.gettimeofday () -. t0);
   (match json_file with
@@ -227,6 +253,32 @@ let cmd =
             "Also draw network faults (partition, degraded links, heal), searching the \
              combined process x network fault space.")
   in
+  let fork =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "fork" ]
+                ~doc:
+                  "Prefix-sharing fork scheduler (the default): plans sharing a fault prefix \
+                   execute it once and fork at each divergence point, with a report \
+                   byte-identical to replaying every plan." );
+            ( false,
+              info [ "no-fork" ]
+                ~doc:"Replay every plan from $(i,t) = 0 instead of forking." );
+          ])
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Persistent coverage-guided corpus: skip plans $(docv) already recorded as tried, \
+             spend the freed budget on mutants of plans that produced new coverage, and save \
+             the updated corpus when the campaign ends.")
+  in
   let json_file =
     Arg.(
       value
@@ -249,7 +301,7 @@ let cmd =
          ])
     Term.(
       const run $ protocol $ replicas $ ranks $ klass $ max_faults $ budget $ jobs $ seed
-      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ net
-      $ json_file $ emit_dir)
+      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ net $ fork
+      $ corpus $ json_file $ emit_dir)
 
 let () = exit (Cmd.eval' cmd)

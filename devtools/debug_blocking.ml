@@ -32,7 +32,11 @@ let () =
   ignore (Engine.schedule eng ~delay:9.0 (fun () -> kill_rank 1));
   let reason = Engine.run ~until:300.0 eng in
   Printf.printf "reason=%s outcome=%s now=%.1f\n"
-    (match reason with `Quiescent -> "quiescent" | `Deadline -> "deadline" | `Halted -> "halted")
+    (match reason with
+    | `Quiescent -> "quiescent"
+    | `Deadline -> "deadline"
+    | `Halted -> "halted"
+    | `Breakpoint -> "breakpoint")
     (match Dispatcher.peek_outcome handle.Deploy.dispatcher with
     | Some (Dispatcher.Completed t) -> Printf.sprintf "completed %.1f" t
     | Some (Dispatcher.Aborted m) -> "aborted " ^ m

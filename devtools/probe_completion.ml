@@ -1,0 +1,9 @@
+let () =
+  let n_ranks = 4 in
+  let app = Workload.Stencil.app { Workload.Stencil.iterations = 60; compute_time = 0.5; msg_bytes = 5_000; jitter = 0.0 } ~n_ranks in
+  let cfg = { (Mpivcl.Config.default ~n_ranks) with Mpivcl.Config.protocol = Mpivcl.Config.Non_blocking; wave_interval = 10.0; term_straggler_prob = 0.0 } in
+  let spec = { (Failmpi.Run.default_spec ~app ~cfg ~n_compute:8 ~state_bytes:1_000_000) with Failmpi.Run.timeout = 300.0; seed = 1L; trace_level = Simkern.Trace.Summary } in
+  let r = Failmpi.Run.execute spec in
+  match r.Failmpi.Run.outcome with
+  | Failmpi.Run.Completed t -> Printf.printf "completed at %.1f s\n" t
+  | o -> Printf.printf "outcome %s\n" (Failmpi.Run.outcome_name o)

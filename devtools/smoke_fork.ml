@@ -1,0 +1,60 @@
+(* Fork-vs-replay equivalence smoke: same config, byte-identical JSON. *)
+
+let spec ~seeded =
+  let n_ranks = 4 and n_machines = 8 in
+  let app =
+    Workload.Stencil.app
+      { Workload.Stencil.iterations = 60; compute_time = 0.5; msg_bytes = 5_000; jitter = 0.0 }
+      ~n_ranks
+  in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.protocol = Mpivcl.Config.Non_blocking;
+      wave_interval = 10.0;
+      term_straggler_prob = 0.0;
+      dispatcher_buggy = false;
+      vcl_seeded_race = seeded;
+    }
+  in
+  {
+    (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes:1_000_000) with
+    Failmpi.Run.timeout = 300.0;
+    seed = 1L;
+  }
+
+let () =
+  let cfg =
+    {
+      (Explore.default_config ~n_machines:8 ~targets:[ 0; 1; 2; 3 ] ~buckets:[ 25; 10 ]) with
+      Explore.budget = 100;
+      max_faults = 3;
+    }
+  in
+  let spec = spec ~seeded:true in
+  (* Fork first: the runtime refuses fork once Par has spawned domains. *)
+  let rep_fork1, _ = Explore.run_spec ~jobs:1 ~fork:true cfg ~spec in
+  let t0 = Unix.gettimeofday () in
+  let rep_fork, st = Explore.run_spec ~jobs:4 ~fork:true cfg ~spec in
+  let t1 = Unix.gettimeofday () in
+  let rep_replay, _ = Explore.run_spec ~jobs:4 ~fork:false cfg ~spec in
+  let t2 = Unix.gettimeofday () in
+  let a = Explore.to_json rep_replay and b = Explore.to_json rep_fork in
+  Printf.printf "fork %.2fs  replay %.2fs  forks=%d pauses=%d fork_wall=%.4fs\n"
+    (t1 -. t0) (t2 -. t1) st.Explore.Prefix.forks st.Explore.Prefix.pauses
+    st.Explore.Prefix.fork_wall_s;
+  if Explore.to_json rep_fork1 <> b then begin
+    print_endline "JOBS-1 DIVERGED";
+    exit 1
+  end;
+  if a = b then print_endline "BYTE-IDENTICAL"
+  else begin
+    print_endline "DIVERGED";
+    let oc = open_out "/tmp/replay.json" in
+    output_string oc a;
+    close_out oc;
+    let oc = open_out "/tmp/fork.json" in
+    output_string oc b;
+    close_out oc;
+    exit 1
+  end

@@ -92,7 +92,22 @@ module Run = struct
 
   let trace_events r = Trace.events r.trace
 
-  let execute ?expected_checksum spec =
+  (* A prepared-but-not-yet-run experiment. [prepare] performs the whole
+     launch (engine, scenario compilation, backend deployment, watchdog);
+     [resume_from] runs the engine to its terminal stop and classifies —
+     so [execute] is exactly [prepare |> resume_from], and the explorer
+     can interpose [advance ~stop_before] pauses and [step]s between the
+     two without perturbing anything the classifier sees. *)
+  type checkpoint = {
+    cp_spec : spec;
+    cp_eng : Simkern.Engine.t;
+    cp_fci : Fci.Runtime.t option;
+    cp_classify : [ `Quiescent | `Halted | `Deadline | `Breakpoint ] -> result;
+    mutable cp_stopped : [ `Quiescent | `Halted | `Deadline | `Breakpoint ] option;
+    mutable cp_result : result option;
+  }
+
+  let prepare ?expected_checksum spec =
     let n_ranks = spec.cfg.Mpivcl.Config.n_ranks in
     if n_ranks <= 0 then
       invalid_arg
@@ -154,8 +169,8 @@ module Run = struct
       (Proc.spawn eng ~name:"experiment-watchdog" (fun () ->
            B.await handle;
            Engine.halt eng));
-    let stop_reason = Engine.run ~until:spec.timeout eng in
-    let completed = B.peek_completed handle in
+    let classify stop_reason =
+      let completed = B.peek_completed handle in
     let frozen = B.frozen handle in
     let metrics = B.metrics handle in
     let survivors = B.survivors handle in
@@ -217,4 +232,46 @@ module Run = struct
       checksum_ok;
       trace = Engine.trace eng;
     }
+    in
+    {
+      cp_spec = spec;
+      cp_eng = eng;
+      cp_fci = fci;
+      cp_classify = classify;
+      cp_stopped = None;
+      cp_result = None;
+    }
+
+  let checkpoint_engine cp = cp.cp_eng
+  let checkpoint_fci cp = cp.cp_fci
+
+  let advance cp ~stop_before =
+    match cp.cp_stopped with
+    | Some _ -> `Finished
+    | None -> (
+        match Engine.run ~until:cp.cp_spec.timeout ~stop_before cp.cp_eng with
+        | `Breakpoint -> `Paused
+        | (`Quiescent | `Halted | `Deadline) as r ->
+            cp.cp_stopped <- Some r;
+            `Finished)
+
+  let step cp = ignore (Engine.run_one cp.cp_eng)
+
+  let resume_from cp =
+    match cp.cp_result with
+    | Some r -> r
+    | None ->
+        let stop =
+          match cp.cp_stopped with
+          | Some r -> r
+          | None ->
+              let r = Engine.run ~until:cp.cp_spec.timeout cp.cp_eng in
+              cp.cp_stopped <- Some r;
+              r
+        in
+        let r = cp.cp_classify stop in
+        cp.cp_result <- Some r;
+        r
+
+  let execute ?expected_checksum spec = resume_from (prepare ?expected_checksum spec)
 end

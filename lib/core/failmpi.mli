@@ -142,4 +142,46 @@ module Run : sig
       @raise Invalid_argument on absurd inputs: [cfg.n_ranks <= 0],
         [n_compute < cfg.n_ranks], or [regions = Some r] with [r < 1]. *)
   val execute : ?expected_checksum:int -> spec -> result
+
+  (** {2 Checkpointed execution}
+
+      {!execute} split in two: {!prepare} performs the whole launch
+      (engine, scenario compilation, backend deployment, watchdog) but
+      runs no events; {!resume_from} runs the engine to its terminal
+      stop and classifies exactly as {!execute} does — [execute spec]
+      {e is} [resume_from (prepare spec)]. Between the two, the
+      explorer's prefix-sharing scheduler interposes {!advance} pauses
+      at scenario-timer breakpoints, {!step}s over single events, and
+      OS-level [fork()]s of the whole process — the checkpoint value
+      itself carries no copied state, the fork's copy-on-write heap
+      does (see docs/EXPLORER.md). *)
+
+  type checkpoint
+
+  (** [prepare ?expected_checksum spec] validates and launches without
+      running any event. Raises like {!execute}. *)
+  val prepare : ?expected_checksum:int -> spec -> checkpoint
+
+  val checkpoint_engine : checkpoint -> Simkern.Engine.t
+
+  (** [checkpoint_fci cp] is the run's FAIL runtime, when the spec had a
+      scenario. *)
+  val checkpoint_fci : checkpoint -> Fci.Runtime.t option
+
+  (** [advance cp ~stop_before] runs events up to the run's timeout but
+      pauses ([`Paused]) just before [stop_before] would execute,
+      leaving it queued. [`Finished] means the run reached a terminal
+      stop (completion, quiescence or timeout) before the breakpoint —
+      {!resume_from} will then classify without running further. *)
+  val advance :
+    checkpoint -> stop_before:Simkern.Engine.handle -> [ `Paused | `Finished ]
+
+  (** [step cp] executes exactly the next pending event (the explorer's
+      "fire the fault" move at a pause). *)
+  val step : checkpoint -> unit
+
+  (** [resume_from cp] runs to the terminal stop (if not already there)
+      and classifies. Idempotent: the result is memoised, and the
+      backend teardown it triggers happens once. *)
+  val resume_from : checkpoint -> result
 end

@@ -1,5 +1,7 @@
 module Plan = Plan
 module Shrink = Shrink
+module Prefix = Prefix
+module Corpus = Corpus
 module Run = Failmpi.Run
 
 type verdict = Completed | Degraded | Aborted | Non_terminating | Buggy | Net_hung
@@ -130,6 +132,7 @@ type minimized = {
   min_plan : Plan.t;
   min_verdict : verdict;
   probes : int;
+  probes_saved : int;
   scenario : string;
 }
 
@@ -172,20 +175,30 @@ let coverage_of records =
     !order
 
 let shrink_one cfg ~runner rc =
-  let probes = ref 0 in
-  let reproduces faults =
-    faults <> []
-    && begin
-         incr probes;
-         verdict_of_outcome (runner (plan cfg faults)).Run.outcome = rc.verdict
-       end
+  let probes = ref 0 and saved = ref 0 in
+  (* ddmin's chunk/complement sweeps and coarsen's grid walk revisit
+     identical candidate plans; the runner is deterministic, so one
+     oracle run per distinct plan key suffices.  The found plan itself
+     seeds the cache — its verdict is the campaign record. *)
+  let cache = Hashtbl.create 64 in
+  Hashtbl.replace cache (Plan.key rc.plan) rc.verdict;
+  let verdict_of p =
+    let k = Plan.key p in
+    match Hashtbl.find_opt cache k with
+    | Some v ->
+        incr saved;
+        v
+    | None ->
+        incr probes;
+        let v = verdict_of_outcome (runner p).Run.outcome in
+        Hashtbl.replace cache k v;
+        v
   in
+  let reproduces faults = faults <> [] && verdict_of (plan cfg faults) = rc.verdict in
   let min_faults, dd_probes = Shrink.ddmin ~test:reproduces rc.plan.Plan.faults in
   let coarse, co_probes =
     Shrink.coarsen ~grid:cfg.shrink_grid
-      ~test:(fun p ->
-        incr probes;
-        verdict_of_outcome (runner p).Run.outcome = rc.verdict)
+      ~test:(fun p -> verdict_of p = rc.verdict)
       (plan cfg min_faults)
   in
   ignore dd_probes;
@@ -195,14 +208,14 @@ let shrink_one cfg ~runner rc =
     min_plan = coarse;
     min_verdict = rc.verdict;
     probes = !probes;
+    probes_saved = !saved;
     scenario = Plan.to_scenario coarse;
   }
 
-let run ?jobs cfg ~runner =
-  let searched = plans cfg in
-  let records =
-    Par.map ?jobs (fun p -> record_of ~plan:p (runner p)) searched
-  in
+(* Coverage + witness shrinking over already-classified records; shared
+   by the replay ([run]) and fork ([run_spec]) front ends so both build
+   the same report from the same records. *)
+let finish_report ?jobs cfg ~runner records =
   let coverage = coverage_of records in
   (* One witness per distinct failing signature, first hit in input
      order wins — equivalent wedges shrink once, not once per plan. *)
@@ -230,18 +243,102 @@ let run ?jobs cfg ~runner =
   let minimized = Par.map ?jobs (shrink_one cfg ~runner) to_shrink in
   { config = cfg; records; coverage; minimized }
 
-let runner_of_spec (spec : Run.spec) (p : Plan.t) =
+let run ?jobs cfg ~runner =
+  let searched = plans cfg in
+  let records =
+    Par.map ?jobs (fun p -> record_of ~plan:p (runner p)) searched
+  in
+  finish_report ?jobs cfg ~runner records
+
+let plan_spec (spec : Run.spec) (p : Plan.t) =
   if p.Plan.n_machines <> spec.Run.n_compute then
     invalid_arg
       (Printf.sprintf "Explore.runner_of_spec: plan covers %d machines, spec has %d"
          p.Plan.n_machines spec.Run.n_compute);
-  Run.execute
-    {
-      spec with
-      Run.scenario = Some (Plan.to_scenario p);
-      params = [];
-      trace_level = Simkern.Trace.Summary;
-    }
+  {
+    spec with
+    Run.scenario = Some (Plan.to_scenario p);
+    params = [];
+    trace_level = Simkern.Trace.Summary;
+  }
+
+let runner_of_spec (spec : Run.spec) (p : Plan.t) = Run.execute (plan_spec spec p)
+
+(* Fork mode must never spawn a domain: the OCaml runtime permanently
+   refuses [Unix.fork] in any process that ever created one.  So the
+   fork path parallelizes through forked branch processes only, and
+   everything around it (leftover replays, shrinking) runs with
+   [~jobs:1] — [Par.map ~jobs:1] is a plain [List.map] — which keeps
+   the process fork-capable for further campaigns (corpus resume, the
+   bench's repeated runs). *)
+let corpus_space cfg =
+  {
+    Corpus.n_machines = cfg.n_machines;
+    targets = cfg.targets;
+    buckets = cfg.buckets;
+    kinds = cfg.kinds;
+    max_faults = cfg.max_faults;
+    sample_seed = cfg.sample_seed;
+  }
+
+let run_spec ?jobs ?(fork = true) ?(measure = false) ?corpus cfg ~spec =
+  let base = plans cfg in
+  let corpus =
+    Option.map
+      (fun dir ->
+        match Corpus.load ~dir ~space:(corpus_space cfg) with
+        | Ok c -> c
+        | Error msg -> invalid_arg ("Explore.run_spec: " ^ msg))
+      corpus
+  in
+  (* Resume semantics: already-tried plans are skipped and the freed
+     budget goes to seeded mutants of the corpus pool — coverage-guided
+     search around whatever opened new signature territory. *)
+  let searched =
+    match corpus with
+    | None -> base
+    | Some c ->
+        let fresh = List.filter (fun p -> not (Corpus.tried c (Plan.key p))) base in
+        fresh @ Corpus.mutants c ~count:(cfg.budget - List.length fresh)
+  in
+  let runner = runner_of_spec spec in
+  let forking = fork && Prefix.supported in
+  let records, stats =
+    if not forking then
+      (Par.map ?jobs (fun p -> record_of ~plan:p (runner p)) searched, Prefix.zero_stats)
+    else begin
+      let tagged = List.mapi (fun i p -> (i, p)) searched in
+      let forked, replayed = List.partition (fun (_, p) -> Prefix.forkable p) tagged in
+      let results = Array.make (List.length searched) None in
+      let place (i, rc) = results.(i) <- Some rc in
+      let stats =
+        match forked with
+        | [] -> Prefix.zero_stats
+        | _ ->
+            let jobs_n = match jobs with Some j -> j | None -> Par.default_jobs () in
+            let out, stats =
+              Prefix.run ~jobs:jobs_n ~measure
+                ~prepare:(fun p -> Run.prepare (plan_spec spec p))
+                ~summarize:(fun plan r -> record_of ~plan r)
+                forked
+            in
+            List.iter place out;
+            stats
+      in
+      List.iter (fun (i, p) -> place (i, record_of ~plan:p (runner p))) replayed;
+      ( Array.to_list results
+        |> List.map (function
+             | Some rc -> rc
+             | None -> failwith "Explore.run_spec: plan lost by the scheduler"),
+        stats )
+    end
+  in
+  (match corpus with
+  | None -> ()
+  | Some c ->
+      List.iter (fun rc -> Corpus.note c ~plan_key:(Plan.key rc.plan) ~sig_hash:rc.sig_hash) records;
+      Corpus.save c);
+  (finish_report ?jobs:(if forking then Some 1 else jobs) cfg ~runner records, stats)
 
 (* ---- rendering ---------------------------------------------------- *)
 
@@ -280,8 +377,9 @@ let render rp =
       List.iter
         (fun m ->
           Buffer.add_string buf
-            (Printf.sprintf "%s witness: %s  (found as %s, %d shrink re-runs)\n"
-               (verdict_name m.min_verdict) (Plan.key m.min_plan) (Plan.key m.found) m.probes))
+            (Printf.sprintf "%s witness: %s  (found as %s, %d shrink re-runs, %d memoized)\n"
+               (verdict_name m.min_verdict) (Plan.key m.min_plan) (Plan.key m.found) m.probes
+               m.probes_saved))
         ms);
   Buffer.contents buf
 
@@ -364,10 +462,10 @@ let to_json rp =
     (fun i m ->
       add
         "    {\"found\": %s, \"plan\": %s, \"verdict\": \"%s\", \"faults\": %d, \"probes\": \
-         %d, \"scenario\": \"%s\"}%s\n"
+         %d, \"probes_saved\": %d, \"scenario\": \"%s\"}%s\n"
         (plan_json m.found) (plan_json m.min_plan) (verdict_name m.min_verdict)
         (List.length m.min_plan.Plan.faults)
-        m.probes
+        m.probes m.probes_saved
         (json_escape m.scenario)
         (if i = List.length rp.minimized - 1 then "" else ","))
     rp.minimized;

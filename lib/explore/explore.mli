@@ -20,6 +20,8 @@
 
 module Plan = Plan
 module Shrink = Shrink
+module Prefix = Prefix
+module Corpus = Corpus
 module Run = Failmpi.Run
 
 (** [Degraded] is a ulfm run that finished on a shrunken communicator
@@ -67,6 +69,9 @@ type minimized = {
   min_plan : Plan.t;  (** after {!Shrink.ddmin} + {!Shrink.coarsen} *)
   min_verdict : verdict;  (** reproduced classification *)
   probes : int;  (** oracle re-runs spent shrinking *)
+  probes_saved : int;
+      (** oracle re-runs answered from the per-witness memo instead
+          (ddmin and coarsen revisit identical candidate plans) *)
   scenario : string;  (** [Plan.to_scenario min_plan], ready to save *)
 }
 
@@ -89,6 +94,39 @@ val run : ?jobs:int -> config -> runner:(Plan.t -> Run.result) -> report
     [Invalid_argument] if [spec.n_compute] differs from the plan's
     [n_machines]. *)
 val runner_of_spec : Run.spec -> Plan.t -> Run.result
+
+(** [run_spec ?jobs ?fork ?measure config ~spec] is {!run} with the
+    standard runner, routed through the {!Prefix} fork scheduler when
+    [fork] (default [true], and supported): plans sharing a fault
+    prefix execute that prefix once and fork at each divergence point,
+    so big campaigns cost a fraction of replaying every plan — with a
+    byte-identical report (any [?jobs]).  Plans the scheduler cannot
+    drive (reload anchors) replay as usual; [fork:false] replays
+    everything.  [measure] sizes engine snapshots at every pause
+    (bench instrumentation).  The returned stats are {!Prefix.zero_stats}
+    whenever the fork path was skipped.
+
+    In fork mode [?jobs] throttles the forked branch processes, and
+    everything else (leftover replays, shrinking) runs sequentially:
+    the OCaml runtime permanently refuses [Unix.fork] in a process
+    that ever created a domain, so fork mode spawns none — which also
+    means it only works before anything else in the process has
+    (e.g. a prior [fork:false] campaign).
+
+    [?corpus] names a {!Corpus} directory (created on first save):
+    already-tried plans are skipped on resume and the freed budget
+    goes to seeded mutants of plans that produced new signatures; the
+    corpus is updated and saved after the campaign.  Raises
+    [Invalid_argument] when the directory holds a corpus written by an
+    incompatible configuration. *)
+val run_spec :
+  ?jobs:int ->
+  ?fork:bool ->
+  ?measure:bool ->
+  ?corpus:string ->
+  config ->
+  spec:Run.spec ->
+  report * Prefix.stats
 
 (** Human-readable report (verdict tallies, coverage, witnesses). *)
 val render : report -> string

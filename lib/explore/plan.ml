@@ -31,6 +31,57 @@ let fault_key f =
 
 let key p = String.concat ";" (List.map fault_key p.faults)
 
+(* Inverse of [fault_key]: "kind@machine+delay" or
+   "kind@machine@reloadN+delay".  Total — every malformed shape comes
+   back as [Error] — because keys flow in from corpus files on disk. *)
+let fault_of_key s =
+  let fail () = Error (Printf.sprintf "malformed fault key %S" s) in
+  let parse_kind k =
+    if k = "kill" then Some Kill
+    else if k = "part" then Some Partition
+    else if k = "heal" then Some Heal
+    else if String.length k > 6 && String.sub k 0 6 = "freeze" then
+      Option.map (fun thaw -> Freeze { thaw })
+        (int_of_string_opt (String.sub k 6 (String.length k - 6)))
+    else
+      try Scanf.sscanf k "deg%dl%d%!" (fun loss latency -> Some (Degrade { loss; latency }))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  in
+  let parse_int s = int_of_string_opt s in
+  match String.split_on_char '@' s with
+  | [ kind; rest ] -> (
+      match (parse_kind kind, String.split_on_char '+' rest) with
+      | Some kind, [ m; d ] -> (
+          match (parse_int m, parse_int d) with
+          | Some machine, Some delay -> Ok { machine; anchor = After delay; kind }
+          | _ -> fail ())
+      | _ -> fail ())
+  | [ kind; m; reload ] -> (
+      match (parse_kind kind, parse_int m, String.split_on_char '+' reload) with
+      | Some kind, Some machine, [ nth_s; d ] when String.length nth_s > 6 -> (
+          match
+            ( String.sub nth_s 0 6,
+              parse_int (String.sub nth_s 6 (String.length nth_s - 6)),
+              parse_int d )
+          with
+          | "reload", Some nth, Some delay ->
+              Ok { machine; anchor = On_reload { nth; delay }; kind }
+          | _ -> fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
+let of_key ~n_machines s =
+  if s = "" then Error "empty plan key"
+  else
+    let rec go acc = function
+      | [] -> Ok { n_machines; faults = List.rev acc }
+      | fk :: rest -> (
+          match fault_of_key fk with
+          | Ok f -> go (f :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ';' s)
+
 let to_scenario p = S.source ~n_machines:p.n_machines p.faults
 
 let of_scenario ?params src =

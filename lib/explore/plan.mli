@@ -33,8 +33,14 @@ val compare : t -> t -> int
 
 (** [key p] is a compact, human-readable identifier, e.g.
     ["kill@3+12;freeze8@0@reload5+2"] — stable across processes, used to
-    label report rows and emitted files. *)
+    label report rows, emitted files and the persistent corpus. *)
 val key : t -> string
+
+(** [of_key ~n_machines s] parses a {!key} back into a plan
+    ([of_key ~n_machines (key p) = Ok p] whenever [p.n_machines =
+    n_machines]).  Total: corpus files come from disk, so malformed
+    keys return [Error] rather than raising. *)
+val of_key : n_machines:int -> string -> (t, string) result
 
 (** [to_scenario p] renders the plan as FAIL source (no parameters). *)
 val to_scenario : t -> string

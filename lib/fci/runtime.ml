@@ -33,7 +33,7 @@ type event =
 type instance = {
   id : string;
   machine : int;
-  automaton : Automaton.t;
+  mutable automaton : Automaton.t;  (* swapped by [swap_plan] at a fork point *)
   vars : int array;
   rng : Rng.t;
   mutable node : int;
@@ -650,6 +650,73 @@ let read_var t ~instance name =
 
 let injected_faults t = t.fault_count
 let net_faults t = t.net_fault_count
+
+(* ------------------------------------------------------------------ *)
+(* Fork-point surgery (the explorer's prefix-sharing scheduler)
+
+   At a pause just before a scenario timer fires, the explorer branches
+   one shared run into the sibling plans of a prefix tree: it re-aims
+   the pending timer at a sibling's injection delay ([retime_timer],
+   seq-preserving so same-instant ties still break as a from-scratch
+   run's would) and installs the sibling plan's automata ([swap_plan]).
+   Both leave timer generations, variables and every other part of the
+   run untouched, which is what keeps a forked branch byte-identical to
+   replaying that plan from t=0. *)
+
+let timer_handle t ~instance =
+  match Hashtbl.find_opt t.by_name instance with
+  | None -> None
+  | Some inst -> inst.timer_handle
+
+let retime_timer t ~instance ~time =
+  match Hashtbl.find_opt t.by_name instance with
+  | None -> invalid_arg (Printf.sprintf "Runtime.retime_timer: unknown instance %s" instance)
+  | Some inst -> (
+      match inst.timer_handle with
+      | None ->
+          invalid_arg (Printf.sprintf "Runtime.retime_timer: %s has no armed timer" instance)
+      | Some h ->
+          let h' = Engine.retime h ~time in
+          inst.timer_handle <- Some h';
+          h')
+
+let swap_plan t (plan : Compile.plan) =
+  let swap_instance ~id ~daemon =
+    let inst =
+      match Hashtbl.find_opt t.by_name id with
+      | Some i -> i
+      | None ->
+          invalid_arg (Printf.sprintf "Runtime.swap_plan: plan deploys unknown instance %s" id)
+    in
+    let automaton =
+      match Compile.automaton plan daemon with
+      | Some a -> a
+      | None -> invalid_arg (Printf.sprintf "Runtime.swap_plan: unknown daemon %s" daemon)
+    in
+    if automaton.Automaton.var_names <> inst.automaton.Automaton.var_names then
+      invalid_arg (Printf.sprintf "Runtime.swap_plan: %s: variable layout differs" id);
+    (* The current node is re-located by name: sibling plans can shift
+       node indices (e.g. a different set of frozen nodes), but a shared
+       prefix guarantees the node the instance sits in exists in both. *)
+    let node_id = (current_node inst).Automaton.node_id in
+    match Automaton.node_index automaton node_id with
+    | Some idx ->
+        inst.automaton <- automaton;
+        inst.node <- idx
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Runtime.swap_plan: %s: node %s missing from the new automaton" id
+             node_id)
+  in
+  List.iter
+    (fun dep ->
+      match dep with
+      | Ast.Dep_singleton { inst; daemon; _ } -> swap_instance ~id:inst ~daemon
+      | Ast.Dep_group { inst; count; daemon; _ } ->
+          for i = 0 to count - 1 do
+            swap_instance ~id:(Printf.sprintf "%s[%d]" inst i) ~daemon
+          done)
+    plan.Compile.deployments
 
 let suspected t =
   List.filter_map (fun inst -> if inst.suspected then Some inst.id else None) t.all

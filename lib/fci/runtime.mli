@@ -87,6 +87,32 @@ val read_var : t -> instance:string -> string -> int option
 (** [injected_faults t] counts [halt] actions executed so far. *)
 val injected_faults : t -> int
 
+(** {2 Fork-point surgery}
+
+    Primitives for the explorer's prefix-sharing scheduler, used at a
+    pause just before a scenario timer fires. Both leave timer
+    generations, variables and the rest of the run untouched — a forked
+    branch stays byte-identical to replaying its plan from t=0. *)
+
+(** [timer_handle t ~instance] is the instance's armed node timer, if
+    any ([None] also for unknown instances). *)
+val timer_handle : t -> instance:string -> Simkern.Engine.handle option
+
+(** [retime_timer t ~instance ~time] re-aims the instance's armed timer
+    at absolute [time], preserving its engine sequence number (see
+    {!Simkern.Engine.retime}) so same-instant ties break as a
+    from-scratch run's would. Returns the replacement handle. Raises
+    [Invalid_argument] on an unknown instance or an unarmed timer. *)
+val retime_timer : t -> instance:string -> time:float -> Simkern.Engine.handle
+
+(** [swap_plan t plan] re-points every deployed instance at [plan]'s
+    automaton for its daemon, re-locating the current node by name. The
+    new plan must deploy the same instances with the same variable
+    layouts and contain every currently occupied node (guaranteed when
+    both plans share the executed fault prefix). Raises
+    [Invalid_argument] otherwise. *)
+val swap_plan : t -> Fail_lang.Compile.plan -> unit
+
 (** [net_faults t] counts [partition]/[degrade] actions executed so far
     ([heal] is not a fault). *)
 val net_faults : t -> int

@@ -199,11 +199,38 @@ let cancel ev =
       let size = t.total_events in
       if size >= compact_threshold && t.tombstones > size / 2 then compact t
 
+(* Move a pending event to a new time, reusing its sequence number: the
+   replacement occupies exactly the ordering slot the original would have
+   had if it had been scheduled at [time] in the first place, so a
+   retimed run stays byte-identical to one that scheduled the new time
+   from scratch (same-instant ties break on seq). The original is left
+   behind as a tombstone; sharing its seq is harmless — the merge heap's
+   lazy entries resolve against whichever physical event heads the shard,
+   and both resolutions are handled (tombstone pop, or actual run). *)
+let retime h ~time =
+  let t = h.owner in
+  (match h.state with
+  | Pending -> ()
+  | Cancelled | Done -> invalid_arg "Engine.retime: event is no longer pending");
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.retime: time %g is in the past (now %g)" time t.now);
+  if time = h.time then h
+  else begin
+    h.state <- Cancelled;
+    t.tombstones <- t.tombstones + 1;
+    let ev =
+      { time; seq = h.seq; region = h.region; thunk = h.thunk; state = Pending; owner = t }
+    in
+    push_event t ev;
+    ev
+  end
+
 let pending t = t.live
 
 let queue_size t = t.total_events
 
-let run ?(until = infinity) t =
+let run ?(until = infinity) ?stop_before t =
   t.halted <- false;
   let rec loop () =
     if t.halted then `Halted
@@ -213,6 +240,12 @@ let run ?(until = infinity) t =
       | Some ev when ev.time > until ->
           t.now <- until;
           `Deadline
+      | Some ev
+        when (match stop_before with Some h -> ev == h | None -> false)
+             && ev.state = Pending ->
+          (* The breakpoint event stays queued: the caller can retime it,
+             fork the process, or step over it with [run_one]. *)
+          `Breakpoint
       | Some _ ->
           let ev = Option.get (pop_min t) in
           (match ev.state with
@@ -228,4 +261,96 @@ let run ?(until = infinity) t =
   in
   loop ()
 
+let run_one t =
+  let rec go () =
+    match pop_min t with
+    | None -> false
+    | Some ev -> (
+        match ev.state with
+        | Cancelled ->
+            t.tombstones <- t.tombstones - 1;
+            go ()
+        | Done -> go ()
+        | Pending ->
+            ev.state <- Done;
+            t.live <- t.live - 1;
+            t.now <- ev.time;
+            t.current_region <- ev.region;
+            ev.thunk ();
+            true)
+  in
+  go ()
+
 let halt t = t.halted <- true
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore
+
+   A snapshot captures the engine's own bookkeeping: clock, counters,
+   RNG state, trace position, and every queued event together with the
+   state it had at capture. [restore] rebuilds the shard heaps from that
+   set and rewinds the scalars. Event thunks are shared, not copied —
+   the engine cannot rewind what a thunk's closure points at (process
+   continuations, protocol state), so restore is only sound when that
+   external state is itself back at the capture point: either the events
+   are self-contained, or the whole process was forked at the snapshot
+   (the explorer's scheme — fork gives copy-on-write of everything else,
+   and the snapshot contract documents exactly what the engine half
+   covers). *)
+
+type snapshot = {
+  snap_now : float;
+  snap_seq : int;
+  snap_pid : int;
+  snap_halted : bool;
+  snap_region : int;
+  snap_rng : Rng.t;
+  snap_events : (event * event_state) array;
+  snap_trace : int;
+}
+
+let snapshot t =
+  let evs = ref [] in
+  Array.iter
+    (fun sh -> List.iter (fun ev -> evs := (ev, ev.state) :: !evs) (Heap.to_list sh.s_heap))
+    t.shards;
+  {
+    snap_now = t.now;
+    snap_seq = t.next_seq;
+    snap_pid = t.next_pid;
+    snap_halted = t.halted;
+    snap_region = t.current_region;
+    snap_rng = Rng.copy t.rng;
+    snap_events = Array.of_list !evs;
+    snap_trace = Trace.length t.trace;
+  }
+
+let restore t s =
+  Array.iter (fun sh -> Heap.clear sh.s_heap) t.shards;
+  Heap.clear t.merge;
+  t.live <- 0;
+  t.tombstones <- 0;
+  t.total_events <- 0;
+  Array.iter
+    (fun (ev, st) ->
+      ev.state <- st;
+      match st with
+      | Pending ->
+          push_event t ev;
+          t.live <- t.live + 1
+      | Cancelled ->
+          push_event t ev;
+          t.tombstones <- t.tombstones + 1
+      | Done -> ())
+    s.snap_events;
+  t.now <- s.snap_now;
+  t.next_seq <- s.snap_seq;
+  t.next_pid <- s.snap_pid;
+  t.halted <- s.snap_halted;
+  t.current_region <- s.snap_region;
+  Rng.assign t.rng s.snap_rng;
+  Trace.truncate t.trace s.snap_trace
+
+let snapshot_events s = Array.length s.snap_events
+
+let snapshot_words s = Obj.reachable_words (Obj.repr s)

@@ -104,11 +104,64 @@ val pending : t -> int
     including not-yet-compacted tombstones (diagnostics / tests). *)
 val queue_size : t -> int
 
-(** [run ?until t] executes events in order until the queue is empty, the
-    engine is halted, or the next event lies beyond [until]; in the latter
-    case the clock is advanced to [until]. Returns the reason the loop
-    ended. *)
-val run : ?until:float -> t -> [ `Quiescent | `Halted | `Deadline ]
+(** [run ?until ?stop_before t] executes events in order until the queue
+    is empty, the engine is halted, the next event lies beyond [until]
+    (the clock is then advanced to [until]), or the next live event is
+    exactly [stop_before] — the breakpoint event is left queued, so the
+    caller can {!retime} it, fork the process, or execute it with
+    {!run_one}. Returns the reason the loop ended. *)
+val run :
+  ?until:float ->
+  ?stop_before:handle ->
+  t ->
+  [ `Quiescent | `Halted | `Deadline | `Breakpoint ]
+
+(** [run_one t] pops and executes exactly the next live event (skipping
+    tombstones), advancing the clock to it. Returns [false] on an empty
+    queue. Ignores [halt] and deadlines — it is the explorer's precise
+    "step over the breakpoint" primitive. *)
+val run_one : t -> bool
+
+(** [retime h ~time] moves a pending event to [time], {e reusing its
+    sequence number}: the moved event occupies exactly the ordering slot
+    it would have had if originally scheduled at [time], so same-instant
+    ties still break identically to a from-scratch run — the property
+    the explorer's fork scheduler needs when it re-aims a scenario timer
+    at a sibling plan's injection delay. Returns the replacement handle
+    (or [h] itself when [time] is unchanged); the old handle becomes a
+    tombstone. Raises [Invalid_argument] if [h] is no longer pending or
+    [time] is in the past. *)
+val retime : handle -> time:float -> handle
 
 (** [halt t] stops a [run] in progress after the current event. *)
 val halt : t -> unit
+
+(** {2 Snapshot / restore}
+
+    A {!snapshot} captures the engine's own bookkeeping — clock, seq and
+    pid counters, RNG state, trace position, and every queued event with
+    its capture-time state. {!restore} rebuilds the queue and rewinds the
+    scalars. Event thunks are {e shared}, not copied: the engine cannot
+    rewind what a closure points at (process continuations, protocol
+    state), so restoring inside a live process is only sound when that
+    external state is itself back at the capture point — either the
+    events are self-contained, or the process was forked at the snapshot
+    and the child inherited everything else copy-on-write (the
+    explorer's scheme; see docs/EXPLORER.md). *)
+
+type snapshot
+
+(** [snapshot t] captures the engine state (O(queued events)). *)
+val snapshot : t -> snapshot
+
+(** [restore t s] rewinds [t] to [s]. May be applied any number of
+    times; the snapshot is not consumed. *)
+val restore : t -> snapshot -> unit
+
+(** [snapshot_events s] is the number of queued events captured. *)
+val snapshot_events : snapshot -> int
+
+(** [snapshot_words s] is the heap footprint of the snapshot in words,
+    including what the captured events' closures reach (bench
+    diagnostics). *)
+val snapshot_words : snapshot -> int

@@ -115,6 +115,16 @@ let clear t =
   t.cells <- [||];
   t.n <- 0
 
+let truncate t n =
+  if n < 0 || n > t.n then
+    invalid_arg (Printf.sprintf "Trace.truncate: length %d out of range 0..%d" n t.n);
+  (* Drop the cells so payload closures recorded after the cut are
+     collectable. *)
+  for i = n to t.n - 1 do
+    t.cells.(i) <- dummy_cell
+  done;
+  t.n <- n
+
 let pp_entry ppf e =
   Format.fprintf ppf "@[<h>%10.3f %-16s %-24s %s@]" e.time e.source e.event e.detail
 

@@ -338,6 +338,67 @@ module Perturb = struct
         touch p;
         Engine.schedule_at p.p_eng ~time:t (fun () -> heal p) |> ignore
     | None -> ()
+
+  (* Snapshot: every mutable field. Cut/flap byte maps and spec records
+     are immutable after construction, so sharing the lists is safe; the
+     RNG state is copied both ways so one snapshot restores any number
+     of times. *)
+  type snapshot = {
+    sn_rng : Rng.t option;
+    sn_seed : int64 option;
+    sn_base : spec;
+    sn_degraded : spec array;
+    sn_deg_hosts : int list;
+    sn_cuts : cut list;
+    sn_flaps : flap list;
+    sn_touched : bool;
+    sn_reliable : bool;
+    sn_rto_initial : float;
+    sn_rto_max : float;
+    sn_max_attempts : int;
+    sn_dropped : int;
+    sn_delayed : int;
+    sn_retransmits : int;
+    sn_conn_timeouts : int;
+  }
+
+  let snapshot p =
+    {
+      sn_rng = Option.map Rng.copy p.p_rng;
+      sn_seed = p.p_seed;
+      sn_base = p.p_base;
+      sn_degraded = Array.copy p.p_degraded;
+      sn_deg_hosts = p.p_deg_hosts;
+      sn_cuts = p.p_cuts;
+      sn_flaps = p.p_flaps;
+      sn_touched = p.p_touched;
+      sn_reliable = p.p_reliable;
+      sn_rto_initial = p.p_rto_initial;
+      sn_rto_max = p.p_rto_max;
+      sn_max_attempts = p.p_max_attempts;
+      sn_dropped = p.p_dropped;
+      sn_delayed = p.p_delayed;
+      sn_retransmits = p.p_retransmits;
+      sn_conn_timeouts = p.p_conn_timeouts;
+    }
+
+  let restore p s =
+    p.p_rng <- Option.map Rng.copy s.sn_rng;
+    p.p_seed <- s.sn_seed;
+    p.p_base <- s.sn_base;
+    p.p_degraded <- Array.copy s.sn_degraded;
+    p.p_deg_hosts <- s.sn_deg_hosts;
+    p.p_cuts <- s.sn_cuts;
+    p.p_flaps <- s.sn_flaps;
+    p.p_touched <- s.sn_touched;
+    p.p_reliable <- s.sn_reliable;
+    p.p_rto_initial <- s.sn_rto_initial;
+    p.p_rto_max <- s.sn_rto_max;
+    p.p_max_attempts <- s.sn_max_attempts;
+    p.p_dropped <- s.sn_dropped;
+    p.p_delayed <- s.sn_delayed;
+    p.p_retransmits <- s.sn_retransmits;
+    p.p_conn_timeouts <- s.sn_conn_timeouts
 end
 
 type 'a recv_result = Data of 'a | Closed
@@ -389,6 +450,27 @@ let create eng ?(config = default_config) () =
 let engine net = net.eng
 let config net = net.cfg
 let perturb net = net.perturb
+
+(* Socket-layer snapshot: the port-binding table plus the perturbation
+   layer. Listener mailboxes and per-connection buffers reach process
+   continuations, so the records are shared, not copied — same contract
+   as [Engine.snapshot]: sound when the rest of the process is itself
+   back at the capture point (self-contained state, or an OS fork). *)
+type 'a snapshot = {
+  ns_perturb : Perturb.snapshot;
+  ns_bindings : ((int * int) * 'a listener) list;
+}
+
+let snapshot net =
+  {
+    ns_perturb = Perturb.snapshot net.perturb;
+    ns_bindings = Hashtbl.fold (fun k l acc -> (k, l) :: acc) net.listeners [];
+  }
+
+let restore net s =
+  Perturb.restore net.perturb s.ns_perturb;
+  Hashtbl.reset net.listeners;
+  List.iter (fun (k, l) -> Hashtbl.replace net.listeners k l) s.ns_bindings
 
 let link_params net ~src ~dst =
   if src = dst then (net.cfg.local_latency, net.cfg.local_bandwidth)

@@ -161,6 +161,18 @@ module Perturb : sig
   (** [set_reliable t b] arms or disarms the retransmitting transport
       (tests use [false] to expose raw loss to the protocols). *)
   val set_reliable : t -> bool -> unit
+
+  (** {2 Snapshot / restore}
+
+      Captures every mutable field — RNG state, base/per-host specs,
+      cuts, flaps, counters. Restore is exact and reusable: the layer's
+      state is plain data, so this round-trips even inside a live
+      process. *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  val restore : t -> snapshot -> unit
 end
 
 (** [create eng ?config ()] builds a network. Raises [Invalid_argument]
@@ -173,6 +185,20 @@ val config : 'a t -> config
 (** [perturb net] is the network's perturbation layer (dormant until a
     rule is installed). *)
 val perturb : 'a t -> Perturb.t
+
+(** {2 Snapshot / restore}
+
+    Captures the socket layer's port-binding table and the perturbation
+    layer. Listener mailboxes and per-connection buffers reach process
+    continuations and are shared, not copied — restoring inside a live
+    process is only sound when that state is itself back at the capture
+    point (the explorer instead forks the whole process and lets
+    copy-on-write carry it; see {!Simkern.Engine.snapshot}). *)
+
+type 'a snapshot
+
+val snapshot : 'a t -> 'a snapshot
+val restore : 'a t -> 'a snapshot -> unit
 
 type 'a listener
 type 'a conn

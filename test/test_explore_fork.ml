@@ -1,0 +1,309 @@
+(* Tests for the prefix-sharing fork scheduler and the coverage corpus:
+
+   - fork-vs-replay byte-identical reports across all five protocol
+     backends, on a >= 3-fault sampled configuration;
+   - --jobs invariance: fork at jobs 1 and 4 and replay at jobs 1 and 4
+     all render the same JSON;
+   - shrink-oracle memoization (probes_saved) on a real witness;
+   - corpus save -> resume round-trip, plus the exact refusal messages
+     for non-corpus directories and incompatible configurations;
+   - Plan.of_key as the inverse of Plan.key, with its error messages.
+
+   Process structure: the OCaml runtime permanently refuses [Unix.fork]
+   once the process has ever created a domain, so every fork campaign
+   below runs eagerly at module initialization, before the first
+   replay at jobs > 1 spawns [Par.map] workers.  The Alcotest cases
+   only compare the precomputed results. *)
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_str = check Alcotest.string
+
+module Plan = Explore.Plan
+module Corpus = Explore.Corpus
+
+(* ------------------------------------------------------------------ *)
+(* Campaign under the seeded vcl dispatcher race: known to go buggy on
+   second strikes inside a recovery wave, so the report has witnesses
+   to exercise the shrink memo. *)
+
+let demo_spec () =
+  let n_ranks = 4 and n_machines = 8 in
+  let app =
+    Workload.Stencil.app
+      { Workload.Stencil.iterations = 60; compute_time = 0.5; msg_bytes = 5_000; jitter = 0.0 }
+      ~n_ranks
+  in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.protocol = Mpivcl.Config.Non_blocking;
+      wave_interval = 10.0;
+      term_straggler_prob = 0.0;
+      dispatcher_buggy = false;
+      vcl_seeded_race = true;
+    }
+  in
+  {
+    (Failmpi.Run.default_spec ~app ~cfg ~n_compute:n_machines ~state_bytes:1_000_000) with
+    Failmpi.Run.timeout = 300.0;
+    seed = 1L;
+  }
+
+(* max_faults 3 with budget past the 1-2 fault grid, so the seeded
+   sampler contributes >= 3-fault plans to the campaign. *)
+let demo_config =
+  {
+    (Explore.default_config ~n_machines:8 ~targets:[ 0; 1; 2; 3 ] ~buckets:[ 12; 3 ]) with
+    Explore.max_faults = 3;
+    budget = 90;
+  }
+
+(* The other four backends run the CLI's NAS BT deployment. *)
+let backend_spec name =
+  let (module B : Failmpi.Backend.S) =
+    match Failmpi.Backend.find name with
+    | Some b -> b
+    | None -> Alcotest.failf "backend %s not registered" name
+  in
+  let n_ranks = 4 and replicas = 2 in
+  let n_machines = B.default_machines ~n_ranks ~replicas in
+  let cfg =
+    {
+      (Mpivcl.Config.default ~n_ranks) with
+      Mpivcl.Config.protocol = B.protocol ~replicas;
+    }
+  in
+  let klass =
+    match Workload.Bt_model.klass_of_string "A" with
+    | Some k -> k
+    | None -> assert false
+  in
+  ( {
+      (Experiments.Harness.bt_spec ~cfg ~klass ~n_ranks ~n_machines ~scenario:None ()) with
+      Failmpi.Run.seed = 1L;
+      timeout = 600.0;
+    },
+    {
+      (Explore.default_config ~n_machines ~targets:[ 0; 1 ] ~buckets:[ 20; 10 ]) with
+      Explore.max_faults = 3;
+      budget = 30;
+    } )
+
+let other_backends = [ "blocking"; "v2"; "replication"; "ulfm" ]
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1 — every fork campaign, before any domain exists. *)
+
+let fork_j1 = Explore.run_spec ~jobs:1 ~fork:true demo_config ~spec:(demo_spec ())
+let fork_j4 = Explore.run_spec ~jobs:4 ~fork:true demo_config ~spec:(demo_spec ())
+
+let backend_forked =
+  List.map
+    (fun name ->
+      let spec, cfg = backend_spec name in
+      (name, fst (Explore.run_spec ~jobs:4 ~fork:true cfg ~spec)))
+    other_backends
+
+(* Corpus round-trip (fork mode, so it also belongs to phase 1). *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let corpus_dir = Filename.concat (Filename.get_temp_dir_name ()) "failmpi_test_corpus"
+let () = rm_rf corpus_dir
+let corpus_cfg budget = { demo_config with Explore.budget }
+let corpus_r1 = fst (Explore.run_spec ~jobs:1 ~fork:true ~corpus:corpus_dir (corpus_cfg 20) ~spec:(demo_spec ()))
+let corpus_r2 = fst (Explore.run_spec ~jobs:1 ~fork:true ~corpus:corpus_dir (corpus_cfg 40) ~spec:(demo_spec ()))
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2 — replays; jobs 4 spawns domains, so forks are done. *)
+
+let replay_j1 = Explore.run_spec ~jobs:1 ~fork:false demo_config ~spec:(demo_spec ())
+let replay_j4 = Explore.run_spec ~jobs:4 ~fork:false demo_config ~spec:(demo_spec ())
+
+let backend_replayed =
+  List.map
+    (fun name ->
+      let spec, cfg = backend_spec name in
+      (name, fst (Explore.run_spec ~jobs:4 ~fork:false cfg ~spec)))
+    other_backends
+
+(* ------------------------------------------------------------------ *)
+(* Fork-vs-replay equivalence *)
+
+let json (report, _stats) = Explore.to_json report
+
+let test_vcl_fork_equals_replay () =
+  check_str "fork = replay, byte for byte" (json replay_j1) (json fork_j4)
+
+let test_jobs_invariance () =
+  check_str "fork jobs 1 = fork jobs 4" (json fork_j1) (json fork_j4);
+  check_str "replay jobs 1 = replay jobs 4" (json replay_j1) (json replay_j4)
+
+let test_sampled_faults_present () =
+  let report, stats = fork_j4 in
+  check_int "full campaign ran" demo_config.Explore.budget (List.length report.Explore.records);
+  check_bool "sampler contributed 3-fault plans" true
+    (List.exists
+       (fun rc -> List.length rc.Explore.plan.Plan.faults >= 3)
+       report.Explore.records);
+  check_bool "the scheduler actually forked" true (stats.Explore.Prefix.forks > 0);
+  check_bool "witnesses found under the seeded race" true (report.Explore.minimized <> [])
+
+let test_backends_fork_equals_replay () =
+  List.iter2
+    (fun (name, forked) (name', replayed) ->
+      check_str "same backend" name name';
+      check_str (name ^ ": fork = replay") (Explore.to_json replayed) (Explore.to_json forked))
+    backend_forked backend_replayed
+
+(* ------------------------------------------------------------------ *)
+(* Shrink memo *)
+
+let test_shrink_memo () =
+  let report, _ = fork_j4 in
+  check_bool "has witnesses to shrink" true (report.Explore.minimized <> []);
+  List.iter
+    (fun m ->
+      check_bool "shrinking probed the oracle" true (m.Explore.probes > 0);
+      check_bool "memo saved probes" true (m.Explore.probes_saved > 0))
+    report.Explore.minimized;
+  (* The memo must not change the outcome: replay path shrinks the same
+     witnesses to the same plans (already covered by byte-equality, but
+     spell the invariant out). *)
+  let replay_report, _ = replay_j1 in
+  List.iter2
+    (fun m m' ->
+      check_str "same minimized plan" (Plan.key m.Explore.min_plan) (Plan.key m'.Explore.min_plan);
+      check_int "same probes" m.Explore.probes m'.Explore.probes;
+      check_int "same probes_saved" m.Explore.probes_saved m'.Explore.probes_saved)
+    report.Explore.minimized replay_report.Explore.minimized
+
+(* ------------------------------------------------------------------ *)
+(* Corpus *)
+
+let space_of cfg =
+  {
+    Corpus.n_machines = cfg.Explore.n_machines;
+    targets = cfg.Explore.targets;
+    buckets = cfg.Explore.buckets;
+    kinds = cfg.Explore.kinds;
+    max_faults = cfg.Explore.max_faults;
+    sample_seed = cfg.Explore.sample_seed;
+  }
+
+let plan_keys report =
+  List.map (fun rc -> Plan.key rc.Explore.plan) report.Explore.records
+
+let test_corpus_roundtrip () =
+  check_int "first campaign ran its budget" 20 (List.length corpus_r1.Explore.records);
+  check_int "resumed campaign ran its budget" 40 (List.length corpus_r2.Explore.records);
+  (* Resume skips every plan the first campaign tried: the two runs are
+     disjoint, the freed budget went to fresh plans and pool mutants. *)
+  let tried1 = plan_keys corpus_r1 in
+  check_bool "no plan ran twice" true
+    (List.for_all (fun k -> not (List.mem k tried1)) (plan_keys corpus_r2));
+  match Corpus.load ~dir:corpus_dir ~space:(space_of demo_config) with
+  | Error e -> Alcotest.failf "corpus did not load back: %s" e
+  | Ok c ->
+      check_int "two generations saved" 2 (Corpus.generation c);
+      check_int "every run recorded as tried" 60
+        (List.length (List.filter (Corpus.tried c) (tried1 @ plan_keys corpus_r2)));
+      check_bool "pool holds coverage pioneers" true (Corpus.pool c <> []);
+      check_bool "signatures accumulated" true (Corpus.seen_signatures c > 0)
+
+let test_corpus_refusals () =
+  let space = space_of demo_config in
+  (* Not a corpus: a directory without a meta file. *)
+  let junk = Filename.concat (Filename.get_temp_dir_name ()) "failmpi_test_notcorpus" in
+  rm_rf junk;
+  Sys.mkdir junk 0o755;
+  let oc = open_out (Filename.concat junk "stuff") in
+  close_out oc;
+  (match Corpus.load ~dir:junk ~space with
+  | Ok _ -> Alcotest.fail "junk directory accepted as a corpus"
+  | Error e ->
+      check_str "refusal message" (junk ^ " is not a failmpi-explore corpus (no meta file)") e);
+  rm_rf junk;
+  (* Incompatible configuration: same directory, different max_faults. *)
+  let other = { space with Corpus.max_faults = space.Corpus.max_faults + 1 } in
+  match Corpus.load ~dir:corpus_dir ~space:other with
+  | Ok _ -> Alcotest.fail "incompatible corpus accepted"
+  | Error e ->
+      check_str "refusal message"
+        (Printf.sprintf "corpus %s is incompatible with this configuration (corpus: %s; campaign: %s)"
+           corpus_dir
+           (Corpus.space_fingerprint space)
+           (Corpus.space_fingerprint other))
+        e
+
+(* ------------------------------------------------------------------ *)
+(* Plan.of_key *)
+
+let test_of_key_roundtrip () =
+  let plans =
+    [
+      { Plan.n_machines = 8; faults = [ { Plan.machine = 3; anchor = Plan.After 12; kind = Plan.Kill } ] };
+      {
+        Plan.n_machines = 8;
+        faults =
+          [
+            { Plan.machine = 0; anchor = Plan.After 5; kind = Plan.Freeze { thaw = 8 } };
+            { Plan.machine = 2; anchor = Plan.After 7; kind = Plan.Partition };
+            { Plan.machine = 2; anchor = Plan.After 9; kind = Plan.Heal };
+          ];
+      };
+      {
+        Plan.n_machines = 10;
+        faults =
+          [
+            { Plan.machine = 1; anchor = Plan.After 20; kind = Plan.Degrade { loss = 50; latency = 2 } };
+            { Plan.machine = 7; anchor = Plan.On_reload { nth = 5; delay = 2 }; kind = Plan.Kill };
+          ];
+      };
+    ]
+  in
+  List.iter
+    (fun p ->
+      match Plan.of_key ~n_machines:p.Plan.n_machines (Plan.key p) with
+      | Ok q -> check_bool (Plan.key p) true (Plan.equal p q)
+      | Error e -> Alcotest.failf "of_key failed on %s: %s" (Plan.key p) e)
+    plans
+
+let test_of_key_errors () =
+  (match Plan.of_key ~n_machines:8 "" with
+  | Error e -> check_str "empty" "empty plan key" e
+  | Ok _ -> Alcotest.fail "empty key accepted");
+  match Plan.of_key ~n_machines:8 "warp@3+12" with
+  | Error e -> check_str "bad kind" "malformed fault key \"warp@3+12\"" e
+  | Ok _ -> Alcotest.fail "malformed key accepted"
+
+let () =
+  Alcotest.run "explore_fork"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "vcl fork = replay" `Quick test_vcl_fork_equals_replay;
+          Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance;
+          Alcotest.test_case ">= 3-fault sampled campaign" `Quick test_sampled_faults_present;
+          Alcotest.test_case "all backends fork = replay" `Quick test_backends_fork_equals_replay;
+        ] );
+      ("memo", [ Alcotest.test_case "shrink probes memoized" `Quick test_shrink_memo ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "save -> resume round-trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "refusal messages" `Quick test_corpus_refusals;
+        ] );
+      ( "plan keys",
+        [
+          Alcotest.test_case "of_key round-trip" `Quick test_of_key_roundtrip;
+          Alcotest.test_case "of_key errors" `Quick test_of_key_errors;
+        ] );
+    ]

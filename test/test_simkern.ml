@@ -167,6 +167,87 @@ let test_engine_trace () =
       check Alcotest.string "detail" "x" e.Trace.detail
   | None -> Alcotest.fail "no trace entry"
 
+(* The explorer's pause/fork primitives: run up to (not through) a
+   chosen event, step over it, re-aim it in time without losing its
+   tie-breaking slot, and rewind the engine to a captured state. *)
+
+let test_engine_stop_before () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~delay:1.0 (fun () -> log := 1 :: !log) |> ignore;
+  let bp = Engine.schedule eng ~delay:2.0 (fun () -> log := 2 :: !log) in
+  Engine.schedule eng ~delay:3.0 (fun () -> log := 3 :: !log) |> ignore;
+  check_bool "paused at the breakpoint" true (Engine.run ~stop_before:bp eng = `Breakpoint);
+  check (Alcotest.list Alcotest.int) "only the prefix ran" [ 1 ] (List.rev !log);
+  check_bool "breakpoint still queued" true (Engine.pending eng = 2);
+  (* Step over it, then drain. *)
+  check_bool "stepped" true (Engine.run_one eng);
+  check_float "clock on the stepped event" 2.0 (Engine.now eng);
+  check_bool "rest drains" true (Engine.run eng = `Quiescent);
+  check (Alcotest.list Alcotest.int) "all ran once" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_run_one () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng ~delay:1.0 (fun () -> log := `A :: !log) |> ignore;
+  Engine.schedule eng ~delay:2.0 (fun () -> log := `B :: !log) |> ignore;
+  check_bool "first" true (Engine.run_one eng);
+  check_float "clock advanced" 1.0 (Engine.now eng);
+  check_int "one event" 1 (List.length !log);
+  check_bool "second" true (Engine.run_one eng);
+  check_bool "empty queue" false (Engine.run_one eng)
+
+let test_engine_retime_keeps_slot () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  (* c is scheduled first (lowest sequence) but aimed at t = 3; moving
+     it to t = 10 must keep its sequence, so it still beats the two
+     events natively scheduled there. *)
+  let c = Engine.schedule eng ~delay:3.0 (fun () -> log := "c" :: !log) in
+  Engine.schedule eng ~delay:10.0 (fun () -> log := "a" :: !log) |> ignore;
+  Engine.schedule eng ~delay:10.0 (fun () -> log := "b" :: !log) |> ignore;
+  let c' = Engine.retime c ~time:10.0 in
+  check_bool "new handle" true (c' != c);
+  check_int "no live event added" 3 (Engine.pending eng);
+  ignore (Engine.run eng);
+  check (Alcotest.list Alcotest.string) "sequence slot kept" [ "c"; "a"; "b" ] (List.rev !log);
+  Alcotest.check_raises "stale handle refused"
+    (Invalid_argument "Engine.retime: event is no longer pending") (fun () ->
+      ignore (Engine.retime c' ~time:20.0))
+
+let test_engine_snapshot_restore () =
+  let eng = Engine.create ~seed:5L () in
+  let log = ref [] in
+  Engine.schedule eng ~delay:1.0 (fun () -> log := 1 :: !log) |> ignore;
+  Engine.schedule eng ~delay:2.0 (fun () ->
+      log := 2 :: !log;
+      Engine.schedule eng ~delay:2.0 (fun () -> log := 4 :: !log) |> ignore)
+  |> ignore;
+  Engine.schedule eng ~delay:3.0 (fun () -> log := 3 :: !log) |> ignore;
+  ignore (Engine.run ~until:1.5 eng);
+  let snap = Engine.snapshot eng in
+  check_int "captured the queue" 2 (Engine.snapshot_events snap);
+  check_bool "sized" true (Engine.snapshot_words snap > 0);
+  let draw () = Simkern.Rng.int (Engine.rng eng) 1_000_000 in
+  let first_draw = draw () in
+  ignore (Engine.run eng);
+  let first_pass = List.rev !log in
+  check (Alcotest.list Alcotest.int) "first pass" [ 1; 2; 3; 4 ] first_pass;
+  (* Rewind and replay: clock, queue and RNG are all back. *)
+  Engine.restore eng snap;
+  check_float "clock rewound" 1.5 (Engine.now eng);
+  check_int "queue rebuilt" 2 (Engine.pending eng);
+  check_int "rng rewound" first_draw (draw ());
+  log := [];
+  ignore (Engine.run eng);
+  check (Alcotest.list Alcotest.int) "replayed suffix" [ 2; 3; 4 ] (List.rev !log);
+  (* Not consumed: a second restore replays again. *)
+  Engine.restore eng snap;
+  ignore (draw ());
+  log := [];
+  ignore (Engine.run eng);
+  check (Alcotest.list Alcotest.int) "replayed twice" [ 2; 3; 4 ] (List.rev !log)
+
 (* ------------------------------------------------------------------ *)
 (* Proc *)
 
@@ -833,6 +914,10 @@ let () =
           Alcotest.test_case "tombstone compaction" `Quick test_engine_tombstone_compaction;
           Alcotest.test_case "trace level gate" `Quick test_trace_level_gate;
           Alcotest.test_case "trace lazy memoized" `Quick test_trace_lazy_memoized;
+          Alcotest.test_case "stop before" `Quick test_engine_stop_before;
+          Alcotest.test_case "run one" `Quick test_engine_run_one;
+          Alcotest.test_case "retime keeps slot" `Quick test_engine_retime_keeps_slot;
+          Alcotest.test_case "snapshot restore" `Quick test_engine_snapshot_restore;
         ] );
       ( "regions",
         [
