@@ -138,6 +138,18 @@ let netfault ~quick () =
   print_endline Experiments.Fig_netfault.paper_note;
   print_newline ()
 
+let topo ~quick () =
+  let config =
+    if quick then Experiments.Fig_topo.quick_config
+    else Experiments.Fig_topo.default_config
+  in
+  let rows = Experiments.Fig_topo.run ~config () in
+  emit_csv "topo" (Experiments.Fig_topo.aggs rows);
+  print_string (Experiments.Fig_topo.render rows);
+  print_newline ();
+  print_endline Experiments.Fig_topo.paper_note;
+  print_newline ()
+
 let shrink ~quick () =
   let config =
     if quick then Experiments.Fig_shrink.quick_config
@@ -183,6 +195,7 @@ let experiments =
     ("ablations", ablations);
     ("families", families);
     ("netfault", netfault);
+    ("topo", topo);
     ("shrink", shrink);
     ("scale", scale);
     ("delay", delay);
@@ -218,7 +231,7 @@ let cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, families, \
-             netfault, shrink, scale, delay.")
+             netfault, topo, shrink, scale, delay.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions and sizes (smoke mode).")

@@ -27,8 +27,13 @@ let ints_conv =
       fun ppf xs ->
         Format.pp_print_string ppf (String.concat "," (List.map string_of_int xs)) )
 
+let topology_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun m -> `Msg m) (Simtopo.Topo.spec_of_string s)),
+      fun ppf spec -> Format.pp_print_string ppf (Simtopo.Topo.spec_to_string spec) )
+
 let run protocol replicas ranks klass max_faults budget jobs seed targets buckets freeze
-    timeout fixed seeded shrink_hangs net fork corpus json_file emit_dir =
+    timeout fixed seeded shrink_hangs net topo fork corpus json_file emit_dir =
   (match jobs with
   | Some n when n <= 0 ->
       prerr_endline (Printf.sprintf "failmpi_explore: --jobs must be >= 1 (got %d)" n);
@@ -65,12 +70,20 @@ let run protocol replicas ranks klass max_faults budget jobs seed targets bucket
   in
   let protocol = B.protocol ~replicas in
   let n_machines = B.default_machines ~n_ranks:ranks ~replicas in
+  (match topo with
+  | Some spec -> (
+      try ignore (Simtopo.Topo.for_cluster spec ~n_compute:n_machines)
+      with Invalid_argument msg ->
+        prerr_endline (Printf.sprintf "failmpi_explore: %s" msg);
+        exit 1)
+  | None -> ());
   let cfg =
     {
       (Mpivcl.Config.default ~n_ranks:ranks) with
       Mpivcl.Config.protocol;
       dispatcher_buggy = not fixed;
       vcl_seeded_race = seeded;
+      topology = topo;
     }
   in
   let spec =
@@ -97,13 +110,25 @@ let run protocol replicas ranks klass max_faults budget jobs seed targets bucket
            (* --net: mix network faults into the search space — isolate a
               machine, degrade its links (5% loss + 2 ms), and the heal
               that lets partitioned plans recover. *)
-           if net then
-             [
-               Explore.Plan.Partition;
-               Explore.Plan.Degrade { loss = 50; latency = 2 };
-               Explore.Plan.Heal;
-             ]
-           else []));
+           (if net then
+              [
+                Explore.Plan.Partition;
+                Explore.Plan.Degrade { loss = 50; latency = 2 };
+                Explore.Plan.Heal;
+              ]
+            else [])
+           @
+           (* --topo fat-tree:K: draw component faults too. The plan's
+              machine index doubles as the component index; one that lands
+              out of range is a validated no-op, like shooting a spare. *)
+           match topo with
+           | Some (Simtopo.Topo.Fat_tree _) ->
+               [
+                 Explore.Plan.Switch_kill { tier = Fail_lang.Ast.Tier_edge };
+                 Explore.Plan.Switch_kill { tier = Fail_lang.Ast.Tier_agg };
+                 Explore.Plan.Pod_degrade { loss = 50; latency = 2 };
+               ]
+           | Some _ | None -> []));
       shrink_hangs;
     }
   in
@@ -253,6 +278,17 @@ let cmd =
             "Also draw network faults (partition, degraded links, heal), searching the \
              combined process x network fault space.")
   in
+  let topo =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "topo" ] ~docv:"SPEC"
+          ~doc:
+            "Fabric geometry ($(b,fat-tree:K), $(b,torus:XxY), $(b,flat)). With a \
+             fat tree, also draw topology faults — edge/aggregation switch kills and \
+             intra-pod degrades — into the search space (the target index selects the \
+             component).")
+  in
   let fork =
     Arg.(
       value
@@ -301,7 +337,7 @@ let cmd =
          ])
     Term.(
       const run $ protocol $ replicas $ ranks $ klass $ max_faults $ budget $ jobs $ seed
-      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ net $ fork
-      $ corpus $ json_file $ emit_dir)
+      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ net $ topo
+      $ fork $ corpus $ json_file $ emit_dir)
 
 let () = exit (Cmd.eval' cmd)

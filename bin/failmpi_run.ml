@@ -63,6 +63,11 @@ let partition_conv =
         let side hs = String.concat "," (List.map string_of_int hs) in
         Format.fprintf ppf "%s:%s" (side a) (side b) )
 
+let topology_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun m -> `Msg m) (Simtopo.Topo.spec_of_string s)),
+      fun ppf spec -> Format.pp_print_string ppf (Simtopo.Topo.spec_to_string spec) )
+
 let net_profile ~loss ~latency ~jitter ~partition ~heal ~net_seed =
   if
     loss = 0.0 && latency = 0.0 && jitter = 0.0 && partition = None && heal = None
@@ -90,7 +95,7 @@ let list_protocols () =
   0
 
 let run scenario_file paper params ranks klass protocol replicas spares seed timeout fixed
-    seeded show_trace analyze trace_csv show_protocols net =
+    seeded show_trace analyze trace_csv show_protocols net topology =
   if show_protocols then list_protocols ()
   else begin
     (match net with
@@ -139,6 +144,15 @@ let run scenario_file paper params ranks klass protocol replicas spares seed tim
     (* Warm spares live on compute hosts beyond the ranks; grow the
        allocation if the paper-style default leaves no room for them. *)
     let n_machines = max (B.default_machines ~n_ranks:ranks ~replicas) (ranks + spares) in
+    (* Same launch-time validation the deployments perform, but with a
+       clean CLI error instead of an exception trace. *)
+    (match topology with
+    | Some spec -> (
+        try ignore (Simtopo.Topo.for_cluster spec ~n_compute:n_machines)
+        with Invalid_argument msg ->
+          prerr_endline (Printf.sprintf "failmpi_run: %s" msg);
+          exit 1)
+    | None -> ());
     let scenario =
       match (scenario_file, paper) with
       | Some path, None -> Some (read_file path)
@@ -163,6 +177,7 @@ let run scenario_file paper params ranks klass protocol replicas spares seed tim
         dispatcher_buggy = not fixed;
         vcl_seeded_race = seeded;
         net;
+        topology;
       }
     in
     let spec =
@@ -343,11 +358,23 @@ let cmd =
           net_profile ~loss ~latency ~jitter ~partition ~heal ~net_seed)
       $ net_loss $ net_latency $ net_jitter $ net_partition $ net_heal $ net_seed)
   in
+  let topology =
+    Arg.(
+      value
+      & opt (some topology_conv) None
+      & info [ "topology" ] ~docv:"SPEC"
+          ~doc:
+            "Fabric geometry behind the compute hosts: $(b,flat), $(b,fat-tree:K) \
+             (K-ary fat tree, K even) or $(b,torus:XxY)/$(b,torus:XxYxZ). Scenario \
+             topology destinations ($(b,switch agg[2]), $(b,pod 1), $(b,rack 3)) \
+             resolve against it; unperturbed runs are byte-identical to the default \
+             flat mesh.")
+  in
   Cmd.v
     (Cmd.info "failmpi_run" ~doc:"Inject faults into a fault-tolerant MPI running NAS BT")
     Term.(
       const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ spares
       $ seed $ timeout $ fixed $ seeded $ show_trace $ analyze $ trace_csv $ show_protocols
-      $ net)
+      $ net $ topology)
 
 let () = exit (Cmd.eval' cmd)

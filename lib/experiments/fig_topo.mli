@@ -1,0 +1,34 @@
+(** Topology campaign: equal-count faults, unequal blast radius.
+
+    Replication (2 replicas per rank) on a 4-ary fat tree, where the
+    slot-major placement of [mpirep] puts the two replicas of every rank
+    in different pods. Each faulty cell removes exactly two hosts from
+    the fabric: the rack-correlated cell by killing one edge switch
+    (both victims in one rack — every rank keeps a replica), the
+    independent cell by cutting one host per pod (both replicas of rank
+    0 — nothing left to continue from). Survival is decided by
+    placement, not fault count; a pod-wide degrade cell shows the
+    loss/latency path costing time, never correctness. *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  degree : int;  (** replicas per rank *)
+  k : int;  (** fat-tree arity; the fabric seats [k^3/4] hosts *)
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = { name : string; label : string; agg : Harness.agg }
+
+(** [?jobs] as in {!Harness.campaign}. *)
+val run : ?jobs:int -> ?config:config -> unit -> row list
+
+(** [aggs rows] projects the plain aggregates (CSV export). *)
+val aggs : row list -> Harness.agg list
+
+val render : row list -> string
+val paper_note : string

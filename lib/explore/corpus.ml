@@ -32,6 +32,8 @@ let kind_tag = function
   | Plan.Partition -> "part"
   | Plan.Degrade { loss; latency } -> Printf.sprintf "deg%dl%d" loss latency
   | Plan.Heal -> "heal"
+  | Plan.Switch_kill { tier } -> "sw" ^ Fail_lang.Ast.tier_name tier
+  | Plan.Pod_degrade { loss; latency } -> Printf.sprintf "pdeg%dl%d" loss latency
 
 let ints xs = String.concat "," (List.map string_of_int xs)
 

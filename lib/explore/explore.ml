@@ -406,6 +406,8 @@ let kind_name = function
   | Plan.Partition -> "partition"
   | Plan.Degrade { loss; latency } -> Printf.sprintf "degrade%dl%d" loss latency
   | Plan.Heal -> "heal"
+  | Plan.Switch_kill { tier } -> Printf.sprintf "switch-kill-%s" (Fail_lang.Ast.tier_name tier)
+  | Plan.Pod_degrade { loss; latency } -> Printf.sprintf "pod-degrade%dl%d" loss latency
 
 let fault_json (f : Plan.fault) =
   let anchor =

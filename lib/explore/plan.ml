@@ -6,6 +6,8 @@ type kind = S.kind =
   | Partition
   | Degrade of { loss : int; latency : int }
   | Heal
+  | Switch_kill of { tier : Fail_lang.Ast.tier }
+  | Pod_degrade of { loss : int; latency : int }
 
 type anchor = S.anchor = After of int | On_reload of { nth : int; delay : int }
 
@@ -24,6 +26,8 @@ let fault_key f =
     | Partition -> "part"
     | Degrade { loss; latency } -> Printf.sprintf "deg%dl%d" loss latency
     | Heal -> "heal"
+    | Switch_kill { tier } -> "sw" ^ Fail_lang.Ast.tier_name tier
+    | Pod_degrade { loss; latency } -> Printf.sprintf "pdeg%dl%d" loss latency
   in
   match f.anchor with
   | After d -> Printf.sprintf "%s@%d+%d" kind f.machine d
@@ -43,9 +47,18 @@ let fault_of_key s =
     else if String.length k > 6 && String.sub k 0 6 = "freeze" then
       Option.map (fun thaw -> Freeze { thaw })
         (int_of_string_opt (String.sub k 6 (String.length k - 6)))
+    else if String.length k > 2 && String.sub k 0 2 = "sw" then
+      Option.map
+        (fun tier -> Switch_kill { tier })
+        (Fail_lang.Ast.tier_of_name (String.sub k 2 (String.length k - 2)))
     else
-      try Scanf.sscanf k "deg%dl%d%!" (fun loss latency -> Some (Degrade { loss; latency }))
-      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      let scan fmt f =
+        try Scanf.sscanf k fmt f
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      in
+      match scan "pdeg%dl%d%!" (fun loss latency -> Some (Pod_degrade { loss; latency })) with
+      | Some _ as r -> r
+      | None -> scan "deg%dl%d%!" (fun loss latency -> Some (Degrade { loss; latency }))
   in
   let parse_int s = int_of_string_opt s in
   match String.split_on_char '@' s with

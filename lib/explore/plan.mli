@@ -14,6 +14,11 @@ type kind = Fail_lang.Codegen.Scenario.kind =
       (** worsen every link touching the target ([loss] permille,
           [latency] ms) *)
   | Heal  (** clear every installed network fault (machine ignored) *)
+  | Switch_kill of { tier : Fail_lang.Ast.tier }
+      (** kill fabric switch [machine] of the tier (machine = switch
+          index; needs a configured topology) *)
+  | Pod_degrade of { loss : int; latency : int }
+      (** degrade every intra-pod link of pod [machine] *)
 
 type anchor = Fail_lang.Codegen.Scenario.anchor =
   | After of int  (** seconds after the previous fault fired (scenario start for the first) *)

@@ -23,7 +23,28 @@ type trigger =
 
 type guard = { trigger : trigger option; conds : cond list }
 
-type dest = D_instance of string | D_indexed of string * expr | D_group of string | D_sender
+(* Topology components: a switch tier plus per-tier index, a pod or a
+   rack of the deployment's configured fabric (Config.topology). They
+   resolve against the runtime topology, not the deployment table, so
+   sema only substitutes parameters inside the index expressions. *)
+type tier = Tier_edge | Tier_agg | Tier_core
+
+let tier_name = function Tier_edge -> "edge" | Tier_agg -> "agg" | Tier_core -> "core"
+
+let tier_of_name = function
+  | "edge" -> Some Tier_edge
+  | "agg" -> Some Tier_agg
+  | "core" -> Some Tier_core
+  | _ -> None
+
+type topo_sel = Sel_switch of tier * expr | Sel_pod of expr | Sel_rack of expr
+
+type dest =
+  | D_instance of string
+  | D_indexed of string * expr
+  | D_group of string
+  | D_sender
+  | D_topo of topo_sel
 
 (* Network degradation: [loss] in permille, [latency]/[jitter] in
    milliseconds (FAIL expressions are integers). Omitted fields mean
@@ -94,12 +115,19 @@ let equal_guard g1 g2 =
   Option.equal equal_trigger g1.trigger g2.trigger
   && List.equal equal_cond g1.conds g2.conds
 
+let equal_topo_sel s1 s2 =
+  match (s1, s2) with
+  | Sel_switch (t1, e1), Sel_switch (t2, e2) -> t1 = t2 && equal_expr e1 e2
+  | Sel_pod e1, Sel_pod e2 | Sel_rack e1, Sel_rack e2 -> equal_expr e1 e2
+  | (Sel_switch _ | Sel_pod _ | Sel_rack _), _ -> false
+
 let equal_dest d1 d2 =
   match (d1, d2) with
   | D_instance a, D_instance b | D_group a, D_group b -> String.equal a b
   | D_indexed (a, e1), D_indexed (b, e2) -> String.equal a b && equal_expr e1 e2
   | D_sender, D_sender -> true
-  | (D_instance _ | D_indexed _ | D_group _ | D_sender), _ -> false
+  | D_topo s1, D_topo s2 -> equal_topo_sel s1 s2
+  | (D_instance _ | D_indexed _ | D_group _ | D_sender | D_topo _), _ -> false
 
 let equal_action a1 a2 =
   match (a1, a2) with

@@ -46,12 +46,30 @@ type trigger =
 
 type guard = { trigger : trigger option; conds : cond list }
 
-(** Destination of a message send. *)
+(** Switch tier of a fat-tree fabric (see {!Simtopo.Topo.tier}; duplicated
+    here so the language layer stays dependency-free). *)
+type tier = Tier_edge | Tier_agg | Tier_core
+
+val tier_name : tier -> string
+val tier_of_name : string -> tier option
+
+(** Topology component selector: [switch agg\[2\]], [pod 1], [rack 3].
+    Indices are FAIL expressions so scenarios can randomise or parameterise
+    the component ([rack FAIL_RANDOM(0, 7)]). Resolution against the
+    deployed fabric happens at runtime, not in sema. *)
+type topo_sel =
+  | Sel_switch of tier * expr
+  | Sel_pod of expr
+  | Sel_rack of expr
+
+(** Destination of a message send or target of a network fault. *)
 type dest =
   | D_instance of string  (** a singleton instance, e.g. [P1] *)
   | D_indexed of string * expr  (** a group member, e.g. [G1\[ran\]] *)
   | D_group of string  (** a whole group (broadcast) *)
   | D_sender  (** [FAIL_SENDER]: sender of the triggering message *)
+  | D_topo of topo_sel
+      (** a fabric component; only meaningful in [partition]/[degrade] *)
 
 (** Network degradation targeting the machines behind a destination:
     [degrade G1 loss = 50 latency = 20 jitter = 5]. Units are what FAIL's

@@ -7,7 +7,17 @@ type cexpr =
 
 type ccond = Ast.relop * cexpr * cexpr
 
-type cdest = CD_instance of string | CD_indexed of string * cexpr | CD_group of string | CD_sender
+type ctopo_sel =
+  | CSel_switch of Ast.tier * cexpr
+  | CSel_pod of cexpr
+  | CSel_rack of cexpr
+
+type cdest =
+  | CD_instance of string
+  | CD_indexed of string * cexpr
+  | CD_group of string
+  | CD_sender
+  | CD_topo of ctopo_sel
 
 type caction =
   | C_goto of int
@@ -92,34 +102,33 @@ let rec pp_cexpr ppf = function
         pp_cexpr b
   | C_random (lo, hi) -> Format.fprintf ppf "random(%a, %a)" pp_cexpr lo pp_cexpr hi
 
+let topo_sel_s = function
+  | CSel_switch (tier, e) ->
+      Format.asprintf "switch %s[%a]" (Ast.tier_name tier) pp_cexpr e
+  | CSel_pod e -> Format.asprintf "pod %a" pp_cexpr e
+  | CSel_rack e -> Format.asprintf "rack %a" pp_cexpr e
+
+let dest_s = function
+  | CD_instance i -> i
+  | CD_indexed (g, e) -> Format.asprintf "%s[%a]" g pp_cexpr e
+  | CD_group g -> g
+  | CD_sender -> "sender"
+  | CD_topo sel -> topo_sel_s sel
+
 let pp_caction ppf = function
   | C_goto n -> Format.fprintf ppf "goto #%d" n
-  | C_send (m, CD_instance i) -> Format.fprintf ppf "send %s -> %s" m i
-  | C_send (m, CD_indexed (g, e)) -> Format.fprintf ppf "send %s -> %s[%a]" m g pp_cexpr e
   | C_send (m, CD_group g) -> Format.fprintf ppf "send %s -> %s (broadcast)" m g
-  | C_send (m, CD_sender) -> Format.fprintf ppf "send %s -> sender" m
+  | C_send (m, d) -> Format.fprintf ppf "send %s -> %s" m (dest_s d)
   | C_assign (slot, e) -> Format.fprintf ppf "v%d := %a" slot pp_cexpr e
   | C_halt -> Format.pp_print_string ppf "halt"
   | C_stop -> Format.pp_print_string ppf "stop"
   | C_continue -> Format.pp_print_string ppf "continue"
   | C_set_app (name, e) -> Format.fprintf ppf "set @@%s := %a" name pp_cexpr e
   | C_partition (a, b) ->
-      let dest_s = function
-        | CD_instance i -> i
-        | CD_indexed (g, e) -> Format.asprintf "%s[%a]" g pp_cexpr e
-        | CD_group g -> g
-        | CD_sender -> "sender"
-      in
       Format.fprintf ppf "partition %s%s" (dest_s a)
         (match b with Some b -> " " ^ dest_s b | None -> " (isolate)")
   | C_heal -> Format.pp_print_string ppf "heal"
   | C_degrade (d, loss, latency, jitter) ->
-      let dest_s = function
-        | CD_instance i -> i
-        | CD_indexed (g, e) -> Format.asprintf "%s[%a]" g pp_cexpr e
-        | CD_group g -> g
-        | CD_sender -> "sender"
-      in
       let field name = function
         | Some e -> Format.asprintf " %s=%a" name pp_cexpr e
         | None -> ""

@@ -15,11 +15,17 @@ type cexpr =
 
 type ccond = Ast.relop * cexpr * cexpr
 
+type ctopo_sel =
+  | CSel_switch of Ast.tier * cexpr
+  | CSel_pod of cexpr
+  | CSel_rack of cexpr
+
 type cdest =
   | CD_instance of string
   | CD_indexed of string * cexpr
   | CD_group of string
   | CD_sender
+  | CD_topo of ctopo_sel  (** fabric component, resolved at runtime *)
 
 type caction =
   | C_goto of int
@@ -69,3 +75,8 @@ val messages_received : t -> string list
 
 val pp : Format.formatter -> t -> unit
 val pp_trigger : Format.formatter -> Ast.trigger -> unit
+
+(** Compact one-line renderings, shared with runtime traces. *)
+val topo_sel_s : ctopo_sel -> string
+
+val dest_s : cdest -> string

@@ -75,6 +75,8 @@ module Scenario = struct
     | Partition
     | Degrade of { loss : int; latency : int }
     | Heal
+    | Switch_kill of { tier : Ast.tier }  (* machine = switch index *)
+    | Pod_degrade of { loss : int; latency : int }  (* machine = pod index *)
 
   type anchor = After of int | On_reload of { nth : int; delay : int }
 
@@ -85,7 +87,7 @@ module Scenario = struct
   let msg_of_kind = function
     | Kill -> "kill"
     | Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
-    | Partition | Degrade _ | Heal ->
+    | Partition | Degrade _ | Heal | Switch_kill _ | Pod_degrade _ ->
         invalid_arg "Scenario.msg_of_kind: network faults have no controller message"
 
   let kind_of_msg msg =
@@ -110,7 +112,7 @@ module Scenario = struct
          (fun i ->
            match i.kind with
            | Freeze { thaw } -> Some thaw
-           | Kill | Partition | Degrade _ | Heal -> None)
+           | Kill | Partition | Degrade _ | Heal | Switch_kill _ | Pod_degrade _ -> None)
          injections)
 
   (* Every controller registration is forwarded to the coordinator as a
@@ -157,6 +159,18 @@ module Scenario = struct
                        deg_jitter = None;
                      }
                | Heal -> Ast.A_heal
+               | Switch_kill { tier } ->
+                   (* [machine] is the per-tier switch index, not a host. *)
+                   Ast.A_partition
+                     (Ast.D_topo (Ast.Sel_switch (tier, Ast.Int inj.machine)), None)
+               | Pod_degrade { loss; latency } ->
+                   Ast.A_degrade
+                     {
+                       Ast.deg_target = Ast.D_topo (Ast.Sel_pod (Ast.Int inj.machine));
+                       deg_loss = Some (Ast.Int loss);
+                       deg_latency = Some (Ast.Int latency);
+                       deg_jitter = None;
+                     }
              in
              let fire delay =
                {
@@ -364,6 +378,8 @@ module Scenario = struct
           | _ -> None)
       | Ast.A_partition (Ast.D_indexed (_, machine_e), None) :: _ ->
           Option.map (fun machine -> (machine, Partition)) (fold_const machine_e)
+      | Ast.A_partition (Ast.D_topo (Ast.Sel_switch (tier, idx_e)), None) :: _ ->
+          Option.map (fun idx -> (idx, Switch_kill { tier })) (fold_const idx_e)
       | Ast.A_degrade
           { Ast.deg_target = Ast.D_indexed (_, machine_e); deg_loss; deg_latency; _ }
         :: _ -> (
@@ -371,6 +387,14 @@ module Scenario = struct
           match (fold_const machine_e, dim deg_loss, dim deg_latency) with
           | Some machine, Some loss, Some latency ->
               Some (machine, Degrade { loss; latency })
+          | _ -> None)
+      | Ast.A_degrade
+          { Ast.deg_target = Ast.D_topo (Ast.Sel_pod idx_e); deg_loss; deg_latency; _ }
+        :: _ -> (
+          let dim = function None -> Some 0 | Some e -> fold_const e in
+          match (fold_const idx_e, dim deg_loss, dim deg_latency) with
+          | Some idx, Some loss, Some latency ->
+              Some (idx, Pod_degrade { loss; latency })
           | _ -> None)
       | Ast.A_heal :: _ -> Some (0, Heal)
       | _ -> None

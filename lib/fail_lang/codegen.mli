@@ -41,13 +41,21 @@ module Scenario : sig
       the target machine from every other host; [Degrade] worsens all
       links touching it ([loss] in permille, [latency] in ms); [Heal]
       clears every installed network fault (its [machine] is canonically
-      0 and otherwise ignored). *)
+      0 and otherwise ignored).
+
+      Topology faults reinterpret [machine] as the component index:
+      [Switch_kill] compiles to [partition switch <tier>\[machine\]]
+      (one dead switch, every route through it cut), [Pod_degrade] to
+      [degrade pod machine ...] (the spec lands on all intra-pod
+      links). Both need the run to declare a {!Mpivcl.Config.topology}. *)
   type kind =
     | Kill
     | Freeze of { thaw : int }  (** [stop] then [continue] after [thaw] s *)
     | Partition
     | Degrade of { loss : int; latency : int }
     | Heal
+    | Switch_kill of { tier : Ast.tier }
+    | Pod_degrade of { loss : int; latency : int }
 
   type anchor = After of int | On_reload of { nth : int; delay : int }
 

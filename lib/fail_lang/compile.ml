@@ -54,6 +54,12 @@ let compile_dest lookup loc = function
   | D_indexed (name, e) -> Automaton.CD_indexed (name, compile_expr lookup loc e)
   | D_group name -> Automaton.CD_group name
   | D_sender -> Automaton.CD_sender
+  | D_topo sel ->
+      Automaton.CD_topo
+        (match sel with
+        | Sel_switch (tier, e) -> Automaton.CSel_switch (tier, compile_expr lookup loc e)
+        | Sel_pod e -> Automaton.CSel_pod (compile_expr lookup loc e)
+        | Sel_rack e -> Automaton.CSel_rack (compile_expr lookup loc e))
 
 let compile_action lookup node_of_id loc = function
   | A_goto target -> (

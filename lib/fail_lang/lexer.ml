@@ -45,6 +45,9 @@ let keyword_of_ident = function
   | "partition" -> Some Token.KW_partition
   | "heal" -> Some Token.KW_heal
   | "degrade" -> Some Token.KW_degrade
+  | "switch" -> Some Token.KW_switch
+  | "pod" -> Some Token.KW_pod
+  | "rack" -> Some Token.KW_rack
   | _ -> None
 
 let rec skip_ws_and_comments st =

@@ -193,6 +193,17 @@ let partition_wave ~n_machines ~victim ~target ~loss ~latency ~start ~wave ~gap 
       { Codegen.Scenario.machine = 0; anchor = Codegen.Scenario.After heal; kind = Codegen.Scenario.Heal };
     ]
 
+let rack_blackout ~n_machines ~switch ~start ~heal =
+  Codegen.Scenario.source ~n_machines
+    [
+      {
+        Codegen.Scenario.machine = switch;
+        anchor = Codegen.Scenario.After start;
+        kind = Codegen.Scenario.Switch_kill { tier = Ast.Tier_agg };
+      };
+      { Codegen.Scenario.machine = 0; anchor = Codegen.Scenario.After heal; kind = Codegen.Scenario.Heal };
+    ]
+
 let shrink_storm ~n_machines ~targets ~start ~step ~victim ~lag =
   Codegen.Scenario.source ~n_machines
     (List.mapi
@@ -236,6 +247,12 @@ let all =
     ( "partition-wave",
       partition_wave ~n_machines:13 ~victim:2 ~target:5 ~loss:100 ~latency:2 ~start:20
         ~wave:10 ~gap:5 ~heal:8 );
+    (* Rack blackout for 4 ranks at degree 2 on 10 machines: kill
+       aggregation switch 0 of the declared fabric at t=30, heal 20 s
+       later — before connect retries exhaust, so the retransmitting
+       transport drains and the run completes. A parameterized file
+       version lives in scenarios/rack_blackout.fail. *)
+    ("rack-blackout", rack_blackout ~n_machines:10 ~switch:0 ~start:30 ~heal:20);
     (* Shrink storm for 9 ranks on 13 machines (hosts 9..12 double as the
        ulfm warm-spare pool): staggered kills at t=25, 28, 31 land inside
        a running collective, then machine 2 is cut off 2 s after the last

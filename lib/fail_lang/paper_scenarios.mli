@@ -76,6 +76,17 @@ val partition_wave :
   heal:int ->
   string
 
+(** Rack blackout, in the explorer's fault-plan form
+    ({!Codegen.Scenario}): kill aggregation switch [switch] of the
+    fabric the run declares ({!Mpivcl.Config.topology}) at [start]
+    seconds, then [heal] seconds later restore it. No host is severed —
+    aggregation switches carry no hosts — but every host pair routed
+    through the switch is cut at once; the reliable transport
+    retransmits into the hole until the heal lands. Without a declared
+    topology the kill is a traced no-op. A parameterized file version
+    lives in [scenarios/rack_blackout.fail]. *)
+val rack_blackout : n_machines:int -> switch:int -> start:int -> heal:int -> string
+
 (** Shrink storm, in the explorer's fault-plan form
     ({!Codegen.Scenario}): kill the [targets] machines one by one —
     the first at [start] seconds, each following kill [step] seconds

@@ -195,6 +195,28 @@ let parse_dest st =
   | Token.KW_sender ->
       advance st;
       D_sender
+  | Token.KW_switch ->
+      (* switch <tier>[<expr>] — the tier name is validated here so the
+         AST carries a closed variant, not a string. *)
+      advance st;
+      let loc = cur_loc st in
+      let tier_s = expect_ident st in
+      let tier =
+        match tier_of_name tier_s with
+        | Some t -> t
+        | None ->
+            Loc.error loc "unknown switch tier %s (expected edge, agg or core)" tier_s
+      in
+      expect st Token.LBRACKET;
+      let e = parse_expr_prec st in
+      expect st Token.RBRACKET;
+      D_topo (Sel_switch (tier, e))
+  | Token.KW_pod ->
+      advance st;
+      D_topo (Sel_pod (parse_factor st))
+  | Token.KW_rack ->
+      advance st;
+      D_topo (Sel_rack (parse_factor st))
   | Token.IDENT name ->
       advance st;
       if cur_tok st = Token.LBRACKET then begin
@@ -249,7 +271,9 @@ let parse_action st =
       let a = parse_dest st in
       let b =
         match cur_tok st with
-        | Token.IDENT _ | Token.KW_sender -> Some (parse_dest st)
+        | Token.IDENT _ | Token.KW_sender | Token.KW_switch | Token.KW_pod | Token.KW_rack
+          ->
+            Some (parse_dest st)
         | _ -> None
       in
       A_partition (a, b)

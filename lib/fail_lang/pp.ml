@@ -50,11 +50,23 @@ let pp_guard ppf g =
   in
   Format.pp_print_string ppf (String.concat " && " atoms)
 
+(* pod/rack indices parse as a single factor, so anything compound must
+   print parenthesized for the round trip to hold. *)
+let pp_factor ppf e =
+  match e with
+  | Int n when n >= 0 -> Format.pp_print_int ppf n
+  | Var _ | App_var _ | Random _ -> pp_expr ppf e
+  | Int _ | Binop _ -> Format.fprintf ppf "(%a)" pp_expr e
+
 let pp_dest ppf = function
   | D_instance s -> Format.pp_print_string ppf s
   | D_indexed (s, e) -> Format.fprintf ppf "%s[%a]" s pp_expr e
   | D_group s -> Format.pp_print_string ppf s
   | D_sender -> Format.pp_print_string ppf "FAIL_SENDER"
+  | D_topo (Sel_switch (tier, e)) ->
+      Format.fprintf ppf "switch %s[%a]" (tier_name tier) pp_expr e
+  | D_topo (Sel_pod e) -> Format.fprintf ppf "pod %a" pp_factor e
+  | D_topo (Sel_rack e) -> Format.fprintf ppf "rack %a" pp_factor e
 
 let pp_action ppf = function
   | A_goto n -> Format.fprintf ppf "goto %s" n

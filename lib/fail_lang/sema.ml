@@ -38,6 +38,15 @@ type dep_info = { singletons : Sset.t; groups : Sset.t }
 
 let resolve_dest deps scope loc = function
   | D_sender -> D_sender
+  | D_topo sel ->
+      (* Topology components resolve against the runtime fabric
+         (Config.topology), not the deployment table — only the index
+         expressions are substituted here. *)
+      D_topo
+        (match sel with
+        | Sel_switch (tier, e) -> Sel_switch (tier, subst_expr scope loc e)
+        | Sel_pod e -> Sel_pod (subst_expr scope loc e)
+        | Sel_rack e -> Sel_rack (subst_expr scope loc e))
   | D_indexed (name, e) ->
       (match deps with
       | Some d when not (Sset.mem name d.groups) ->
@@ -67,7 +76,7 @@ let check_action deps scope ~node_ids ~has_recv_trigger loc = function
       (match dest with
       | D_sender when not has_recv_trigger ->
           Loc.error loc "FAIL_SENDER used outside a ?message-triggered transition"
-      | D_sender | D_instance _ | D_indexed _ | D_group _ -> ());
+      | D_sender | D_instance _ | D_indexed _ | D_group _ | D_topo _ -> ());
       A_send (msg, dest)
   | A_assign (name, e) ->
       if not (Sset.mem name scope.daemon_vars || Sset.mem name scope.always_vars) then
@@ -82,7 +91,7 @@ let check_action deps scope ~node_ids ~has_recv_trigger loc = function
       let check_side d =
         match resolve_dest deps scope loc d with
         | D_sender -> Loc.error loc "partition cannot target FAIL_SENDER"
-        | (D_instance _ | D_indexed _ | D_group _) as d -> d
+        | (D_instance _ | D_indexed _ | D_group _ | D_topo _) as d -> d
       in
       A_partition (check_side a, Option.map check_side b)
   | A_heal -> A_heal
@@ -90,7 +99,7 @@ let check_action deps scope ~node_ids ~has_recv_trigger loc = function
       let deg_target =
         match resolve_dest deps scope loc d.deg_target with
         | D_sender -> Loc.error loc "degrade cannot target FAIL_SENDER"
-        | (D_instance _ | D_indexed _ | D_group _) as dest -> dest
+        | (D_instance _ | D_indexed _ | D_group _ | D_topo _) as dest -> dest
       in
       let sub = Option.map (subst_expr scope loc) in
       A_degrade

@@ -26,6 +26,9 @@ type t =
   | KW_partition
   | KW_heal
   | KW_degrade
+  | KW_switch
+  | KW_pod
+  | KW_rack
   | LBRACE
   | RBRACE
   | LPAREN
@@ -85,6 +88,9 @@ let to_string = function
   | KW_partition -> "'partition'"
   | KW_heal -> "'heal'"
   | KW_degrade -> "'degrade'"
+  | KW_switch -> "'switch'"
+  | KW_pod -> "'pod'"
+  | KW_rack -> "'rack'"
   | LBRACE -> "'{'"
   | RBRACE -> "'}'"
   | LPAREN -> "'('"

@@ -28,6 +28,9 @@ type t =
   | KW_partition  (** network cut between host sets *)
   | KW_heal  (** remove every network fault *)
   | KW_degrade  (** lossy / slow links *)
+  | KW_switch  (** fabric switch component, [switch agg\[2\]] *)
+  | KW_pod  (** fat-tree pod component *)
+  | KW_rack  (** rack (edge-switch host set) component *)
   | LBRACE
   | RBRACE
   | LPAREN

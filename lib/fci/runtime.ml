@@ -54,6 +54,7 @@ type t = {
   mutable fault_count : int;
   mutable entry_depth : int;  (* guards against epsilon-transition loops *)
   mutable net : Perturb.t option;  (* fabric the control plane rides on *)
+  mutable topo : Simtopo.Topo.t option;  (* geometry behind the fabric *)
   mutable seq : int;  (* hardened-delivery sequence numbers *)
   seen : (string, unit) Hashtbl.t;  (* "<sender>#<seq>" dedup *)
   retries : (int, Engine.handle) Hashtbl.t;  (* seq -> armed retry *)
@@ -124,6 +125,34 @@ let eval_cond t inst (op, a, b) =
   | Ast.Le -> va <= vb
   | Ast.Gt -> va > vb
   | Ast.Ge -> va >= vb
+
+(* Resolve a topology selector against the deployed fabric geometry.
+   [None] plus a trace when the run has no topology or the component does
+   not exist — a scenario bug degrades the run, it never crashes it. *)
+let resolve_component t inst sel =
+  match t.topo with
+  | None ->
+      trace t inst "net-no-topology" (Automaton.topo_sel_s sel);
+      None
+  | Some topo -> (
+      let comp =
+        match sel with
+        | Automaton.CSel_switch (tier, e) ->
+            let tier =
+              match tier with
+              | Ast.Tier_edge -> Simtopo.Topo.Edge
+              | Ast.Tier_agg -> Simtopo.Topo.Agg
+              | Ast.Tier_core -> Simtopo.Topo.Core
+            in
+            Simtopo.Topo.Switch (tier, eval t inst e)
+        | Automaton.CSel_pod e -> Simtopo.Topo.Pod (eval t inst e)
+        | Automaton.CSel_rack e -> Simtopo.Topo.Rack (eval t inst e)
+      in
+      match Simtopo.Topo.check_component topo comp with
+      | Ok () -> Some (topo, comp)
+      | Error msg ->
+          trace t inst "net-error" msg;
+          None)
 
 (* ------------------------------------------------------------------ *)
 (* Event dispatch and transition execution *)
@@ -222,6 +251,12 @@ and exec_actions t inst actions ~sender =
               if not (ctl.Control.write_var name v) then
                 trace t inst "set-error" (Printf.sprintf "unknown app var %s" name)
           | None -> trace t inst "set-no-target" name)
+      | Automaton.C_partition (Automaton.CD_topo sel, None) -> (
+          (* Component kill: sever the hosts whose only uplink died, cut
+             every remaining host pair whose route crossed it. *)
+          match t.net with
+          | None -> trace t inst "net-no-fabric" "partition"
+          | Some p -> kill_component t p inst sel)
       | Automaton.C_partition (a, b) -> (
           match t.net with
           | None -> trace t inst "net-no-fabric" "partition"
@@ -250,6 +285,17 @@ and exec_actions t inst actions ~sender =
           | Some p ->
               Perturb.heal p;
               trace t inst "heal" "")
+      | Automaton.C_degrade (Automaton.CD_topo sel, loss_e, latency_e, jitter_e) -> (
+          match t.net with
+          | None -> trace t inst "net-no-fabric" "degrade"
+          | Some p ->
+              let dim e = match e with Some e -> eval t inst e | None -> 0 in
+              let loss =
+                Float.min 1.0 (Float.max 0.0 (float_of_int (dim loss_e) /. 1000.0))
+              in
+              let latency = Float.max 0.0 (float_of_int (dim latency_e) /. 1000.0) in
+              let jitter = Float.max 0.0 (float_of_int (dim jitter_e) /. 1000.0) in
+              degrade_component t p inst sel { Perturb.loss; latency; jitter })
       | Automaton.C_degrade (d, loss_e, latency_e, jitter_e) -> (
           match t.net with
           | None -> trace t inst "net-no-fabric" "degrade"
@@ -313,6 +359,78 @@ and machines_of_dest t inst dest ~sender =
       | None ->
           trace t inst "net-error" "FAIL_SENDER with no sender";
           [])
+  | Automaton.CD_topo sel -> (
+      match resolve_component t inst sel with
+      | None -> []
+      | Some (topo, comp) -> (
+          match Simtopo.Topo.hosts_of topo comp with
+          | [] ->
+              trace t inst "net-error"
+                (Printf.sprintf "%s encloses no hosts" (Simtopo.Topo.component_name comp));
+              []
+          | hosts -> hosts))
+
+(* Kill a fabric component: hosts whose only uplink went through it are
+   isolated outright (so even off-fabric service hosts lose them), and
+   every other host pair whose deterministic route crossed it is cut
+   pairwise. One logical fault, O(1) per subsequent sample. *)
+and kill_component t p inst sel =
+  match resolve_component t inst sel with
+  | None -> ()
+  | Some (topo, comp) ->
+      let severed = Simtopo.Topo.severed_hosts topo comp in
+      let is_severed =
+        let tbl = Hashtbl.create (max 16 (List.length severed)) in
+        List.iter (fun h -> Hashtbl.replace tbl h ()) severed;
+        fun h -> Hashtbl.mem tbl h
+      in
+      (* The isolation covers pairs with exactly one severed endpoint
+         (including off-fabric service hosts the topology cannot name);
+         pairs wholly inside the severed set — a rack whose only switch
+         died — and route-crossing pairs between survivors still need an
+         explicit cut. *)
+      let crossing =
+        List.filter
+          (fun (a, b) -> is_severed a = is_severed b)
+          (Simtopo.Topo.cut_pairs topo comp)
+      in
+      if severed = [] && crossing = [] then
+        trace t inst "net-error"
+          (Printf.sprintf "%s cuts no host pair" (Simtopo.Topo.component_name comp))
+      else begin
+        if severed <> [] then Perturb.isolate p severed;
+        if crossing <> [] then Perturb.cut_pairs p crossing;
+        t.net_fault_count <- t.net_fault_count + 1;
+        trace t inst "partition"
+          (Printf.sprintf "kill %s: %d hosts severed, %d pairs cut"
+             (Simtopo.Topo.component_name comp)
+             (List.length severed) (List.length crossing));
+        ensure_monitor t
+      end
+
+(* Degrade a fabric component: the spec lands on every host pair riding
+   it — pairs routed through a switch, pairs wholly inside a pod/rack. *)
+and degrade_component t p inst sel spec =
+  match resolve_component t inst sel with
+  | None -> ()
+  | Some (topo, comp) ->
+      let pairs =
+        match comp with
+        | Simtopo.Topo.Switch _ -> Simtopo.Topo.cut_pairs topo comp
+        | Simtopo.Topo.Pod _ | Simtopo.Topo.Rack _ -> Simtopo.Topo.intra_pairs topo comp
+      in
+      if pairs = [] then
+        trace t inst "net-error"
+          (Printf.sprintf "%s carries no host pair" (Simtopo.Topo.component_name comp))
+      else begin
+        Perturb.degrade_pairs p ~pairs spec;
+        t.net_fault_count <- t.net_fault_count + 1;
+        trace t inst "degrade"
+          (Printf.sprintf "%s: %d pairs loss=%.3f latency=%.3fs jitter=%.3fs"
+             (Simtopo.Topo.component_name comp) (List.length pairs) spec.Perturb.loss
+             spec.Perturb.latency spec.Perturb.jitter);
+        ensure_monitor t
+      end
 
 (* The daemons' own heartbeat monitor: once the fabric is perturbed, the
    first deployed instance (the coordinator) probes every other daemon each
@@ -402,6 +520,14 @@ and send t inst msg dest ~sender =
           | Some target_inst -> deliver target_inst
           | None -> trace t inst "send-error" (Printf.sprintf "vanished sender %s" name))
       | None -> trace t inst "send-error" "FAIL_SENDER with no sender")
+  | Automaton.CD_topo _ ->
+      (* Broadcast to every daemon deployed inside the component. *)
+      List.iter
+        (fun machine ->
+          match Hashtbl.find_opt t.by_machine machine with
+          | Some target_inst -> deliver target_inst
+          | None -> ())
+        (machines_of_dest t inst dest ~sender)
 
 (* Once the fabric is perturbed, inter-machine control messages ride it:
    each send is sequence-numbered, sampled against the link like any wire
@@ -519,6 +645,7 @@ let create eng ?(config = default_config) (plan : Compile.plan) =
       fault_count = 0;
       entry_depth = 0;
       net = None;
+      topo = None;
       seq = 0;
       seen = Hashtbl.create 64;
       retries = Hashtbl.create 16;
@@ -723,6 +850,8 @@ let suspected t =
 
 (* ------------------------------------------------------------------ *)
 (* Fabric attachment and teardown *)
+
+let set_topology t topo = t.topo <- Some topo
 
 let set_fabric t p =
   t.net <- Some p;

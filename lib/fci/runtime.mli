@@ -132,6 +132,16 @@ val suspected : t -> string list
     message delivery is byte-identical to the historical runtime. *)
 val set_fabric : t -> Simnet.Net.Perturb.t -> unit
 
+(** [set_topology t topo] attaches the fabric's geometry so scenario
+    topology destinations ([switch agg\[2\]], [pod 1], [rack 3]) resolve
+    to components of [topo]. Killing a component isolates its severed
+    hosts and cuts every surviving host pair whose deterministic route
+    crossed it; degrading one applies the spec to the pairs riding it.
+    Without a topology attached, topology destinations trace
+    [net-no-topology] and do nothing. Attaching one adds no RNG draws
+    and never perturbs an unperturbed run. *)
+val set_topology : t -> Simtopo.Topo.t -> unit
+
 (** [shutdown t] cancels every outstanding control-plane event — node
     timers, armed retransmissions, the heartbeat monitor — so a finished
     run drains the engine queue. Idempotent; further sends become

@@ -48,6 +48,16 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
   (match fci with
   | Some rt -> Fci.Runtime.set_fabric rt (Simnet.Net.perturb net)
   | None -> ());
+  (* Validate the declared topology against the compute pool at launch —
+     a fabric too small for the job is a configuration error, not a
+     mid-run trace. Unperturbed runs never consult the geometry. *)
+  (match cfg.Config.topology with
+  | Some spec -> (
+      let topo = Simtopo.Topo.for_cluster spec ~n_compute in
+      match fci with
+      | Some rt -> Fci.Runtime.set_topology rt topo
+      | None -> ())
+  | None -> ());
   let env =
     {
       Renv.eng;

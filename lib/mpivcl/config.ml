@@ -33,6 +33,7 @@ type t = {
   ulfm_agree_timeout : float;
   ulfm_max_ballots : int;
   net : Simnet.Net.Perturb.profile option;
+  topology : Simtopo.Topo.spec option;
 }
 
 let default ~n_ranks =
@@ -64,6 +65,7 @@ let default ~n_ranks =
     ulfm_agree_timeout = 3.0;
     ulfm_max_ballots = 25;
     net = None;
+    topology = None;
   }
 
 let restarts_all_ranks t =

@@ -110,6 +110,13 @@ type t = {
           and wired into the FCI control plane. [None] (the default)
           leaves the network byte-identical to the unperturbed
           simulator. *)
+  topology : Simtopo.Topo.spec option;
+      (** physical network shape ([failmpi_run --topology]): validated
+          at launch (the topology must seat every compute host) and
+          handed to the FCI control plane, where FAIL topology groups
+          ([switch agg\[2\]], [pod 1], [rack 3]) resolve against it.
+          Purely descriptive until a component fault fires: [None] and
+          [Some Flat] produce byte-identical runs. *)
 }
 
 (** Paper-like defaults for [n_ranks] ranks (non-blocking protocol,

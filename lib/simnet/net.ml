@@ -61,6 +61,10 @@ module Perturb = struct
 
   let check_profile p =
     check_spec ~what:"Net.Perturb profile" p.base;
+    (match p.partition with
+    | Some ([], _) | Some (_, []) ->
+        invalid_arg "Net.Perturb profile: partition sides must be non-empty"
+    | _ -> ());
     if not (p.rto_initial > 0.0) then
       invalid_arg
         (Printf.sprintf "Net.Perturb profile: rto_initial must be positive (got %g)"
@@ -86,9 +90,23 @@ module Perturb = struct
      the hosts a rule actually names. A cut's byte map uses two bits —
      bit 0 for side A, bit 1 for side B — so a host listed on both sides
      of a partition keeps the historical semantics exactly. *)
-  type cut = Cut_sets of Bytes.t | Cut_isolate of Bytes.t
+  (* A pair cut stores the exact (src, dst) set a topology component
+     failure severs — deterministic routing makes that an arbitrary
+     pair set, not a bipartition, so no byte map can express it.  The
+     table is keyed on the sorted pair and never mutated after the rule
+     is installed, so snapshots may share it. *)
+  type cut =
+    | Cut_sets of Bytes.t
+    | Cut_isolate of Bytes.t
+    | Cut_pairs of (int * int, unit) Hashtbl.t
 
   type flap = { f_member : Bytes.t; f_period : float; f_downtime : float; f_start : float }
+
+  (* Pair-level degradation (e.g. every intra-pod link of a fat tree):
+     one immutable rule per [degrade_pairs] call, folded into [spec_for]
+     by per-field max like host degradations — O(active pair rules) per
+     message, zero when none are installed. *)
+  type pair_rule = { pr_pairs : (int * int, unit) Hashtbl.t; pr_spec : spec }
 
   type stats = { dropped : int; delayed : int; retransmits : int; conn_timeouts : int }
 
@@ -101,6 +119,7 @@ module Perturb = struct
     mutable p_deg_hosts : int list;  (* dense set of hosts with an entry *)
     mutable p_cuts : cut list;
     mutable p_flaps : flap list;
+    mutable p_pair_rules : pair_rule list;
     mutable p_touched : bool;
     mutable p_reliable : bool;
     mutable p_rto_initial : float;
@@ -122,6 +141,7 @@ module Perturb = struct
       p_deg_hosts = [];
       p_cuts = [];
       p_flaps = [];
+      p_pair_rules = [];
       p_touched = false;
       p_reliable = default_profile.reliable;
       p_rto_initial = default_profile.rto_initial;
@@ -225,13 +245,40 @@ module Perturb = struct
         end)
       hosts
 
+  (* An empty side would install a rule that can never match while
+     still flipping [touched] (arming the reliable transport and
+     splitting the RNG) — silently changing behaviour with no fault
+     present. Refuse it instead; the messages are pinned by a test. *)
   let partition p a b =
+    if a = [] || b = [] then
+      invalid_arg "Net.Perturb.partition: empty host set (both sides need at least one host)";
     touch p;
     p.p_cuts <- Cut_sets (member_map [ (a, 1); (b, 2) ]) :: p.p_cuts
 
   let isolate p hosts =
+    if hosts = [] then
+      invalid_arg "Net.Perturb.isolate: empty host set (nothing to isolate)";
     touch p;
     p.p_cuts <- Cut_isolate (member_map [ (hosts, 1) ]) :: p.p_cuts
+
+  let pair_table ~what pairs =
+    if pairs = [] then invalid_arg (what ^ ": empty pair set");
+    let tbl = Hashtbl.create (max 16 (List.length pairs)) in
+    List.iter
+      (fun (a, b) -> if a <> b && a >= 0 && b >= 0 then Hashtbl.replace tbl (min a b, max a b) ())
+      pairs;
+    tbl
+
+  let cut_pairs p pairs =
+    let tbl = pair_table ~what:"Net.Perturb.cut_pairs" pairs in
+    touch p;
+    p.p_cuts <- Cut_pairs tbl :: p.p_cuts
+
+  let degrade_pairs p ~pairs spec =
+    check_spec spec;
+    let tbl = pair_table ~what:"Net.Perturb.degrade_pairs" pairs in
+    touch p;
+    p.p_pair_rules <- { pr_pairs = tbl; pr_spec = spec } :: p.p_pair_rules
 
   let flap p ~hosts ~period ~downtime =
     if not (period > 0.0 && downtime > 0.0 && downtime < period) then
@@ -256,6 +303,7 @@ module Perturb = struct
   let heal p =
     p.p_cuts <- [];
     p.p_flaps <- [];
+    p.p_pair_rules <- [];
     List.iter (fun h -> p.p_degraded.(h) <- zero) p.p_deg_hosts;
     p.p_deg_hosts <- [];
     p.p_base <- zero
@@ -266,6 +314,7 @@ module Perturb = struct
         let sa = member_bits m a and sb = member_bits m b in
         (sa land 1 <> 0 && sb land 2 <> 0) || (sa land 2 <> 0 && sb land 1 <> 0)
     | Cut_isolate m -> member_bits m a <> member_bits m b
+    | Cut_pairs tbl -> Hashtbl.mem tbl (min a b, max a b)
 
   let flap_down now f =
     let phase = Float.rem (Float.max 0.0 (now -. f.f_start)) f.f_period in
@@ -297,7 +346,21 @@ module Perturb = struct
             jitter = Float.max acc.jitter s.jitter;
           }
     in
-    comb (comb p.p_base src) dst
+    let acc = comb (comb p.p_base src) dst in
+    match p.p_pair_rules with
+    | [] -> acc
+    | rules ->
+        let key = (min src dst, max src dst) in
+        List.fold_left
+          (fun acc r ->
+            if Hashtbl.mem r.pr_pairs key then
+              {
+                loss = Float.max acc.loss r.pr_spec.loss;
+                latency = Float.max acc.latency r.pr_spec.latency;
+                jitter = Float.max acc.jitter r.pr_spec.jitter;
+              }
+            else acc)
+          acc rules
 
   (* Decide the fate of one message. Same-host links model Unix sockets
      and are never perturbed; [`Closed] markers survive random loss (the
@@ -351,6 +414,7 @@ module Perturb = struct
     sn_deg_hosts : int list;
     sn_cuts : cut list;
     sn_flaps : flap list;
+    sn_pair_rules : pair_rule list;
     sn_touched : bool;
     sn_reliable : bool;
     sn_rto_initial : float;
@@ -371,6 +435,7 @@ module Perturb = struct
       sn_deg_hosts = p.p_deg_hosts;
       sn_cuts = p.p_cuts;
       sn_flaps = p.p_flaps;
+      sn_pair_rules = p.p_pair_rules;
       sn_touched = p.p_touched;
       sn_reliable = p.p_reliable;
       sn_rto_initial = p.p_rto_initial;
@@ -390,6 +455,7 @@ module Perturb = struct
     p.p_deg_hosts <- s.sn_deg_hosts;
     p.p_cuts <- s.sn_cuts;
     p.p_flaps <- s.sn_flaps;
+    p.p_pair_rules <- s.sn_pair_rules;
     p.p_touched <- s.sn_touched;
     p.p_reliable <- s.sn_reliable;
     p.p_rto_initial <- s.sn_rto_initial;

@@ -142,11 +142,29 @@ module Perturb : sig
   val degrade : t -> hosts:int list -> spec -> unit
 
   (** [partition t a b] drops everything crossing the cut between host
-      sets [a] and [b], both directions, and refuses new connections. *)
+      sets [a] and [b], both directions, and refuses new connections.
+      Raises [Invalid_argument] when either side is empty: an empty
+      side can never match yet would still flip {!touched}, silently
+      arming the reliable transport with no fault present. *)
   val partition : t -> int list -> int list -> unit
 
-  (** [isolate t hosts] partitions [hosts] from every other host. *)
+  (** [isolate t hosts] partitions [hosts] from every other host.
+      Raises [Invalid_argument] on an empty [hosts] (see {!partition}). *)
   val isolate : t -> int list -> unit
+
+  (** [cut_pairs t pairs] drops everything between the exact host pairs
+      listed (unordered, both directions) — the primitive a topology
+      component failure compiles to: killing a switch cuts every host
+      pair whose deterministic route crosses it, which is not a
+      bipartition.  O(1) per message regardless of pair count.  Raises
+      [Invalid_argument] on an empty pair list. *)
+  val cut_pairs : t -> (int * int) list -> unit
+
+  (** [degrade_pairs t ~pairs spec] degrades exactly the listed host
+      pairs (e.g. every intra-pod link of a fat tree); the worse of
+      base/endpoint/pair specs applies per message.  Raises
+      [Invalid_argument] on an empty pair list. *)
+  val degrade_pairs : t -> pairs:(int * int) list -> spec -> unit
 
   (** [flap t ~hosts ~period ~downtime] makes the links between [hosts]
       and the rest of the cluster go down for the first [downtime] seconds

@@ -187,6 +187,34 @@ let test_parse_net_actions () =
   | [ Ast.A_partition (_, Some (Ast.D_indexed ("G1", Ast.Int 1))); Ast.A_heal ] -> ()
   | _ -> Alcotest.fail "expected two-sided partition then heal"
 
+let test_parse_topo_dests () =
+  let p =
+    Parser.parse
+      "Daemon D { node 1: timer -> partition switch agg[N + 1], goto 2; time t = 5;\n\
+      \ node 2: timer -> partition pod 1, goto 3; time t = 1;\n\
+      \ node 3: timer -> degrade rack (R - 1) loss = 100, heal; time t = 1; }"
+  in
+  let d = List.hd p.Ast.daemons in
+  let actions n = (List.hd (List.nth d.Ast.d_nodes n).Ast.n_transitions).Ast.actions in
+  (match actions 0 with
+  | [
+   Ast.A_partition
+     (Ast.D_topo (Ast.Sel_switch (Ast.Tier_agg, Ast.Binop (Ast.Add, Ast.Var "N", Ast.Int 1))), None);
+   Ast.A_goto "2";
+  ] ->
+      ()
+  | _ -> Alcotest.fail "expected switch partition with expression index");
+  (match actions 1 with
+  | [ Ast.A_partition (Ast.D_topo (Ast.Sel_pod (Ast.Int 1)), None); Ast.A_goto "3" ] -> ()
+  | _ -> Alcotest.fail "expected pod partition");
+  match actions 2 with
+  | [ Ast.A_degrade dg; Ast.A_heal ] -> (
+      match dg.Ast.deg_target with
+      | Ast.D_topo (Ast.Sel_rack (Ast.Binop (Ast.Sub, Ast.Var "R", Ast.Int 1))) ->
+          check_bool "loss" true (dg.Ast.deg_loss = Some (Ast.Int 100))
+      | _ -> Alcotest.fail "expected rack degrade target")
+  | _ -> Alcotest.fail "expected rack degrade then heal"
+
 let test_parse_degrade_bad_field () =
   match
     Parser.parse_result "Daemon D { node 1: timer -> degrade G1[0] speed = 2; time t = 1; }"
@@ -233,6 +261,32 @@ let test_roundtrip_net_actions () =
      time t = 5; }";
   roundtrip "Daemon D { node 1: timer -> degrade P latency = 7; time t = 5; } P : D on machine 0;"
 
+(* Topology group destinations: the switch index sits inside brackets so
+   any expression prints bare, while pod/rack indices parse as a single
+   factor — compound ones must come back parenthesized. *)
+let test_roundtrip_topo_dests () =
+  roundtrip "Daemon D { node 1: timer -> partition switch edge[2], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> partition switch agg[N + 1], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> partition switch core[N * 2 - 1], heal; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> partition pod 1, goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> partition pod (N + 1), goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> partition rack N, goto 1; time t = 5; }";
+  roundtrip
+    "Daemon D { node 1: timer -> degrade rack (R - 1) loss = 100 latency = 2, goto 1; \
+     time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> degrade pod 0 loss = 300, goto 1; time t = 5; }";
+  (* the pretty-printer must parenthesize a compound pod index it is
+     handed even when the parser could never have produced it bare *)
+  let printed =
+    Format.asprintf "%a"
+      (fun ppf () ->
+        Pp.pp_action ppf
+          (Ast.A_partition
+             (Ast.D_topo (Ast.Sel_pod (Ast.Binop (Ast.Add, Ast.Var "N", Ast.Int 1))), None)))
+      ()
+  in
+  check_string "compound pod index parenthesized" "partition pod (N + 1)" printed
+
 (* Codegen.Scenario: [injections_of_program] is the inverse of [source]
    for every fault kind, including the network ones. *)
 let test_scenario_injection_roundtrip () =
@@ -244,6 +298,13 @@ let test_scenario_injection_roundtrip () =
         { machine = 1; anchor = After 10; kind = Degrade { loss = 50; latency = 3 } };
         { machine = 1; anchor = After 15; kind = Kill };
         { machine = 0; anchor = After 8; kind = Heal };
+      ];
+      [
+        { machine = 0; anchor = After 20; kind = Switch_kill { tier = Ast.Tier_edge } };
+        { machine = 3; anchor = After 5; kind = Switch_kill { tier = Ast.Tier_agg } };
+        { machine = 1; anchor = After 5; kind = Switch_kill { tier = Ast.Tier_core } };
+        { machine = 2; anchor = After 10; kind = Pod_degrade { loss = 300; latency = 5 } };
+        { machine = 0; anchor = After 15; kind = Heal };
       ];
       [
         { machine = 3; anchor = After 25; kind = Kill };
@@ -642,6 +703,7 @@ let () =
           Alcotest.test_case "before trigger" `Quick test_parse_before;
           Alcotest.test_case "set and watch" `Quick test_parse_set_and_watch;
           Alcotest.test_case "net actions" `Quick test_parse_net_actions;
+          Alcotest.test_case "topology destinations" `Quick test_parse_topo_dests;
           Alcotest.test_case "degrade bad field" `Quick test_parse_degrade_bad_field;
           Alcotest.test_case "error location" `Quick test_parse_error_location;
         ] );
@@ -650,6 +712,7 @@ let () =
           Alcotest.test_case "paper scenarios round-trip" `Quick test_roundtrip_paper_scenarios;
           Alcotest.test_case "edge cases round-trip" `Quick test_roundtrip_edge_cases;
           Alcotest.test_case "net actions round-trip" `Quick test_roundtrip_net_actions;
+          Alcotest.test_case "topology destinations round-trip" `Quick test_roundtrip_topo_dests;
           Alcotest.test_case "scenario injections round-trip" `Quick
             test_scenario_injection_roundtrip;
           Alcotest.test_case "scenario files round-trip" `Quick test_roundtrip_scenario_files;

@@ -73,6 +73,50 @@ let test_profile_validation () =
           Perturb.base = { Perturb.loss = 2.0; latency = 0.0; jitter = 0.0 };
         })
 
+(* An empty host set is a caller bug, not a no-op to paper over: the
+   complaint is pinned, and the failed call must not mark the layer
+   touched (which would drag every later run off the pristine path). *)
+let test_empty_host_set_rejected () =
+  let eng = Engine.create () in
+  let net : unit Simnet.Net.t = Simnet.Net.create eng () in
+  let p = Simnet.Net.perturb net in
+  let expect_msg what expected f =
+    try
+      f ();
+      Alcotest.failf "%s: expected Invalid_argument" what
+    with Invalid_argument msg -> check Alcotest.string what expected msg
+  in
+  let partition_msg =
+    "Net.Perturb.partition: empty host set (both sides need at least one host)"
+  in
+  expect_msg "partition both empty" partition_msg (fun () -> Perturb.partition p [] []);
+  expect_msg "partition left empty" partition_msg (fun () -> Perturb.partition p [] [ 2; 3 ]);
+  expect_msg "partition right empty" partition_msg (fun () -> Perturb.partition p [ 0; 1 ] []);
+  expect_msg "isolate empty" "Net.Perturb.isolate: empty host set (nothing to isolate)"
+    (fun () -> Perturb.isolate p []);
+  check_bool "rejected calls leave the layer untouched" false (Perturb.touched p)
+
+(* Pair-level primitives: a cut or degradation lands on exactly the
+   listed pairs, in both directions, and heals away. *)
+let test_pair_primitives () =
+  let eng = Engine.create () in
+  let net : unit Simnet.Net.t = Simnet.Net.create eng () in
+  let p = Simnet.Net.perturb net in
+  Perturb.cut_pairs p [ (1, 0); (2, 3) ];
+  check_bool "cut src->dst" true (Perturb.cut p ~src:0 ~dst:1);
+  check_bool "cut dst->src" true (Perturb.cut p ~src:1 ~dst:0);
+  check_bool "unsorted input normalized" true (Perturb.cut p ~src:3 ~dst:2);
+  check_bool "unlisted pair open" false (Perturb.cut p ~src:0 ~dst:2);
+  check_bool "touched" true (Perturb.touched p);
+  let spec = { Perturb.loss = 0.25; latency = 0.002; jitter = 0.0 } in
+  Perturb.degrade_pairs p ~pairs:[ (4, 5) ] spec;
+  check_bool "pair spec applies both ways" true
+    (Perturb.spec_for p ~src:4 ~dst:5 = spec && Perturb.spec_for p ~src:5 ~dst:4 = spec);
+  check_bool "unlisted pair untouched" true (Perturb.spec_for p ~src:4 ~dst:6 = Perturb.zero);
+  Perturb.heal p;
+  check_bool "heal clears pair cuts" false (Perturb.cut p ~src:0 ~dst:1);
+  check_bool "heal clears pair specs" true (Perturb.spec_for p ~src:4 ~dst:5 = Perturb.zero)
+
 (* ------------------------------------------------------------------ *)
 (* Run-level equivalence and determinism (small BT workload) *)
 
@@ -120,6 +164,21 @@ let test_loss_deterministic () =
     (Failmpi.Backend.Metrics.find a.Failmpi.Run.metrics "net_dropped" > Some 0);
   check_bool "retransmits observed" true
     (Failmpi.Backend.Metrics.find a.Failmpi.Run.metrics "net_retransmits" > Some 0)
+
+let test_topology_attached_identical () =
+  (* Declaring a topology arms component faults but must never perturb
+     an unperturbed run: routing is only consulted when a fault
+     resolves, so the observables stay byte-identical. *)
+  let with_topology topology ~seed =
+    let cfg = { (Mpivcl.Config.default ~n_ranks:4) with Mpivcl.Config.topology } in
+    Harness.run_bt ~cfg ~klass:Workload.Bt_model.A ~n_ranks:4
+      ~n_machines:(Harness.machines_for 4) ~scenario:None ~seed ()
+  in
+  let plain = run_bt ~n_ranks:4 ~seed:1L () in
+  let flat = with_topology (Some Simtopo.Topo.Flat) ~seed:1L in
+  let tree = with_topology (Some (Simtopo.Topo.Fat_tree { k = 4 })) ~seed:1L in
+  check_bool "flat mesh identical" true (same_result plain flat);
+  check_bool "fat tree identical" true (same_result plain tree)
 
 let test_jobs_equivalence () =
   (* The seeded perturbation RNG lives in the run's own engine, so a
@@ -205,6 +264,54 @@ G1[2] : NODE on machines 0 .. 1;
   check_bool "drained" true (Engine.run eng = `Quiescent);
   check_int "no pending events" 0 (Engine.pending eng)
 
+let topo_kill_src =
+  {|
+Daemon PLAN {
+  node 1:
+    time t = 1;
+    timer -> partition switch edge[0], goto 2;
+  node 2:
+}
+Daemon NODE {
+  node 1:
+}
+P1 : PLAN on machine 16;
+G1[16] : NODE on machines 0 .. 15;
+|}
+
+let test_fci_switch_kill () =
+  let eng = Engine.create () in
+  let net : unit Simnet.Net.t = Simnet.Net.create eng () in
+  let p = Simnet.Net.perturb net in
+  let rt = deploy eng topo_kill_src in
+  Fci.Runtime.set_fabric rt p;
+  Fci.Runtime.set_topology rt
+    (Simtopo.Topo.for_cluster (Simtopo.Topo.Fat_tree { k = 4 }) ~n_compute:16);
+  check_bool "deadline" true (Engine.run ~until:10.0 eng = `Deadline);
+  check_int "component fault counted" 1 (Fci.Runtime.net_faults rt);
+  (* edge switch 0 takes rack 0 (hosts 0 and 1) off the fabric: every
+     pair touching them is cut, everything else stays open *)
+  check_bool "severed to remote" true (Perturb.cut p ~src:0 ~dst:5);
+  check_bool "intra-rack cut" true (Perturb.cut p ~src:0 ~dst:1);
+  check_bool "severed to service host" true (Perturb.cut p ~src:1 ~dst:16);
+  check_bool "survivor pairs open" false (Perturb.cut p ~src:2 ~dst:5);
+  Fci.Runtime.shutdown rt;
+  check_bool "drained" true (Engine.run eng = `Quiescent)
+
+let test_fci_topo_kill_without_topology_is_noop () =
+  (* The same scenario on a run that declared no topology: a traced
+     no-op, the fabric stays pristine. *)
+  let eng = Engine.create () in
+  let net : unit Simnet.Net.t = Simnet.Net.create eng () in
+  let p = Simnet.Net.perturb net in
+  let rt = deploy eng topo_kill_src in
+  Fci.Runtime.set_fabric rt p;
+  ignore (Engine.run ~until:10.0 eng);
+  check_int "no fault counted" 0 (Fci.Runtime.net_faults rt);
+  check_bool "fabric untouched" false (Perturb.touched p);
+  Fci.Runtime.shutdown rt;
+  check_bool "drained" true (Engine.run eng = `Quiescent)
+
 let test_shutdown_idempotent () =
   let eng = Engine.create () in
   let rt = deploy eng "Daemon D { node 1: } P1 : D on machine 0;" in
@@ -221,10 +328,14 @@ let () =
           Alcotest.test_case "backoff ladder" `Quick test_backoff;
           Alcotest.test_case "spec validation" `Quick test_spec_validation;
           Alcotest.test_case "profile validation" `Quick test_profile_validation;
+          Alcotest.test_case "empty host set rejected" `Quick test_empty_host_set_rejected;
+          Alcotest.test_case "pair primitives" `Quick test_pair_primitives;
         ] );
       ( "determinism",
         [
           Alcotest.test_case "perturb off is pristine" `Quick test_perturb_off_identical;
+          Alcotest.test_case "topology attached is pristine" `Quick
+            test_topology_attached_identical;
           Alcotest.test_case "fixed seed under loss" `Quick test_loss_deterministic;
           Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_equivalence;
         ] );
@@ -239,6 +350,9 @@ let () =
         [
           Alcotest.test_case "net actions and timer drain" `Quick
             test_fci_net_actions_and_drain;
+          Alcotest.test_case "switch kill cuts the routed pairs" `Quick test_fci_switch_kill;
+          Alcotest.test_case "topo kill without topology is a no-op" `Quick
+            test_fci_topo_kill_without_topology_is_noop;
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
         ] );
     ]

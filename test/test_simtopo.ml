@@ -1,0 +1,252 @@
+(* Tests for the topology module: closed-form fat-tree counts, routing
+   invariants, component blast radii and the spec string round-trip.
+   Everything here is pure combinatorics, so the checks are exact. *)
+
+open Simtopo
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let check_string = check Alcotest.string
+
+let pairs = Alcotest.(list (pair int int))
+
+let fat_tree k = Topo.build (Topo.Fat_tree { k }) ~n_hosts:0
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+(* Host/switch/link counts must match the closed-form k-ary formulas. *)
+let test_fat_tree_counts () =
+  List.iter
+    (fun k ->
+      let t = fat_tree k in
+      check_int (Printf.sprintf "k=%d hosts" k) (k * k * k / 4) (Topo.hosts t);
+      check_int (Printf.sprintf "k=%d pods" k) k (Topo.pod_count t);
+      check_int (Printf.sprintf "k=%d racks" k) (k * k / 2) (Topo.rack_count t);
+      check_int (Printf.sprintf "k=%d edge" k) (k * k / 2) (Topo.switch_count t Topo.Edge);
+      check_int (Printf.sprintf "k=%d agg" k) (k * k / 2) (Topo.switch_count t Topo.Agg);
+      check_int (Printf.sprintf "k=%d core" k) (k * k / 4) (Topo.switch_count t Topo.Core);
+      check_int
+        (Printf.sprintf "k=%d switches" k)
+        ((k * k) + (k * k / 4))
+        (Topo.switches t);
+      check_int (Printf.sprintf "k=%d links" k) (3 * k * k * k / 4) (Topo.links t))
+    [ 2; 4; 6; 8 ]
+
+let test_validate () =
+  (match Topo.validate (Topo.Fat_tree { k = 3 }) with
+  | Error msg -> check_string "odd arity" "fat-tree arity must be even and >= 2 (got 3)" msg
+  | Ok () -> Alcotest.fail "odd arity accepted");
+  (match Topo.validate (Topo.Torus2d { x = 0; y = 4 }) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero torus dimension accepted");
+  check_bool "flat ok" true (Topo.validate Topo.Flat = Ok ());
+  check_bool "even arity ok" true (Topo.validate (Topo.Fat_tree { k = 4 }) = Ok ())
+
+let test_for_cluster () =
+  (* The fabric must seat every compute host; service hosts beyond the
+     pool ride the management network and need no seat. *)
+  let t = Topo.for_cluster (Topo.Fat_tree { k = 4 }) ~n_compute:10 in
+  check_int "fat-tree:4 seats 16" 16 (Topo.hosts t);
+  match Topo.for_cluster (Topo.Fat_tree { k = 2 }) ~n_compute:10 with
+  | exception Invalid_argument msg ->
+      check_string "exact complaint"
+        "Simtopo.for_cluster: topology fat-tree:2 provides 2 hosts but the deployment \
+         needs 10 compute hosts"
+        msg
+  | _ -> Alcotest.fail "undersized topology accepted"
+
+let test_spec_strings () =
+  List.iter
+    (fun spec ->
+      match Topo.spec_of_string (Topo.spec_to_string spec) with
+      | Ok got -> check_bool (Topo.spec_to_string spec) true (got = spec)
+      | Error e -> Alcotest.failf "%s: %s" (Topo.spec_to_string spec) e)
+    [
+      Topo.Flat;
+      Topo.Fat_tree { k = 4 };
+      Topo.Torus2d { x = 3; y = 5 };
+      Topo.Torus3d { x = 2; y = 3; z = 4 };
+    ];
+  match Topo.spec_of_string "hypercube:3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown topology accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+(* The route is a pure symmetric function of the pair: same switches in
+   both directions, stable across repeated calls (the determinism any
+   --jobs fan-out relies on), and inter-pod exactly when the pods
+   differ. *)
+let test_route_invariants () =
+  let t = fat_tree 4 in
+  let n = Topo.hosts t in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let r1 = Topo.route t ~src:a ~dst:b in
+      check_bool "repeated call identical" true (r1 = Topo.route t ~src:a ~dst:b);
+      (* the reverse route walks the same switches in travel order *)
+      check_bool "symmetric" true (List.rev r1 = Topo.route t ~src:b ~dst:a);
+      if a = b then check_bool "self route empty" true (r1 = [])
+      else begin
+        let pod h = Option.get (Topo.pod_of_host t h) in
+        let rack h = Option.get (Topo.rack_of_host t h) in
+        let crosses_core = List.exists (fun (tier, _) -> tier = Topo.Core) r1 in
+        check_bool "core iff inter-pod" true (crosses_core = (pod a <> pod b));
+        check_bool "starts at src edge" true
+          (match r1 with (Topo.Edge, e) :: _ -> e = rack a | _ -> false);
+        (* switch indices stay inside the per-tier ranges *)
+        List.iter
+          (fun (tier, i) ->
+            check_bool "index in range" true (i >= 0 && i < Topo.switch_count t tier))
+          r1
+      end
+    done
+  done
+
+let test_route_shapes () =
+  let t = fat_tree 4 in
+  (* same rack: the shared edge switch only *)
+  check_bool "intra-rack" true (Topo.route t ~src:0 ~dst:1 = [ (Topo.Edge, 0) ]);
+  (* same pod, different rack: edge-agg-edge, no core *)
+  (match Topo.route t ~src:0 ~dst:2 with
+  | [ (Topo.Edge, 0); (Topo.Agg, _); (Topo.Edge, 1) ] -> ()
+  | _ -> Alcotest.fail "intra-pod route shape");
+  (* different pods: edge-agg-core-agg-edge *)
+  match Topo.route t ~src:0 ~dst:4 with
+  | [ (Topo.Edge, 0); (Topo.Agg, _); (Topo.Core, _); (Topo.Agg, _); (Topo.Edge, 2) ] -> ()
+  | _ -> Alcotest.fail "inter-pod route shape"
+
+let test_torus_path_symmetry () =
+  let t2 = Topo.build (Topo.Torus2d { x = 4; y = 5 }) ~n_hosts:0 in
+  let t3 = Topo.build (Topo.Torus3d { x = 3; y = 4; z = 2 }) ~n_hosts:0 in
+  List.iter
+    (fun t ->
+      let n = Topo.hosts t in
+      for a = 0 to n - 1 do
+        check_int "self distance" 0 (Topo.path_len t ~src:a ~dst:a);
+        for b = 0 to n - 1 do
+          check_int "symmetric distance" (Topo.path_len t ~src:a ~dst:b)
+            (Topo.path_len t ~src:b ~dst:a);
+          if a <> b then
+            check_bool "positive distance" true (Topo.path_len t ~src:a ~dst:b > 0)
+        done
+      done)
+    [ t2; t3 ];
+  (* wrap-around: the last host of a 4-wide ring is 1 hop from the
+     first, the opposite one 2 hops — never the naive 3 *)
+  check_int "wrap adjacent" 1 (Topo.path_len t2 ~src:0 ~dst:3);
+  check_int "wrap opposite" 2 (Topo.path_len t2 ~src:0 ~dst:2)
+
+(* ------------------------------------------------------------------ *)
+(* Component blast radii *)
+
+let all_pairs n pred =
+  let acc = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if pred a b then acc := (a, b) :: !acc
+    done
+  done;
+  List.rev !acc
+
+(* Killing a switch must cut exactly the pairs whose route crosses it —
+   cross-checked against the closed-form predicates, not the router. *)
+let test_switch_cut_pairs () =
+  let t = fat_tree 4 in
+  let n = Topo.hosts t in
+  let rack h = h / 2 and pod h = h / 4 in
+  (* edge switch r: every pair touching rack r (intra-rack included) *)
+  check pairs "edge 3"
+    (all_pairs n (fun a b -> rack a = 3 || rack b = 3))
+    (Topo.cut_pairs t (Topo.Switch (Topo.Edge, 3)));
+  (* agg switch at position j of pod p: intra-pod pairs hashed to j,
+     plus pod-p-crossing pairs whose core group is j *)
+  let agg_cut p j a b =
+    if pod a = p && pod b = p then rack a <> rack b && (a + b) mod 2 = j
+    else if pod a = p || pod b = p then (a + b) mod 4 / 2 = j
+    else false
+  in
+  check pairs "agg 0" (all_pairs n (agg_cut 0 0)) (Topo.cut_pairs t (Topo.Switch (Topo.Agg, 0)));
+  check pairs "agg 5" (all_pairs n (agg_cut 2 1)) (Topo.cut_pairs t (Topo.Switch (Topo.Agg, 5)));
+  (* core switch c: inter-pod pairs with (a + b) mod core-count = c *)
+  List.iter
+    (fun c ->
+      check pairs
+        (Printf.sprintf "core %d" c)
+        (all_pairs n (fun a b -> pod a <> pod b && (a + b) mod 4 = c))
+        (Topo.cut_pairs t (Topo.Switch (Topo.Core, c))))
+    [ 0; 1; 2; 3 ];
+  (* every inter-pod pair is cut by exactly one core switch *)
+  let cut_by_core =
+    List.concat_map (fun c -> Topo.cut_pairs t (Topo.Switch (Topo.Core, c))) [ 0; 1; 2; 3 ]
+  in
+  check pairs "core switches partition the inter-pod pairs"
+    (all_pairs n (fun a b -> pod a <> pod b))
+    (List.sort compare cut_by_core)
+
+let test_enclosure_semantics () =
+  let t = fat_tree 4 in
+  let n = Topo.hosts t in
+  (* hosts_of / severed_hosts *)
+  check (Alcotest.list Alcotest.int) "rack 2 members" [ 4; 5 ]
+    (Topo.hosts_of t (Topo.Rack 2));
+  check (Alcotest.list Alcotest.int) "pod 1 members" [ 4; 5; 6; 7 ]
+    (Topo.hosts_of t (Topo.Pod 1));
+  check (Alcotest.list Alcotest.int) "edge switch severs its rack" [ 4; 5 ]
+    (Topo.severed_hosts t (Topo.Switch (Topo.Edge, 2)));
+  check (Alcotest.list Alcotest.int) "agg severs nobody" []
+    (Topo.severed_hosts t (Topo.Switch (Topo.Agg, 0)));
+  check (Alcotest.list Alcotest.int) "core severs nobody" []
+    (Topo.severed_hosts t (Topo.Switch (Topo.Core, 0)));
+  (* an enclosure failure cuts every pair touching a member *)
+  check pairs "pod 1 cut"
+    (all_pairs n (fun a b -> a / 4 = 1 || b / 4 = 1))
+    (Topo.cut_pairs t (Topo.Pod 1));
+  (* intra_pairs: the (m choose 2) internal links of the enclosure *)
+  check pairs "pod 1 intra"
+    [ (4, 5); (4, 6); (4, 7); (5, 6); (5, 7); (6, 7) ]
+    (List.sort compare (Topo.intra_pairs t (Topo.Pod 1)));
+  check pairs "rack 0 intra" [ (0, 1) ] (Topo.intra_pairs t (Topo.Rack 0))
+
+let test_check_component () =
+  let t = fat_tree 4 in
+  check_bool "valid switch" true (Topo.check_component t (Topo.Switch (Topo.Agg, 7)) = Ok ());
+  (match Topo.check_component t (Topo.Switch (Topo.Agg, 8)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range agg accepted");
+  (match Topo.check_component t (Topo.Pod 4) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range pod accepted");
+  let flat = Topo.build Topo.Flat ~n_hosts:8 in
+  (match Topo.check_component flat (Topo.Switch (Topo.Edge, 0)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "switch on a flat mesh accepted");
+  check pairs "invalid component cuts nothing" [] (Topo.cut_pairs t (Topo.Pod 9));
+  check pairs "flat mesh cuts nothing" [] (Topo.cut_pairs flat (Topo.Switch (Topo.Edge, 0)))
+
+let () =
+  Alcotest.run "simtopo"
+    [
+      ( "builders",
+        [
+          Alcotest.test_case "fat-tree closed forms" `Quick test_fat_tree_counts;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "for_cluster" `Quick test_for_cluster;
+          Alcotest.test_case "spec strings" `Quick test_spec_strings;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "route invariants" `Quick test_route_invariants;
+          Alcotest.test_case "route shapes" `Quick test_route_shapes;
+          Alcotest.test_case "torus path symmetry" `Quick test_torus_path_symmetry;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "switch cut pairs" `Quick test_switch_cut_pairs;
+          Alcotest.test_case "enclosure semantics" `Quick test_enclosure_semantics;
+          Alcotest.test_case "check_component" `Quick test_check_component;
+        ] );
+    ]
