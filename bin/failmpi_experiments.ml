@@ -174,6 +174,18 @@ let scale ~quick () =
   print_endline Experiments.Fig_scale.big_paper_note;
   print_newline ()
 
+let ckptfault ~quick () =
+  let config =
+    if quick then Experiments.Fig_ckptfault.quick_config
+    else Experiments.Fig_ckptfault.default_config
+  in
+  let rows = Experiments.Fig_ckptfault.run ~config () in
+  emit_csv "ckptfault" (Experiments.Fig_ckptfault.aggs rows);
+  print_string (Experiments.Fig_ckptfault.render rows);
+  print_newline ();
+  print_endline Experiments.Fig_ckptfault.paper_note;
+  print_newline ()
+
 let delay ~quick () =
   let rows =
     Experiments.Delay_experiment.run
@@ -198,6 +210,7 @@ let experiments =
     ("topo", topo);
     ("shrink", shrink);
     ("scale", scale);
+    ("ckptfault", ckptfault);
     ("delay", delay);
   ]
 
@@ -231,7 +244,7 @@ let cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "One of: all, table1, fig5, fig6, fig7, fig9, fig11, ablations, families, \
-             netfault, topo, shrink, scale, delay.")
+             netfault, topo, shrink, scale, ckptfault, delay.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced repetitions and sizes (smoke mode).")

@@ -33,7 +33,7 @@ let topology_conv =
       fun ppf spec -> Format.pp_print_string ppf (Simtopo.Topo.spec_to_string spec) )
 
 let run protocol replicas ranks klass max_faults budget jobs seed targets buckets freeze
-    timeout fixed seeded shrink_hangs net topo fork corpus json_file emit_dir =
+    timeout fixed seeded shrink_hangs net services topo fork corpus json_file emit_dir =
   (match jobs with
   | Some n when n <= 0 ->
       prerr_endline (Printf.sprintf "failmpi_explore: --jobs must be >= 1 (got %d)" n);
@@ -115,6 +115,19 @@ let run protocol replicas ranks klass max_faults budget jobs seed targets bucket
                 Explore.Plan.Partition;
                 Explore.Plan.Degrade { loss = 50; latency = 2 };
                 Explore.Plan.Heal;
+              ]
+            else [])
+           @
+           (* --services: shoot the storage/control plane too. The plan's
+              machine index doubles as the ckpt replica index
+              (Plan.align_service); one beyond the deployed servers is a
+              traced no-op, like shooting a spare. *)
+           (if services then
+              [
+                Explore.Plan.Service_kill { service = Explore.Plan.S_ckpt 0 };
+                Explore.Plan.Service_freeze { service = Explore.Plan.S_ckpt 0; thaw = 20 };
+                Explore.Plan.Service_kill { service = Explore.Plan.S_sched };
+                Explore.Plan.Service_freeze { service = Explore.Plan.S_sched; thaw = 20 };
               ]
             else [])
            @
@@ -278,6 +291,15 @@ let cmd =
             "Also draw network faults (partition, degraded links, heal), searching the \
              combined process x network fault space.")
   in
+  let services =
+    Arg.(
+      value & flag
+      & info [ "services" ]
+          ~doc:
+            "Also draw infrastructure-service faults (checkpoint server and scheduler \
+             kills and freeze/thaws) into the search space; the target index selects \
+             the ckpt replica.")
+  in
   let topo =
     Arg.(
       value
@@ -337,7 +359,7 @@ let cmd =
          ])
     Term.(
       const run $ protocol $ replicas $ ranks $ klass $ max_faults $ budget $ jobs $ seed
-      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ net $ topo
-      $ fork $ corpus $ json_file $ emit_dir)
+      $ targets $ buckets $ freeze $ timeout $ fixed $ seeded $ shrink_hangs $ net
+      $ services $ topo $ fork $ corpus $ json_file $ emit_dir)
 
 let () = exit (Cmd.eval' cmd)

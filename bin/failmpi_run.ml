@@ -94,8 +94,9 @@ let list_protocols () =
     (Failmpi.Backend.all ());
   0
 
-let run scenario_file paper params ranks klass protocol replicas spares seed timeout fixed
-    seeded show_trace analyze trace_csv show_protocols net topology =
+let run scenario_file paper params ranks klass protocol replicas ckpt_servers
+    ckpt_replicas spares seed timeout fixed seeded show_trace analyze trace_csv
+    show_protocols net topology =
   if show_protocols then list_protocols ()
   else begin
     (match net with
@@ -118,6 +119,18 @@ let run scenario_file paper params ranks klass protocol replicas spares seed tim
     end;
     if spares < 0 then begin
       prerr_endline "failmpi_run: --spares must be at least 0";
+      exit 1
+    end;
+    if ckpt_replicas < 1 then begin
+      prerr_endline "failmpi_run: --ckpt-replicas must be at least 1";
+      exit 1
+    end;
+    if ckpt_servers < 1 then begin
+      prerr_endline "failmpi_run: --ckpt-servers must be at least 1";
+      exit 1
+    end;
+    if ckpt_replicas > ckpt_servers then begin
+      prerr_endline "failmpi_run: --ckpt-replicas cannot exceed --ckpt-servers";
       exit 1
     end;
     let (module B : Failmpi.Backend.S) =
@@ -174,6 +187,8 @@ let run scenario_file paper params ranks klass protocol replicas spares seed tim
       {
         (Mpivcl.Config.default ~n_ranks:ranks) with
         Mpivcl.Config.protocol;
+        n_ckpt_servers = ckpt_servers;
+        ckpt_replicas;
         dispatcher_buggy = not fixed;
         vcl_seeded_race = seeded;
         net;
@@ -198,6 +213,7 @@ let run scenario_file paper params ranks klass protocol replicas spares seed tim
       | Failmpi.Run.Degraded { at; survivors } ->
           Printf.sprintf " (%.1f s, %d survivors)" at survivors
       | Failmpi.Run.Aborted reason -> Printf.sprintf " (%s)" reason
+      | Failmpi.Run.Ckpt_lost -> " (no complete checkpoint image on any replica)"
       | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung -> "");
     Printf.printf "protocol:         %s\n" (Mpivcl.Config.protocol_name protocol);
     Printf.printf "injected faults:  %d\n" r.Failmpi.Run.injected_faults;
@@ -221,7 +237,12 @@ let run scenario_file paper params ranks klass protocol replicas spares seed tim
         Printf.printf "trace written to %s\n" path
     | None -> ());
     if show_trace then Format.printf "%a@." Simkern.Trace.pp r.Failmpi.Run.trace;
-    match r.Failmpi.Run.checksum_ok with Some false -> 2 | Some true | None -> 0
+    (* Exit codes: 0 ok, 2 checksum mismatch, 4 checkpoint storage lost —
+       scripts can tell a lost storage plane from a wrong answer. *)
+    match r.Failmpi.Run.outcome with
+    | Failmpi.Run.Ckpt_lost -> 4
+    | _ -> (
+        match r.Failmpi.Run.checksum_ok with Some false -> 2 | Some true | None -> 0)
   end
 
 let cmd =
@@ -261,6 +282,23 @@ let cmd =
       value & opt int 2
       & info [ "replicas" ] ~docv:"N"
           ~doc:"Replicas per logical rank (with --protocol replication).")
+  in
+  let ckpt_servers =
+    Arg.(
+      value & opt int 3
+      & info [ "ckpt-servers" ] ~docv:"N"
+          ~doc:
+            "Checkpoint servers in the storage plane (rollback backends); rank r's \
+             primary is server r mod N, its mirror the next server in the ring.")
+  in
+  let ckpt_replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "ckpt-replicas" ] ~docv:"N"
+          ~doc:
+            "Checkpoint storage replication factor (rollback backends). 1 keeps the \
+             historical single-server plane; 2 mirrors every store to the rank's \
+             mirror server before acking and restores fail over to it.")
   in
   let spares =
     Arg.(
@@ -373,8 +411,8 @@ let cmd =
   Cmd.v
     (Cmd.info "failmpi_run" ~doc:"Inject faults into a fault-tolerant MPI running NAS BT")
     Term.(
-      const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas $ spares
-      $ seed $ timeout $ fixed $ seeded $ show_trace $ analyze $ trace_csv $ show_protocols
-      $ net $ topology)
+      const run $ scenario $ paper $ params $ ranks $ klass $ protocol $ replicas
+      $ ckpt_servers $ ckpt_replicas $ spares $ seed $ timeout $ fixed $ seeded
+      $ show_trace $ analyze $ trace_csv $ show_protocols $ net $ topology)
 
 let () = exit (Cmd.eval' cmd)

@@ -51,8 +51,8 @@ let () =
             match r.Failmpi.Run.outcome with
             | Failmpi.Run.Completed t -> Printf.sprintf "%.6f" t
             | Failmpi.Run.Degraded { at; _ } -> Printf.sprintf "%.6f" at
-            | Failmpi.Run.Aborted _ | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy
-            | Failmpi.Run.Net_hung ->
+            | Failmpi.Run.Aborted _ | Failmpi.Run.Ckpt_lost | Failmpi.Run.Non_terminating
+            | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
                 "-"
           in
           Printf.printf "%s seed=%Ld outcome=%s time=%s faults=%d checksums=[%s]\n%!" name

@@ -1,0 +1,3 @@
+let () =
+  print_string
+    (Fail_lang.Paper_scenarios.ckpt_sniper ~n_machines:13 ~server:0 ~start:32 ~rank:3 ~gap:6)

@@ -1,0 +1,27 @@
+let () =
+  let net =
+    {
+      Simnet.Net.Perturb.default_profile with
+      Simnet.Net.Perturb.partition = Some ([ 0; 1 ], [ 2; 3 ]);
+      heal_at = None;
+    }
+  in
+  let cfg = { (Mpivcl.Config.default ~n_ranks:9) with Mpivcl.Config.net = Some net } in
+  let r =
+    Experiments.Harness.run_bt ~cfg ~klass:Workload.Bt_model.A ~n_ranks:9
+      ~n_machines:13 ~scenario:None ~seed:1L ()
+  in
+  print_endline (Failmpi.Run.outcome_name r.Failmpi.Run.outcome);
+  List.iter
+    (fun e ->
+      if e.Simkern.Trace.source = "ckpt-scheduler" then
+        Printf.printf "%8.1f %s %s\n" e.Simkern.Trace.time e.Simkern.Trace.event
+          e.Simkern.Trace.detail)
+    (Simkern.Trace.entries r.Failmpi.Run.trace);
+  Printf.printf "committed_waves: %d recoveries: %d confused: %b\n"
+    r.Failmpi.Run.metrics.Failmpi.Backend.Metrics.committed_waves
+    r.Failmpi.Run.metrics.Failmpi.Backend.Metrics.recoveries
+    r.Failmpi.Run.metrics.Failmpi.Backend.Metrics.confused;
+  List.iter
+    (fun (k, v) -> Printf.printf "%s: %d\n" k v)
+    r.Failmpi.Run.metrics.Failmpi.Backend.Metrics.extra

@@ -27,6 +27,7 @@ let describe r =
   | Failmpi.Run.Degraded { at; survivors } ->
       Printf.sprintf "degraded: completed in %.0f s on %d survivors" at survivors
   | Failmpi.Run.Aborted reason -> Printf.sprintf "aborted: %s" reason
+  | Failmpi.Run.Ckpt_lost -> "ckpt-lost (no complete checkpoint image)"
   | Failmpi.Run.Non_terminating -> "non-terminating"
   | Failmpi.Run.Buggy -> "FROZE (dispatcher confused)"
   | Failmpi.Run.Net_hung -> "net-hung (network-explained wedge)"

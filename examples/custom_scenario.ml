@@ -72,8 +72,8 @@ let () =
             (if delay < 0 then "no fault" else Printf.sprintf "%d s after wave 2" delay)
             t
             (if delay < 0 then "-" else Printf.sprintf "+%.1f s" (t -. !base))
-      | Failmpi.Run.Degraded _ | Failmpi.Run.Aborted _ | Failmpi.Run.Non_terminating
-      | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
+      | Failmpi.Run.Degraded _ | Failmpi.Run.Aborted _ | Failmpi.Run.Ckpt_lost
+      | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
           Printf.printf "%-28s %s\n"
             (Printf.sprintf "%d s after wave 2" delay)
             (Failmpi.Run.outcome_name r.Failmpi.Run.outcome))

@@ -61,8 +61,8 @@ let () =
   | Failmpi.Run.Completed t ->
       Printf.printf "execution time:     %.1f s (fault-free would be ~%.0f s)\n" t
         (float_of_int params.Workload.Stencil.iterations *. params.Workload.Stencil.compute_time)
-  | Failmpi.Run.Degraded _ | Failmpi.Run.Aborted _ | Failmpi.Run.Non_terminating
-  | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
+  | Failmpi.Run.Degraded _ | Failmpi.Run.Aborted _ | Failmpi.Run.Ckpt_lost
+  | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
       ());
   Printf.printf "faults injected:    %d\n" result.Failmpi.Run.injected_faults;
   Printf.printf "recovery waves:     %d\n" (Failmpi.Run.recoveries result);

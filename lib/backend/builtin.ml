@@ -74,6 +74,7 @@ module Rollback (P : ROLLBACK_SPEC) : Intf.S = struct
      is [frozen], never a shrink or a clean abort. *)
   let survivors _ = None
   let aborted _ = None
+  let ckpt_lost h = Dispatcher.ckpt_lost h.Deploy.dispatcher
   let teardown = Deploy.teardown
 end
 
@@ -160,6 +161,7 @@ module Replication : Intf.S = struct
      [Buggy] classification of the historical goldens. *)
   let survivors _ = None
   let aborted _ = None
+  let ckpt_lost _ = false
   let teardown = Mpirep.Deploy.teardown
 end
 
@@ -218,6 +220,7 @@ module Ulfm : Intf.S = struct
 
   let survivors h = Mpiulfm.Udispatcher.survivors h.Mpiulfm.Deploy.udispatcher
   let aborted h = Mpiulfm.Udispatcher.abort_reason h.Mpiulfm.Deploy.udispatcher
+  let ckpt_lost _ = false
   let teardown = Mpiulfm.Deploy.teardown
 end
 

@@ -79,6 +79,12 @@ module type S = sig
       classification. *)
   val aborted : handle -> string option
 
+  (** True when a restarting rank needed a checkpoint image and no
+      storage replica could produce a complete one — the signal behind
+      the [Ckpt_lost] verdict. Only the rollback families (which own a
+      checkpoint storage plane) can report it; [false] elsewhere. *)
+  val ckpt_lost : handle -> bool
+
   (** Kill every deployed task (experiment timeout). *)
   val teardown : handle -> unit
 end

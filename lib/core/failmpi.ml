@@ -62,6 +62,7 @@ module Run = struct
     | Completed of float
     | Degraded of { at : float; survivors : int }
     | Aborted of string
+    | Ckpt_lost
     | Non_terminating
     | Buggy
     | Net_hung
@@ -86,6 +87,7 @@ module Run = struct
     | Completed _ -> "completed"
     | Degraded _ -> "degraded"
     | Aborted _ -> "aborted"
+    | Ckpt_lost -> "ckpt-lost"
     | Non_terminating -> "non-terminating"
     | Buggy -> "buggy"
     | Net_hung -> "net-hung"
@@ -175,6 +177,7 @@ module Run = struct
     let metrics = B.metrics handle in
     let survivors = B.survivors handle in
     let aborted = B.aborted handle in
+    let ckpt_lost = B.ckpt_lost handle in
     B.teardown handle;
     (match fci with Some rt -> Fci.Runtime.shutdown rt | None -> ());
     Engine.halt eng;
@@ -203,13 +206,19 @@ module Run = struct
           match survivors with
           | Some n -> Degraded { at = t; survivors = n }
           | None -> Completed t)
-      | None -> (
-          match aborted with
-          | Some reason -> Aborted reason
-          | None ->
-              if frozen || stop_reason = `Quiescent then
-                if net_interference then Net_hung else Buggy
-              else Non_terminating)
+      | None ->
+          (* A lost checkpoint beats every other classification: the
+             dispatcher also records it as a clean abort, but the verdict
+             must stay distinguishable — it indicts the storage plane's
+             replication degree, not the recovery protocol. *)
+          if ckpt_lost then Ckpt_lost
+          else (
+            match aborted with
+            | Some reason -> Aborted reason
+            | None ->
+                if frozen || stop_reason = `Quiescent then
+                  if net_interference then Net_hung else Buggy
+                else Non_terminating)
     in
     let checksums =
       Hashtbl.fold (fun rank v acc -> (rank, v) :: acc) finals []

@@ -87,6 +87,14 @@ module Run : sig
         (** the backend gave up cleanly and said why — e.g. the survivor
             agreement refused to decide without a majority of the
             superseded epoch (split-brain protection under partition) *)
+    | Ckpt_lost
+        (** a restarting rank needed a checkpoint image and no storage
+            replica could produce a complete one (every assigned server
+            dead or holding only a torn write): recovery is impossible,
+            so the dispatcher ends the run decisively instead of
+            relaunching forever. Indicts the storage plane's replication
+            degree, not the recovery protocol — kept apart from
+            [Aborted] so campaigns can count it separately. *)
     | Non_terminating
         (** still rolling back / recovering at the timeout: the failure
             frequency leaves no room for progress (green bars) *)

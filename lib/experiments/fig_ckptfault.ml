@@ -1,0 +1,159 @@
+(* Storage-plane fault grid: checkpoint-server faults (service kills,
+   freeze/thaw, primary+mirror double strikes) against the rollback
+   protocol families, at replication factor 1 and 2. The bandwidth is
+   lowered so a wave's store window spans several seconds and a kill
+   timed a couple of seconds into the first wave reliably lands
+   mid-commit — the torn-write case the atomic prepare/commit protocol
+   must survive. *)
+
+module S = Fail_lang.Codegen.Scenario
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  n_machines : int;
+  server_bandwidth : float;
+      (* lowered from the calibrated 1e8 so the per-image store takes
+         seconds, not fractions of one — widens the mid-commit window *)
+  replica_levels : int list;
+  reps : int;
+  base_seed : int;
+}
+
+let default_config =
+  {
+    klass = Workload.Bt_model.A;
+    n_ranks = 9;
+    n_machines = 13;
+    server_bandwidth = 1e7;
+    replica_levels = [ 1; 2 ];
+    reps = 3;
+    base_seed = 2100;
+  }
+
+let quick_config = { default_config with reps = 1 }
+
+(* The four storage-fault shapes, as explorer-style fault plans rendered
+   to FAIL source. Times are anchored on the first wave: the scheduler
+   broadcasts markers at t = 30 (the default wave interval) and with the
+   lowered bandwidth the store window runs well past t = 32. *)
+let scenarios ~n_machines =
+  [
+    (* Server dies while no store is in flight: waves time out / redirect
+       and the respawned server rejoins — the run must complete. *)
+    ( "between-waves",
+      [ { S.machine = 0; anchor = S.After 18; kind = S.Service_kill { service = S.S_ckpt 0 } } ] );
+    (* Server dies two seconds into the first wave's store window (a torn
+       write on its disk), then a rank dies and must restore: mirrors
+       (replicas = 2) fail the fetch over; a single replica ends in
+       ckpt-lost — never a hang. *)
+    ( "mid-commit kill",
+      [
+        { S.machine = 0; anchor = S.After 32; kind = S.Service_kill { service = S.S_ckpt 0 } };
+        { S.machine = 1; anchor = S.After 6; kind = S.Kill };
+      ] );
+    (* Primary and its mirror both die before the rank restarts: no
+       complete image survives anywhere, so even replicas = 2 must end
+       in ckpt-lost. *)
+    ( "primary+mirror kill",
+      [
+        { S.machine = 0; anchor = S.After 32; kind = S.Service_kill { service = S.S_ckpt 0 } };
+        { S.machine = 1; anchor = S.After 1; kind = S.Service_kill { service = S.S_ckpt 1 } };
+        { S.machine = 1; anchor = S.After 5; kind = S.Kill };
+      ] );
+    (* Server freezes mid-store and thaws 20 s later: the scheduler's
+       store-ack timeout abandons the wave instead of wedging, and the
+       thawed server serves later waves — the run must complete. *)
+    ( "freeze-thaw server",
+      [
+        {
+          S.machine = 0;
+          anchor = S.After 32;
+          kind = S.Service_freeze { service = S.S_ckpt 0; thaw = 20 };
+        };
+      ] );
+  ]
+  |> List.map (fun (name, faults) -> (name, S.source ~n_machines faults))
+
+(* Only the rollback families own the checkpoint storage plane. *)
+let families = [ "vcl"; "blocking"; "v2" ]
+
+type row = { scenario : string; family : string; replicas : int; agg : Harness.agg }
+
+let run ?jobs ?(config = default_config) () =
+  let scenario_list = scenarios ~n_machines:config.n_machines in
+  List.concat_map
+    (fun (scenario_name, source) ->
+      List.concat_map
+        (fun family ->
+          let (module B : Failmpi.Backend.S) =
+            match Failmpi.Backend.find family with
+            | Some b -> b
+            | None -> invalid_arg (Printf.sprintf "Fig_ckptfault: unknown backend %s" family)
+          in
+          List.map
+            (fun replicas ->
+              let cfg =
+                {
+                  (Mpivcl.Config.default ~n_ranks:config.n_ranks) with
+                  Mpivcl.Config.protocol = B.protocol ~replicas:1;
+                  server_bandwidth = config.server_bandwidth;
+                  ckpt_replicas = replicas;
+                }
+              in
+              let label =
+                Printf.sprintf "%s %s x%d" scenario_name family replicas
+              in
+              Harness.cell
+                ~tag:(scenario_name, family, replicas, label)
+                ~reps:config.reps ~base_seed:config.base_seed
+                (fun ~seed ->
+                  Harness.run_bt ~cfg ~klass:config.klass ~n_ranks:config.n_ranks
+                    ~n_machines:config.n_machines ~scenario:(Some source) ~seed ()))
+            config.replica_levels)
+        families)
+    scenario_list
+  |> Harness.campaign ?jobs
+  |> List.map (fun ((scenario, family, replicas, label), results) ->
+         { scenario; family; replicas; agg = Harness.aggregate ~label results })
+
+let aggs rows = List.map (fun r -> r.agg) rows
+
+let render rows =
+  let title = "Checkpoint storage faults: server kills and freezes vs replication factor" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "%-32s %5s %9s %9s %8s %8s %8s %5s\n" "configuration" "runs" "time(s)"
+       "%ckplost" "%buggy" "%nonterm" "waves" "chk");
+  List.iter
+    (fun r ->
+      let a = r.agg in
+      Buffer.add_string buf
+        (Printf.sprintf "%-32s %5d %9s %9.0f %8.0f %8.0f %8.1f %5s\n" a.Harness.label
+           a.Harness.runs
+           (match a.Harness.mean_time with
+           | Some t -> Printf.sprintf "%.0f" t
+           | None -> "-")
+           a.Harness.pct_ckpt_lost a.Harness.pct_buggy a.Harness.pct_non_terminating
+           (Harness.counter a "committed_waves")
+           (if a.Harness.checksum_failures = 0 then "ok"
+            else Printf.sprintf "%d BAD" a.Harness.checksum_failures)))
+    rows;
+  Buffer.contents buf
+
+let paper_note =
+  "Expectation: between-wave kills and freeze/thaws only cost time — the\n\
+   scheduler abandons the wave on its store-ack timeout and the respawned\n\
+   (or thawed) server rejoins, so every backend completes with matching\n\
+   checksums. A mid-commit kill tears the in-flight image on the dead\n\
+   server's disk: for the wave-coordinated families (vcl, blocking) a\n\
+   mirror (x2) fails the restore over and no verdict changes, while a\n\
+   single replica (x1) leaves the restart without a complete image and\n\
+   the run ends decisively in ckpt-lost — never a hang. Killing a rank's\n\
+   primary and its mirror is unsurvivable at either factor for the\n\
+   coordinated families. v2's sender-logging stores uncoordinated\n\
+   per-rank images at protocol-chosen instants, so a wave-timed kill can\n\
+   land outside its store window — its rows show how uncoordinated\n\
+   commit points shift the exposure, not a storage-plane difference."

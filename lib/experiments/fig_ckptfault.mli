@@ -1,0 +1,39 @@
+(** Storage-plane fault campaign: checkpoint-server kills, freeze/thaws
+    and primary+mirror double strikes, swept against the rollback
+    protocol families at replication factor 1 and 2.
+
+    The four fault shapes probe the plane's guarantees separately: a
+    between-wave kill and a freeze/thaw must only cost time (store-ack
+    timeout, respawn, re-sync); a mid-commit kill tears the in-flight
+    image and must either fail over to a mirror (x2, no verdict change)
+    or end decisively in [ckpt-lost] (x1); killing a rank's primary and
+    its mirror must classify [ckpt-lost] at every factor — never a
+    hang. The CI smoke runs {!quick_config}; [BENCH_ckpt.json] tracks
+    the storage-plane overhead. *)
+
+type config = {
+  klass : Workload.Bt_model.klass;
+  n_ranks : int;
+  n_machines : int;
+  server_bandwidth : float;
+      (** bytes/s per checkpoint server — lowered from the calibrated
+          default so the store window spans seconds and mid-commit kills
+          land reliably inside it *)
+  replica_levels : int list;  (** [ckpt_replicas] values to sweep *)
+  reps : int;
+  base_seed : int;
+}
+
+val default_config : config
+val quick_config : config
+
+type row = { scenario : string; family : string; replicas : int; agg : Harness.agg }
+
+(** [?jobs] as in {!Harness.campaign}. *)
+val run : ?jobs:int -> ?config:config -> unit -> row list
+
+(** [aggs rows] projects the plain aggregates (CSV export). *)
+val aggs : row list -> Harness.agg list
+
+val render : row list -> string
+val paper_note : string

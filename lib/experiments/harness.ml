@@ -7,6 +7,7 @@ type agg = {
   non_terminating : int;
   buggy : int;
   net_hung : int;
+  ckpt_lost : int;
   mean_time : float option;
   stddev_time : float option;
   mean_survivors : float option;
@@ -15,6 +16,7 @@ type agg = {
   pct_non_terminating : float;
   pct_buggy : float;
   pct_net_hung : float;
+  pct_ckpt_lost : float;
   mean_faults : float;
   checksum_failures : int;
   mean_counters : (string * float) list;
@@ -97,8 +99,8 @@ let aggregate ~label results =
         match r.Failmpi.Run.outcome with
         | Failmpi.Run.Completed t -> Some t
         | Failmpi.Run.Degraded { at; _ } -> Some at
-        | Failmpi.Run.Aborted _ | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy
-        | Failmpi.Run.Net_hung ->
+        | Failmpi.Run.Aborted _ | Failmpi.Run.Ckpt_lost | Failmpi.Run.Non_terminating
+        | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
             None)
       results
   in
@@ -125,6 +127,7 @@ let aggregate ~label results =
   in
   let buggy = count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Buggy) in
   let net_hung = count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Net_hung) in
+  let ckpt_lost = count (fun r -> r.Failmpi.Run.outcome = Failmpi.Run.Ckpt_lost) in
   let checksum_failures = count (fun r -> r.Failmpi.Run.checksum_ok = Some false) in
   {
     label;
@@ -135,6 +138,7 @@ let aggregate ~label results =
     non_terminating;
     buggy;
     net_hung;
+    ckpt_lost;
     mean_time = Stats.mean times;
     stddev_time = Stats.stddev times;
     mean_survivors = Stats.mean survivor_counts;
@@ -143,6 +147,7 @@ let aggregate ~label results =
     pct_non_terminating = Stats.percent ~total:runs non_terminating;
     pct_buggy = Stats.percent ~total:runs buggy;
     pct_net_hung = Stats.percent ~total:runs net_hung;
+    pct_ckpt_lost = Stats.percent ~total:runs ckpt_lost;
     mean_faults =
       (match
          Stats.mean
@@ -184,20 +189,20 @@ let aggs_csv aggs =
   in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "label,runs,completed,degraded,aborted,non_terminating,buggy,net_hung,mean_time,stddev_time,mean_survivors,pct_degraded,pct_aborted,pct_non_terminating,pct_buggy,pct_net_hung,mean_faults,checksum_failures";
+    "label,runs,completed,degraded,aborted,ckpt_lost,non_terminating,buggy,net_hung,mean_time,stddev_time,mean_survivors,pct_degraded,pct_aborted,pct_ckpt_lost,pct_non_terminating,pct_buggy,pct_net_hung,mean_faults,checksum_failures";
   List.iter (fun name -> Buffer.add_string buf ("," ^ name)) counter_names;
   Buffer.add_char buf '\n';
   List.iter
     (fun a ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d"
-           a.label a.runs a.completed a.degraded a.aborted a.non_terminating a.buggy
-           a.net_hung
+        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d"
+           a.label a.runs a.completed a.degraded a.aborted a.ckpt_lost a.non_terminating
+           a.buggy a.net_hung
            (match a.mean_time with Some t -> Printf.sprintf "%.1f" t | None -> "")
            (match a.stddev_time with Some s -> Printf.sprintf "%.1f" s | None -> "")
            (match a.mean_survivors with Some s -> Printf.sprintf "%.1f" s | None -> "")
-           a.pct_degraded a.pct_aborted a.pct_non_terminating a.pct_buggy a.pct_net_hung
-           a.mean_faults a.checksum_failures);
+           a.pct_degraded a.pct_aborted a.pct_ckpt_lost a.pct_non_terminating a.pct_buggy
+           a.pct_net_hung a.mean_faults a.checksum_failures);
       List.iter
         (fun name -> Buffer.add_string buf (Printf.sprintf ",%.1f" (counter a name)))
         counter_names;

@@ -17,6 +17,9 @@ type agg = {
   non_terminating : int;
   buggy : int;
   net_hung : int;  (** wedges explained by an actively faulty network *)
+  ckpt_lost : int;
+      (** a restart found no complete checkpoint image on any storage
+          replica — the run ended in the [Ckpt_lost] verdict *)
   mean_time : float option;  (** over completed and degraded runs *)
   stddev_time : float option;
   mean_survivors : float option;  (** over degraded runs *)
@@ -25,6 +28,7 @@ type agg = {
   pct_non_terminating : float;
   pct_buggy : float;
   pct_net_hung : float;
+  pct_ckpt_lost : float;
   mean_faults : float;  (** injected faults per run *)
   checksum_failures : int;
       (** completed or degraded runs whose final checksum differs from

@@ -26,6 +26,8 @@ type space = {
   sample_seed : int;
 }
 
+let svc_tag = function Plan.S_ckpt _ -> "ckpt" | Plan.S_sched -> "sched" | Plan.S_disp -> "disp"
+
 let kind_tag = function
   | Plan.Kill -> "kill"
   | Plan.Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
@@ -34,6 +36,8 @@ let kind_tag = function
   | Plan.Heal -> "heal"
   | Plan.Switch_kill { tier } -> "sw" ^ Fail_lang.Ast.tier_name tier
   | Plan.Pod_degrade { loss; latency } -> Printf.sprintf "pdeg%dl%d" loss latency
+  | Plan.Service_kill { service } -> "sk" ^ svc_tag service
+  | Plan.Service_freeze { service; thaw } -> Printf.sprintf "sf%s%d" (svc_tag service) thaw
 
 let ints xs = String.concat "," (List.map string_of_int xs)
 
@@ -143,17 +147,19 @@ let note t ~plan_key ~sig_hash =
 (* ---- seeded mutation ---------------------------------------------- *)
 
 let mutate_fault rng space (f : Plan.fault) =
-  match Rng.int rng 3 with
-  | 0 -> { f with Plan.anchor = Plan.After (Rng.choose rng space.buckets) }
-  | 1 -> { f with Plan.machine = Rng.choose rng space.targets }
-  | _ -> { f with Plan.kind = Rng.choose rng space.kinds }
+  Plan.align_service
+    (match Rng.int rng 3 with
+    | 0 -> { f with Plan.anchor = Plan.After (Rng.choose rng space.buckets) }
+    | 1 -> { f with Plan.machine = Rng.choose rng space.targets }
+    | _ -> { f with Plan.kind = Rng.choose rng space.kinds })
 
 let random_fault rng space =
-  {
-    Plan.machine = Rng.choose rng space.targets;
-    anchor = Plan.After (Rng.choose rng space.buckets);
-    kind = Rng.choose rng space.kinds;
-  }
+  Plan.align_service
+    {
+      Plan.machine = Rng.choose rng space.targets;
+      anchor = Plan.After (Rng.choose rng space.buckets);
+      kind = Rng.choose rng space.kinds;
+    }
 
 let mutate_plan rng space (p : Plan.t) =
   let faults = Array.of_list p.Plan.faults in

@@ -4,12 +4,20 @@ module Prefix = Prefix
 module Corpus = Corpus
 module Run = Failmpi.Run
 
-type verdict = Completed | Degraded | Aborted | Non_terminating | Buggy | Net_hung
+type verdict =
+  | Completed
+  | Degraded
+  | Aborted
+  | Ckpt_lost
+  | Non_terminating
+  | Buggy
+  | Net_hung
 
 let verdict_name = function
   | Completed -> "completed"
   | Degraded -> "degraded"
   | Aborted -> "aborted"
+  | Ckpt_lost -> "ckpt-lost"
   | Non_terminating -> "non-terminating"
   | Buggy -> "buggy"
   | Net_hung -> "net-hung"
@@ -18,6 +26,7 @@ let verdict_of_outcome = function
   | Run.Completed _ -> Completed
   | Run.Degraded _ -> Degraded
   | Run.Aborted _ -> Aborted
+  | Run.Ckpt_lost -> Ckpt_lost
   | Run.Non_terminating -> Non_terminating
   | Run.Buggy -> Buggy
   | Run.Net_hung -> Net_hung
@@ -73,7 +82,9 @@ let singles cfg =
       List.concat_map
         (fun bucket ->
           List.map
-            (fun kind -> plan cfg [ { Plan.machine; anchor = Plan.After bucket; kind } ])
+            (fun kind ->
+              plan cfg
+                [ Plan.align_service { Plan.machine; anchor = Plan.After bucket; kind } ])
             cfg.kinds)
         cfg.buckets)
     cfg.targets
@@ -93,11 +104,12 @@ let sampled cfg ~count =
         let n_faults = 3 + (i mod (cfg.max_faults - 2)) in
         plan cfg
           (List.init n_faults (fun _ ->
-               {
-                 Plan.machine = Simkern.Rng.choose rng cfg.targets;
-                 anchor = Plan.After (Simkern.Rng.choose rng cfg.buckets);
-                 kind = Simkern.Rng.choose rng cfg.kinds;
-               })))
+               Plan.align_service
+                 {
+                   Plan.machine = Simkern.Rng.choose rng cfg.targets;
+                   anchor = Plan.After (Simkern.Rng.choose rng cfg.buckets);
+                   kind = Simkern.Rng.choose rng cfg.kinds;
+                 })))
   end
 
 let take n xs =
@@ -223,7 +235,7 @@ let finish_report ?jobs cfg ~runner records =
      completion is the ulfm backend working as designed, not a failure. *)
   let shrinkable rc =
     match rc.verdict with
-    | Buggy | Net_hung | Aborted -> true
+    | Buggy | Net_hung | Aborted | Ckpt_lost -> true
     | Non_terminating -> cfg.shrink_hangs
     | Completed | Degraded -> false
   in
@@ -344,27 +356,28 @@ let run_spec ?jobs ?(fork = true) ?(measure = false) ?corpus cfg ~spec =
 
 let tally records =
   List.fold_left
-    (fun (c, d, a, n, b, h) rc ->
+    (fun (c, d, a, k, n, b, h) rc ->
       match rc.verdict with
-      | Completed -> (c + 1, d, a, n, b, h)
-      | Degraded -> (c, d + 1, a, n, b, h)
-      | Aborted -> (c, d, a + 1, n, b, h)
-      | Non_terminating -> (c, d, a, n + 1, b, h)
-      | Buggy -> (c, d, a, n, b + 1, h)
-      | Net_hung -> (c, d, a, n, b, h + 1))
-    (0, 0, 0, 0, 0, 0) records
+      | Completed -> (c + 1, d, a, k, n, b, h)
+      | Degraded -> (c, d + 1, a, k, n, b, h)
+      | Aborted -> (c, d, a + 1, k, n, b, h)
+      | Ckpt_lost -> (c, d, a, k + 1, n, b, h)
+      | Non_terminating -> (c, d, a, k, n + 1, b, h)
+      | Buggy -> (c, d, a, k, n, b + 1, h)
+      | Net_hung -> (c, d, a, k, n, b, h + 1))
+    (0, 0, 0, 0, 0, 0, 0) records
 
 let render rp =
   let buf = Buffer.create 1024 in
-  let c, d, a, n, b, h = tally rp.records in
+  let c, d, a, k, n, b, h = tally rp.records in
   Buffer.add_string buf
     (Printf.sprintf
        "explored %d plans (max %d faults, %d targets x %d buckets): %d completed, %d \
-        degraded, %d aborted, %d non-terminating, %d buggy, %d net-hung\n"
+        degraded, %d aborted, %d ckpt-lost, %d non-terminating, %d buggy, %d net-hung\n"
        (List.length rp.records) rp.config.max_faults
        (List.length rp.config.targets)
        (List.length rp.config.buckets)
-       c d a n b h);
+       c d a k n b h);
   Buffer.add_string buf
     (Printf.sprintf "coverage: %d distinct milestone signatures\n" (List.length rp.coverage));
   List.iter
@@ -400,6 +413,11 @@ let json_escape s =
 
 let json_ints xs = "[" ^ String.concat ", " (List.map string_of_int xs) ^ "]"
 
+let service_name = function
+  | Plan.S_ckpt _ -> "ckpt"
+  | Plan.S_sched -> "sched"
+  | Plan.S_disp -> "disp"
+
 let kind_name = function
   | Plan.Kill -> "kill"
   | Plan.Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
@@ -408,6 +426,9 @@ let kind_name = function
   | Plan.Heal -> "heal"
   | Plan.Switch_kill { tier } -> Printf.sprintf "switch-kill-%s" (Fail_lang.Ast.tier_name tier)
   | Plan.Pod_degrade { loss; latency } -> Printf.sprintf "pod-degrade%dl%d" loss latency
+  | Plan.Service_kill { service } -> Printf.sprintf "service-kill-%s" (service_name service)
+  | Plan.Service_freeze { service; thaw } ->
+      Printf.sprintf "service-freeze-%s%d" (service_name service) thaw
 
 let fault_json (f : Plan.fault) =
   let anchor =
@@ -426,7 +447,7 @@ let plan_json (p : Plan.t) =
 let to_json rp =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let c, d, a, n, b, h = tally rp.records in
+  let c, d, a, k, n, b, h = tally rp.records in
   add "{\n";
   add "  \"config\": {\"n_machines\": %d, \"targets\": %s, \"buckets\": %s, \"kinds\": [%s], \
        \"max_faults\": %d, \"budget\": %d, \"sample_seed\": %d},\n"
@@ -437,8 +458,8 @@ let to_json rp =
   add "  \"explored\": %d,\n" (List.length rp.records);
   add
     "  \"verdicts\": {\"completed\": %d, \"degraded\": %d, \"aborted\": %d, \
-     \"non_terminating\": %d, \"buggy\": %d, \"net_hung\": %d},\n"
-    c d a n b h;
+     \"ckpt_lost\": %d, \"non_terminating\": %d, \"buggy\": %d, \"net_hung\": %d},\n"
+    c d a k n b h;
   add "  \"coverage\": [\n";
   List.iteri
     (fun i (s, v, count) ->

@@ -26,8 +26,17 @@ module Run = Failmpi.Run
 
 (** [Degraded] is a ulfm run that finished on a shrunken communicator
     (by design, not shrinkable); [Aborted] is a backend that gave up
-    cleanly — reproducible and minimizable like [Buggy]. *)
-type verdict = Completed | Degraded | Aborted | Non_terminating | Buggy | Net_hung
+    cleanly — reproducible and minimizable like [Buggy]; [Ckpt_lost] is
+    a restart that found no complete checkpoint image on any storage
+    replica (also reproducible and minimizable). *)
+type verdict =
+  | Completed
+  | Degraded
+  | Aborted
+  | Ckpt_lost
+  | Non_terminating
+  | Buggy
+  | Net_hung
 
 val verdict_name : verdict -> string
 val verdict_of_outcome : Run.outcome -> verdict

@@ -6,6 +6,11 @@
     FAIL source, so every plan the explorer runs, and every minimized
     witness it emits, is replayable with [failmpi_run --scenario]. *)
 
+type service = Fail_lang.Codegen.Scenario.service =
+  | S_ckpt of int  (** checkpoint server replica [i] *)
+  | S_sched  (** the checkpoint scheduler *)
+  | S_disp  (** the dispatcher *)
+
 type kind = Fail_lang.Codegen.Scenario.kind =
   | Kill
   | Freeze of { thaw : int }
@@ -19,6 +24,11 @@ type kind = Fail_lang.Codegen.Scenario.kind =
           index; needs a configured topology) *)
   | Pod_degrade of { loss : int; latency : int }
       (** degrade every intra-pod link of pod [machine] *)
+  | Service_kill of { service : service }
+      (** halt an infrastructure service (for [S_ckpt] the fault's
+          [machine] is the replica index, mirrored into [service]) *)
+  | Service_freeze of { service : service; thaw : int }
+      (** stop an infrastructure service, continue it [thaw] s later *)
 
 type anchor = Fail_lang.Codegen.Scenario.anchor =
   | After of int  (** seconds after the previous fault fired (scenario start for the first) *)
@@ -35,6 +45,13 @@ type t = { n_machines : int; faults : fault list }
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** [align_service f] restores the codegen invariant for service faults
+    — [machine] mirrors the ckpt replica index ([S_ckpt]) or is 0
+    (sched/disp) — and is the identity on every other kind. Plan
+    constructors that draw machine and kind independently must pipe
+    faults through this before keying or rendering them. *)
+val align_service : fault -> fault
 
 (** [key p] is a compact, human-readable identifier, e.g.
     ["kill@3+12;freeze8@0@reload5+2"] — stable across processes, used to

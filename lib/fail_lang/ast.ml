@@ -46,6 +46,12 @@ type dest =
   | D_sender
   | D_topo of topo_sel
 
+(* Infrastructure service selector: the checkpoint storage plane and the
+   control services of the system under test. Unlike destinations these
+   do not resolve against the deployment table — the deployed system
+   registers its services with the runtime by name. *)
+type service_sel = Svc_ckpt of expr | Svc_sched | Svc_disp
+
 (* Network degradation: [loss] in permille, [latency]/[jitter] in
    milliseconds (FAIL expressions are integers). Omitted fields mean
    "unchanged" (zero). *)
@@ -60,9 +66,9 @@ type action =
   | A_goto of string
   | A_send of string * dest
   | A_assign of string * expr
-  | A_halt
-  | A_stop
-  | A_continue
+  | A_halt of service_sel option
+  | A_stop of service_sel option
+  | A_continue of service_sel option
   | A_set_app of string * expr
   | A_partition of dest * dest option
       (* cut between two deployment sets; one operand isolates it *)
@@ -121,6 +127,12 @@ let equal_topo_sel s1 s2 =
   | Sel_pod e1, Sel_pod e2 | Sel_rack e1, Sel_rack e2 -> equal_expr e1 e2
   | (Sel_switch _ | Sel_pod _ | Sel_rack _), _ -> false
 
+let equal_service_sel s1 s2 =
+  match (s1, s2) with
+  | Svc_ckpt e1, Svc_ckpt e2 -> equal_expr e1 e2
+  | Svc_sched, Svc_sched | Svc_disp, Svc_disp -> true
+  | (Svc_ckpt _ | Svc_sched | Svc_disp), _ -> false
+
 let equal_dest d1 d2 =
   match (d1, d2) with
   | D_instance a, D_instance b | D_group a, D_group b -> String.equal a b
@@ -135,7 +147,9 @@ let equal_action a1 a2 =
   | A_send (m1, d1), A_send (m2, d2) -> String.equal m1 m2 && equal_dest d1 d2
   | A_assign (v1, e1), A_assign (v2, e2) | A_set_app (v1, e1), A_set_app (v2, e2) ->
       String.equal v1 v2 && equal_expr e1 e2
-  | A_halt, A_halt | A_stop, A_stop | A_continue, A_continue | A_heal, A_heal -> true
+  | A_halt s1, A_halt s2 | A_stop s1, A_stop s2 | A_continue s1, A_continue s2 ->
+      Option.equal equal_service_sel s1 s2
+  | A_heal, A_heal -> true
   | A_partition (a1', b1), A_partition (a2', b2) ->
       equal_dest a1' a2' && Option.equal equal_dest b1 b2
   | A_degrade d1, A_degrade d2 ->
@@ -143,7 +157,7 @@ let equal_action a1 a2 =
       && Option.equal equal_expr d1.deg_loss d2.deg_loss
       && Option.equal equal_expr d1.deg_latency d2.deg_latency
       && Option.equal equal_expr d1.deg_jitter d2.deg_jitter
-  | ( ( A_goto _ | A_send _ | A_assign _ | A_halt | A_stop | A_continue | A_set_app _
+  | ( ( A_goto _ | A_send _ | A_assign _ | A_halt _ | A_stop _ | A_continue _ | A_set_app _
       | A_partition _ | A_heal | A_degrade _ ),
       _ ) ->
       false

@@ -71,6 +71,14 @@ type dest =
   | D_topo of topo_sel
       (** a fabric component; only meaningful in [partition]/[degrade] *)
 
+(** Infrastructure service selector: [halt service ckpt\[0\]] kills the
+    first checkpoint server, [stop service sched] freezes the checkpoint
+    scheduler, [continue service disp] thaws the dispatcher. Services are
+    registered by name by the deployed system under test, not by the
+    scenario's deployment table; the [ckpt] index is a FAIL expression so
+    scenarios can randomise the replica. *)
+type service_sel = Svc_ckpt of expr | Svc_sched | Svc_disp
+
 (** Network degradation targeting the machines behind a destination:
     [degrade G1 loss = 50 latency = 20 jitter = 5]. Units are what FAIL's
     integer expressions allow — [loss] in permille (0..1000), [latency]
@@ -87,9 +95,11 @@ type action =
   | A_goto of string
   | A_send of string * dest  (** [!msg(dest)] *)
   | A_assign of string * expr
-  | A_halt  (** kill the controlled process (crash injection) *)
-  | A_stop  (** suspend the controlled process *)
-  | A_continue  (** resume the controlled process *)
+  | A_halt of service_sel option
+      (** kill the controlled process (crash injection), or with a
+          selector an infrastructure service ([halt service ckpt\[i\]]) *)
+  | A_stop of service_sel option  (** suspend the controlled process or a service *)
+  | A_continue of service_sel option  (** resume the controlled process or a service *)
   | A_set_app of string * expr  (** [set name = expr] on the controlled process *)
   | A_partition of dest * dest option
       (** [partition A B]: bidirectional network cut between the machines

@@ -19,13 +19,15 @@ type cdest =
   | CD_sender
   | CD_topo of ctopo_sel
 
+type cservice = CSvc_ckpt of cexpr | CSvc_sched | CSvc_disp
+
 type caction =
   | C_goto of int
   | C_send of string * cdest
   | C_assign of int * cexpr
-  | C_halt
-  | C_stop
-  | C_continue
+  | C_halt of cservice option
+  | C_stop of cservice option
+  | C_continue of cservice option
   | C_set_app of string * cexpr
   | C_partition of cdest * cdest option
   | C_heal
@@ -115,14 +117,21 @@ let dest_s = function
   | CD_sender -> "sender"
   | CD_topo sel -> topo_sel_s sel
 
+let service_s = function
+  | CSvc_ckpt e -> Format.asprintf "ckpt[%a]" pp_cexpr e
+  | CSvc_sched -> "sched"
+  | CSvc_disp -> "disp"
+
+let service_suffix = function None -> "" | Some svc -> " service " ^ service_s svc
+
 let pp_caction ppf = function
   | C_goto n -> Format.fprintf ppf "goto #%d" n
   | C_send (m, CD_group g) -> Format.fprintf ppf "send %s -> %s (broadcast)" m g
   | C_send (m, d) -> Format.fprintf ppf "send %s -> %s" m (dest_s d)
   | C_assign (slot, e) -> Format.fprintf ppf "v%d := %a" slot pp_cexpr e
-  | C_halt -> Format.pp_print_string ppf "halt"
-  | C_stop -> Format.pp_print_string ppf "stop"
-  | C_continue -> Format.pp_print_string ppf "continue"
+  | C_halt svc -> Format.fprintf ppf "halt%s" (service_suffix svc)
+  | C_stop svc -> Format.fprintf ppf "stop%s" (service_suffix svc)
+  | C_continue svc -> Format.fprintf ppf "continue%s" (service_suffix svc)
   | C_set_app (name, e) -> Format.fprintf ppf "set @@%s := %a" name pp_cexpr e
   | C_partition (a, b) ->
       Format.fprintf ppf "partition %s%s" (dest_s a)

@@ -27,13 +27,18 @@ type cdest =
   | CD_sender
   | CD_topo of ctopo_sel  (** fabric component, resolved at runtime *)
 
+(** Compiled service selector of [halt service ...] and friends; the
+    [ckpt] replica index stays an expression until execution. *)
+type cservice = CSvc_ckpt of cexpr | CSvc_sched | CSvc_disp
+
 type caction =
   | C_goto of int
   | C_send of string * cdest
   | C_assign of int * cexpr
-  | C_halt
-  | C_stop
-  | C_continue
+  | C_halt of cservice option
+      (** kill the controlled process, or a registered service *)
+  | C_stop of cservice option
+  | C_continue of cservice option
   | C_set_app of string * cexpr
   | C_partition of cdest * cdest option
       (** cut between two deployment sets; [None] isolates the first *)
@@ -80,3 +85,7 @@ val pp_trigger : Format.formatter -> Ast.trigger -> unit
 val topo_sel_s : ctopo_sel -> string
 
 val dest_s : cdest -> string
+
+(** [service_s svc] renders a compiled service selector ([ckpt\[v0\]],
+    [sched], [disp]); shared with runtime traces. *)
+val service_s : cservice -> string

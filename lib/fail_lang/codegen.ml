@@ -69,6 +69,12 @@ module Scenario = struct
      worsens every link touching it ([loss] permille, [latency] ms);
      [Heal] clears all installed network faults (its machine is
      canonically 0 and otherwise ignored). *)
+  (* Infrastructure service faults are executed by the coordinator via
+     the first-class [halt service ...] actions, like network faults —
+     services are not members of the controller group. The [machine] of
+     such an injection is the ckpt replica index (0 for sched/disp). *)
+  type service = S_ckpt of int | S_sched | S_disp
+
   type kind =
     | Kill
     | Freeze of { thaw : int }
@@ -77,6 +83,8 @@ module Scenario = struct
     | Heal
     | Switch_kill of { tier : Ast.tier }  (* machine = switch index *)
     | Pod_degrade of { loss : int; latency : int }  (* machine = pod index *)
+    | Service_kill of { service : service }
+    | Service_freeze of { service : service; thaw : int }
 
   type anchor = After of int | On_reload of { nth : int; delay : int }
 
@@ -87,8 +95,17 @@ module Scenario = struct
   let msg_of_kind = function
     | Kill -> "kill"
     | Freeze { thaw } -> Printf.sprintf "freeze%d" thaw
-    | Partition | Degrade _ | Heal | Switch_kill _ | Pod_degrade _ ->
-        invalid_arg "Scenario.msg_of_kind: network faults have no controller message"
+    | Partition | Degrade _ | Heal | Switch_kill _ | Pod_degrade _ | Service_kill _
+    | Service_freeze _ ->
+        invalid_arg
+          "Scenario.msg_of_kind: network and service faults have no controller message"
+
+  let sel_of_service = function
+    | S_ckpt i -> Ast.Svc_ckpt (Ast.Int i)
+    | S_sched -> Ast.Svc_sched
+    | S_disp -> Ast.Svc_disp
+
+  let machine_of_service = function S_ckpt i -> i | S_sched | S_disp -> 0
 
   let kind_of_msg msg =
     if String.equal msg "kill" then Some Kill
@@ -106,13 +123,17 @@ module Scenario = struct
       (fun i -> match i.anchor with On_reload _ -> true | After _ -> false)
       injections
 
+  (* Controller thaw durations: service freezes thaw from a coordinator
+     timer node instead, so they contribute none. *)
   let thaws injections =
     List.sort_uniq compare
       (List.filter_map
          (fun i ->
            match i.kind with
            | Freeze { thaw } -> Some thaw
-           | Kill | Partition | Degrade _ | Heal | Switch_kill _ | Pod_degrade _ -> None)
+           | Kill | Partition | Degrade _ | Heal | Switch_kill _ | Pod_degrade _
+           | Service_kill _ | Service_freeze _ ->
+               None)
          injections)
 
   (* Every controller registration is forwarded to the coordinator as a
@@ -145,32 +166,63 @@ module Scenario = struct
       List.concat
         (List.mapi
            (fun i inj ->
-             let fault_action =
+             (* The fire node's actions plus any follow-up nodes. A
+                service freeze splits in two: the fire node stops the
+                service and moves to a thaw node whose timer resumes it
+                — the structural analogue of the controller's frozen
+                state, lifted into the coordinator. *)
+             let fire_actions, extra_nodes =
                let target = Ast.D_indexed ("G1", Ast.Int inj.machine) in
+               let simple a = ([ a; Ast.A_goto (next_entry i) ], []) in
                match inj.kind with
-               | Kill | Freeze _ -> Ast.A_send (msg_of_kind inj.kind, target)
-               | Partition -> Ast.A_partition (target, None)
+               | Kill | Freeze _ -> simple (Ast.A_send (msg_of_kind inj.kind, target))
+               | Partition -> simple (Ast.A_partition (target, None))
                | Degrade { loss; latency } ->
-                   Ast.A_degrade
-                     {
-                       Ast.deg_target = target;
-                       deg_loss = Some (Ast.Int loss);
-                       deg_latency = Some (Ast.Int latency);
-                       deg_jitter = None;
-                     }
-               | Heal -> Ast.A_heal
+                   simple
+                     (Ast.A_degrade
+                        {
+                          Ast.deg_target = target;
+                          deg_loss = Some (Ast.Int loss);
+                          deg_latency = Some (Ast.Int latency);
+                          deg_jitter = None;
+                        })
+               | Heal -> simple Ast.A_heal
                | Switch_kill { tier } ->
                    (* [machine] is the per-tier switch index, not a host. *)
-                   Ast.A_partition
-                     (Ast.D_topo (Ast.Sel_switch (tier, Ast.Int inj.machine)), None)
+                   simple
+                     (Ast.A_partition
+                        (Ast.D_topo (Ast.Sel_switch (tier, Ast.Int inj.machine)), None))
                | Pod_degrade { loss; latency } ->
-                   Ast.A_degrade
+                   simple
+                     (Ast.A_degrade
+                        {
+                          Ast.deg_target = Ast.D_topo (Ast.Sel_pod (Ast.Int inj.machine));
+                          deg_loss = Some (Ast.Int loss);
+                          deg_latency = Some (Ast.Int latency);
+                          deg_jitter = None;
+                        })
+               | Service_kill { service } ->
+                   simple (Ast.A_halt (Some (sel_of_service service)))
+               | Service_freeze { service; thaw } ->
+                   let sel = sel_of_service service in
+                   let thaw_id = Printf.sprintf "s%d" (i + 1) in
+                   let thaw_node =
                      {
-                       Ast.deg_target = Ast.D_topo (Ast.Sel_pod (Ast.Int inj.machine));
-                       deg_loss = Some (Ast.Int loss);
-                       deg_latency = Some (Ast.Int latency);
-                       deg_jitter = None;
+                       Ast.n_loc = loc;
+                       n_id = thaw_id;
+                       n_always = [];
+                       n_timer = Some ("thaw", Ast.Int thaw);
+                       n_transitions =
+                         {
+                           Ast.t_loc = loc;
+                           guard = { Ast.trigger = Some Ast.T_timer; conds = [] };
+                           actions =
+                             [ Ast.A_continue (Some sel); Ast.A_goto (next_entry i) ];
+                         }
+                         :: counting;
                      }
+                   in
+                   ([ Ast.A_stop (Some sel); Ast.A_goto thaw_id ], [ thaw_node ])
              in
              let fire delay =
                {
@@ -182,13 +234,13 @@ module Scenario = struct
                    {
                      Ast.t_loc = loc;
                      guard = { Ast.trigger = Some Ast.T_timer; conds = [] };
-                     actions = [ fault_action; Ast.A_goto (next_entry i) ];
+                     actions = fire_actions;
                    }
                    :: counting;
                }
              in
              match inj.anchor with
-             | After delay -> [ fire delay ]
+             | After delay -> fire delay :: extra_nodes
              | On_reload { nth; delay } ->
                  let arm =
                    {
@@ -205,16 +257,14 @@ module Scenario = struct
                        ];
                    }
                  in
-                 [
-                   {
-                     Ast.n_loc = loc;
-                     n_id = Printf.sprintf "w%d" (i + 1);
-                     n_always = [];
-                     n_timer = None;
-                     n_transitions = arm :: counting;
-                   };
-                   fire delay;
-                 ])
+                 {
+                   Ast.n_loc = loc;
+                   n_id = Printf.sprintf "w%d" (i + 1);
+                   n_always = [];
+                   n_timer = None;
+                   n_transitions = arm :: counting;
+                 }
+                 :: fire delay :: extra_nodes)
            injections)
     in
     let done_node =
@@ -237,7 +287,7 @@ module Scenario = struct
         Ast.t_loc = loc;
         guard = { Ast.trigger = Some Ast.T_onload; conds = [] };
         actions =
-          (Ast.A_continue
+          (Ast.A_continue None
            :: (if with_reg then [ Ast.A_send ("reg", Ast.D_instance "P1") ] else []))
           @ [ Ast.A_goto "live" ];
       }
@@ -253,7 +303,7 @@ module Scenario = struct
       {
         Ast.t_loc = loc;
         guard = { Ast.trigger = Some (Ast.T_recv "kill"); conds = [] };
-        actions = [ Ast.A_halt; Ast.A_goto "idle" ];
+        actions = [ Ast.A_halt None; Ast.A_goto "idle" ];
       }
     in
     let freeze_transitions =
@@ -262,7 +312,7 @@ module Scenario = struct
           {
             Ast.t_loc = loc;
             guard = { Ast.trigger = Some (Ast.T_recv (Printf.sprintf "freeze%d" thaw)); conds = [] };
-            actions = [ Ast.A_stop; Ast.A_goto (Printf.sprintf "frozen%d" thaw) ];
+            actions = [ Ast.A_stop None; Ast.A_goto (Printf.sprintf "frozen%d" thaw) ];
           })
         thaws
     in
@@ -292,7 +342,7 @@ module Scenario = struct
                 {
                   Ast.t_loc = loc;
                   guard = { Ast.trigger = Some Ast.T_timer; conds = [] };
-                  actions = [ Ast.A_continue; Ast.A_goto "live" ];
+                  actions = [ Ast.A_continue None; Ast.A_goto "live" ];
                 };
                 to_idle Ast.T_onexit;
                 to_idle Ast.T_onerror;
@@ -371,11 +421,27 @@ module Scenario = struct
        node that follows it; any other shape is rejected. *)
     (* The structural inverse of [fault_action] above: recover (machine,
        kind) from the leading action of a timer transition. *)
+    let service_of_sel = function
+      | Ast.Svc_ckpt e -> Option.map (fun i -> S_ckpt i) (fold_const e)
+      | Ast.Svc_sched -> Some S_sched
+      | Ast.Svc_disp -> Some S_disp
+    in
     let kind_of_actions = function
       | Ast.A_send (msg, Ast.D_indexed (_, machine_e)) :: _ -> (
           match (fold_const machine_e, kind_of_msg msg) with
           | Some machine, Some kind -> Some (machine, kind)
           | _ -> None)
+      | Ast.A_halt (Some sel) :: _ ->
+          Option.map
+            (fun service -> (machine_of_service service, Service_kill { service }))
+            (service_of_sel sel)
+      | Ast.A_stop (Some sel) :: _ ->
+          (* Freeze begin: the thaw duration lives in the following
+             coordinator node; [walk] fills it in after consuming it. *)
+          Option.map
+            (fun service ->
+              (machine_of_service service, Service_freeze { service; thaw = 0 }))
+            (service_of_sel sel)
       | Ast.A_partition (Ast.D_indexed (_, machine_e), None) :: _ ->
           Option.map (fun machine -> (machine, Partition)) (fold_const machine_e)
       | Ast.A_partition (Ast.D_topo (Ast.Sel_switch (tier, idx_e)), None) :: _ ->
@@ -432,6 +498,21 @@ module Scenario = struct
              match t.Ast.guard.Ast.trigger with Some (Ast.T_recv _) -> true | _ -> false)
            node.Ast.n_transitions
     in
+    (* A service thaw node: timer whose expiry resumes the service. *)
+    let thaw_of_node node =
+      match node.Ast.n_timer with
+      | None -> None
+      | Some (_, delay_e) ->
+          if
+            List.exists
+              (fun t ->
+                match (t.Ast.guard.Ast.trigger, t.Ast.actions) with
+                | Some Ast.T_timer, Ast.A_continue (Some _) :: _ -> true
+                | _ -> false)
+              node.Ast.n_transitions
+          then fold_const delay_e
+          else None
+    in
     let* injections =
       let rec walk pending acc = function
         | [] -> (
@@ -440,13 +521,29 @@ module Scenario = struct
             | Some _ -> Error "reload-wait node not followed by a fault node")
         | node :: rest -> (
             match fire_of_node node with
-            | Some (machine, delay, kind) ->
+            | Some (machine, delay, kind) -> (
                 let anchor =
                   match pending with
                   | Some nth -> On_reload { nth; delay }
                   | None -> After delay
                 in
-                walk None ({ machine; anchor; kind } :: acc) rest
+                match kind with
+                | Service_freeze { service; _ } -> (
+                    (* Consume the paired thaw node that follows. *)
+                    match rest with
+                    | next :: rest' -> (
+                        match thaw_of_node next with
+                        | Some thaw ->
+                            walk None
+                              ({ machine; anchor; kind = Service_freeze { service; thaw } }
+                              :: acc)
+                              rest'
+                        | None ->
+                            Error "service stop not followed by a thaw node")
+                    | [] -> Error "service stop not followed by a thaw node")
+                | Kill | Freeze _ | Partition | Degrade _ | Heal | Switch_kill _
+                | Pod_degrade _ | Service_kill _ ->
+                    walk None ({ machine; anchor; kind } :: acc) rest)
             | None -> (
                 match wait_of_node node with
                 | Some nth ->

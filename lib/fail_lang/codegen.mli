@@ -47,7 +47,17 @@ module Scenario : sig
       [Switch_kill] compiles to [partition switch <tier>\[machine\]]
       (one dead switch, every route through it cut), [Pod_degrade] to
       [degrade pod machine ...] (the spec lands on all intra-pod
-      links). Both need the run to declare a {!Mpivcl.Config.topology}. *)
+      links). Both need the run to declare a {!Mpivcl.Config.topology}.
+
+      Service faults target the infrastructure plane by registered name
+      instead of the controller group: [Service_kill] compiles to
+      [halt service ...] executed by the coordinator, [Service_freeze]
+      to a [stop service ...] fire node paired with a thaw node whose
+      timer issues [continue service ...]. For [S_ckpt i] the
+      injection's [machine] is the replica index [i]; for
+      [S_sched]/[S_disp] it is canonically 0 and otherwise ignored. *)
+  type service = S_ckpt of int | S_sched | S_disp
+
   type kind =
     | Kill
     | Freeze of { thaw : int }  (** [stop] then [continue] after [thaw] s *)
@@ -56,6 +66,8 @@ module Scenario : sig
     | Heal
     | Switch_kill of { tier : Ast.tier }
     | Pod_degrade of { loss : int; latency : int }
+    | Service_kill of { service : service }
+    | Service_freeze of { service : service; thaw : int }
 
   type anchor = After of int | On_reload of { nth : int; delay : int }
 

@@ -61,6 +61,12 @@ let compile_dest lookup loc = function
         | Sel_pod e -> Automaton.CSel_pod (compile_expr lookup loc e)
         | Sel_rack e -> Automaton.CSel_rack (compile_expr lookup loc e))
 
+let compile_service lookup loc = function
+  | None -> None
+  | Some (Svc_ckpt e) -> Some (Automaton.CSvc_ckpt (compile_expr lookup loc e))
+  | Some Svc_sched -> Some Automaton.CSvc_sched
+  | Some Svc_disp -> Some Automaton.CSvc_disp
+
 let compile_action lookup node_of_id loc = function
   | A_goto target -> (
       match node_of_id target with
@@ -71,9 +77,9 @@ let compile_action lookup node_of_id loc = function
       match lookup name with
       | Some slot -> Automaton.C_assign (slot, compile_expr lookup loc e)
       | None -> Loc.error loc "internal: unresolved assignment target %s" name)
-  | A_halt -> Automaton.C_halt
-  | A_stop -> Automaton.C_stop
-  | A_continue -> Automaton.C_continue
+  | A_halt svc -> Automaton.C_halt (compile_service lookup loc svc)
+  | A_stop svc -> Automaton.C_stop (compile_service lookup loc svc)
+  | A_continue svc -> Automaton.C_continue (compile_service lookup loc svc)
   | A_set_app (name, e) -> Automaton.C_set_app (name, compile_expr lookup loc e)
   | A_partition (a, b) ->
       Automaton.C_partition

@@ -48,6 +48,7 @@ let keyword_of_ident = function
   | "switch" -> Some Token.KW_switch
   | "pod" -> Some Token.KW_pod
   | "rack" -> Some Token.KW_rack
+  | "service" -> Some Token.KW_service
   | _ -> None
 
 let rec skip_ws_and_comments st =

@@ -222,6 +222,21 @@ let shrink_storm ~n_machines ~targets ~start ~step ~victim ~lag =
         };
       ])
 
+let ckpt_sniper ~n_machines ~server ~start ~rank ~gap =
+  Codegen.Scenario.source ~n_machines
+    [
+      {
+        Codegen.Scenario.machine = server;
+        anchor = Codegen.Scenario.After start;
+        kind = Codegen.Scenario.Service_kill { service = Codegen.Scenario.S_ckpt server };
+      };
+      {
+        Codegen.Scenario.machine = rank;
+        anchor = Codegen.Scenario.After gap;
+        kind = Codegen.Scenario.Kill;
+      };
+    ]
+
 let all =
   [
     ("fig5-frequency", frequency ~n_machines:53 ~period:50);
@@ -264,4 +279,13 @@ let all =
     ( "shrink-storm",
       shrink_storm ~n_machines:13 ~targets:[ 1; 5; 7 ] ~start:25 ~step:3 ~victim:2
         ~lag:2 );
+    (* Checkpoint sniper for 9 ranks on 13 machines: shoot checkpoint
+       server 0 at t=32 — 2 s into the first wave's store window, so the
+       in-flight image is torn on its disk — then kill rank 3 while the
+       server is down. With mirroring on (ckpt_replicas >= 2) the rank
+       restores from server 0's mirror; with a single replica the restart
+       finds no complete image and the run ends in Ckpt_lost instead of
+       hanging. A parameterized file version lives in
+       scenarios/ckpt_sniper.fail. *)
+    ("ckpt-sniper", ckpt_sniper ~n_machines:13 ~server:0 ~start:32 ~rank:3 ~gap:6);
   ]

@@ -106,5 +106,19 @@ val shrink_storm :
   lag:int ->
   string
 
+(** Checkpoint sniper, in the explorer's fault-plan form
+    ({!Codegen.Scenario}): kill checkpoint server [server] (a service
+    fault — [halt service ckpt\[server\]]) at [start] seconds, timed to
+    land inside a wave's store window so the in-flight image is torn on
+    that server's disk, then kill the process on machine [rank] [gap]
+    seconds later while the server is still respawning. With mirroring
+    on ([ckpt_replicas >= 2]) the restarted rank fails over to the
+    mirror and recovery completes; with a single replica the restart
+    finds no complete image and the run ends in the Ckpt_lost verdict
+    instead of hanging. A parameterized file version lives in
+    [scenarios/ckpt_sniper.fail]. *)
+val ckpt_sniper :
+  n_machines:int -> server:int -> start:int -> rank:int -> gap:int -> string
+
 (** All scenarios with representative parameters, for tests and demos. *)
 val all : (string * string) list

@@ -261,6 +261,25 @@ let parse_degrade_fields st =
   loop ();
   (!loss, !latency, !jitter)
 
+(* Optional service selector after halt/stop/continue:
+   [service ckpt[expr]], [service sched], [service disp]. The service
+   names are plain identifiers — only [service] itself is a keyword. *)
+let parse_service_opt st =
+  if cur_tok st <> Token.KW_service then None
+  else begin
+    advance st;
+    let loc = cur_loc st in
+    match expect_ident st with
+    | "ckpt" ->
+        expect st Token.LBRACKET;
+        let e = parse_expr_prec st in
+        expect st Token.RBRACKET;
+        Some (Svc_ckpt e)
+    | "sched" -> Some Svc_sched
+    | "disp" -> Some Svc_disp
+    | name -> Loc.error loc "unknown service %s (expected ckpt, sched or disp)" name
+  end
+
 let parse_action st =
   match cur_tok st with
   | Token.KW_goto ->
@@ -294,13 +313,13 @@ let parse_action st =
       A_send (msg, dest)
   | Token.KW_halt ->
       advance st;
-      A_halt
+      A_halt (parse_service_opt st)
   | Token.KW_stop ->
       advance st;
-      A_stop
+      A_stop (parse_service_opt st)
   | Token.KW_continue ->
       advance st;
-      A_continue
+      A_continue (parse_service_opt st)
   | Token.KW_set ->
       advance st;
       let name = expect_ident st in

@@ -68,13 +68,19 @@ let pp_dest ppf = function
   | D_topo (Sel_pod e) -> Format.fprintf ppf "pod %a" pp_factor e
   | D_topo (Sel_rack e) -> Format.fprintf ppf "rack %a" pp_factor e
 
+let pp_service_suffix ppf = function
+  | None -> ()
+  | Some (Svc_ckpt e) -> Format.fprintf ppf " service ckpt[%a]" pp_expr e
+  | Some Svc_sched -> Format.pp_print_string ppf " service sched"
+  | Some Svc_disp -> Format.pp_print_string ppf " service disp"
+
 let pp_action ppf = function
   | A_goto n -> Format.fprintf ppf "goto %s" n
   | A_send (m, d) -> Format.fprintf ppf "!%s(%a)" m pp_dest d
   | A_assign (v, e) -> Format.fprintf ppf "%s = %a" v pp_expr e
-  | A_halt -> Format.pp_print_string ppf "halt"
-  | A_stop -> Format.pp_print_string ppf "stop"
-  | A_continue -> Format.pp_print_string ppf "continue"
+  | A_halt svc -> Format.fprintf ppf "halt%a" pp_service_suffix svc
+  | A_stop svc -> Format.fprintf ppf "stop%a" pp_service_suffix svc
+  | A_continue svc -> Format.fprintf ppf "continue%a" pp_service_suffix svc
   | A_set_app (v, e) -> Format.fprintf ppf "set %s = %a" v pp_expr e
   | A_partition (a, None) -> Format.fprintf ppf "partition %a" pp_dest a
   | A_partition (a, Some b) -> Format.fprintf ppf "partition %a %a" pp_dest a pp_dest b

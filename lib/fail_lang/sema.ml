@@ -67,6 +67,13 @@ let resolve_dest deps scope loc = function
           else if Sset.mem name d.groups then D_group name
           else Loc.error loc "%s is not a deployed instance" name)
 
+(* Services resolve by name against the deployed system at runtime, so
+   only the [ckpt] replica index needs substitution here. *)
+let subst_service scope loc = function
+  | None -> None
+  | Some (Svc_ckpt e) -> Some (Svc_ckpt (subst_expr scope loc e))
+  | Some (Svc_sched | Svc_disp) as svc -> svc
+
 let check_action deps scope ~node_ids ~has_recv_trigger loc = function
   | A_goto target ->
       if not (Sset.mem target node_ids) then Loc.error loc "goto to unknown node %s" target;
@@ -82,9 +89,9 @@ let check_action deps scope ~node_ids ~has_recv_trigger loc = function
       if not (Sset.mem name scope.daemon_vars || Sset.mem name scope.always_vars) then
         Loc.error loc "assignment to undeclared variable %s" name;
       A_assign (name, subst_expr scope loc e)
-  | A_halt -> A_halt
-  | A_stop -> A_stop
-  | A_continue -> A_continue
+  | A_halt svc -> A_halt (subst_service scope loc svc)
+  | A_stop svc -> A_stop (subst_service scope loc svc)
+  | A_continue svc -> A_continue (subst_service scope loc svc)
   | A_set_app (name, e) -> A_set_app (name, subst_expr scope loc e)
   | A_partition (a, b) ->
       (* Network faults target deployment sets, never the dynamic sender. *)

@@ -29,6 +29,7 @@ type t =
   | KW_switch
   | KW_pod
   | KW_rack
+  | KW_service
   | LBRACE
   | RBRACE
   | LPAREN
@@ -91,6 +92,7 @@ let to_string = function
   | KW_switch -> "'switch'"
   | KW_pod -> "'pod'"
   | KW_rack -> "'rack'"
+  | KW_service -> "'service'"
   | LBRACE -> "'{'"
   | RBRACE -> "'}'"
   | LPAREN -> "'('"

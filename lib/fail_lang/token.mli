@@ -31,6 +31,7 @@ type t =
   | KW_switch  (** fabric switch component, [switch agg\[2\]] *)
   | KW_pod  (** fat-tree pod component *)
   | KW_rack  (** rack (edge-switch host set) component *)
+  | KW_service  (** infrastructure service target, [halt service ckpt\[0\]] *)
   | LBRACE
   | RBRACE
   | LPAREN

@@ -44,6 +44,15 @@ type instance = {
   mutable hb_miss : int;
 }
 
+(* Infrastructure services the deployed system registers by name
+   ("ckpt[0]", "sched", "disp"): the handles scenario [halt service ...]
+   actions act on. *)
+type service = {
+  svc_kill : unit -> unit;
+  svc_freeze : unit -> unit;
+  svc_unfreeze : unit -> unit;
+}
+
 type t = {
   eng : Engine.t;
   cfg : config;
@@ -61,6 +70,7 @@ type t = {
   mutable hb_handle : Engine.handle option;  (* heartbeat monitor tick *)
   mutable net_fault_count : int;
   mutable stopped : bool;
+  services : (string, service) Hashtbl.t;
 }
 
 let engine t = t.eng
@@ -155,6 +165,35 @@ let resolve_component t inst sel =
           None)
 
 (* ------------------------------------------------------------------ *)
+(* Service faults *)
+
+let service_name t inst = function
+  | Automaton.CSvc_ckpt e -> Printf.sprintf "ckpt[%d]" (eval t inst e)
+  | Automaton.CSvc_sched -> "sched"
+  | Automaton.CSvc_disp -> "disp"
+
+(* A scenario naming a service the deployment did not register (e.g. a
+   [sched] fault against the sender-logging protocol, which has no
+   scheduler) degrades to a traced no-op — scenario bugs never crash a
+   run. *)
+let exec_service t inst sel op =
+  let name = service_name t inst sel in
+  match (Hashtbl.find_opt t.services name, op) with
+  | None, `Kill -> trace t inst "halt-no-service" name
+  | None, `Stop -> trace t inst "stop-no-service" name
+  | None, `Continue -> trace t inst "continue-no-service" name
+  | Some svc, `Kill ->
+      t.fault_count <- t.fault_count + 1;
+      trace t inst "halt-service" name;
+      svc.svc_kill ()
+  | Some svc, `Stop ->
+      trace t inst "stop-service" name;
+      svc.svc_freeze ()
+  | Some svc, `Continue ->
+      trace t inst "continue-service" name;
+      svc.svc_unfreeze ()
+
+(* ------------------------------------------------------------------ *)
 (* Event dispatch and transition execution *)
 
 let current_node inst = inst.automaton.Automaton.nodes.(inst.node)
@@ -225,20 +264,23 @@ and exec_actions t inst actions ~sender =
       | Automaton.C_goto idx -> goto := Some idx
       | Automaton.C_assign (slot, e) -> inst.vars.(slot) <- eval t inst e
       | Automaton.C_send (msg, dest) -> send t inst msg dest ~sender
-      | Automaton.C_halt -> (
+      | Automaton.C_halt (Some sel) -> exec_service t inst sel `Kill
+      | Automaton.C_stop (Some sel) -> exec_service t inst sel `Stop
+      | Automaton.C_continue (Some sel) -> exec_service t inst sel `Continue
+      | Automaton.C_halt None -> (
           match inst.ctl with
           | Some ctl ->
               t.fault_count <- t.fault_count + 1;
               trace t inst "halt" ctl.Control.target_name;
               ctl.Control.kill ()
           | None -> trace t inst "halt-no-target" "")
-      | Automaton.C_stop -> (
+      | Automaton.C_stop None -> (
           match inst.ctl with
           | Some ctl ->
               trace t inst "stop" ctl.Control.target_name;
               ctl.Control.freeze ()
           | None -> trace t inst "stop-no-target" "")
-      | Automaton.C_continue -> (
+      | Automaton.C_continue None -> (
           match inst.ctl with
           | Some ctl ->
               trace t inst "continue" ctl.Control.target_name;
@@ -652,6 +694,7 @@ let create eng ?(config = default_config) (plan : Compile.plan) =
       hb_handle = None;
       net_fault_count = 0;
       stopped = false;
+      services = Hashtbl.create 8;
     }
   in
   let make_instance ~id ~machine ~daemon =
@@ -737,6 +780,10 @@ let register t ~machine (target : Control.target) =
       dispatch t inst Ev_onload
 
 let attach t ~machine proc = register t ~machine (Control.of_proc proc)
+
+let register_service t ~name ~kill ~freeze ~unfreeze =
+  Hashtbl.replace t.services name
+    { svc_kill = kill; svc_freeze = freeze; svc_unfreeze = unfreeze }
 
 let breakpoint t ~machine kind fn =
   let self = Proc.self () in

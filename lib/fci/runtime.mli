@@ -59,6 +59,21 @@ val register : t -> machine:int -> Control.target -> unit
     attach-to-running-pid feature). *)
 val attach : t -> machine:int -> Proc.t -> unit
 
+(** [register_service t ~name ~kill ~freeze ~unfreeze] declares an
+    infrastructure service (checkpoint server ["ckpt\[i\]"], checkpoint
+    scheduler ["sched"], dispatcher ["disp"]) that scenario
+    [halt service ...] / [stop service ...] / [continue service ...]
+    actions act on. A scenario naming an unregistered service traces
+    [halt-no-service] (etc.) and does nothing. Re-registering a name
+    replaces the handles. *)
+val register_service :
+  t ->
+  name:string ->
+  kill:(unit -> unit) ->
+  freeze:(unit -> unit) ->
+  unfreeze:(unit -> unit) ->
+  unit
+
 (** [breakpoint t ~machine kind fn] must be called from inside a
     registered application process when it reaches function [fn]. If the
     controlling instance has a matching [before(fn)]/[after(fn)]

@@ -22,6 +22,11 @@ type t = {
   term_straggler_prob : float;
   term_straggler_extra : float;
   store_jitter : float;
+  ckpt_replicas : int;  (** 1 = primary only (historical behaviour), 2 = primary + mirror *)
+  store_ack_timeout : float;  (** scheduler abandons a wave whose acks never arrive *)
+  fetch_retries : int;  (** per-replica fetch connection attempts before failing over *)
+  fetch_backoff : float;  (** initial fetch retry backoff, doubled per attempt *)
+  ckpt_respawn_delay : float;  (** dead server restart delay; resyncs from mirror first *)
   dispatcher_buggy : bool;
   vcl_seeded_race : bool;
   restart_settle : float;
@@ -54,6 +59,11 @@ let default ~n_ranks =
     term_straggler_prob = 0.065;
     term_straggler_extra = 14.0;
     store_jitter = 0.25;
+    ckpt_replicas = 1;
+    store_ack_timeout = 20.0;
+    fetch_retries = 3;
+    fetch_backoff = 0.5;
+    ckpt_respawn_delay = 45.0;
     dispatcher_buggy = true;
     vcl_seeded_race = false;
     restart_settle = 0.1;

@@ -60,6 +60,30 @@ type t = {
   store_jitter : float;
       (** relative jitter on checkpoint-server transfer times (disk and
           NFS contention) *)
+  ckpt_replicas : int;
+      (** checkpoint storage replication factor. [1] (the default) keeps
+          the historical single-server-per-rank plane and is
+          byte-identical to the pre-replication simulator; [2] mirrors
+          every store to the rank's mirror server (the next server in
+          the ring) before acking, and restores fail over to the mirror
+          when the primary is unreachable. *)
+  store_ack_timeout : float;
+      (** how long the checkpoint scheduler waits for the wave's store
+          acks after broadcasting markers before abandoning the wave
+          (traced [wave-abandoned]) — a dead or frozen checkpoint server
+          degrades the wave instead of wedging the scheduler. Also
+          bounds the primary's wait for a mirror ack. *)
+  fetch_retries : int;
+      (** restore-time connection attempts per storage replica before
+          the daemon moves down the failover ladder *)
+  fetch_backoff : float;
+      (** initial retry backoff for restore fetches, doubled per attempt
+          (exponential, jitter-free to stay deterministic) *)
+  ckpt_respawn_delay : float;
+      (** how long after a checkpoint-server death the storage plane
+          respawns it (the paper's operator restart). The respawned
+          server discards torn images and, with [ckpt_replicas >= 2],
+          re-syncs its shard from its neighbours before serving. *)
   dispatcher_buggy : bool;
       (** historical dispatcher with the recovery-wave confusion the paper
           found; [false] = the corrected dispatcher *)

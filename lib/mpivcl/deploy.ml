@@ -83,10 +83,12 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
     }
   in
   let servers =
-    List.map
-      (fun host ->
+    List.mapi
+      (fun i host ->
         Ckpt_server.spawn eng cluster net ~host ~bandwidth:cfg.Config.server_bandwidth
-          ~jitter:cfg.Config.store_jitter ())
+          ~jitter:cfg.Config.store_jitter ~index:i ~server_hosts:env.Env.server_hosts
+          ~replicas:cfg.Config.ckpt_replicas ~respawn:cfg.Config.ckpt_respawn_delay
+          ~ack_timeout:cfg.Config.store_ack_timeout ())
       lay.server_hosts
   in
   let scheduler =
@@ -95,7 +97,8 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
     if Config.restarts_all_ranks cfg then
       Some
         (Scheduler.spawn eng cluster net ~host:lay.scheduler_host ~n_ranks:cfg.Config.n_ranks
-           ~wave_interval:cfg.Config.wave_interval ~server_hosts:lay.server_hosts)
+           ~wave_interval:cfg.Config.wave_interval
+           ~store_ack_timeout:cfg.Config.store_ack_timeout ~server_hosts:lay.server_hosts ())
     else None
   in
   let dispatcher =
@@ -103,8 +106,37 @@ let launch eng ?fci ~cfg ~app ~state_bytes ~n_compute () =
       ~initial_hosts:(Array.init cfg.Config.n_ranks Fun.id)
       ~spare_limit:n_compute
   in
+  (* Expose the infrastructure plane to FAIL scenarios: [halt service
+     ckpt[i]] and friends resolve against these registrations. Service
+     hosts stay outside the controller group, as in the paper — this is
+     the only injection surface that reaches them. *)
+  (match fci with
+  | Some rt ->
+      List.iteri
+        (fun i srv ->
+          Fci.Runtime.register_service rt
+            ~name:(Printf.sprintf "ckpt[%d]" i)
+            ~kill:(fun () -> Ckpt_server.inject_kill srv)
+            ~freeze:(fun () -> Ckpt_server.freeze srv)
+            ~unfreeze:(fun () -> Ckpt_server.unfreeze srv))
+        servers;
+      let host_tasks host = Cluster.tasks cluster ~host in
+      Fci.Runtime.register_service rt ~name:"sched"
+        ~kill:(fun () -> Cluster.kill_all cluster ~host:lay.scheduler_host)
+        ~freeze:(fun () -> List.iter Proc.freeze (host_tasks lay.scheduler_host))
+        ~unfreeze:(fun () -> List.iter Proc.unfreeze (host_tasks lay.scheduler_host));
+      Fci.Runtime.register_service rt ~name:"disp"
+        ~kill:(fun () -> Cluster.kill_all cluster ~host:lay.dispatcher_host)
+        ~freeze:(fun () -> List.iter Proc.freeze (host_tasks lay.dispatcher_host))
+        ~unfreeze:(fun () -> List.iter Proc.unfreeze (host_tasks lay.dispatcher_host))
+  | None -> ());
   { env; lay; dispatcher; scheduler; servers }
 
 let cluster h = h.env.Env.cluster
 let net h = h.env.Env.net
-let teardown h = Layout.teardown h.env.Env.cluster
+
+let teardown h =
+  (* Disarm the servers' respawn hooks before the mass kill, or the
+     teardown itself would schedule post-run respawns. *)
+  List.iter Ckpt_server.halt h.servers;
+  Layout.teardown h.env.Env.cluster

@@ -33,6 +33,7 @@ type t = {
   mutable recovery_count : int;
   mutable is_confused : bool;
   mutable is_race_lost : bool;
+  mutable is_ckpt_lost : bool;
 }
 
 let trace ?level t event detail =
@@ -56,7 +57,7 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
   let n = cfg.Config.n_ranks in
   let t =
     { env; host; result = Ivar.create (); recovery_count = 0; is_confused = false;
-      is_race_lost = false }
+      is_race_lost = false; is_ckpt_lost = false }
   in
   let events : ev Mailbox.t = Mailbox.create () in
   let ranks =
@@ -235,6 +236,22 @@ let spawn (env : Env.t) ~host ~initial_hosts ~spare_limit =
                 trace t "app-completed" "";
                 Ivar.fill t.result (Completed (Engine.now eng))
               end
+          | Message.Ckpt_lost_report _ ->
+              (* The rank needed an image and no storage replica survives:
+                 recovery is impossible. Relaunching would just loop, so
+                 end the run decisively — a lost checkpoint must surface
+                 as a verdict, never as a hang. *)
+              t.is_ckpt_lost <- true;
+              info.ri_st <- R_forgotten;
+              completed := true;
+              tracef t "ckpt-lost" "rank %d: no complete checkpoint image survives" r;
+              Array.iter
+                (fun i ->
+                  match i.ri_conn with
+                  | Some conn -> ignore (Net.send conn Message.Shutdown)
+                  | None -> ())
+                ranks;
+              Ivar.fill t.result (Aborted "checkpoint storage lost")
           | msg -> trace t "protocol-error" (Format.asprintf "from rank %d: %a" r Message.pp msg))
     | E_closed (r, inc) -> handle_closed r inc
     | E_spawn_died (r, inc) ->
@@ -299,4 +316,5 @@ let peek_outcome t = Ivar.peek t.result
 let recoveries t = t.recovery_count
 let confused t = t.is_confused
 let race_lost t = t.is_race_lost
+let ckpt_lost t = t.is_ckpt_lost
 let halt t = Cluster.kill_all t.env.Env.cluster ~host:t.host

@@ -53,5 +53,11 @@ val confused : t -> bool
     defect has dropped a rank mid-recovery (the run will freeze). *)
 val race_lost : t -> bool
 
+(** [ckpt_lost t] is true once a restarting rank reported that no
+    checkpoint storage replica was reachable: recovery was needed and no
+    complete image survives. The dispatcher ends the run immediately
+    (the [Ckpt_lost] verdict) instead of relaunching forever. *)
+val ckpt_lost : t -> bool
+
 (** [halt t] tears the dispatcher down (experiment timeout). *)
 val halt : t -> unit

@@ -16,4 +16,14 @@ type t = {
   rng : Rng.t;
 }
 
-let server_for t ~rank = t.server_hosts.(rank mod Array.length t.server_hosts)
+let server_index t ~rank = rank mod Array.length t.server_hosts
+let server_for t ~rank = t.server_hosts.(server_index t ~rank)
+
+let mirror_index t ~rank =
+  let n = Array.length t.server_hosts in
+  if t.cfg.Config.ckpt_replicas >= 2 && n >= 2 then
+    Some ((server_index t ~rank + 1) mod n)
+  else None
+
+let mirror_for t ~rank =
+  Option.map (fun i -> t.server_hosts.(i)) (mirror_index t ~rank)

@@ -37,6 +37,11 @@ type t =
   | Log_gc of { rank : int; consumed : (int * int) list }
   | Resend of { rank : int; consumed : (int * int) list }
   | Commit_rank of { rank : int; wave : int }
+  | Mirror_store of { image : image }
+  | Mirror_ack of { rank : int; wave : int }
+  | Sync_pull of { shard : int }
+  | Sync_images of { images : image list }
+  | Ckpt_lost_report of { rank : int }
 
 let pp ppf = function
   | Peer_hello { rank } -> Format.fprintf ppf "Peer_hello(%d)" rank
@@ -64,6 +69,12 @@ let pp ppf = function
   | Log_gc { rank; _ } -> Format.fprintf ppf "Log_gc(%d)" rank
   | Resend { rank; _ } -> Format.fprintf ppf "Resend(%d)" rank
   | Commit_rank { rank; wave } -> Format.fprintf ppf "Commit_rank(%d, wave %d)" rank wave
+  | Mirror_store { image } ->
+      Format.fprintf ppf "Mirror_store(rank %d, wave %d)" image.img_rank image.img_wave
+  | Mirror_ack { rank; wave } -> Format.fprintf ppf "Mirror_ack(%d, wave %d)" rank wave
+  | Sync_pull { shard } -> Format.fprintf ppf "Sync_pull(shard %d)" shard
+  | Sync_images { images } -> Format.fprintf ppf "Sync_images(%d)" (List.length images)
+  | Ckpt_lost_report { rank } -> Format.fprintf ppf "Ckpt_lost_report(%d)" rank
 
 let image_bytes ~state_bytes msgs =
   state_bytes + List.fold_left (fun acc m -> acc + m.bytes + 32) 0 msgs

@@ -71,6 +71,21 @@ type t =
           with ssn above the restored per-sender consumption bound *)
   | Commit_rank of { rank : int; wave : int }
       (** commit one rank's independent checkpoint *)
+  (* checkpoint server <-> checkpoint server (replication plane) *)
+  | Mirror_store of { image : image }
+      (** primary pushes a freshly prepared image to the rank's mirror *)
+  | Mirror_ack of { rank : int; wave : int }
+      (** mirror acknowledges a replicated image; the primary only then
+          acks the daemon's store *)
+  | Sync_pull of { shard : int }
+      (** a respawned server asks a neighbour for every committed image
+          of the given shard (ranks with [rank mod n_servers = shard]) *)
+  | Sync_images of { images : image list }
+  (* daemon -> dispatcher *)
+  | Ckpt_lost_report of { rank : int }
+      (** a restarting rank exhausted the fetch failover ladder (primary
+          then mirror, with backoff) without reaching any replica: no
+          complete image survives and recovery is impossible *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -12,7 +12,8 @@ type t = {
 let trace ?level t event detail =
   Engine.record ?level t.eng ~source:"ckpt-scheduler" ~event detail
 
-let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
+let spawn eng cluster net ~host ~n_ranks ~wave_interval ?(store_ack_timeout = 20.0)
+    ~server_hosts () =
   let t = { eng; cluster; host; last_committed = None; committed_count = 0 } in
   let conns : (int, Message.t Simnet.Net.conn) Hashtbl.t = Hashtbl.create 64 in
   let acks : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -24,6 +25,10 @@ let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
      during a recovery. *)
   let last_change = ref 0.0 in
   let last_wave_end = ref 0.0 in
+  (* Time of the last store ack from any daemon, current wave or not:
+     the liveness signal that wakes a dormant cadence (below). *)
+  let last_ack = ref 0.0 in
+  let abandoned_streak = ref 0 in
   (* Every state change pings [signal]; the main loop re-checks its
      condition on each ping, so no wake-up is ever lost. *)
   let signal = Mailbox.create () in
@@ -49,6 +54,7 @@ let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
                   ping ()
               | Some _ | None -> ())
           | Simnet.Net.Data (Message.Sched_ack { rank = r; wave }) ->
+              last_ack := Engine.now eng;
               if wave = !current_wave then Hashtbl.replace acks r ();
               ping ();
               run ()
@@ -121,17 +127,72 @@ let spawn eng cluster net ~host ~n_ranks ~wave_interval ~server_hosts =
                    (fun _rank conn ->
                      ignore (Simnet.Net.send conn (Message.Sched_marker { wave })))
                    conns;
-                 wait_until (fun () ->
-                     Hashtbl.length acks = n_ranks || Hashtbl.length conns < n_ranks);
-                 if Hashtbl.length acks = n_ranks then begin
-                   List.iter
-                     (fun conn -> ignore (Simnet.Net.send conn (Message.Commit { wave })))
-                     server_conns;
-                   t.last_committed <- Some wave;
-                   t.committed_count <- t.committed_count + 1;
-                   trace t "wave-commit" (string_of_int wave)
-                 end
-                 else trace ~level:Trace.Full t "wave-abort" (string_of_int wave);
+                 (* Wait for the wave's store acks, but never forever: a
+                    dead or frozen checkpoint server means some daemons
+                    can never ack, and without a deadline the wave state
+                    machine wedges here for good. One marker retry covers
+                    a straggler; after that the wave is abandoned and the
+                    cadence continues. The timer is cancelled on the fast
+                    path, so healthy runs see no new events or traces. *)
+                 let rec await_acks attempt =
+                   let deadline = Engine.now eng +. store_ack_timeout in
+                   let fired = ref false in
+                   let timer =
+                     Engine.schedule eng ~delay:store_ack_timeout (fun () ->
+                         fired := true;
+                         ping ())
+                   in
+                   wait_until (fun () ->
+                       Hashtbl.length acks = n_ranks
+                       || Hashtbl.length conns < n_ranks
+                       || Engine.now eng >= deadline);
+                   if not !fired then Engine.cancel timer;
+                   if Hashtbl.length acks = n_ranks then `Committed
+                   else if Hashtbl.length conns < n_ranks then `Membership
+                   else if attempt < 1 then begin
+                     trace ~level:Trace.Full t "wave-retry" (string_of_int wave);
+                     Hashtbl.iter
+                       (fun rank conn ->
+                         if not (Hashtbl.mem acks rank) then
+                           ignore (Simnet.Net.send conn (Message.Sched_marker { wave })))
+                       conns;
+                     await_acks (attempt + 1)
+                   end
+                   else `Abandoned
+                 in
+                 (match await_acks 0 with
+                 | `Committed ->
+                     abandoned_streak := 0;
+                     List.iter
+                       (fun conn -> ignore (Simnet.Net.send conn (Message.Commit { wave })))
+                       server_conns;
+                     t.last_committed <- Some wave;
+                     t.committed_count <- t.committed_count + 1;
+                     trace t "wave-commit" (string_of_int wave)
+                 | `Membership ->
+                     abandoned_streak := 0;
+                     trace ~level:Trace.Full t "wave-abort" (string_of_int wave)
+                 | `Abandoned ->
+                     incr abandoned_streak;
+                     trace t "wave-abandoned"
+                       (Printf.sprintf "wave %d (%d/%d acks)" wave (Hashtbl.length acks)
+                          n_ranks);
+                     if !abandoned_streak >= 2 then begin
+                       (* Two waves in a row timed out with a stable
+                          membership: the application plane is wedged or
+                          cut off, and re-arming the cadence would only
+                          keep the simulation clock alive — masking the
+                          wedge from the classifier's quiescence signal.
+                          Sleep timerless until a daemon event (a
+                          (re)connection, or an ack finally flushed by a
+                          revived server — no marker is in flight, so
+                          any ack seen while dormant is such a late
+                          flush) shows the plane moving again. *)
+                       let c0 = !last_change and a0 = !last_ack in
+                       trace t "cadence-dormant" (string_of_int wave);
+                       wait_until (fun () -> !last_change <> c0 || !last_ack <> a0);
+                       abandoned_streak := 0
+                     end);
                  last_wave_end := Engine.now eng;
                  current_wave := 0
                end;

@@ -5,7 +5,13 @@
     end-of-checkpoint acknowledgements, and only then asserts the end of
     the global checkpoint to the checkpoint servers (§3). A new wave
     starts only after the previous one ended; a wave is aborted if any
-    daemon connection breaks while it is in progress. *)
+    daemon connection breaks while it is in progress.
+
+    The ack wait is bounded: after [store_ack_timeout] seconds without
+    the full ack set the scheduler re-sends markers to the stragglers
+    once, then abandons the wave (traced [wave-abandoned]) — a dead or
+    frozen checkpoint server degrades the wave instead of wedging the
+    scheduler forever. *)
 
 open Simkern
 open Simos
@@ -19,7 +25,9 @@ val spawn :
   host:int ->
   n_ranks:int ->
   wave_interval:float ->
+  ?store_ack_timeout:float ->
   server_hosts:int list ->
+  unit ->
   t
 
 (** [last_committed t] is the newest globally committed wave. *)

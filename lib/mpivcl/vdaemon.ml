@@ -100,29 +100,74 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
           (match env.Env.fci with
           | Some rt -> Fci.Runtime.breakpoint rt ~machine:host `Before "localMPI_setCommand"
           | None -> ());
-          (* Restore the last committed image, if any. *)
+          (* Restore the last committed image, if any. The fetch walks
+             the failover ladder: the rank's primary server with bounded
+             exponential backoff, then its mirror. A live server that
+             holds nothing is an authoritative fresh start; only when
+             every replica is unreachable is the checkpoint declared
+             lost (reported to the dispatcher — recovery was needed and
+             no complete image survives). *)
           let server_host = Env.server_for env ~rank in
-          let image =
-            if incarnation = 0 then None
-            else
-              match
-                Net.connect env.Env.net ~host ~to_host:server_host ~to_port:Config.server_port
-              with
-              | Error `Refused -> None
-              | Ok fconn ->
-                  let local_wave = Local_disk.newest_wave env.Env.disk ~host ~rank in
-                  ignore (Net.send fconn (Message.Fetch { rank; local_wave }));
-                  let result =
-                    match Net.recv fconn with
-                    | Net.Data (Message.Fetch_use_local { wave }) ->
-                        Proc.sleep cfg.Config.local_restore_time;
-                        Local_disk.lookup env.Env.disk ~host ~rank ~wave
-                    | Net.Data (Message.Fetch_image { image }) -> image
-                    | Net.Data _ | Net.Closed -> None
-                  in
-                  Net.close fconn;
-                  result
+          let fetch_from to_host =
+            match
+              Net.connect env.Env.net ~host ~to_host ~to_port:Config.server_port
+            with
+            | Error `Refused -> `Unreachable
+            | Ok fconn ->
+                let local_wave = Local_disk.newest_wave env.Env.disk ~host ~rank in
+                ignore (Net.send fconn (Message.Fetch { rank; local_wave }));
+                let result =
+                  match Net.recv fconn with
+                  | Net.Data (Message.Fetch_use_local { wave }) ->
+                      Proc.sleep cfg.Config.local_restore_time;
+                      `Image (Local_disk.lookup env.Env.disk ~host ~rank ~wave)
+                  | Net.Data (Message.Fetch_image { image }) -> `Image image
+                  | Net.Data _ -> `Image None
+                  | Net.Closed -> `Unreachable
+                in
+                Net.close fconn;
+                result
           in
+          let fetch_ladder () =
+            let replicas =
+              server_host
+              :: (match Env.mirror_for env ~rank with Some h -> [ h ] | None -> [])
+            in
+            let with_backoff to_host =
+              let rec attempt k =
+                match fetch_from to_host with
+                | `Image _ as r -> r
+                | `Unreachable ->
+                    if k + 1 < cfg.Config.fetch_retries then begin
+                      Proc.sleep
+                        (Net.Perturb.backoff ~rto_initial:cfg.Config.fetch_backoff
+                           ~rto_max:(8.0 *. cfg.Config.fetch_backoff) ~attempt:k);
+                      attempt (k + 1)
+                    end
+                    else `Unreachable
+              in
+              attempt 0
+            in
+            let rec walk = function
+              | [] -> `Lost
+              | to_host :: rest -> (
+                  match with_backoff to_host with
+                  | `Image img -> `Image img
+                  | `Unreachable ->
+                      if rest <> [] then
+                        trace "fetch-failover"
+                          (Printf.sprintf "server host %d unreachable, trying mirror" to_host);
+                      walk rest)
+            in
+            walk replicas
+          in
+          match (if incarnation = 0 then `Image None else fetch_ladder ()) with
+          | `Lost ->
+              trace "ckpt-lost"
+                (Printf.sprintf "rank %d: no storage replica reachable" rank);
+              ignore (Net.send dconn (Message.Ckpt_lost_report { rank }));
+              trace "daemon-abort" "checkpoint storage lost"
+          | `Image image ->
           Proc.sleep cfg.Config.restart_settle;
           (match image with
           | Some img -> tracel "restored" (fun () -> Printf.sprintf "wave %d" img.Message.img_wave)
@@ -157,13 +202,45 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
             | Error `Refused -> None
           in
           let server_conn =
-            match
-              Net.connect env.Env.net ~host ~to_host:server_host ~to_port:Config.server_port
-            with
-            | Ok c ->
-                pump cluster ~host ~name:(name ^ "-server") c (fun m -> D_server m) events;
-                Some c
-            | Error `Refused -> None
+            ref
+              (match
+                 Net.connect env.Env.net ~host ~to_host:server_host ~to_port:Config.server_port
+               with
+              | Ok c ->
+                  pump cluster ~host ~name:(name ^ "-server") c (fun m -> D_server m) events;
+                  Some c
+              | Error `Refused -> None)
+          in
+          (* Stores ride the failover ladder too: when the connection to
+             the primary died, reconnect — to the primary if it came
+             back, else to the mirror — so later waves keep landing on
+             storage instead of silently going nowhere. *)
+          let ensure_server_conn () =
+            (match !server_conn with
+            | Some c when Net.is_open c -> ()
+            | Some _ | None ->
+                server_conn := None;
+                let candidates =
+                  server_host
+                  :: (match Env.mirror_for env ~rank with Some h -> [ h ] | None -> [])
+                in
+                List.iter
+                  (fun to_host ->
+                    if !server_conn = None then
+                      match
+                        Net.connect env.Env.net ~host ~to_host ~to_port:Config.server_port
+                      with
+                      | Ok c ->
+                          trace "server-reconnect"
+                            (Printf.sprintf "storage host %d%s" to_host
+                               (if to_host = server_host then "" else " (mirror)"));
+                          pump cluster ~host ~name:(name ^ "-server") c
+                            (fun m -> D_server m)
+                            events;
+                          server_conn := Some c
+                      | Error `Refused -> ())
+                  candidates);
+            !server_conn
           in
           pump cluster ~host ~name:(name ^ "-ctrl") dconn (fun m -> D_ctrl m) events;
           ignore (Net.send dconn (Message.Ready { rank }));
@@ -288,9 +365,9 @@ let spawn (env : Env.t) ~rank ~host ~incarnation =
               }
             in
             Local_disk.store env.Env.disk ~host img;
-            (match server_conn with
+            (match ensure_server_conn () with
             | Some conn -> ignore (Net.send conn (Message.Store { image = img }))
-            | None -> ());
+            | None -> tracel "store-skipped" (fun () -> Printf.sprintf "wave %d: no storage" c.ck_wave));
             tracel "local-checkpoint" (fun () ->
                 Printf.sprintf "wave %d (%d logged)" c.ck_wave (List.length logged))
           in

@@ -261,8 +261,8 @@ let check_golden ?regions name ~protocol g =
     (match r.Failmpi.Run.outcome with
     | Failmpi.Run.Completed t -> Printf.sprintf "%.6f" t
     | Failmpi.Run.Degraded { at; _ } -> Printf.sprintf "%.6f" at
-    | Failmpi.Run.Aborted _ | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy
-    | Failmpi.Run.Net_hung ->
+    | Failmpi.Run.Aborted _ | Failmpi.Run.Ckpt_lost | Failmpi.Run.Non_terminating
+    | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
         "-");
   check_int (ctx "faults") g.g_faults r.Failmpi.Run.injected_faults;
   check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) (ctx "checksums")

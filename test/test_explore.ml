@@ -98,6 +98,97 @@ let test_double_strike_file () =
   check plan_testable "paper scenario" expected (parse_back registered);
   check plan_testable "generated source" expected (parse_back (Plan.to_scenario expected))
 
+(* Service faults: key shape, key round-trip and scenario round-trip.
+   The ckpt replica index lives in the fault's [machine] and is
+   mirrored into the selector on parse-back. *)
+let test_service_plan_roundtrip () =
+  let p =
+    {
+      Plan.n_machines = 13;
+      faults =
+        [
+          {
+            Plan.machine = 0;
+            anchor = Plan.After 32;
+            kind = Plan.Service_kill { service = Plan.S_ckpt 0 };
+          };
+          {
+            Plan.machine = 2;
+            anchor = Plan.After 1;
+            kind = Plan.Service_freeze { service = Plan.S_ckpt 2; thaw = 20 };
+          };
+          {
+            Plan.machine = 0;
+            anchor = Plan.After 5;
+            kind = Plan.Service_kill { service = Plan.S_sched };
+          };
+          { Plan.machine = 3; anchor = Plan.After 6; kind = Plan.Kill };
+        ];
+    }
+  in
+  check_str "service keys" "skckpt@0+32;sfckpt20@2+1;sksched@0+5;kill@3+6" (Plan.key p);
+  (match Plan.of_key ~n_machines:13 (Plan.key p) with
+  | Ok q -> check plan_testable "key round-trip" p q
+  | Error e -> Alcotest.failf "of_key failed: %s" e);
+  check plan_testable "scenario round-trip" p (parse_back (Plan.to_scenario p))
+
+(* [align_service] restores the codegen invariant when machine and kind
+   were drawn independently (the sampler and corpus mutator do this). *)
+let test_align_service () =
+  let f =
+    {
+      Plan.machine = 2;
+      anchor = Plan.After 10;
+      kind = Plan.Service_kill { service = Plan.S_ckpt 0 };
+    }
+  in
+  (match (Plan.align_service f).Plan.kind with
+  | Plan.Service_kill { service = Plan.S_ckpt 2 } -> ()
+  | _ -> Alcotest.fail "ckpt selector not aligned to the fault's machine");
+  let g =
+    {
+      Plan.machine = 5;
+      anchor = Plan.After 10;
+      kind = Plan.Service_freeze { service = Plan.S_sched; thaw = 3 };
+    }
+  in
+  check_int "sched machine pinned to 0" 0 (Plan.align_service g).Plan.machine;
+  let h = { Plan.machine = 4; anchor = Plan.After 7; kind = Plan.Kill } in
+  check plan_testable "identity on process faults"
+    { Plan.n_machines = 8; faults = [ h ] }
+    { Plan.n_machines = 8; faults = [ Plan.align_service h ] }
+
+(* The shipped ckpt_sniper.fail, its registered paper-scenario twin and
+   a hand-built plan must all denote the same mid-commit strike. *)
+let test_ckpt_sniper_file () =
+  let expected =
+    {
+      Plan.n_machines = 13;
+      faults =
+        [
+          {
+            Plan.machine = 0;
+            anchor = Plan.After 32;
+            kind = Plan.Service_kill { service = Plan.S_ckpt 0 };
+          };
+          { Plan.machine = 3; anchor = Plan.After 6; kind = Plan.Kill };
+        ];
+    }
+  in
+  let from_file =
+    parse_back
+      ~params:[ ("SERVER", 0); ("START", 32); ("RANK", 3); ("GAP", 6) ]
+      (read_scenario "ckpt_sniper.fail")
+  in
+  check plan_testable "ckpt_sniper.fail" expected from_file;
+  let registered =
+    match List.assoc_opt "ckpt-sniper" Fail_lang.Paper_scenarios.all with
+    | Some src -> src
+    | None -> Alcotest.fail "ckpt-sniper not registered in Paper_scenarios.all"
+  in
+  check plan_testable "paper scenario" expected (parse_back registered);
+  check plan_testable "generated source" expected (parse_back (Plan.to_scenario expected))
+
 (* ------------------------------------------------------------------ *)
 (* Shrinker on synthetic oracles *)
 
@@ -262,6 +353,9 @@ let () =
           Alcotest.test_case "scenario round-trip" `Quick test_plan_roundtrip;
           Alcotest.test_case "keys" `Quick test_plan_key;
           Alcotest.test_case "double_strike.fail" `Quick test_double_strike_file;
+          Alcotest.test_case "service plan round-trip" `Quick test_service_plan_roundtrip;
+          Alcotest.test_case "align_service" `Quick test_align_service;
+          Alcotest.test_case "ckpt_sniper.fail" `Quick test_ckpt_sniper_file;
         ] );
       ( "shrink",
         [

@@ -215,6 +215,29 @@ let test_parse_topo_dests () =
       | _ -> Alcotest.fail "expected rack degrade target")
   | _ -> Alcotest.fail "expected rack degrade then heal"
 
+let test_parse_service_actions () =
+  let p =
+    Parser.parse
+      "Daemon D { node 1: timer -> halt service ckpt[N + 1], goto 2; time t = 5;\n\
+      \ node 2: timer -> stop service sched, goto 3; time t = 1;\n\
+      \ node 3: timer -> continue service disp, halt; time t = 1; }"
+  in
+  let d = List.hd p.Ast.daemons in
+  let actions n = (List.hd (List.nth d.Ast.d_nodes n).Ast.n_transitions).Ast.actions in
+  (match actions 0 with
+  | [
+   Ast.A_halt (Some (Ast.Svc_ckpt (Ast.Binop (Ast.Add, Ast.Var "N", Ast.Int 1)))); Ast.A_goto "2";
+  ] ->
+      ()
+  | _ -> Alcotest.fail "expected ckpt halt with expression index");
+  (match actions 1 with
+  | [ Ast.A_stop (Some Ast.Svc_sched); Ast.A_goto "3" ] -> ()
+  | _ -> Alcotest.fail "expected scheduler stop");
+  (* a bare [halt] (the controller's own exit) must stay selector-free *)
+  match actions 2 with
+  | [ Ast.A_continue (Some Ast.Svc_disp); Ast.A_halt None ] -> ()
+  | _ -> Alcotest.fail "expected dispatcher continue then bare halt"
+
 let test_parse_degrade_bad_field () =
   match
     Parser.parse_result "Daemon D { node 1: timer -> degrade G1[0] speed = 2; time t = 1; }"
@@ -260,6 +283,18 @@ let test_roundtrip_net_actions () =
     "Daemon D { node 1: timer -> degrade G1[2] loss = N * 10 latency = 2 jitter = 1, goto 1; \
      time t = 5; }";
   roundtrip "Daemon D { node 1: timer -> degrade P latency = 7; time t = 5; } P : D on machine 0;"
+
+(* Infrastructure service selectors on halt/stop/continue: the ckpt
+   index sits inside brackets so any expression prints bare; the bare
+   forms (controller self-halt etc.) must stay selector-free. *)
+let test_roundtrip_service_actions () =
+  roundtrip "Daemon D { node 1: timer -> halt service ckpt[0], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> halt service ckpt[N + 1], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> stop service ckpt[2], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> continue service ckpt[I], goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> halt service sched, goto 1; time t = 5; }";
+  roundtrip "Daemon D { node 1: timer -> stop service disp, halt; time t = 5; }";
+  roundtrip "Daemon D { node 1: ?kill -> halt, goto 1; }"
 
 (* Topology group destinations: the switch index sits inside brackets so
    any expression prints bare, while pod/rack indices parse as a single
@@ -311,6 +346,14 @@ let test_scenario_injection_roundtrip () =
         { machine = 4; anchor = On_reload { nth = 10; delay = 1 }; kind = Freeze { thaw = 30 } };
         { machine = 3; anchor = After 2; kind = Partition };
         { machine = 0; anchor = After 12; kind = Heal };
+      ];
+      (* service faults: machine mirrors the ckpt replica index *)
+      [
+        { machine = 0; anchor = After 32; kind = Service_kill { service = S_ckpt 0 } };
+        { machine = 2; anchor = After 1; kind = Service_freeze { service = S_ckpt 2; thaw = 20 } };
+        { machine = 0; anchor = After 5; kind = Service_kill { service = S_sched } };
+        { machine = 0; anchor = After 3; kind = Service_freeze { service = S_disp; thaw = 10 } };
+        { machine = 1; anchor = After 6; kind = Kill };
       ];
     ]
   in
@@ -433,15 +476,24 @@ let gen_program =
     in
     frequency (if is_recv then (1, return Ast.D_sender) :: base else base)
   in
+  let gen_service vars =
+    frequency
+      [
+        (3, return None);
+        (1, map (fun e -> Some (Ast.Svc_ckpt e)) (gen_expr vars));
+        (1, return (Some Ast.Svc_sched));
+        (1, return (Some Ast.Svc_disp));
+      ]
+  in
   let gen_action ~node_ids ~vars ~is_recv =
     frequency
       ([
          (3, map (fun n -> Ast.A_goto n) (ident node_ids));
          ( 3,
            map2 (fun m d -> Ast.A_send (m, d)) (ident msg_pool) (gen_dest ~vars ~is_recv) );
-         (1, return Ast.A_halt);
-         (1, return Ast.A_stop);
-         (1, return Ast.A_continue);
+         (1, map (fun s -> Ast.A_halt s) (gen_service vars));
+         (1, map (fun s -> Ast.A_stop s) (gen_service vars));
+         (1, map (fun s -> Ast.A_continue s) (gen_service vars));
        ]
       @
       if vars = [] then []
@@ -704,6 +756,7 @@ let () =
           Alcotest.test_case "set and watch" `Quick test_parse_set_and_watch;
           Alcotest.test_case "net actions" `Quick test_parse_net_actions;
           Alcotest.test_case "topology destinations" `Quick test_parse_topo_dests;
+          Alcotest.test_case "service actions" `Quick test_parse_service_actions;
           Alcotest.test_case "degrade bad field" `Quick test_parse_degrade_bad_field;
           Alcotest.test_case "error location" `Quick test_parse_error_location;
         ] );
@@ -712,6 +765,7 @@ let () =
           Alcotest.test_case "paper scenarios round-trip" `Quick test_roundtrip_paper_scenarios;
           Alcotest.test_case "edge cases round-trip" `Quick test_roundtrip_edge_cases;
           Alcotest.test_case "net actions round-trip" `Quick test_roundtrip_net_actions;
+          Alcotest.test_case "service actions round-trip" `Quick test_roundtrip_service_actions;
           Alcotest.test_case "topology destinations round-trip" `Quick test_roundtrip_topo_dests;
           Alcotest.test_case "scenario injections round-trip" `Quick
             test_scenario_injection_roundtrip;

@@ -339,7 +339,7 @@ let test_aggs_csv () =
   check_int "two lines" 2 (List.length (String.split_on_char '\n' (String.trim csv)));
   check_bool "has label" true
     (try
-       ignore (Str.search_forward (Str.regexp_string "cfg-a,1,1,0,0,0,0,0,10.0") csv 0);
+       ignore (Str.search_forward (Str.regexp_string "cfg-a,1,1,0,0,0,0,0,0,10.0") csv 0);
        true
      with Not_found -> false)
 

@@ -230,7 +230,8 @@ let test_agreement_never_splits () =
             true
             (r.Failmpi.Run.checksum_ok = Some true)
       | Failmpi.Run.Aborted _ -> ()
-      | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy | Failmpi.Run.Net_hung ->
+      | Failmpi.Run.Ckpt_lost | Failmpi.Run.Non_terminating | Failmpi.Run.Buggy
+      | Failmpi.Run.Net_hung ->
           Alcotest.failf "seed %Ld: agreement wedged (%s)" seed
             (Failmpi.Run.outcome_name r.Failmpi.Run.outcome));
       check_bool

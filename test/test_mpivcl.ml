@@ -380,6 +380,138 @@ let test_server_use_local () =
       check_bool "server told client to use local disk" true !used_local)
 
 (* ------------------------------------------------------------------ *)
+(* Storage plane: torn-write detection, mirroring, resync *)
+
+(* Kill the server at instants spanning the whole wave-2 store window —
+   before the transfer, during it, and after the seal — with wave 1
+   already committed. Whatever the instant, the respawned server's
+   restart scan must leave the committed image exactly at wave 1:
+   never torn, never regressed, never absent. *)
+let test_commit_invariant_under_kill_sweep () =
+  List.iter
+    (fun kill_at ->
+      let eng = Engine.create () in
+      let cluster = Cluster.create eng ~size:3 in
+      let net = Simnet.Net.create eng () in
+      let server = Ckpt_server.spawn eng cluster net ~host:0 ~bandwidth:1e6 ~respawn:5.0 () in
+      ignore
+        (Cluster.spawn_on cluster ~host:1 ~name:"client" (fun () ->
+             match Simnet.Net.connect net ~host:1 ~to_host:0 ~to_port:Config.server_port with
+             | Error `Refused -> Alcotest.fail "refused"
+             | Ok conn ->
+                 ignore
+                   (Simnet.Net.send conn
+                      (Message.Store { image = mk_image ~rank:3 ~wave:1 ~bytes:500_000 }));
+                 (match Simnet.Net.recv conn with
+                 | Simnet.Net.Data (Message.Store_done { wave = 1 }) -> ()
+                 | _ -> Alcotest.fail "expected Store_done for wave 1");
+                 ignore (Simnet.Net.send conn (Message.Commit { wave = 1 }));
+                 Proc.sleep 0.5;
+                 (* 2 MB at 1 MB/s: the wave-2 store window is ~[1, 3] s. *)
+                 ignore
+                   (Simnet.Net.send conn
+                      (Message.Store { image = mk_image ~rank:3 ~wave:2 ~bytes:2_000_000 }));
+                 ignore (Simnet.Net.recv conn)));
+      ignore (Engine.schedule eng ~delay:kill_at (fun () -> Ckpt_server.inject_kill server));
+      ignore (Engine.run ~until:60.0 eng);
+      let label = Printf.sprintf "kill at %.2f" kill_at in
+      check_bool (label ^ ": committed image stays at wave 1") true
+        (Ckpt_server.committed_wave server ~rank:3 = Some 1);
+      check_bool (label ^ ": no torn slot survives the restart scan") true
+        (not (Ckpt_server.pending_torn server ~rank:3));
+      check_int (label ^ ": server respawned once") 1 (Ckpt_server.respawns server);
+      (* A kill well inside the transfer must leave — and be seen to
+         discard — exactly one torn image. *)
+      if kill_at >= 1.5 && kill_at <= 2.5 then
+        check_int (label ^ ": torn image discarded") 1 (Ckpt_server.torn_discarded server);
+      Ckpt_server.halt server)
+    [ 0.9; 1.1; 1.5; 2.0; 2.5; 2.9; 3.2; 4.0 ]
+
+(* Two mirrored servers in a ring. *)
+let with_server_pair ?respawn f =
+  let eng = Engine.create () in
+  let cluster = Cluster.create eng ~size:4 in
+  let net = Simnet.Net.create eng () in
+  let hosts = [| 0; 1 |] in
+  let spawn ~host ~index =
+    Ckpt_server.spawn eng cluster net ~host ~bandwidth:1e6 ~index ~server_hosts:hosts
+      ~replicas:2 ?respawn ()
+  in
+  f eng cluster net (spawn ~host:0 ~index:0) (spawn ~host:1 ~index:1)
+
+let server_conn net ~host ~to_host =
+  match Simnet.Net.connect net ~host ~to_host ~to_port:Config.server_port with
+  | Error `Refused -> Alcotest.fail "server refused"
+  | Ok conn -> conn
+
+(* A store ack from the primary promises the mirror already holds the
+   sealed copy: committing on the mirror alone must produce the image. *)
+let test_mirrored_store_reaches_mirror () =
+  with_server_pair (fun eng cluster net a b ->
+      let fetched = ref None in
+      ignore
+        (Cluster.spawn_on cluster ~host:2 ~name:"client" (fun () ->
+             (* rank 2: primary index 0 (host 0), mirror index 1 *)
+             let conn = server_conn net ~host:2 ~to_host:0 in
+             ignore
+               (Simnet.Net.send conn
+                  (Message.Store { image = mk_image ~rank:2 ~wave:1 ~bytes:100_000 }));
+             (match Simnet.Net.recv conn with
+             | Simnet.Net.Data (Message.Store_done { wave = 1 }) -> ()
+             | _ -> Alcotest.fail "expected Store_done");
+             let mirror = server_conn net ~host:2 ~to_host:1 in
+             ignore (Simnet.Net.send mirror (Message.Commit { wave = 1 }));
+             Proc.sleep 0.1;
+             ignore (Simnet.Net.send mirror (Message.Fetch { rank = 2; local_wave = None }));
+             match Simnet.Net.recv mirror with
+             | Simnet.Net.Data (Message.Fetch_image { image = Some img }) ->
+                 fetched := Some img.Message.img_wave
+             | _ -> Alcotest.fail "mirror had no image to serve"));
+      ignore (Engine.run ~until:30.0 eng);
+      check_bool "mirror serves the image the primary acked" true (!fetched = Some 1);
+      check_bool "mirror committed introspection" true
+        (Ckpt_server.committed_wave b ~rank:2 = Some 1);
+      ignore a)
+
+(* Images committed while a server was dead reach it through the
+   restart resync pull — the respawned primary serves its shard again
+   without any new store. *)
+let test_respawned_server_resyncs_shard () =
+  with_server_pair ~respawn:3.0 (fun eng cluster net a b ->
+      ignore
+        (Cluster.spawn_on cluster ~host:2 ~name:"client" (fun () ->
+             (* wave 1 through the primary while it is alive *)
+             let conn = server_conn net ~host:2 ~to_host:0 in
+             ignore
+               (Simnet.Net.send conn
+                  (Message.Store { image = mk_image ~rank:2 ~wave:1 ~bytes:100_000 }));
+             (match Simnet.Net.recv conn with
+             | Simnet.Net.Data (Message.Store_done _) -> ()
+             | _ -> Alcotest.fail "expected Store_done");
+             ignore (Simnet.Net.send conn (Message.Commit { wave = 1 }));
+             let mirror = server_conn net ~host:2 ~to_host:1 in
+             ignore (Simnet.Net.send mirror (Message.Commit { wave = 1 }));
+             Proc.sleep 1.0;
+             Ckpt_server.inject_kill a;
+             (* wave 2 lands on the survivor while the primary is down
+                (the daemons' fetch/store failover path) *)
+             Proc.sleep 1.0;
+             let surv = server_conn net ~host:2 ~to_host:1 in
+             ignore
+               (Simnet.Net.send surv
+                  (Message.Store { image = mk_image ~rank:2 ~wave:2 ~bytes:100_000 }));
+             (match Simnet.Net.recv surv with
+             | Simnet.Net.Data (Message.Store_done _) -> ()
+             | _ -> Alcotest.fail "expected survivor Store_done");
+             ignore (Simnet.Net.send surv (Message.Commit { wave = 2 }))));
+      ignore (Engine.run ~until:30.0 eng);
+      check_int "primary respawned" 1 (Ckpt_server.respawns a);
+      check_bool "respawn pulled the missed wave" true (Ckpt_server.resyncs a >= 1);
+      check_bool "primary serves wave 2 it never stored" true
+        (Ckpt_server.committed_wave a ~rank:2 = Some 2);
+      check_bool "survivor unchanged" true (Ckpt_server.committed_wave b ~rank:2 = Some 2))
+
+(* ------------------------------------------------------------------ *)
 (* Local disk *)
 
 let test_local_disk_retention () =
@@ -458,6 +590,15 @@ let () =
           Alcotest.test_case "store/commit/fetch" `Quick test_server_store_commit_fetch;
           Alcotest.test_case "transfer takes time" `Quick test_server_transfer_takes_time;
           Alcotest.test_case "use local disk" `Quick test_server_use_local;
+        ] );
+      ( "storage-plane",
+        [
+          Alcotest.test_case "commit invariant under kill sweep" `Quick
+            test_commit_invariant_under_kill_sweep;
+          Alcotest.test_case "mirrored store reaches mirror" `Quick
+            test_mirrored_store_reaches_mirror;
+          Alcotest.test_case "respawned server resyncs shard" `Quick
+            test_respawned_server_resyncs_shard;
         ] );
       ("local-disk", [ Alcotest.test_case "retention" `Quick test_local_disk_retention ]);
       ("properties", qsuite);
